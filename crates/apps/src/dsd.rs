@@ -1,0 +1,93 @@
+//! Dual Screen Display (DSD), 16 cores — **reconstruction**.
+//!
+//! From the Philips video display chip-set workloads [15]: two complete,
+//! largely independent display pipelines (input → horizontal scale →
+//! vertical scale → enhancement → mixing → display control), each with its
+//! own frame memory, sharing an on-screen-display generator and a control
+//! RISC. The twin-pipeline symmetry plus the shared OSD is what gives DSD
+//! the highest cost ratios in the paper's Table 1 — mappers that commit
+//! one pipeline to a corner strand the shared cores.
+
+use noc_graph::CoreGraph;
+
+/// Builds the 16-core DSD core graph (17 directed edges, ≈1.6 GB/s
+/// aggregate demand).
+pub fn dsd() -> CoreGraph {
+    let mut g = CoreGraph::new();
+    let in1 = g.add_core("in1");
+    let hs1 = g.add_core("hs1");
+    let vs1 = g.add_core("vs1");
+    let enh1 = g.add_core("enh1");
+    let mix1 = g.add_core("mix1");
+    let disp1 = g.add_core("disp1");
+    let mem1 = g.add_core("mem1");
+    let in2 = g.add_core("in2");
+    let hs2 = g.add_core("hs2");
+    let vs2 = g.add_core("vs2");
+    let enh2 = g.add_core("enh2");
+    let mix2 = g.add_core("mix2");
+    let disp2 = g.add_core("disp2");
+    let mem2 = g.add_core("mem2");
+    let osd = g.add_core("osd");
+    let risc = g.add_core("risc");
+
+    let edges = [
+        // Screen 1 pipeline.
+        (in1, hs1, 128.0),
+        (hs1, vs1, 128.0),
+        (vs1, enh1, 96.0),
+        (enh1, mix1, 96.0),
+        (mix1, disp1, 160.0),
+        (enh1, mem1, 64.0),
+        (mem1, enh1, 64.0),
+        // Screen 2 pipeline.
+        (in2, hs2, 128.0),
+        (hs2, vs2, 128.0),
+        (vs2, enh2, 96.0),
+        (enh2, mix2, 96.0),
+        (mix2, disp2, 160.0),
+        (enh2, mem2, 64.0),
+        (mem2, enh2, 64.0),
+        // Shared on-screen display and control.
+        (osd, mix1, 32.0),
+        (osd, mix2, 32.0),
+        (risc, osd, 16.0),
+    ];
+    for (src, dst, bw) in edges {
+        g.add_comm(src, dst, bw).expect("static edge list is valid");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = dsd();
+        assert_eq!(g.core_count(), 16);
+        assert_eq!(g.edge_count(), 17);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn pipelines_are_symmetric() {
+        let g = dsd();
+        let weight_of = |a: &str, b: &str| {
+            let src = g.cores().find(|&c| g.name(c) == a).unwrap();
+            let dst = g.cores().find(|&c| g.name(c) == b).unwrap();
+            g.edge(g.find_edge(src, dst).unwrap()).bandwidth
+        };
+        assert_eq!(weight_of("in1", "hs1"), weight_of("in2", "hs2"));
+        assert_eq!(weight_of("mix1", "disp1"), weight_of("mix2", "disp2"));
+        assert_eq!(weight_of("osd", "mix1"), weight_of("osd", "mix2"));
+    }
+
+    #[test]
+    fn osd_bridges_both_screens() {
+        let g = dsd();
+        let osd = g.cores().find(|&c| g.name(c) == "osd").unwrap();
+        assert_eq!(g.out_edges(osd).count(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! MPEG-4 decoder, 14 cores — **reconstruction**.
+//!
+//! The paper states only "MPEG4 decoder (mapped onto 14 cores)" and cites
+//! van der Tol & Jaspers [7] for the decoder partitioning. Our graph is a
+//! reconstruction with the structural features that drive mapping quality
+//! in that workload: the bitstream-decode pipeline (demux → VLD →
+//! run-length → inverse scan → AC/DC → iQuant → IDCT), a motion-
+//! compensation path, and an SDRAM memory hub with several hot (300–500
+//! MB/s) streams — the hub is what separates good mappers from bad ones,
+//! because its neighbours must crowd around one node. Rates are at the
+//! order of magnitude of the paper's Figure 1 numbers.
+
+use noc_graph::CoreGraph;
+
+/// Builds the 14-core MPEG-4 decoder reconstruction (17 directed edges,
+/// ≈3.9 GB/s aggregate demand).
+pub fn mpeg4() -> CoreGraph {
+    let mut g = CoreGraph::new();
+    let risc = g.add_core("risc");
+    let demux = g.add_core("demux");
+    let vld = g.add_core("vld");
+    let run_dec = g.add_core("run_dec");
+    let inv_scan = g.add_core("inv_scan");
+    let acdc = g.add_core("acdc_pred");
+    let iquant = g.add_core("iquant");
+    let idct = g.add_core("idct");
+    let mc = g.add_core("motion_comp");
+    let upsamp = g.add_core("up_samp");
+    let vop_rec = g.add_core("vop_rec");
+    let pad = g.add_core("pad");
+    let sdram = g.add_core("sdram");
+    let sram = g.add_core("sram");
+
+    let edges = [
+        // Control.
+        (risc, demux, 32.0),
+        (risc, sdram, 16.0),
+        (sdram, risc, 16.0),
+        // Bitstream decode pipeline.
+        (demux, vld, 64.0),
+        (vld, run_dec, 70.0),
+        (run_dec, inv_scan, 362.0),
+        (inv_scan, acdc, 362.0),
+        (acdc, iquant, 362.0),
+        (iquant, idct, 357.0),
+        (idct, vop_rec, 353.0),
+        // Motion compensation out of the frame store.
+        (sdram, mc, 400.0),
+        (mc, vop_rec, 300.0),
+        // Reconstruction loop through the memories.
+        (vop_rec, pad, 313.0),
+        (pad, sdram, 313.0),
+        (sdram, upsamp, 500.0),
+        (upsamp, sram, 300.0),
+        (sram, risc, 16.0),
+    ];
+    for (src, dst, bw) in edges {
+        g.add_comm(src, dst, bw).expect("static edge list is valid");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = mpeg4();
+        assert_eq!(g.core_count(), 14);
+        assert_eq!(g.edge_count(), 17);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn sdram_is_the_hub() {
+        let g = mpeg4();
+        let sdram = g.cores().find(|&c| g.name(c) == "sdram").unwrap();
+        // The hub carries the most adjacent traffic of all cores.
+        let hub_comm = g.total_comm(sdram);
+        for c in g.cores() {
+            if c != sdram {
+                assert!(
+                    g.total_comm(c) <= hub_comm,
+                    "{} busier than sdram",
+                    g.name(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_demand_is_gigabyte_scale() {
+        let total = mpeg4().total_bandwidth();
+        assert!((3_000.0..5_000.0).contains(&total), "total {total}");
+    }
+}

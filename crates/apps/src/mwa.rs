@@ -1,0 +1,123 @@
+//! Multi-Window Application (MWA, 14 cores) and MWA with Graphics
+//! (MWAG, 16 cores) — **reconstructions**.
+//!
+//! From the Philips video display chip-set workloads [15]: several
+//! independently scaled video streams are composited into windows, with a
+//! frame memory pair and a display controller. MWAG adds a two-stage
+//! graphics pipeline feeding the compositor. The compositing hub plus
+//! parallel stream pipelines is what stresses the mappers: streams compete
+//! for the links around the compositor.
+
+use noc_graph::CoreGraph;
+
+/// Builds the 14-core Multi-Window Application core graph (15 directed
+/// edges, ≈1.3 GB/s aggregate demand).
+pub fn mwa() -> CoreGraph {
+    let mut g = CoreGraph::new();
+    build_mwa_base(&mut g);
+    g
+}
+
+/// Builds the 16-core MWA-with-Graphics core graph (18 directed edges,
+/// ≈1.6 GB/s aggregate demand).
+pub fn mwag() -> CoreGraph {
+    let mut g = CoreGraph::new();
+    let comp = build_mwa_base(&mut g);
+    let gfx_cmd = g.add_core("gfx_cmd");
+    let gfx_render = g.add_core("gfx_render");
+    g.add_comm(gfx_cmd, gfx_render, 128.0).expect("valid");
+    g.add_comm(gfx_render, comp, 96.0).expect("valid");
+    // Graphics command fetch from the background generator's memory port.
+    let bg = g.cores().find(|&c| g.name(c) == "bg_gen").expect("bg exists");
+    g.add_comm(bg, gfx_cmd, 32.0).expect("valid");
+    g
+}
+
+/// Adds the 14 MWA cores and 15 edges; returns the compositor id for
+/// extension by [`mwag`].
+fn build_mwa_base(g: &mut CoreGraph) -> noc_graph::CoreId {
+    let in1 = g.add_core("in1");
+    let hs1 = g.add_core("hs1");
+    let vs1 = g.add_core("vs1");
+    let in2 = g.add_core("in2");
+    let hs2 = g.add_core("hs2");
+    let vs2 = g.add_core("vs2");
+    let in3 = g.add_core("in3");
+    let hs3 = g.add_core("hs3");
+    let vs3 = g.add_core("vs3");
+    let bg = g.add_core("bg_gen");
+    let comp = g.add_core("compositor");
+    let mem1 = g.add_core("mem1");
+    let mem2 = g.add_core("mem2");
+    let display = g.add_core("display");
+
+    let edges = [
+        (in1, hs1, 96.0),
+        (hs1, vs1, 96.0),
+        (vs1, comp, 64.0),
+        (in2, hs2, 96.0),
+        (hs2, vs2, 96.0),
+        (vs2, comp, 64.0),
+        (in3, hs3, 64.0),
+        (hs3, vs3, 64.0),
+        (vs3, comp, 32.0),
+        (bg, comp, 64.0),
+        (comp, mem1, 128.0),
+        (mem1, comp, 128.0),
+        (comp, mem2, 64.0),
+        (mem2, comp, 64.0),
+        (comp, display, 192.0),
+    ];
+    for (src, dst, bw) in edges {
+        g.add_comm(src, dst, bw).expect("static edge list is valid");
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mwa_shape() {
+        let g = mwa();
+        assert_eq!(g.core_count(), 14);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn mwag_shape() {
+        let g = mwag();
+        assert_eq!(g.core_count(), 16);
+        assert_eq!(g.edge_count(), 18);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn mwag_extends_mwa() {
+        let base = mwa();
+        let ext = mwag();
+        assert!(ext.total_bandwidth() > base.total_bandwidth());
+        // Every MWA edge weight multiset entry survives in MWAG.
+        let mut base_w: Vec<f64> = base.edges().map(|(_, e)| e.bandwidth).collect();
+        let mut ext_w: Vec<f64> = ext.edges().map(|(_, e)| e.bandwidth).collect();
+        base_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ext_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in base_w {
+            let pos = ext_w.iter().position(|&x| x == w).expect("weight kept");
+            ext_w.remove(pos);
+        }
+    }
+
+    #[test]
+    fn compositor_is_the_hub() {
+        let g = mwa();
+        let comp = g.cores().find(|&c| g.name(c) == "compositor").unwrap();
+        for c in g.cores() {
+            if c != comp {
+                assert!(g.total_comm(c) <= g.total_comm(comp));
+            }
+        }
+    }
+}

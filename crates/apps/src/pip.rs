@@ -1,0 +1,64 @@
+//! Picture-in-Picture (PIP), 8 cores — **reconstruction**.
+//!
+//! From the Philips video display chip-set workloads [15]: a main video
+//! path and an inset (PiP) path are scaled independently, blended, buffered
+//! and displayed. The reconstruction keeps the two-pipeline-into-blender
+//! shape and the modest (tens-to-hundreds MB/s) rates that make PIP the
+//! lightest of the paper's six applications in Figures 3–4.
+
+use noc_graph::CoreGraph;
+
+/// Builds the 8-core PIP core graph (8 directed edges, ≈0.7 GB/s aggregate
+/// demand).
+pub fn pip() -> CoreGraph {
+    let mut g = CoreGraph::new();
+    let inp_main = g.add_core("inp_main");
+    let hs_main = g.add_core("hs_main");
+    let vs_main = g.add_core("vs_main");
+    let inp_pip = g.add_core("inp_pip");
+    let scaler_pip = g.add_core("scaler_pip");
+    let blender = g.add_core("blender");
+    let mem = g.add_core("mem");
+    let display = g.add_core("display");
+
+    let edges = [
+        (inp_main, hs_main, 128.0),
+        (hs_main, vs_main, 64.0),
+        (vs_main, blender, 64.0),
+        (inp_pip, scaler_pip, 64.0),
+        (scaler_pip, blender, 32.0),
+        (blender, mem, 96.0),
+        (mem, blender, 96.0),
+        (blender, display, 128.0),
+    ];
+    for (src, dst, bw) in edges {
+        g.add_comm(src, dst, bw).expect("static edge list is valid");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = pip();
+        assert_eq!(g.core_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn pip_is_the_lightest_app() {
+        assert!(pip().total_bandwidth() < 1_000.0);
+    }
+
+    #[test]
+    fn blender_has_highest_fanin() {
+        let g = pip();
+        let blender = g.cores().find(|&c| g.name(c) == "blender").unwrap();
+        let fan_in = g.in_edges(blender).count();
+        assert_eq!(fan_in, 3);
+    }
+}

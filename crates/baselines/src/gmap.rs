@@ -1,0 +1,121 @@
+//! GMAP: the greedy upper-bound-cost mapper of Hu & Marculescu.
+//!
+//! Cores are sorted by total communication demand (descending, ties by
+//! id). Each core in turn is placed on the free node minimizing the
+//! communication cost to the cores already placed. Unlike NMAP's
+//! `initialize()`, the *order* is fixed up-front from static demands — it
+//! does not adapt to what has been placed — which is the characteristic
+//! weakness NMAP improves on.
+
+use nmap::{Mapping, MappingProblem};
+use noc_graph::CoreId;
+
+/// Runs the GMAP greedy mapper, returning a complete placement.
+pub fn gmap(problem: &MappingProblem) -> Mapping {
+    let cores = problem.cores();
+    let topology = problem.topology();
+    let mut mapping = Mapping::new(topology.node_count());
+
+    // Static order: decreasing total communication demand.
+    let mut order: Vec<CoreId> = cores.cores().collect();
+    order.sort_by(|&a, &b| {
+        cores
+            .total_comm(b)
+            .partial_cmp(&cores.total_comm(a))
+            .expect("bandwidths are finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut placed: Vec<CoreId> = Vec::with_capacity(order.len());
+    for core in order {
+        let mut best_node = None;
+        let mut best_cost = f64::INFINITY;
+        for node in topology.nodes() {
+            if mapping.core_at(node).is_some() {
+                continue;
+            }
+            let mut cost = 0.0;
+            for &w in &placed {
+                let comm = cores.comm_between(core, w);
+                if comm > 0.0 {
+                    let host = mapping.node_of(w).expect("placed");
+                    cost += comm * topology.hop_distance(node, host) as f64;
+                }
+            }
+            // First core: bias toward the centre like the other mappers, so
+            // differences in results come from the algorithms, not seeds.
+            if placed.is_empty() {
+                cost = topology.hop_distance(node, topology.max_degree_node()) as f64;
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_node = Some(node);
+            }
+        }
+        mapping.place(core, best_node.expect("free node exists"));
+        placed.push(core);
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{CoreGraph, Topology};
+
+    fn problem(edges: &[(usize, usize, f64)], n: usize, w: usize, h: usize) -> MappingProblem {
+        let mut g = CoreGraph::new();
+        let ids: Vec<CoreId> = (0..n).map(|i| g.add_core(format!("c{i}"))).collect();
+        for &(a, b, bw) in edges {
+            g.add_comm(ids[a], ids[b], bw).unwrap();
+        }
+        MappingProblem::new(g, Topology::mesh(w, h, 1e9)).unwrap()
+    }
+
+    #[test]
+    fn produces_complete_injective_mapping() {
+        let p = problem(&[(0, 1, 100.0), (1, 2, 50.0), (2, 3, 25.0)], 4, 2, 2);
+        let m = gmap(&p);
+        assert!(m.is_complete(p.cores()));
+        let mut nodes: Vec<_> = m.assignments().map(|(_, n)| n).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+    }
+
+    #[test]
+    fn heaviest_core_is_placed_first_at_center() {
+        let p = problem(
+            &[(2, 0, 500.0), (2, 1, 500.0), (2, 3, 500.0), (0, 1, 1.0)],
+            4,
+            3,
+            3,
+        );
+        let m = gmap(&p);
+        let hub = m.node_of(CoreId::new(2)).unwrap();
+        assert_eq!(hub, p.topology().max_degree_node());
+    }
+
+    #[test]
+    fn adjacent_pairs_get_adjacent_nodes_when_possible() {
+        let p = problem(&[(0, 1, 900.0)], 2, 2, 2);
+        let m = gmap(&p);
+        let a = m.node_of(CoreId::new(0)).unwrap();
+        let b = m.node_of(CoreId::new(1)).unwrap();
+        assert_eq!(p.topology().hop_distance(a, b), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = problem(&[(0, 1, 70.0), (1, 2, 362.0), (2, 3, 49.0)], 4, 2, 2);
+        assert_eq!(gmap(&p), gmap(&p));
+    }
+
+    #[test]
+    fn cost_is_at_least_lower_bound() {
+        // Cost can never be below total bandwidth (every edge >= 1 hop).
+        let p = problem(&[(0, 1, 100.0), (1, 2, 100.0), (0, 2, 100.0)], 3, 2, 2);
+        let m = gmap(&p);
+        assert!(p.comm_cost(&m) >= p.cores().total_bandwidth());
+    }
+}

@@ -1,0 +1,413 @@
+//! PBB: the partial branch-and-bound mapper of Hu & Marculescu
+//! (ASP-DAC 2003).
+//!
+//! Best-first search over placement prefixes. Cores are ordered by total
+//! communication demand (descending); tree level ℓ assigns core ℓ to one
+//! of the free nodes. Each search node carries
+//!
+//! * the exact cost of the already-placed pairs, and
+//! * an admissible lower bound for the rest: every edge not yet fully
+//!   placed must span at least one hop, so
+//!   `LB = partial_cost + Σ (weights of unfinished edges)`.
+//!
+//! The "partial" qualifier: the priority queue is bounded
+//! ([`PbbOptions::max_queue`]); when it overflows, the worst entries are
+//! discarded — exactly the paper's "we monitored the queue length so that
+//! the PBB algorithm ran for few minutes". An expansion budget
+//! ([`PbbOptions::max_expansions`]) gives a second, harder stop.
+//!
+//! Symmetry breaking: the first core only tries one octant of the mesh
+//! (or one representative of each degree class on other topologies),
+//! cutting the 8-fold dihedral symmetry of square meshes.
+//!
+//! Completed placements are accepted only if the load-balanced
+//! minimum-path routing satisfies the link capacities — the bandwidth
+//! constraint side of the original formulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use nmap::{routing, Mapping, MappingProblem};
+use noc_graph::{CoreId, NodeId, TopologyKind};
+
+/// Tuning knobs for [`pbb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbbOptions {
+    /// Maximum number of live entries in the best-first queue; beyond it
+    /// the worst entries are dropped (partial search).
+    pub max_queue: usize,
+    /// Maximum number of node expansions before the search stops and the
+    /// incumbent is returned.
+    pub max_expansions: usize,
+}
+
+impl Default for PbbOptions {
+    fn default() -> Self {
+        Self { max_queue: 10_000, max_expansions: 200_000 }
+    }
+}
+
+/// Result of a [`pbb`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PbbOutcome {
+    /// Best complete placement found (falls back to NMAP's `initialize()`
+    /// seeding if the budget expired before any completion — never absent).
+    pub mapping: Mapping,
+    /// Equation-7 communication cost of `mapping`.
+    pub comm_cost: f64,
+    /// Whether min-path routing of `mapping` meets all link capacities.
+    pub feasible: bool,
+    /// Number of search-tree nodes expanded (diagnostics).
+    pub expansions: usize,
+    /// True if the search ran out of budget while work remained.
+    pub truncated: bool,
+}
+
+#[derive(Debug, Clone)]
+struct SearchNode {
+    /// `placement[i]` hosts core `order[i]`.
+    placement: Vec<NodeId>,
+    /// Occupied nodes as a bitmask (topologies here are ≤ 128 nodes).
+    occupied: u128,
+    /// Exact cost of placed-pair communication.
+    partial_cost: f64,
+    /// `partial_cost` + admissible remainder bound.
+    lower_bound: f64,
+}
+
+/// Min-heap adapter: BinaryHeap is a max-heap, so reverse the ordering.
+#[derive(Debug)]
+struct HeapNode(SearchNode);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.lower_bound == other.0.lower_bound
+    }
+}
+impl Eq for HeapNode {}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .lower_bound
+            .partial_cmp(&self.0.lower_bound)
+            .expect("bounds are finite")
+            .then_with(|| other.0.placement.len().cmp(&self.0.placement.len()))
+            .then_with(|| other.0.placement.cmp(&self.0.placement))
+    }
+}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs the partial branch-and-bound mapper.
+///
+/// # Panics
+///
+/// Panics if the topology has more than 128 nodes (the occupancy bitmask
+/// width; all paper-scale experiments are ≤ 81 nodes).
+pub fn pbb(problem: &MappingProblem, options: &PbbOptions) -> PbbOutcome {
+    let cores = problem.cores();
+    let topology = problem.topology();
+    assert!(topology.node_count() <= 128, "PBB occupancy mask supports up to 128 nodes");
+
+    // Core order: decreasing total communication demand.
+    let mut order: Vec<CoreId> = cores.cores().collect();
+    order.sort_by(|&a, &b| {
+        cores
+            .total_comm(b)
+            .partial_cmp(&cores.total_comm(a))
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
+    let position: Vec<usize> = {
+        let mut pos = vec![0usize; order.len()];
+        for (i, &c) in order.iter().enumerate() {
+            pos[c.index()] = i;
+        }
+        pos
+    };
+
+    // remaining_weight[l] = total weight of edges NOT fully placed once the
+    // first `l` cores of `order` are down: edge (a, b) completes at level
+    // max(pos[a], pos[b]) + 1.
+    let levels = order.len();
+    let mut remaining_weight = vec![0.0f64; levels + 1];
+    for (_, e) in cores.edges() {
+        let done_at = position[e.src.index()].max(position[e.dst.index()]) + 1;
+        for level_weight in remaining_weight.iter_mut().take(done_at) {
+            *level_weight += e.bandwidth;
+        }
+    }
+
+    // Adjacency of each core to earlier-ordered cores, with weights.
+    // earlier[l] = list of (level index < l, undirected comm weight).
+    let mut earlier: Vec<Vec<(usize, f64)>> = vec![Vec::new(); levels];
+    for (li, &c) in order.iter().enumerate() {
+        for (lj, &w) in order.iter().enumerate().take(li) {
+            let comm = cores.comm_between(c, w);
+            if comm > 0.0 {
+                earlier[li].push((lj, comm));
+            }
+        }
+    }
+
+    let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+    // Root expansions with symmetry breaking.
+    for node in first_core_candidates(problem) {
+        heap.push(HeapNode(SearchNode {
+            placement: vec![node],
+            occupied: 1u128 << node.index(),
+            partial_cost: 0.0,
+            lower_bound: remaining_weight[1],
+        }));
+    }
+
+    let mut best: Option<(f64, Mapping)> = None;
+    let mut expansions = 0usize;
+    let mut truncated = false;
+
+    while let Some(HeapNode(node)) = heap.pop() {
+        if expansions >= options.max_expansions {
+            truncated = true;
+            break;
+        }
+        if let Some((best_cost, _)) = &best {
+            if node.lower_bound >= *best_cost {
+                continue; // prune: cannot beat the incumbent
+            }
+        }
+        expansions += 1;
+        let level = node.placement.len();
+
+        if level == levels {
+            // Complete placement: accept if bandwidth-feasible.
+            let mapping = to_mapping(&order, &node.placement, topology.node_count());
+            let feasible = routing::route_min_paths(problem, &mapping)
+                .map(|(_, loads)| loads.within_capacity(topology))
+                .unwrap_or(false);
+            if feasible {
+                let cost = node.partial_cost;
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, mapping));
+                }
+            }
+            continue;
+        }
+
+        // Expand: place core `order[level]` on every free node.
+        for target in topology.nodes() {
+            if node.occupied & (1u128 << target.index()) != 0 {
+                continue;
+            }
+            let mut delta = 0.0;
+            for &(lj, comm) in &earlier[level] {
+                delta += comm * topology.hop_distance(target, node.placement[lj]) as f64;
+            }
+            let partial_cost = node.partial_cost + delta;
+            let lower_bound = partial_cost + remaining_weight[level + 1];
+            if let Some((best_cost, _)) = &best {
+                if lower_bound >= *best_cost {
+                    continue;
+                }
+            }
+            let mut placement = node.placement.clone();
+            placement.push(target);
+            heap.push(HeapNode(SearchNode {
+                placement,
+                occupied: node.occupied | (1u128 << target.index()),
+                partial_cost,
+                lower_bound,
+            }));
+        }
+
+        // Partial search: drop the worst entries when the queue overflows.
+        if heap.len() > options.max_queue {
+            truncated = true;
+            let mut entries: Vec<HeapNode> = heap.drain().collect();
+            entries.sort_by(|a, b| b.cmp(a)); // best first (Ord is reversed)
+            entries.truncate(options.max_queue / 2);
+            heap.extend(entries);
+        }
+    }
+
+    let (mapping, feasible) = match best {
+        Some((_, mapping)) => {
+            let feasible = routing::route_min_paths(problem, &mapping)
+                .map(|(_, loads)| loads.within_capacity(topology))
+                .unwrap_or(false);
+            (mapping, feasible)
+        }
+        None => {
+            // Budget expired with no completion: fall back to the greedy
+            // constructive placement so callers always get a mapping.
+            let mapping = nmap::initialize(problem);
+            let feasible = routing::route_min_paths(problem, &mapping)
+                .map(|(_, loads)| loads.within_capacity(topology))
+                .unwrap_or(false);
+            truncated = true;
+            (mapping, feasible)
+        }
+    };
+
+    PbbOutcome {
+        comm_cost: problem.comm_cost(&mapping),
+        mapping,
+        feasible,
+        expansions,
+        truncated,
+    }
+}
+
+/// Candidate nodes for the first core: one octant of the mesh (x ≤ ⌈w/2⌉,
+/// y ≤ ⌈h/2⌉ and, on square meshes, y ≤ x), which breaks the dihedral
+/// symmetry group of the grid. On other topologies, all nodes.
+fn first_core_candidates(problem: &MappingProblem) -> Vec<NodeId> {
+    let topology = problem.topology();
+    match topology.kind() {
+        TopologyKind::Mesh { width, height } => topology
+            .nodes()
+            .filter(|&n| {
+                let (x, y) = topology.coords(n);
+                let half_x = x <= (width - 1) / 2;
+                let half_y = y <= (height - 1) / 2;
+                let octant = width != height || y <= x;
+                half_x && half_y && octant
+            })
+            .collect(),
+        _ => topology.nodes().collect(),
+    }
+}
+
+fn to_mapping(order: &[CoreId], placement: &[NodeId], node_count: usize) -> Mapping {
+    let mut mapping = Mapping::new(node_count);
+    for (&core, &node) in order.iter().zip(placement) {
+        mapping.place(core, node);
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{CoreGraph, Topology};
+
+    fn problem(edges: &[(usize, usize, f64)], n: usize, w: usize, h: usize) -> MappingProblem {
+        let mut g = CoreGraph::new();
+        let ids: Vec<CoreId> = (0..n).map(|i| g.add_core(format!("c{i}"))).collect();
+        for &(a, b, bw) in edges {
+            g.add_comm(ids[a], ids[b], bw).unwrap();
+        }
+        MappingProblem::new(g, Topology::mesh(w, h, 1e9)).unwrap()
+    }
+
+    #[test]
+    fn finds_optimal_pipeline_embedding() {
+        // 4-stage pipeline on 2x2: optimum = 300 (every edge adjacent).
+        let p = problem(&[(0, 1, 100.0), (1, 2, 100.0), (2, 3, 100.0)], 4, 2, 2);
+        let out = pbb(&p, &PbbOptions::default());
+        assert_eq!(out.comm_cost, 300.0);
+        assert!(out.feasible);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn optimal_on_star_graph() {
+        // Star with 4 satellites on 3x3: all satellites adjacent to hub.
+        let p = problem(
+            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
+            5,
+            3,
+            3,
+        );
+        let out = pbb(&p, &PbbOptions::default());
+        assert_eq!(out.comm_cost, 400.0);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_tiny_instance() {
+        // 3 cores on 2x2: brute-force all placements and compare.
+        let p = problem(&[(0, 1, 70.0), (1, 2, 30.0), (0, 2, 20.0)], 3, 2, 2);
+        let out = pbb(&p, &PbbOptions::default());
+
+        // Brute force.
+        let nodes: Vec<NodeId> = p.topology().nodes().collect();
+        let mut best = f64::INFINITY;
+        for &a in &nodes {
+            for &b in &nodes {
+                for &c in &nodes {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let mut m = Mapping::new(4);
+                    m.place(CoreId::new(0), a);
+                    m.place(CoreId::new(1), b);
+                    m.place(CoreId::new(2), c);
+                    best = best.min(p.comm_cost(&m));
+                }
+            }
+        }
+        assert_eq!(out.comm_cost, best, "PBB missed the optimum");
+    }
+
+    #[test]
+    fn respects_bandwidth_constraints() {
+        // Two 100 MB/s flows, 120 MB/s links: stacking them is infeasible;
+        // PBB must return a feasible layout.
+        let p = {
+            let mut g = CoreGraph::new();
+            let ids: Vec<CoreId> = (0..4).map(|i| g.add_core(format!("c{i}"))).collect();
+            g.add_comm(ids[0], ids[1], 100.0).unwrap();
+            g.add_comm(ids[2], ids[3], 100.0).unwrap();
+            MappingProblem::new(g, Topology::mesh(2, 2, 120.0)).unwrap()
+        };
+        let out = pbb(&p, &PbbOptions::default());
+        assert!(out.feasible);
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_a_mapping() {
+        let p = problem(
+            &[(0, 1, 100.0), (1, 2, 90.0), (2, 3, 80.0), (3, 4, 70.0), (4, 5, 60.0)],
+            6,
+            3,
+            2,
+        );
+        let out = pbb(&p, &PbbOptions { max_queue: 4, max_expansions: 10 });
+        assert!(out.truncated);
+        assert!(out.mapping.is_complete(p.cores()));
+        assert!(out.comm_cost.is_finite());
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = problem(&[(0, 1, 70.0), (1, 2, 362.0), (2, 3, 49.0)], 4, 2, 2);
+        let a = pbb(&p, &PbbOptions::default());
+        let b = pbb(&p, &PbbOptions::default());
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.comm_cost, b.comm_cost);
+    }
+
+    #[test]
+    fn larger_budget_is_no_worse() {
+        let p = problem(
+            &[
+                (0, 1, 100.0),
+                (1, 2, 90.0),
+                (2, 3, 80.0),
+                (3, 4, 70.0),
+                (4, 5, 60.0),
+                (5, 0, 50.0),
+                (0, 3, 40.0),
+            ],
+            6,
+            3,
+            2,
+        );
+        let small = pbb(&p, &PbbOptions { max_queue: 16, max_expansions: 100 });
+        let large = pbb(&p, &PbbOptions::default());
+        assert!(large.comm_cost <= small.comm_cost);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end figure/table regeneration benchmarks on reduced parameter
+//! sets — one benchmark per paper artifact, exercising exactly the code
+//! the `noc-experiments` binaries run at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use noc_apps::App;
+use noc_baselines::PbbOptions;
+use noc_experiments::fig5c::{self, Fig5cConfig};
+use noc_experiments::table2::{self, Table2Config};
+use noc_experiments::{fig3, fig4, routing_ablation, table3};
+use noc_sim::SimConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3_pip", |b| b.iter(|| black_box(fig3::run_app(App::Pip))));
+    group.bench_function("fig4_pip", |b| b.iter(|| black_box(fig4::run_app(App::Pip))));
+    group.bench_function("table2_15cores_1inst", |b| {
+        let config = Table2Config {
+            sizes: vec![15],
+            instances: 1,
+            pbb: PbbOptions { max_queue: 500, max_expansions: 5_000 },
+        };
+        b.iter(|| black_box(table2::run(&config)))
+    });
+    group.bench_function("table3_dsp", |b| b.iter(|| black_box(table3::run())));
+    group.bench_function("fig5c_one_point", |b| {
+        let config = Fig5cConfig {
+            bandwidths_mbps: vec![1_400.0],
+            sim: SimConfig {
+                warmup_cycles: 1_000,
+                measure_cycles: 10_000,
+                drain_cycles: 3_000,
+                ..SimConfig::default()
+            },
+        };
+        b.iter(|| black_box(fig5c::run(&config)))
+    });
+    group.bench_function("routing_ablation_pip", |b| {
+        b.iter(|| black_box(routing_ablation::run_app(App::Pip)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

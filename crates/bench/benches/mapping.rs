@@ -1,0 +1,98 @@
+//! Mapping-algorithm benchmarks: the paper's "fast algorithm" claim
+//! (Section 5: NMAP completes in seconds where the routing ILP takes
+//! minutes; Table 2's scale sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{random_instance_25, vopd_instance};
+use nmap::{initialize, map_single_path, map_with_splitting, routing, SinglePathOptions};
+use nmap::{PathScope, SplitOptions};
+use noc_baselines::{gmap, pbb, pmap, PbbOptions};
+use noc_graph::{RandomGraphConfig, Topology};
+
+fn bench_initialize(c: &mut Criterion) {
+    let vopd = vopd_instance();
+    let rand25 = random_instance_25();
+    let mut group = c.benchmark_group("initialize");
+    group.bench_function("vopd_16c", |b| b.iter(|| black_box(initialize(&vopd))));
+    group.bench_function("random_25c", |b| b.iter(|| black_box(initialize(&rand25))));
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let vopd = vopd_instance();
+    let mapping = initialize(&vopd);
+    c.bench_function("route_min_paths/vopd_16c", |b| {
+        b.iter(|| black_box(routing::route_min_paths(&vopd, &mapping).unwrap()))
+    });
+}
+
+fn bench_single_path_mappers(c: &mut Criterion) {
+    let vopd = vopd_instance();
+    let mut group = c.benchmark_group("mappers_vopd");
+    group.sample_size(10);
+    group.bench_function("nmap_paper_exact", |b| {
+        b.iter(|| black_box(map_single_path(&vopd, &SinglePathOptions::paper_exact()).unwrap()))
+    });
+    group.bench_function("nmap_default", |b| {
+        b.iter(|| black_box(map_single_path(&vopd, &SinglePathOptions::default()).unwrap()))
+    });
+    group.bench_function("pmap", |b| b.iter(|| black_box(pmap(&vopd))));
+    group.bench_function("gmap", |b| b.iter(|| black_box(gmap(&vopd))));
+    group.bench_function("pbb_small_budget", |b| {
+        b.iter(|| {
+            black_box(pbb(&vopd, &PbbOptions { max_queue: 1_000, max_expansions: 10_000 }))
+        })
+    });
+    group.finish();
+}
+
+fn bench_split_mapper(c: &mut Criterion) {
+    // Split mapping solves O(|U|^2) LPs; bench on the small PIP app.
+    let problem = nmap::MappingProblem::new(
+        noc_apps::pip(),
+        noc_graph::Topology::mesh(3, 3, 1_000.0),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("map_with_splitting_pip");
+    group.sample_size(10);
+    group.bench_function("quadrant", |b| {
+        b.iter(|| {
+            black_box(
+                map_with_splitting(
+                    &problem,
+                    &SplitOptions { scope: PathScope::Quadrant, passes: 1 },
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_nmap_scaling(c: &mut Criterion) {
+    // Table 2's independent variable: core count.
+    let mut group = c.benchmark_group("nmap_scaling");
+    group.sample_size(10);
+    for cores in [15usize, 25, 35] {
+        let graph = RandomGraphConfig { cores, ..Default::default() }.generate(7);
+        let (w, h) = Topology::fit_mesh_dims(cores);
+        let problem =
+            nmap::MappingProblem::new(graph, Topology::mesh(w, h, 1e9)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(cores), &problem, |b, p| {
+            b.iter(|| black_box(map_single_path(p, &SinglePathOptions::paper_exact()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_initialize,
+    bench_router,
+    bench_single_path_mappers,
+    bench_split_mapper,
+    bench_nmap_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Wormhole-simulator benchmarks: cycles/second on the DSP design (the
+//! cost of the Figure 5(c) sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use noc_experiments::fig5c::{design_dsp, flows_from_tables};
+use noc_graph::Topology;
+use noc_sim::{SimConfig, Simulator};
+
+fn bench_simulator(c: &mut Criterion) {
+    let design = design_dsp();
+    let topology = Topology::mesh(3, 2, 1_400.0);
+    let config = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 20_000,
+        drain_cycles: 4_000,
+        ..SimConfig::default()
+    };
+    let total_cycles = config.warmup_cycles + config.measure_cycles + config.drain_cycles;
+
+    let mut group = c.benchmark_group("simulator_dsp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_cycles));
+    group.bench_function("minpath_25k_cycles", |b| {
+        b.iter(|| {
+            let flows = flows_from_tables(&design.problem, &design.mapping, &design.minpath_tables);
+            let mut sim = Simulator::new(&topology, flows, config.clone());
+            black_box(sim.run())
+        })
+    });
+    group.bench_function("split_25k_cycles", |b| {
+        b.iter(|| {
+            let flows = flows_from_tables(&design.problem, &design.mapping, &design.split_tables);
+            let mut sim = Simulator::new(&topology, flows, config.clone());
+            black_box(sim.run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! * `mapping` — `initialize()`, the greedy router, full single-path NMAP,
+//!   PMAP/GMAP/PBB, and NMAP-with-splitting on a small instance.
+//! * `lp` — simplex solves of MCF1/MCF2/min-max-load models.
+//! * `simulator` — wormhole simulator cycles/second on the DSP design.
+//! * `figures` — end-to-end regeneration of each paper artifact on
+//!   reduced parameter sets (the shapes benchmarked are the same code
+//!   paths the experiment binaries run at full scale).
+
+#![forbid(unsafe_code)]
+
+use nmap::MappingProblem;
+use noc_graph::{RandomGraphConfig, Topology};
+
+/// A deterministic mid-size random instance (25 cores on a 5×5 mesh) used
+/// by several benchmarks.
+pub fn random_instance_25() -> MappingProblem {
+    let graph = RandomGraphConfig { cores: 25, ..Default::default() }.generate(1);
+    MappingProblem::new(graph, Topology::mesh(5, 5, 1e9)).expect("fits")
+}
+
+/// The paper's VOPD instance on its 4×4 mesh with generous capacity.
+pub fn vopd_instance() -> MappingProblem {
+    MappingProblem::new(noc_apps::vopd(), Topology::mesh(4, 4, 2_000.0)).expect("fits")
+}
+
+/// The paper's DSP instance on its 3×2 mesh.
+pub fn dsp_instance() -> MappingProblem {
+    MappingProblem::new(noc_apps::dsp_filter(), Topology::mesh(3, 2, 2_000.0)).expect("fits")
+}

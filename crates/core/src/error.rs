@@ -1,0 +1,85 @@
+//! Error type shared by the mapping algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use noc_lp::SolveError;
+
+/// Errors produced by problem construction and the mapping algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The application has more cores than the topology has nodes; the
+    /// one-to-one mapping function of Equation 1 requires `|V| ≤ |U|`.
+    TooManyCores {
+        /// Number of cores in the application.
+        cores: usize,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+    /// The application graph has no cores.
+    EmptyProblem,
+    /// A commodity's endpoints are disconnected in the topology, so no
+    /// route exists regardless of the placement.
+    Unroutable {
+        /// Index of the offending commodity (core-graph edge index).
+        commodity: usize,
+    },
+    /// The topology is not a mesh/torus, but a mesh-only routine
+    /// (e.g. dimension-ordered XY routing) was requested.
+    MeshRequired,
+    /// An MCF linear program failed to solve.
+    Lp(SolveError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::TooManyCores { cores, nodes } => {
+                write!(f, "application has {cores} cores but the topology only has {nodes} nodes")
+            }
+            MapError::EmptyProblem => write!(f, "application core graph is empty"),
+            MapError::Unroutable { commodity } => {
+                write!(f, "commodity d{commodity} has no route in the topology")
+            }
+            MapError::MeshRequired => {
+                write!(f, "this routine requires a mesh or torus topology")
+            }
+            MapError::Lp(e) => write!(f, "multi-commodity flow LP failed: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for MapError {
+    fn from(e: SolveError) -> Self {
+        MapError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MapError::TooManyCores { cores: 20, nodes: 16 };
+        assert_eq!(e.to_string(), "application has 20 cores but the topology only has 16 nodes");
+        assert!(MapError::Lp(SolveError::Infeasible).to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn lp_errors_convert_and_chain() {
+        let e: MapError = SolveError::Unbounded.into();
+        assert_eq!(e, MapError::Lp(SolveError::Unbounded));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&MapError::EmptyProblem).is_none());
+    }
+}

@@ -1,0 +1,199 @@
+//! The constructive `initialize()` placement of Section 5.
+//!
+//! 1. The core with the largest total communication demand (in the
+//!    undirected view of the core graph) is placed on the topology node
+//!    with the most neighbours.
+//! 2. Repeatedly, the unmapped core communicating most with the already
+//!    mapped cores is selected, and placed on the free node minimizing
+//!    `Σ_{w ∈ mapped} comm(next, w) · dist(candidate, map(w))`.
+//!
+//! All ties break toward lower ids, making the routine deterministic.
+
+use noc_graph::CoreId;
+
+use crate::{Mapping, MappingProblem};
+
+/// Computes the initial placement for `problem` (the paper's
+/// `initialize()` routine).
+///
+/// Returns a complete [`Mapping`]: every core of the application is
+/// assigned to a distinct topology node.
+pub fn initialize(problem: &MappingProblem) -> Mapping {
+    let cores = problem.cores();
+    let topology = problem.topology();
+    let mut mapping = Mapping::new(topology.node_count());
+
+    let mut unmapped: Vec<CoreId> = cores.cores().collect();
+    let mut mapped: Vec<CoreId> = Vec::with_capacity(unmapped.len());
+
+    // Seed: max-communication core onto the max-degree (most central) node.
+    let seed = cores.max_comm_core().expect("non-empty problem");
+    let seed_node = topology.max_degree_node();
+    mapping.place(seed, seed_node);
+    unmapped.retain(|&c| c != seed);
+    mapped.push(seed);
+
+    while let Some(next) = select_next_core(problem, &unmapped, &mapped) {
+        // Evaluate every free node; pick the min-cost one (ties → lowest id).
+        let mut best_node = None;
+        let mut best_cost = f64::INFINITY;
+        for node in topology.nodes() {
+            if mapping.core_at(node).is_some() {
+                continue;
+            }
+            let mut cost = 0.0;
+            for &w in &mapped {
+                let comm = cores.comm_between(next, w);
+                if comm > 0.0 {
+                    let host = mapping.node_of(w).expect("mapped core has a node");
+                    cost += comm * topology.hop_distance(node, host) as f64;
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_node = Some(node);
+            }
+        }
+        let node = best_node.expect("|V| <= |U| guarantees a free node");
+        mapping.place(next, node);
+        unmapped.retain(|&c| c != next);
+        mapped.push(next);
+    }
+
+    debug_assert!(mapping.is_complete(cores));
+    mapping
+}
+
+/// The unmapped core with maximum total communication to the mapped set;
+/// ties break toward the lower core id. Cores with no communication to the
+/// mapped set are still eligible (they are placed last, by id).
+fn select_next_core(
+    problem: &MappingProblem,
+    unmapped: &[CoreId],
+    mapped: &[CoreId],
+) -> Option<CoreId> {
+    let cores = problem.cores();
+    unmapped.iter().copied().max_by(|&a, &b| {
+        let comm_a: f64 = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
+        let comm_b: f64 = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
+        comm_a
+            .partial_cmp(&comm_b)
+            .expect("bandwidths are finite")
+            .then(b.cmp(&a)) // prefer lower id on ties
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::{CoreGraph, Topology};
+
+    fn problem(edges: &[(usize, usize, f64)], cores: usize, w: usize, h: usize) -> MappingProblem {
+        let mut g = CoreGraph::new();
+        let ids: Vec<CoreId> = (0..cores).map(|i| g.add_core(format!("c{i}"))).collect();
+        for &(a, b, bw) in edges {
+            g.add_comm(ids[a], ids[b], bw).unwrap();
+        }
+        MappingProblem::new(g, Topology::mesh(w, h, 1e9)).unwrap()
+    }
+
+    #[test]
+    fn seed_goes_to_center() {
+        // Star: core 0 talks to everyone; must land on the 3x3 center.
+        let p = problem(
+            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
+            5,
+            3,
+            3,
+        );
+        let m = initialize(&p);
+        let center = p.topology().node_at(1, 1).unwrap();
+        assert_eq!(m.node_of(CoreId::new(0)), Some(center));
+    }
+
+    #[test]
+    fn star_satellites_surround_hub() {
+        let p = problem(
+            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
+            5,
+            3,
+            3,
+        );
+        let m = initialize(&p);
+        let hub = m.node_of(CoreId::new(0)).unwrap();
+        for i in 1..5 {
+            let n = m.node_of(CoreId::new(i)).unwrap();
+            assert_eq!(
+                p.topology().hop_distance(hub, n),
+                1,
+                "satellite {i} not adjacent to hub"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_pair_lands_adjacent() {
+        let p = problem(&[(0, 1, 1000.0), (1, 2, 10.0), (2, 3, 10.0)], 4, 4, 4);
+        let m = initialize(&p);
+        let a = m.node_of(CoreId::new(0)).unwrap();
+        let b = m.node_of(CoreId::new(1)).unwrap();
+        assert_eq!(p.topology().hop_distance(a, b), 1);
+    }
+
+    #[test]
+    fn placement_is_complete_and_injective() {
+        let p = problem(
+            &[(0, 1, 50.0), (1, 2, 40.0), (2, 3, 30.0), (3, 4, 20.0), (4, 5, 10.0)],
+            6,
+            3,
+            2,
+        );
+        let m = initialize(&p);
+        assert!(m.is_complete(p.cores()));
+        let mut nodes: Vec<_> = m.assignments().map(|(_, n)| n).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 6);
+    }
+
+    #[test]
+    fn pipeline_initial_cost_is_reasonable() {
+        // A 4-stage pipeline on a 2x2 mesh can achieve cost = sum of edges
+        // (all adjacent). initialize() should get within 1 extra hop of it.
+        let p = problem(&[(0, 1, 100.0), (1, 2, 100.0), (2, 3, 100.0)], 4, 2, 2);
+        let m = initialize(&p);
+        let cost = p.comm_cost(&m);
+        assert!(cost <= 400.0, "cost {cost} too high for a 2x2 pipeline");
+    }
+
+    #[test]
+    fn isolated_cores_are_still_placed() {
+        let p = problem(&[(0, 1, 10.0)], 4, 2, 2);
+        let m = initialize(&p);
+        assert!(m.is_complete(p.cores()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = problem(
+            &[(0, 1, 70.0), (1, 2, 362.0), (2, 3, 362.0), (3, 4, 357.0), (4, 0, 27.0)],
+            5,
+            3,
+            3,
+        );
+        assert_eq!(initialize(&p), initialize(&p));
+    }
+
+    #[test]
+    fn works_on_torus() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 5.0).unwrap();
+        let p = MappingProblem::new(g, Topology::torus(3, 3, 1e9)).unwrap();
+        let m = initialize(&p);
+        assert!(m.is_complete(p.cores()));
+        let (na, nb) = (m.node_of(a).unwrap(), m.node_of(b).unwrap());
+        assert_eq!(p.topology().hop_distance(na, nb), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! The one-to-one mapping function `map : V → U` of Equation 1.
+
+use noc_graph::{CoreGraph, CoreId, NodeId};
+
+/// A (possibly partial) placement of cores onto topology nodes.
+///
+/// Maintains both directions of the assignment so `map(v)` and `map⁻¹(u)`
+/// are O(1), and guarantees injectivity: placing a core on an occupied node
+/// panics rather than silently evicting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    core_to_node: Vec<Option<NodeId>>,
+    node_to_core: Vec<Option<CoreId>>,
+}
+
+impl Mapping {
+    /// Creates an empty mapping over a topology with `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self { core_to_node: Vec::new(), node_to_core: vec![None; node_count] }
+    }
+
+    /// Number of nodes of the target topology.
+    pub fn node_count(&self) -> usize {
+        self.node_to_core.len()
+    }
+
+    /// Number of cores currently placed.
+    pub fn placed_count(&self) -> usize {
+        self.core_to_node.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Places `core` on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range, already occupied, or if `core` is
+    /// already placed somewhere else (use [`Mapping::swap_nodes`] to move
+    /// cores around).
+    pub fn place(&mut self, core: CoreId, node: NodeId) {
+        assert!(node.index() < self.node_to_core.len(), "node {node} out of range");
+        assert!(
+            self.node_to_core[node.index()].is_none(),
+            "node {node} is already occupied"
+        );
+        if core.index() >= self.core_to_node.len() {
+            self.core_to_node.resize(core.index() + 1, None);
+        }
+        assert!(
+            self.core_to_node[core.index()].is_none(),
+            "core {core} is already placed"
+        );
+        self.core_to_node[core.index()] = Some(node);
+        self.node_to_core[node.index()] = Some(core);
+    }
+
+    /// The node hosting `core`, if placed.
+    pub fn node_of(&self, core: CoreId) -> Option<NodeId> {
+        self.core_to_node.get(core.index()).copied().flatten()
+    }
+
+    /// The core occupying `node` (`map⁻¹(u)`), if any.
+    pub fn core_at(&self, node: NodeId) -> Option<CoreId> {
+        self.node_to_core.get(node.index()).copied().flatten()
+    }
+
+    /// True if every core of `graph` is placed.
+    pub fn is_complete(&self, graph: &CoreGraph) -> bool {
+        graph.cores().all(|c| self.node_of(c).is_some())
+    }
+
+    /// Exchanges the contents of two node positions. Either or both may be
+    /// empty, so this covers core↔core swaps and core→free-slot moves —
+    /// the move set of the paper's pairwise improvement loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn swap_nodes(&mut self, a: NodeId, b: NodeId) {
+        assert!(a.index() < self.node_to_core.len(), "node {a} out of range");
+        assert!(b.index() < self.node_to_core.len(), "node {b} out of range");
+        if a == b {
+            return;
+        }
+        let ca = self.node_to_core[a.index()];
+        let cb = self.node_to_core[b.index()];
+        self.node_to_core[a.index()] = cb;
+        self.node_to_core[b.index()] = ca;
+        if let Some(c) = ca {
+            self.core_to_node[c.index()] = Some(b);
+        }
+        if let Some(c) = cb {
+            self.core_to_node[c.index()] = Some(a);
+        }
+    }
+
+    /// Iterates over `(core, node)` assignments in core order.
+    pub fn assignments(&self) -> impl Iterator<Item = (CoreId, NodeId)> + '_ {
+        self.core_to_node
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|node| (CoreId::new(i), node)))
+    }
+
+    /// Collects the assignment as a vector of `(core, node)` pairs — the
+    /// shape expected by [`noc_graph::mapping_dot`].
+    pub fn to_pairs(&self) -> Vec<(CoreId, NodeId)> {
+        self.assignments().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_lookup_both_directions() {
+        let mut m = Mapping::new(4);
+        m.place(CoreId::new(2), NodeId::new(1));
+        assert_eq!(m.node_of(CoreId::new(2)), Some(NodeId::new(1)));
+        assert_eq!(m.core_at(NodeId::new(1)), Some(CoreId::new(2)));
+        assert_eq!(m.core_at(NodeId::new(0)), None);
+        assert_eq!(m.node_of(CoreId::new(0)), None);
+        assert_eq!(m.placed_count(), 1);
+    }
+
+    #[test]
+    fn swap_two_occupied_nodes() {
+        let mut m = Mapping::new(4);
+        m.place(CoreId::new(0), NodeId::new(0));
+        m.place(CoreId::new(1), NodeId::new(3));
+        m.swap_nodes(NodeId::new(0), NodeId::new(3));
+        assert_eq!(m.node_of(CoreId::new(0)), Some(NodeId::new(3)));
+        assert_eq!(m.node_of(CoreId::new(1)), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn swap_with_empty_node_moves_core() {
+        let mut m = Mapping::new(4);
+        m.place(CoreId::new(0), NodeId::new(0));
+        m.swap_nodes(NodeId::new(0), NodeId::new(2));
+        assert_eq!(m.node_of(CoreId::new(0)), Some(NodeId::new(2)));
+        assert_eq!(m.core_at(NodeId::new(0)), None);
+        // Swapping two empty nodes is a no-op.
+        m.swap_nodes(NodeId::new(0), NodeId::new(1));
+        assert_eq!(m.placed_count(), 1);
+    }
+
+    #[test]
+    fn swap_same_node_is_noop() {
+        let mut m = Mapping::new(2);
+        m.place(CoreId::new(0), NodeId::new(1));
+        m.swap_nodes(NodeId::new(1), NodeId::new(1));
+        assert_eq!(m.node_of(CoreId::new(0)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_placement_on_node_panics() {
+        let mut m = Mapping::new(2);
+        m.place(CoreId::new(0), NodeId::new(0));
+        m.place(CoreId::new(1), NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_of_core_panics() {
+        let mut m = Mapping::new(2);
+        m.place(CoreId::new(0), NodeId::new(0));
+        m.place(CoreId::new(0), NodeId::new(1));
+    }
+
+    #[test]
+    fn completeness_tracks_core_graph() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        let mut m = Mapping::new(4);
+        assert!(!m.is_complete(&g));
+        m.place(a, NodeId::new(0));
+        assert!(!m.is_complete(&g));
+        m.place(b, NodeId::new(1));
+        assert!(m.is_complete(&g));
+    }
+
+    #[test]
+    fn assignments_iterate_in_core_order() {
+        let mut m = Mapping::new(4);
+        m.place(CoreId::new(1), NodeId::new(3));
+        m.place(CoreId::new(0), NodeId::new(2));
+        let pairs = m.to_pairs();
+        assert_eq!(
+            pairs,
+            vec![(CoreId::new(0), NodeId::new(2)), (CoreId::new(1), NodeId::new(3))]
+        );
+    }
+
+    #[test]
+    fn swap_preserves_injectivity() {
+        let mut m = Mapping::new(6);
+        for i in 0..4 {
+            m.place(CoreId::new(i), NodeId::new(i));
+        }
+        m.swap_nodes(NodeId::new(0), NodeId::new(5));
+        m.swap_nodes(NodeId::new(1), NodeId::new(2));
+        // All four cores still placed on distinct nodes.
+        let mut seen = std::collections::HashSet::new();
+        for (_, node) in m.assignments() {
+            assert!(seen.insert(node), "duplicate node {node}");
+        }
+        assert_eq!(m.placed_count(), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! The mapping problem instance and its commodity view.
+
+use noc_graph::{CoreGraph, EdgeId, NodeId, Topology};
+
+use crate::{MapError, Mapping, Result};
+
+/// One commodity `d_k` of Equation 2: the traffic of a single core-graph
+/// edge, pinned to topology endpoints by a concrete [`Mapping`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commodity {
+    /// The core-graph edge this commodity carries.
+    pub edge: EdgeId,
+    /// Commodity value `vl(d_k)` in MB/s.
+    pub value: f64,
+    /// `source(d_k) = map(v_i)`.
+    pub source: NodeId,
+    /// `dest(d_k) = map(v_j)`.
+    pub dest: NodeId,
+}
+
+/// A complete instance of the mapping problem: the application core graph
+/// `G(V, E)` plus the NoC topology graph `P(U, F)`.
+///
+/// Construction validates the structural requirements of Equation 1
+/// (`|V| ≤ |U|`, non-empty application).
+#[derive(Debug, Clone)]
+pub struct MappingProblem {
+    cores: CoreGraph,
+    topology: Topology,
+}
+
+impl MappingProblem {
+    /// Creates a problem instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::EmptyProblem`] if the core graph has no vertices.
+    /// * [`MapError::TooManyCores`] if `|V| > |U|`.
+    pub fn new(cores: CoreGraph, topology: Topology) -> Result<Self> {
+        if cores.core_count() == 0 {
+            return Err(MapError::EmptyProblem);
+        }
+        if cores.core_count() > topology.node_count() {
+            return Err(MapError::TooManyCores {
+                cores: cores.core_count(),
+                nodes: topology.node_count(),
+            });
+        }
+        Ok(Self { cores, topology })
+    }
+
+    /// The application core graph.
+    pub fn cores(&self) -> &CoreGraph {
+        &self.cores
+    }
+
+    /// The NoC topology graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Consumes the problem, returning its parts.
+    pub fn into_parts(self) -> (CoreGraph, Topology) {
+        (self.cores, self.topology)
+    }
+
+    /// The commodity set `D` induced by `mapping` (Equation 2), in
+    /// core-graph edge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not place every core (see
+    /// [`Mapping::is_complete`]).
+    pub fn commodities(&self, mapping: &Mapping) -> Vec<Commodity> {
+        assert!(
+            mapping.is_complete(&self.cores),
+            "mapping must place every core before commodities can be formed"
+        );
+        self.cores
+            .edges()
+            .map(|(edge, e)| Commodity {
+                edge,
+                value: e.bandwidth,
+                source: mapping.node_of(e.src).expect("complete mapping"),
+                dest: mapping.node_of(e.dst).expect("complete mapping"),
+            })
+            .collect()
+    }
+
+    /// Commodity indices ordered by decreasing value, the processing order
+    /// of the paper's `shortestpath()` routine.
+    pub fn commodity_order(&self) -> Vec<EdgeId> {
+        self.cores.edges_by_decreasing_bandwidth()
+    }
+
+    /// Communication cost of `mapping` per Equation 7:
+    /// `Σ_k vl(d_k) · dist(source(d_k), dest(d_k))` where `dist` is the
+    /// minimum hop count. This depends only on the placement, not on the
+    /// routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is incomplete.
+    pub fn comm_cost(&self, mapping: &Mapping) -> f64 {
+        self.commodities(mapping)
+            .iter()
+            .map(|c| c.value * self.topology.hop_distance(c.source, c.dest) as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::Topology;
+
+    fn two_core_app() -> CoreGraph {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 100.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_validates_sizes() {
+        let g = two_core_app();
+        assert!(MappingProblem::new(g.clone(), Topology::mesh(2, 1, 1.0)).is_ok());
+        let err = MappingProblem::new(g, Topology::mesh(1, 1, 1.0)).unwrap_err();
+        assert_eq!(err, MapError::TooManyCores { cores: 2, nodes: 1 });
+        let err = MappingProblem::new(CoreGraph::new(), Topology::mesh(2, 2, 1.0)).unwrap_err();
+        assert_eq!(err, MapError::EmptyProblem);
+    }
+
+    #[test]
+    fn commodities_follow_mapping() {
+        let g = two_core_app();
+        let t = Topology::mesh(2, 2, 1.0);
+        let problem = MappingProblem::new(g, t).unwrap();
+        let mut m = Mapping::new(problem.topology().node_count());
+        m.place(noc_graph::CoreId::new(0), NodeId::new(0));
+        m.place(noc_graph::CoreId::new(1), NodeId::new(3));
+        let cs = problem.commodities(&m);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].source, NodeId::new(0));
+        assert_eq!(cs[0].dest, NodeId::new(3));
+        assert_eq!(cs[0].value, 100.0);
+    }
+
+    #[test]
+    fn comm_cost_is_bandwidth_times_hops() {
+        let g = two_core_app();
+        let problem = MappingProblem::new(g, Topology::mesh(2, 2, 1.0)).unwrap();
+        let mut m = Mapping::new(4);
+        m.place(noc_graph::CoreId::new(0), NodeId::new(0));
+        m.place(noc_graph::CoreId::new(1), NodeId::new(3));
+        assert_eq!(problem.comm_cost(&m), 200.0); // 100 MB/s * 2 hops
+        let mut m2 = Mapping::new(4);
+        m2.place(noc_graph::CoreId::new(0), NodeId::new(0));
+        m2.place(noc_graph::CoreId::new(1), NodeId::new(1));
+        assert_eq!(problem.comm_cost(&m2), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping must place every core")]
+    fn incomplete_mapping_panics() {
+        let g = two_core_app();
+        let problem = MappingProblem::new(g, Topology::mesh(2, 2, 1.0)).unwrap();
+        let m = Mapping::new(4);
+        let _ = problem.commodities(&m);
+    }
+
+    #[test]
+    fn commodity_order_is_decreasing() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        let c = g.add_core("c");
+        g.add_comm(a, b, 10.0).unwrap();
+        g.add_comm(b, c, 500.0).unwrap();
+        let problem = MappingProblem::new(g, Topology::mesh(2, 2, 1.0)).unwrap();
+        let order = problem.commodity_order();
+        assert_eq!(order[0].index(), 1);
+        assert_eq!(order[1].index(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 2: the VOPD core graph (2a), the 16-node NoC graph
+//! (2b) and NMAP's mapping of one onto the other (2c), as Graphviz DOT
+//! plus a text grid.
+
+use nmap::{map_single_path, render_mapping_grid, MappingProblem, SinglePathOptions};
+use noc_apps::vopd;
+use noc_graph::{core_graph_dot, mapping_dot, topology_dot, Topology};
+
+fn main() {
+    let graph = vopd();
+    let mesh = Topology::mesh(4, 4, 2_000.0);
+    let problem = MappingProblem::new(graph, mesh).expect("VOPD fits a 4x4 mesh");
+    let outcome =
+        map_single_path(&problem, &SinglePathOptions::default()).expect("mesh routing succeeds");
+
+    println!("=== Figure 2(a): VOPD core graph (DOT) ===");
+    println!("{}", core_graph_dot(problem.cores()));
+    println!("=== Figure 2(b): 16-node mesh NoC graph (DOT) ===");
+    println!("{}", topology_dot(problem.topology()));
+    println!("=== Figure 2(c): NMAP mapping (DOT) ===");
+    println!(
+        "{}",
+        mapping_dot(problem.cores(), problem.topology(), &outcome.mapping.to_pairs())
+    );
+    println!("=== Figure 2(c) as a text grid ===");
+    println!("{}", render_mapping_grid(&problem, &outcome.mapping));
+    println!("communication cost: {:.0} hops x MB/s", outcome.comm_cost);
+}

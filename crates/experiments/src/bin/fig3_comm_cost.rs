@@ -1,0 +1,21 @@
+//! Regenerates Figure 3: communication cost of PMAP, GMAP, PBB and NMAP
+//! on the six video applications.
+
+use noc_experiments::report::{fmt, TextTable};
+use noc_experiments::{fig3, GENEROUS_CAPACITY};
+
+fn main() {
+    println!("Figure 3 — communication cost (hops x MB/s) per mapping algorithm");
+    println!("(uniform link capacity {GENEROUS_CAPACITY} MB/s for all algorithms)\n");
+    let mut table = TextTable::new(["app", "PMAP", "GMAP", "PBB", "NMAP"]);
+    for row in fig3::run_all() {
+        table.row([
+            row.app.name().to_string(),
+            fmt(row.pmap, 0),
+            fmt(row.gmap, 0),
+            fmt(row.pbb, 0),
+            fmt(row.nmap, 0),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4: minimum link bandwidth needed by each
+//! algorithm/routing combination on the six video applications.
+
+use noc_experiments::fig4;
+use noc_experiments::report::{fmt, TextTable};
+
+fn main() {
+    println!("Figure 4 — minimum link bandwidth needed (MB/s)");
+    println!("(D* = dimension-ordered routing; NMAPTM/NMAPTA = split over min/all paths)\n");
+    let mut table =
+        TextTable::new(["app", "DPMAP", "DGMAP", "PMAP", "GMAP", "NMAP", "NMAPTM", "NMAPTA"]);
+    for row in fig4::run_all() {
+        table.row([
+            row.app.name().to_string(),
+            fmt(row.dpmap, 0),
+            fmt(row.dgmap, 0),
+            fmt(row.pmap, 0),
+            fmt(row.gmap, 0),
+            fmt(row.nmap, 0),
+            fmt(row.nmaptm, 0),
+            fmt(row.nmapta, 0),
+        ]);
+    }
+    print!("{}", table.render());
+}

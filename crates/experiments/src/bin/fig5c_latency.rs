@@ -1,0 +1,37 @@
+//! Regenerates Figure 5(c): average packet latency vs link bandwidth for
+//! the DSP filter NoC, single-path vs split-traffic routing.
+
+use noc_experiments::fig5c::{run, Fig5cConfig};
+use noc_experiments::report::{fmt, TextTable};
+
+fn main() {
+    println!("Figure 5(c) — avg packet latency (cycles) vs link bandwidth, DSP NoC");
+    println!("(wormhole simulator, 64 B packets, 7-cycle switch delay, bursty sources)\n");
+    let points = run(&Fig5cConfig::default());
+    let mut table = TextTable::new([
+        "BW (GB/s)",
+        "Minp (cy)",
+        "Split (cy)",
+        "Minp net (cy)",
+        "Split net (cy)",
+        "notes",
+    ]);
+    for p in points {
+        let mut notes = String::new();
+        if p.minpath_saturated {
+            notes.push_str("minp saturated ");
+        }
+        if p.split_saturated {
+            notes.push_str("split saturated");
+        }
+        table.row([
+            fmt(p.bandwidth_mbps / 1000.0, 1),
+            fmt(p.minpath_latency, 1),
+            fmt(p.split_latency, 1),
+            fmt(p.minpath_network_latency, 1),
+            fmt(p.split_network_latency, 1),
+            notes.trim().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,214 @@
+//! `nmap_cli` — map an application file onto a NoC from the command line.
+//!
+//! ```text
+//! nmap_cli <app-file> [--mesh WxH | --torus WxH | --noc <file>]
+//!          [--capacity MB/s] [--algorithm nmap|nmap-split|pmap|gmap|pbb]
+//!          [--scope quadrant|all] [--dot]
+//! ```
+//!
+//! The application file uses the `noc-graph` text format:
+//!
+//! ```text
+//! core vld
+//! comm vld run_le_dec 70
+//! ```
+//!
+//! Without `--mesh`/`--torus`/`--noc`, the smallest square-ish mesh that
+//! fits the application is used. Exit code 1 on bad input, 2 when the
+//! chosen algorithm cannot satisfy the bandwidth constraints.
+
+use std::process::ExitCode;
+
+use nmap::{
+    map_single_path, map_with_splitting, render_mapping_grid, routing, summarize, Mapping,
+    MappingProblem, PathScope, SinglePathOptions, SplitOptions,
+};
+use noc_baselines::{gmap, pbb, pmap, PbbOptions};
+use noc_graph::{mapping_dot, parse_core_graph, parse_topology, Topology};
+
+#[derive(Debug)]
+struct Args {
+    app_path: String,
+    topology: TopologyChoice,
+    capacity: f64,
+    algorithm: Algorithm,
+    scope: PathScope,
+    dot: bool,
+}
+
+#[derive(Debug)]
+enum TopologyChoice {
+    Fit,
+    Mesh(usize, usize),
+    Torus(usize, usize),
+    File(String),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Algorithm {
+    Nmap,
+    NmapSplit,
+    Pmap,
+    Gmap,
+    Pbb,
+}
+
+const USAGE: &str = "usage: nmap_cli <app-file> [--mesh WxH | --torus WxH | --noc <file>] \
+[--capacity MB/s] [--algorithm nmap|nmap-split|pmap|gmap|pbb] [--scope quadrant|all] [--dot]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut raw = std::env::args().skip(1);
+    let mut app_path = None;
+    let mut topology = TopologyChoice::Fit;
+    let mut capacity = 1_000.0;
+    let mut algorithm = Algorithm::Nmap;
+    let mut scope = PathScope::AllPaths;
+    let mut dot = false;
+
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--mesh" | "--torus" => {
+                let dims = raw.next().ok_or(format!("{arg} needs WxH"))?;
+                let (w, h) = parse_dims(&dims)?;
+                topology = if arg == "--mesh" {
+                    TopologyChoice::Mesh(w, h)
+                } else {
+                    TopologyChoice::Torus(w, h)
+                };
+            }
+            "--noc" => {
+                topology =
+                    TopologyChoice::File(raw.next().ok_or("--noc needs a file path")?);
+            }
+            "--capacity" => {
+                let text = raw.next().ok_or("--capacity needs a value")?;
+                capacity = text.parse().map_err(|_| format!("bad capacity `{text}`"))?;
+            }
+            "--algorithm" => {
+                let name = raw.next().ok_or("--algorithm needs a name")?;
+                algorithm = match name.as_str() {
+                    "nmap" => Algorithm::Nmap,
+                    "nmap-split" => Algorithm::NmapSplit,
+                    "pmap" => Algorithm::Pmap,
+                    "gmap" => Algorithm::Gmap,
+                    "pbb" => Algorithm::Pbb,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+            }
+            "--scope" => {
+                let name = raw.next().ok_or("--scope needs quadrant|all")?;
+                scope = match name.as_str() {
+                    "quadrant" => PathScope::Quadrant,
+                    "all" => PathScope::AllPaths,
+                    other => return Err(format!("unknown scope `{other}`")),
+                };
+            }
+            "--dot" => dot = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if app_path.is_none() && !other.starts_with('-') => {
+                app_path = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        app_path: app_path.ok_or(USAGE.to_string())?,
+        topology,
+        capacity,
+        algorithm,
+        scope,
+        dot,
+    })
+}
+
+fn parse_dims(text: &str) -> Result<(usize, usize), String> {
+    let (w, h) = text.split_once('x').ok_or(format!("bad dimensions `{text}`, want WxH"))?;
+    let w = w.parse().map_err(|_| format!("bad width `{w}`"))?;
+    let h = h.parse().map_err(|_| format!("bad height `{h}`"))?;
+    Ok((w, h))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(feasible) => {
+            if feasible {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("bandwidth constraints NOT satisfied");
+                ExitCode::from(2)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let app_text = std::fs::read_to_string(&args.app_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.app_path))?;
+    let graph = parse_core_graph(&app_text).map_err(|e| format!("{}: {e}", args.app_path))?;
+
+    let topology = match &args.topology {
+        TopologyChoice::Fit => {
+            let (w, h) = Topology::fit_mesh_dims(graph.core_count());
+            Topology::mesh(w, h, args.capacity)
+        }
+        TopologyChoice::Mesh(w, h) => Topology::mesh(*w, *h, args.capacity),
+        TopologyChoice::Torus(w, h) => Topology::torus(*w, *h, args.capacity),
+        TopologyChoice::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_topology(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+
+    let problem = MappingProblem::new(graph, topology).map_err(|e| e.to_string())?;
+
+    let (mapping, loads): (Mapping, nmap::LinkLoads) = match args.algorithm {
+        Algorithm::Nmap => {
+            let out = map_single_path(&problem, &SinglePathOptions::default())
+                .map_err(|e| e.to_string())?;
+            (out.mapping, out.link_loads)
+        }
+        Algorithm::NmapSplit => {
+            let out = map_with_splitting(
+                &problem,
+                &SplitOptions { scope: args.scope, passes: 1 },
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "split routing: total flow {:.0}, slack {:.0}, up to {} paths per flow",
+                out.total_flow,
+                out.slack,
+                out.tables.max_paths_per_commodity()
+            );
+            (out.mapping, out.link_loads)
+        }
+        Algorithm::Pmap | Algorithm::Gmap | Algorithm::Pbb => {
+            let mapping = match args.algorithm {
+                Algorithm::Pmap => pmap(&problem),
+                Algorithm::Gmap => gmap(&problem),
+                _ => pbb(&problem, &PbbOptions::default()).mapping,
+            };
+            let (_, loads) =
+                routing::route_min_paths(&problem, &mapping).map_err(|e| e.to_string())?;
+            (mapping, loads)
+        }
+    };
+
+    println!("{}", render_mapping_grid(&problem, &mapping));
+    print!("{}", summarize(&problem, &mapping, &loads));
+    if args.dot {
+        println!("\n{}", mapping_dot(problem.cores(), problem.topology(), &mapping.to_pairs()));
+    }
+    Ok(loads.within_capacity(problem.topology()))
+}

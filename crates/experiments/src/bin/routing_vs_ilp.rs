@@ -1,0 +1,24 @@
+//! Ablation for the Section 5 claim: the greedy `shortestpath()` routing
+//! heuristic is close to the exact routing (LP bound) at a fraction of the
+//! runtime.
+
+use noc_experiments::report::{fmt, TextTable};
+use noc_experiments::routing_ablation;
+
+fn main() {
+    println!("Routing ablation — greedy quadrant router vs LP lower bound");
+    println!("(paper: heuristic within ~10% of ILP, seconds vs minutes)\n");
+    let mut table =
+        TextTable::new(["app", "greedy max load", "LP bound", "ratio", "greedy", "LP"]);
+    for row in routing_ablation::run_all() {
+        table.row([
+            row.app.name().to_string(),
+            fmt(row.heuristic_max_load, 0),
+            fmt(row.lp_bound, 0),
+            fmt(row.ratio, 3),
+            format!("{:?}", row.heuristic_time),
+            format!("{:?}", row.lp_time),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment in sequence (the full evaluation of Section 7).
+//! Expect a few minutes of runtime in release mode; individual binaries
+//! exist for each artifact.
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig2_mapping",
+    "fig3_comm_cost",
+    "fig4_bandwidth",
+    "table1_ratios",
+    "table2_scaling",
+    "fig5c_latency",
+    "table3_dsp",
+    "routing_vs_ilp",
+    "search_ablation",
+    "topology_selection",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in BINARIES {
+        println!("==================================================================");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 1: cost and bandwidth ratios of the baselines vs
+//! NMAP with split-traffic routing.
+
+use noc_experiments::report::{fmt, TextTable};
+use noc_experiments::table1;
+
+fn main() {
+    println!("Table 1 — cost ratio (cstr) and bandwidth ratio (bwr) vs NMAP");
+    println!("(paper averages: cstr 1.47, bwr 2.13)\n");
+    let (rows, avg) = table1::run_all();
+    let mut table = TextTable::new(["app", "cstr", "bwr"]);
+    for row in &rows {
+        table.row([row.app.name().to_lowercase(), fmt(row.cstr, 2), fmt(row.bwr, 2)]);
+    }
+    table.row(["Avg".to_string(), fmt(avg.cstr, 2), fmt(avg.bwr, 2)]);
+    print!("{}", table.render());
+}

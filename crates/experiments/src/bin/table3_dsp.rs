@@ -1,0 +1,27 @@
+//! Regenerates Table 3: DSP NoC design parameters (bandwidth rows
+//! measured; area/delay rows echoed from the paper's ×pipes synthesis).
+
+use noc_experiments::report::TextTable;
+use noc_experiments::table3;
+
+fn main() {
+    println!("Table 3 — DSP NoC design results");
+    println!("(area rows are paper constants; bandwidth rows recomputed)\n");
+    let t = table3::run();
+    let mut table = TextTable::new(["parameter", "value", "source"]);
+    table.row(["NI area".into(), format!("{} mm2", t.ni_area_mm2), "paper".into()]);
+    table.row(["SW area".into(), format!("{} mm2", t.switch_area_mm2), "paper".into()]);
+    table.row(["SW delay".into(), format!("{} cy", t.switch_delay_cycles), "paper".into()]);
+    table.row(["Pack. size".into(), format!("{} B", t.packet_bytes), "config".into()]);
+    table.row([
+        "minp BW".into(),
+        format!("{:.0} MB/s", t.minpath_bw_mbps),
+        "measured".into(),
+    ]);
+    table.row([
+        "split BW".into(),
+        format!("{:.0} MB/s", t.split_bw_mbps),
+        "measured".into(),
+    ]);
+    print!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Design-space exploration across fabrics (the paper's future-work
+//! extension): run NMAP over mesh/torus candidates for every video app
+//! and report the selected topology.
+
+use noc_experiments::report::{fmt, TextTable};
+use noc_experiments::topology_selection::{best_by_cost, explore};
+use noc_apps::App;
+
+fn main() {
+    for app in App::all() {
+        println!("== {app} ==");
+        let results = explore(app);
+        let mut table =
+            TextTable::new(["fabric", "nodes", "links", "cost", "BW minp", "BW split", "time"]);
+        for r in &results {
+            table.row([
+                r.fabric.clone(),
+                r.nodes.to_string(),
+                r.links.to_string(),
+                fmt(r.comm_cost, 0),
+                fmt(r.bw_single, 0),
+                fmt(r.bw_split, 0),
+                format!("{:.0?}", r.elapsed),
+            ]);
+        }
+        print!("{}", table.render());
+        if let Some(best) = best_by_cost(&results) {
+            println!("selected: {} (cost {:.0})\n", best.fabric, best.comm_cost);
+        }
+    }
+}

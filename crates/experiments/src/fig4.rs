@@ -1,0 +1,113 @@
+//! Figure 4: the minimum link bandwidth each algorithm/routing combination
+//! needs to satisfy the application's demands — i.e. the maximum per-link
+//! load, the smallest uniform capacity making the design feasible.
+//!
+//! Seven bars per application:
+//! DPMAP, DGMAP (dimension-ordered XY routing), PMAP, GMAP, NMAP
+//! (load-balanced single minimum-path routing), NMAPTM (split across
+//! minimal paths) and NMAPTA (split across all paths).
+
+use nmap::{
+    map_single_path, mcf::solve_mcf, routing, McfKind, PathScope, SinglePathOptions,
+};
+use noc_apps::App;
+use noc_baselines::{gmap, pmap};
+
+use crate::{app_problem, UNLIMITED_CAPACITY};
+
+/// One bar group of Figure 4 (all values in MB/s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Application name.
+    pub app: App,
+    /// PMAP mapping, dimension-ordered routing.
+    pub dpmap: f64,
+    /// GMAP mapping, dimension-ordered routing.
+    pub dgmap: f64,
+    /// PMAP mapping, load-balanced min-path routing.
+    pub pmap: f64,
+    /// GMAP mapping, load-balanced min-path routing.
+    pub gmap: f64,
+    /// NMAP mapping, load-balanced min-path routing.
+    pub nmap: f64,
+    /// NMAP mapping, optimal split over minimal paths (Equation 10).
+    pub nmaptm: f64,
+    /// NMAP mapping, optimal split over all paths.
+    pub nmapta: f64,
+}
+
+/// Computes one application's seven bandwidth requirements.
+pub fn run_app(app: App) -> Fig4Row {
+    let problem = app_problem(app, UNLIMITED_CAPACITY);
+
+    let pmap_mapping = pmap(&problem);
+    let gmap_mapping = gmap(&problem);
+    let nmap_out =
+        map_single_path(&problem, &SinglePathOptions::default()).expect("mesh routing succeeds");
+
+    let (_, dpmap_loads) = routing::route_xy(&problem, &pmap_mapping).expect("mesh");
+    let (_, dgmap_loads) = routing::route_xy(&problem, &gmap_mapping).expect("mesh");
+    let (_, pmap_loads) = routing::route_min_paths(&problem, &pmap_mapping).expect("mesh");
+    let (_, gmap_loads) = routing::route_min_paths(&problem, &gmap_mapping).expect("mesh");
+
+    let nmaptm = solve_mcf(&problem, &nmap_out.mapping, McfKind::MinMaxLoad, PathScope::Quadrant)
+        .expect("min-max LP is always feasible")
+        .objective;
+    let nmapta = solve_mcf(&problem, &nmap_out.mapping, McfKind::MinMaxLoad, PathScope::AllPaths)
+        .expect("min-max LP is always feasible")
+        .objective;
+
+    Fig4Row {
+        app,
+        dpmap: dpmap_loads.max(),
+        dgmap: dgmap_loads.max(),
+        pmap: pmap_loads.max(),
+        gmap: gmap_loads.max(),
+        nmap: nmap_out.link_loads.max(),
+        nmaptm,
+        nmapta,
+    }
+}
+
+/// Computes the full figure (all six applications).
+pub fn run_all() -> Vec<Fig4Row> {
+    App::all().into_iter().map(run_app).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitting_reduces_bandwidth_needs() {
+        // The qualitative claim of Figure 4: traffic splitting needs no
+        // more bandwidth than single-path, and all-path splitting no more
+        // than minimal-path splitting.
+        let row = run_app(App::Pip);
+        assert!(row.nmaptm <= row.nmap + 1e-6, "TM {} vs NMAP {}", row.nmaptm, row.nmap);
+        assert!(row.nmapta <= row.nmaptm + 1e-6, "TA {} vs TM {}", row.nmapta, row.nmaptm);
+    }
+
+    #[test]
+    fn min_path_routing_not_worse_than_xy() {
+        let row = run_app(App::Pip);
+        assert!(row.pmap <= row.dpmap + 1e-6);
+        assert!(row.gmap <= row.dgmap + 1e-6);
+    }
+
+    #[test]
+    fn bandwidth_is_at_least_the_hottest_bottleneck() {
+        // No routing can get below the largest single commodity... unless
+        // it splits. Single-path variants are bounded below by the hottest
+        // edge weight.
+        let row = run_app(App::Pip);
+        let g = App::Pip.core_graph();
+        let hottest = g
+            .edges()
+            .map(|(_, e)| e.bandwidth)
+            .fold(0.0f64, f64::max);
+        for v in [row.dpmap, row.dgmap, row.pmap, row.gmap, row.nmap] {
+            assert!(v >= hottest - 1e-6, "single-path BW {v} below hottest edge {hottest}");
+        }
+    }
+}

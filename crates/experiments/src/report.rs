@@ -1,0 +1,114 @@
+//! Minimal text-table rendering for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A right-aligned text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// use noc_experiments::report::TextTable;
+/// let mut t = TextTable::new(["app", "cost"]);
+/// t.row(["VOPD".to_string(), "4119".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("VOPD"));
+/// assert!(rendered.contains("cost"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<const N: usize>(&mut self, cells: [String; N]) {
+        assert_eq!(N, self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a data row from a vector (width-checked).
+    pub fn row_vec(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = width[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a".into(), "1".into()]);
+        t.row(["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row_vec(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation for the Section 5 claim that the greedy `shortestpath()`
+//! heuristic is close to the exact (ILP) routing while being much faster.
+//!
+//! The exact integral routing ILP is NP-hard; its LP relaxation — the
+//! min-max-load MCF restricted to each commodity's quadrant — is a *lower
+//! bound* on any single-path routing's maximum link load. We therefore
+//! report `heuristic_max_load / lp_bound ≥ 1`: a ratio of 1.10 means the
+//! greedy router is provably within 10% of the unknown ILP optimum
+//! (mirroring the paper's "within 10% of the solution from ILP"), along
+//! with the wall-clock times of both.
+
+use std::time::{Duration, Instant};
+
+use nmap::{initialize, mcf::solve_mcf, routing, McfKind, PathScope};
+use noc_apps::App;
+
+use crate::{app_problem, UNLIMITED_CAPACITY};
+
+/// One application's heuristic-vs-LP comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Application.
+    pub app: App,
+    /// Max link load of the greedy quadrant router (MB/s).
+    pub heuristic_max_load: f64,
+    /// LP lower bound on any minimal-path routing's max load (MB/s).
+    pub lp_bound: f64,
+    /// `heuristic / bound` (≥ 1; 1.10 ⇒ provably within 10% of the ILP).
+    pub ratio: f64,
+    /// Greedy routing time.
+    pub heuristic_time: Duration,
+    /// LP solve time.
+    pub lp_time: Duration,
+}
+
+/// Runs the comparison for one application, routing on the `initialize()`
+/// placement (the routing quality question is independent of the swap
+/// loop).
+pub fn run_app(app: App) -> AblationRow {
+    let problem = app_problem(app, UNLIMITED_CAPACITY);
+    let mapping = initialize(&problem);
+
+    let t0 = Instant::now();
+    let (_, loads) = routing::route_min_paths(&problem, &mapping).expect("mesh");
+    let heuristic_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let lp = solve_mcf(&problem, &mapping, McfKind::MinMaxLoad, PathScope::Quadrant)
+        .expect("min-max LP is always feasible");
+    let lp_time = t1.elapsed();
+
+    let heuristic_max_load = loads.max();
+    let lp_bound = lp.objective;
+    AblationRow {
+        app,
+        heuristic_max_load,
+        lp_bound,
+        ratio: heuristic_max_load / lp_bound,
+        heuristic_time,
+        lp_time,
+    }
+}
+
+/// Runs the comparison for all six applications.
+pub fn run_all() -> Vec<AblationRow> {
+    App::all().into_iter().map(run_app).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_never_beats_the_lower_bound() {
+        let row = run_app(App::Pip);
+        assert!(row.ratio >= 1.0 - 1e-9, "ratio {} < 1 is impossible", row.ratio);
+    }
+
+    #[test]
+    fn heuristic_is_reasonably_tight_on_pip() {
+        let row = run_app(App::Pip);
+        assert!(
+            row.ratio <= 2.0,
+            "greedy router {}x the LP bound — far off the paper's ~10% claim",
+            row.ratio
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation of NMAP's search knobs (the design choices DESIGN.md §6
+//! items 9 calls out): how much do extra sweeps and deterministic
+//! restarts improve on the paper's literal single-descent configuration,
+//! and what do they cost?
+
+use std::time::{Duration, Instant};
+
+use nmap::{map_single_path, SinglePathOptions};
+use noc_apps::App;
+
+use crate::{app_problem, GENEROUS_CAPACITY};
+
+/// One (configuration × application) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationPoint {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Application.
+    pub app: App,
+    /// Equation-7 cost reached.
+    pub comm_cost: f64,
+    /// Candidate placements evaluated.
+    pub evaluations: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// The configurations compared: the paper's literal setting, passes-only
+/// scaling, restarts-only scaling, and the crate default.
+pub fn configurations() -> Vec<(&'static str, SinglePathOptions)> {
+    vec![
+        ("paper (1 pass, 1 start)", SinglePathOptions::paper_exact()),
+        ("3 passes, 1 start", SinglePathOptions { passes: 3, restarts: 1 }),
+        ("1 pass, 8 starts", SinglePathOptions { passes: 1, restarts: 8 }),
+        ("default (2 passes, 8 starts)", SinglePathOptions::default()),
+    ]
+}
+
+/// Runs every configuration on every video application.
+pub fn run_all() -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for app in App::all() {
+        let problem = app_problem(app, GENEROUS_CAPACITY);
+        for (config, options) in configurations() {
+            let start = Instant::now();
+            let result = map_single_path(&problem, &options).expect("mesh routing succeeds");
+            out.push(AblationPoint {
+                config,
+                app,
+                comm_cost: result.comm_cost,
+                evaluations: result.evaluations,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn richer_configurations_never_lose_on_pip() {
+        let problem = app_problem(App::Pip, GENEROUS_CAPACITY);
+        let mut last = f64::INFINITY;
+        // Configurations are ordered weakest-to-strongest in terms of the
+        // search they subsume pairwise with the paper baseline.
+        let paper = map_single_path(&problem, &SinglePathOptions::paper_exact())
+            .unwrap()
+            .comm_cost;
+        let default = map_single_path(&problem, &SinglePathOptions::default())
+            .unwrap()
+            .comm_cost;
+        assert!(default <= paper + 1e-9);
+        let _ = &mut last;
+    }
+
+    #[test]
+    fn evaluations_scale_with_knobs() {
+        let problem = app_problem(App::Pip, GENEROUS_CAPACITY);
+        let one = map_single_path(&problem, &SinglePathOptions::paper_exact())
+            .unwrap()
+            .evaluations;
+        let eight = map_single_path(&problem, &SinglePathOptions { passes: 1, restarts: 8 })
+            .unwrap()
+            .evaluations;
+        assert!(eight > one * 4, "restarts barely increased work: {one} -> {eight}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Table 2: communication-cost scaling on random graphs — PBB vs NMAP as
+//! the core count grows from 25 to 65.
+//!
+//! The paper generated the graphs with LEDA; we use the seeded generator
+//! of [`noc_graph::random`] (DESIGN.md substitution table). For each size
+//! several instances are generated and the costs averaged, which smooths
+//! instance-to-instance noise without changing the trend the table shows:
+//! PBB's bounded search degrades as the tree widens, NMAP keeps winning
+//! by larger factors.
+
+use nmap::{map_single_path, MappingProblem, SinglePathOptions};
+use noc_baselines::{pbb, PbbOptions};
+use noc_graph::{RandomGraphConfig, RandomGraphFamily, Topology};
+
+use crate::UNLIMITED_CAPACITY;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Number of cores.
+    pub cores: usize,
+    /// Mean PBB communication cost over the instances.
+    pub pbb: f64,
+    /// Mean NMAP (single-path) communication cost.
+    pub nmap: f64,
+    /// `pbb / nmap`.
+    pub ratio: f64,
+}
+
+/// Parameters of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Config {
+    /// Core counts to sweep (paper: 25, 35, 45, 55, 65).
+    pub sizes: Vec<usize>,
+    /// Random instances per size (averaged).
+    pub instances: u64,
+    /// PBB search budget.
+    pub pbb: PbbOptions,
+}
+
+impl Default for Table2Config {
+    /// The PBB budget is scaled to the paper's setting: PBB "ran for few
+    /// minutes" on 2004-era hardware, which corresponds to a few seconds
+    /// of today's compute — about 50 000 expansions with a 5 000-entry
+    /// queue. (With today's full default budget PBB narrows the gap; see
+    /// EXPERIMENTS.md for both readings.)
+    fn default() -> Self {
+        Self {
+            sizes: vec![25, 35, 45, 55, 65],
+            instances: 3,
+            pbb: PbbOptions { max_queue: 5_000, max_expansions: 50_000 },
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(config: &Table2Config) -> Vec<Table2Row> {
+    let family = RandomGraphFamily::new(RandomGraphConfig::default());
+    config
+        .sizes
+        .iter()
+        .map(|&cores| {
+            let mut pbb_sum = 0.0;
+            let mut nmap_sum = 0.0;
+            for instance in 0..config.instances {
+                let graph = family.graph(cores, instance);
+                let (w, h) = Topology::fit_mesh_dims(cores);
+                let problem =
+                    MappingProblem::new(graph, Topology::mesh(w, h, UNLIMITED_CAPACITY))
+                        .expect("generated graph fits");
+                pbb_sum += pbb(&problem, &config.pbb).comm_cost;
+                nmap_sum += map_single_path(&problem, &SinglePathOptions::default())
+                    .expect("mesh routing succeeds")
+                    .comm_cost;
+            }
+            let pbb_avg = pbb_sum / config.instances as f64;
+            let nmap_avg = nmap_sum / config.instances as f64;
+            Table2Row { cores, pbb: pbb_avg, nmap: nmap_avg, ratio: pbb_avg / nmap_avg }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmap_beats_truncated_pbb_on_a_25_core_instance() {
+        // A single small-size spot check with a reduced PBB budget so the
+        // test stays fast; the full sweep runs in the binary/bench.
+        let config = Table2Config {
+            sizes: vec![25],
+            instances: 1,
+            pbb: PbbOptions { max_queue: 2_000, max_expansions: 20_000 },
+        };
+        let rows = run(&config);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].ratio >= 1.0, "ratio {} — NMAP should win at scale", rows[0].ratio);
+        assert!(rows[0].nmap > 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Graph algorithms over [`Topology`]: BFS hop counts and Dijkstra with
+//! caller-supplied link weights (the engine inside the paper's
+//! `shortestpath()` routine).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{LinkId, NodeId, Topology};
+
+/// Total weight of a path found by [`dijkstra`].
+pub type PathCost = f64;
+
+/// Result of a successful [`dijkstra`] query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DijkstraOutcome {
+    /// Links of the path from source to destination, in travel order.
+    pub links: Vec<LinkId>,
+    /// Nodes visited, starting at the source and ending at the destination.
+    pub nodes: Vec<NodeId>,
+    /// Sum of the link weights along the path.
+    pub cost: PathCost,
+}
+
+impl DijkstraOutcome {
+    /// Number of hops (links traversed).
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Breadth-first hop distances from `source` to every node.
+///
+/// `result[i]` is `None` when node `i` is unreachable.
+pub fn bfs_hops(topology: &Topology, source: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; topology.node_count()];
+    dist[source.index()] = Some(0);
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()].expect("queued nodes have distances");
+        for (_, link) in topology.out_links(n) {
+            let entry = &mut dist[link.dst.index()];
+            if entry.is_none() {
+                *entry = Some(d + 1);
+                queue.push_back(link.dst);
+            }
+        }
+    }
+    dist
+}
+
+/// Heap entry ordered as a min-heap on `cost`, tie-broken on node id for
+/// determinism across runs.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the smallest cost first.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("link weights are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest path from `source` to `dest` using `weight(link)` as
+/// the cost of each directed link, considering only links for which
+/// `allowed(link)` is true.
+///
+/// Weights must be finite and non-negative. Returns `None` when `dest` is
+/// unreachable through allowed links. Ties between equal-cost paths resolve
+/// deterministically (lowest node id expanded first, links relaxed in
+/// adjacency order).
+///
+/// This is the search primitive of the paper's `shortestpath()` routine:
+/// NMAP calls it on the *quadrant graph* of each commodity with
+/// load-dependent weights.
+pub fn dijkstra<W, A>(
+    topology: &Topology,
+    source: NodeId,
+    dest: NodeId,
+    mut weight: W,
+    mut allowed: A,
+) -> Option<DijkstraOutcome>
+where
+    W: FnMut(LinkId) -> f64,
+    A: FnMut(LinkId) -> bool,
+{
+    let n = topology.node_count();
+    debug_assert!(source.index() < n && dest.index() < n);
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { cost: 0.0, node: source });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == dest {
+            break;
+        }
+        for (id, link) in topology.out_links(node) {
+            if !allowed(id) {
+                continue;
+            }
+            let w = weight(id);
+            debug_assert!(w.is_finite() && w >= 0.0, "invalid link weight {w}");
+            let cand = cost + w;
+            if cand < dist[link.dst.index()] {
+                dist[link.dst.index()] = cand;
+                prev[link.dst.index()] = Some(id);
+                heap.push(HeapEntry { cost: cand, node: link.dst });
+            }
+        }
+    }
+
+    if !dist[dest.index()].is_finite() {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut links = Vec::new();
+    let mut nodes = vec![dest];
+    let mut cursor = dest;
+    while cursor != source {
+        let via = prev[cursor.index()].expect("path exists");
+        links.push(via);
+        cursor = topology.link(via).src;
+        nodes.push(cursor);
+    }
+    links.reverse();
+    nodes.reverse();
+    Some(DijkstraOutcome { links, nodes, cost: dist[dest.index()] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn bfs_matches_manhattan_on_mesh() {
+        let m = Topology::mesh(4, 3, 1.0);
+        let src = m.node_at(0, 0).unwrap();
+        let hops = bfs_hops(&m, src);
+        for node in m.nodes() {
+            assert_eq!(hops[node.index()], Some(m.hop_distance(src, node)));
+        }
+    }
+
+    #[test]
+    fn bfs_reports_unreachable() {
+        let t = Topology::custom(3, [(NodeId::new(0), NodeId::new(1), 1.0)]).unwrap();
+        let hops = bfs_hops(&t, NodeId::new(0));
+        assert_eq!(hops, vec![Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_equals_hop_distance() {
+        let m = Topology::mesh(4, 4, 1.0);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(3, 2).unwrap();
+        let out = dijkstra(&m, a, b, |_| 1.0, |_| true).unwrap();
+        assert_eq!(out.hops(), m.hop_distance(a, b));
+        assert_eq!(out.cost, m.hop_distance(a, b) as f64);
+        assert_eq!(out.nodes.first(), Some(&a));
+        assert_eq!(out.nodes.last(), Some(&b));
+        assert_eq!(out.nodes.len(), out.links.len() + 1);
+    }
+
+    #[test]
+    fn dijkstra_trivial_source_equals_dest() {
+        let m = Topology::mesh(2, 2, 1.0);
+        let a = m.node_at(1, 1).unwrap();
+        let out = dijkstra(&m, a, a, |_| 1.0, |_| true).unwrap();
+        assert_eq!(out.hops(), 0);
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.nodes, vec![a]);
+    }
+
+    #[test]
+    fn dijkstra_avoids_heavy_links() {
+        // 1x3 path: 0 - 1 - 2 plus expensive detour impossible; instead use
+        // 2x2 mesh and make the direct link costly.
+        let m = Topology::mesh(2, 2, 1.0);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(1, 0).unwrap();
+        let direct = m.find_link(a, b).unwrap();
+        let out = dijkstra(&m, a, b, |l| if l == direct { 10.0 } else { 1.0 }, |_| true).unwrap();
+        // Detour via (0,1) and (1,1): 3 hops of weight 1 < direct 10.
+        assert_eq!(out.hops(), 3);
+        assert_eq!(out.cost, 3.0);
+    }
+
+    #[test]
+    fn dijkstra_respects_allowed_filter() {
+        let m = Topology::mesh(3, 1, 1.0);
+        let a = NodeId::new(0);
+        let c = NodeId::new(2);
+        let forbidden = m.find_link(NodeId::new(1), c).unwrap();
+        assert!(dijkstra(&m, a, c, |_| 1.0, |l| l != forbidden).is_none());
+    }
+
+    #[test]
+    fn dijkstra_handles_zero_weights() {
+        let m = Topology::mesh(3, 3, 1.0);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(2, 2).unwrap();
+        let out = dijkstra(&m, a, b, |_| 0.0, |_| true).unwrap();
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.nodes.first(), Some(&a));
+        assert_eq!(out.nodes.last(), Some(&b));
+    }
+
+    #[test]
+    fn dijkstra_is_deterministic() {
+        let m = Topology::mesh(5, 5, 1.0);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(4, 4).unwrap();
+        let p1 = dijkstra(&m, a, b, |_| 1.0, |_| true).unwrap();
+        let p2 = dijkstra(&m, a, b, |_| 1.0, |_| true).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn path_links_are_consistent_with_nodes() {
+        let m = Topology::mesh(4, 4, 1.0);
+        let a = m.node_at(1, 0).unwrap();
+        let b = m.node_at(2, 3).unwrap();
+        let out = dijkstra(&m, a, b, |_| 1.0, |_| true).unwrap();
+        for (i, &link) in out.links.iter().enumerate() {
+            let l = m.link(link);
+            assert_eq!(l.src, out.nodes[i]);
+            assert_eq!(l.dst, out.nodes[i + 1]);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Graphviz DOT exporters for inspection and documentation figures.
+//!
+//! These mirror the paper's Figure 2: the core graph (2a), the NoC graph
+//! (2b) and a mapping of one onto the other (2c).
+
+use std::fmt::Write as _;
+
+use crate::{CoreGraph, CoreId, NodeId, Topology};
+
+/// Renders a core graph as a DOT digraph with bandwidths as edge labels.
+///
+/// # Example
+///
+/// ```
+/// use noc_graph::{CoreGraph, core_graph_dot};
+/// let mut g = CoreGraph::new();
+/// let a = g.add_core("a");
+/// let b = g.add_core("b");
+/// g.add_comm(a, b, 70.0)?;
+/// let dot = core_graph_dot(&g);
+/// assert!(dot.contains("\"a\" -> \"b\""));
+/// # Ok::<(), noc_graph::GraphError>(())
+/// ```
+pub fn core_graph_dot(graph: &CoreGraph) -> String {
+    let mut out = String::from("digraph core_graph {\n  rankdir=LR;\n");
+    for core in graph.cores() {
+        let _ = writeln!(out, "  \"{}\" [shape=box];", escape(graph.name(core)));
+    }
+    for (_, e) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"{:.0}\"];",
+            escape(graph.name(e.src)),
+            escape(graph.name(e.dst)),
+            e.bandwidth
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a topology as a DOT digraph with grid positions.
+pub fn topology_dot(topology: &Topology) -> String {
+    let mut out = String::from("digraph topology {\n  node [shape=circle];\n");
+    for node in topology.nodes() {
+        let (x, y) = topology.coords(node);
+        let _ = writeln!(out, "  \"{node}\" [pos=\"{x},{y}!\"];");
+    }
+    for (_, link) in topology.links() {
+        let _ = writeln!(out, "  \"{}\" -> \"{}\";", link.src, link.dst);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a mapping (core → node assignment) over the topology grid, like
+/// the paper's Figure 2(c).
+///
+/// `placement[i]` gives the node hosting core `i`; cores and nodes not in
+/// the assignment render as empty circles.
+pub fn mapping_dot(
+    graph: &CoreGraph,
+    topology: &Topology,
+    placement: &[(CoreId, NodeId)],
+) -> String {
+    let mut label = vec![String::new(); topology.node_count()];
+    for &(core, node) in placement {
+        label[node.index()] = graph.name(core).to_string();
+    }
+    let mut out = String::from("digraph mapping {\n  node [shape=box];\n");
+    for node in topology.nodes() {
+        let (x, y) = topology.coords(node);
+        let text = if label[node.index()].is_empty() {
+            format!("{node}")
+        } else {
+            format!("{}\\n{node}", escape(&label[node.index()]))
+        };
+        let _ = writeln!(out, "  \"{node}\" [label=\"{text}\", pos=\"{x},{y}!\"];");
+    }
+    for (_, link) in topology.links() {
+        if link.src.index() < link.dst.index() {
+            let _ = writeln!(out, "  \"{}\" -> \"{}\" [dir=both];", link.src, link.dst);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (CoreGraph, CoreId, CoreId) {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("vld");
+        let b = g.add_core("run \"le\" dec");
+        g.add_comm(a, b, 70.0).unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn core_graph_dot_contains_edges_and_labels() {
+        let (g, ..) = sample();
+        let dot = core_graph_dot(&g);
+        assert!(dot.starts_with("digraph core_graph {"));
+        assert!(dot.contains("label=\"70\""));
+        assert!(dot.contains("run \\\"le\\\" dec"), "quotes must be escaped: {dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn topology_dot_places_nodes_on_grid() {
+        let t = Topology::mesh(2, 2, 1.0);
+        let dot = topology_dot(&t);
+        assert!(dot.contains("pos=\"1,1!\""));
+        assert_eq!(dot.matches(" -> ").count(), t.link_count());
+    }
+
+    #[test]
+    fn mapping_dot_annotates_assigned_nodes() {
+        let (g, a, b) = sample();
+        let t = Topology::mesh(2, 2, 1.0);
+        let dot = mapping_dot(&g, &t, &[(a, NodeId::new(0)), (b, NodeId::new(3))]);
+        assert!(dot.contains("vld\\nu0"));
+        assert!(dot.contains("u3"));
+        // Channels render once (dir=both), not twice.
+        assert_eq!(dot.matches(" -> ").count(), t.link_count() / 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Typed index newtypes shared across the workspace.
+//!
+//! All graph containers are arena-style `Vec`s; these newtypes keep core
+//! indices, topology-node indices, core-graph edge indices and topology-link
+//! indices from being mixed up (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! index_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32` (graphs in this
+            /// workspace are far below that bound).
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(index <= u32::MAX as usize, "index overflows u32");
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for slicing into arena vectors.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+index_newtype!(
+    /// Identifier of a core (vertex of the core graph `G(V, E)`).
+    CoreId,
+    "v"
+);
+index_newtype!(
+    /// Identifier of a directed core-graph edge (a commodity source).
+    EdgeId,
+    "e"
+);
+index_newtype!(
+    /// Identifier of a NoC node (vertex of the topology graph `P(U, F)`).
+    NodeId,
+    "u"
+);
+index_newtype!(
+    /// Identifier of a directed NoC link (edge of the topology graph).
+    LinkId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_usize() {
+        for raw in [0usize, 1, 17, 65_535] {
+            assert_eq!(CoreId::new(raw).index(), raw);
+            assert_eq!(EdgeId::new(raw).index(), raw);
+            assert_eq!(NodeId::new(raw).index(), raw);
+            assert_eq!(LinkId::new(raw).index(), raw);
+        }
+    }
+
+    #[test]
+    fn ids_format_with_paper_prefixes() {
+        assert_eq!(format!("{}", CoreId::new(3)), "v3");
+        assert_eq!(format!("{}", NodeId::new(7)), "u7");
+        assert_eq!(format!("{}", LinkId::new(2)), "f2");
+        assert_eq!(format!("{:?}", EdgeId::new(0)), "e0");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(CoreId::new(0) < CoreId::new(10));
+    }
+
+    #[test]
+    fn usize_conversion_matches_index() {
+        let id = NodeId::new(9);
+        let as_usize: usize = id.into();
+        assert_eq!(as_usize, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "index overflows u32")]
+    fn oversized_index_panics() {
+        let _ = CoreId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,539 @@
+//! The **NoC topology graph** `P(U, F)` of Definition 2.
+//!
+//! Vertices are network nodes (router + network-interface cross-points);
+//! a directed edge `(u_i, u_j)` with weight `bw_{i,j}` is a physical link
+//! with that much bandwidth capacity. The paper restricts itself to 2-D
+//! meshes and tori; this module supports both plus arbitrary custom
+//! topologies (the "future work" extension of Section 8).
+
+use std::collections::HashMap;
+
+use crate::{GraphError, LinkId, NodeId, Result};
+
+/// The family a [`Topology`] was constructed from.
+///
+/// Mesh and torus carry their dimensions so hop distances and quadrant
+/// graphs can use closed forms; [`TopologyKind::Custom`] falls back to BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// `width × height` 2-D mesh.
+    Mesh {
+        /// Number of columns.
+        width: usize,
+        /// Number of rows.
+        height: usize,
+    },
+    /// `width × height` 2-D torus (mesh plus wrap-around links).
+    Torus {
+        /// Number of columns.
+        width: usize,
+        /// Number of rows.
+        height: usize,
+    },
+    /// Arbitrary directed graph built with [`Topology::custom`].
+    Custom,
+}
+
+/// A directed physical link of the NoC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Upstream node `u_i`.
+    pub src: NodeId,
+    /// Downstream node `u_j`.
+    pub dst: NodeId,
+    /// Capacity `bw_{i,j}` in MB/s.
+    pub capacity: f64,
+}
+
+/// The NoC topology graph `P(U, F)` (Definition 2 in the paper).
+///
+/// # Example
+///
+/// ```
+/// use noc_graph::{Topology, NodeId};
+///
+/// let mesh = Topology::mesh(4, 4, 1_000.0);
+/// assert_eq!(mesh.node_count(), 16);
+/// // A 4x4 mesh has 24 bidirectional channels = 48 directed links.
+/// assert_eq!(mesh.link_count(), 48);
+/// assert_eq!(mesh.hop_distance(NodeId::new(0), NodeId::new(15)), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    kind: TopologyKind,
+    node_count: usize,
+    links: Vec<Link>,
+    out_links: Vec<Vec<LinkId>>,
+    in_links: Vec<Vec<LinkId>>,
+    link_lookup: HashMap<(NodeId, NodeId), LinkId>,
+    /// Node coordinates; synthesized (i, 0) for custom topologies.
+    coords: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Builds a `width × height` mesh whose links all have capacity
+    /// `link_capacity` MB/s. Nodes are numbered row-major: node `(x, y)` is
+    /// `y * width + x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0 || height == 0` or if `link_capacity` is not a
+    /// finite non-negative number. Use [`Topology::custom`] for fallible
+    /// construction.
+    pub fn mesh(width: usize, height: usize, link_capacity: f64) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        assert!(
+            link_capacity.is_finite() && link_capacity >= 0.0,
+            "link capacity must be finite and non-negative"
+        );
+        let mut t = Self::empty(TopologyKind::Mesh { width, height }, width * height);
+        for y in 0..height {
+            for x in 0..width {
+                t.coords[y * width + x] = (x, y);
+            }
+        }
+        for y in 0..height {
+            for x in 0..width {
+                let here = NodeId::new(y * width + x);
+                if x + 1 < width {
+                    let right = NodeId::new(y * width + x + 1);
+                    t.push_bidirectional(here, right, link_capacity);
+                }
+                if y + 1 < height {
+                    let down = NodeId::new((y + 1) * width + x);
+                    t.push_bidirectional(here, down, link_capacity);
+                }
+            }
+        }
+        t
+    }
+
+    /// Builds a `width × height` torus (mesh plus wrap-around links), all
+    /// links with capacity `link_capacity` MB/s.
+    ///
+    /// Dimensions of size 1 or 2 get no wrap link in that dimension (it
+    /// would duplicate an existing channel).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Topology::mesh`].
+    pub fn torus(width: usize, height: usize, link_capacity: f64) -> Self {
+        let mut t = Self::mesh(width, height, link_capacity);
+        t.kind = TopologyKind::Torus { width, height };
+        if width > 2 {
+            for y in 0..height {
+                let left = NodeId::new(y * width);
+                let right = NodeId::new(y * width + width - 1);
+                t.push_bidirectional(right, left, link_capacity);
+            }
+        }
+        if height > 2 {
+            for x in 0..width {
+                let top = NodeId::new(x);
+                let bottom = NodeId::new((height - 1) * width + x);
+                t.push_bidirectional(bottom, top, link_capacity);
+            }
+        }
+        t
+    }
+
+    /// Builds an arbitrary topology from `node_count` nodes and directed
+    /// `(src, dst, capacity)` links.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyTopology`] if `node_count == 0`.
+    /// * [`GraphError::UnknownNode`] for out-of-range endpoints.
+    /// * [`GraphError::InvalidCapacity`] for negative/non-finite capacities.
+    pub fn custom(
+        node_count: usize,
+        links: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
+    ) -> Result<Self> {
+        if node_count == 0 {
+            return Err(GraphError::EmptyTopology);
+        }
+        let mut t = Self::empty(TopologyKind::Custom, node_count);
+        for i in 0..node_count {
+            t.coords[i] = (i, 0);
+        }
+        for (src, dst, cap) in links {
+            if src.index() >= node_count {
+                return Err(GraphError::UnknownNode(src));
+            }
+            if dst.index() >= node_count {
+                return Err(GraphError::UnknownNode(dst));
+            }
+            if !cap.is_finite() || cap < 0.0 {
+                return Err(GraphError::InvalidCapacity(cap));
+            }
+            t.push_link(src, dst, cap);
+        }
+        Ok(t)
+    }
+
+    fn empty(kind: TopologyKind, node_count: usize) -> Self {
+        Self {
+            kind,
+            node_count,
+            links: Vec::new(),
+            out_links: vec![Vec::new(); node_count],
+            in_links: vec![Vec::new(); node_count],
+            link_lookup: HashMap::new(),
+            coords: vec![(0, 0); node_count],
+        }
+    }
+
+    fn push_link(&mut self, src: NodeId, dst: NodeId, capacity: f64) -> LinkId {
+        let id = LinkId::new(self.links.len());
+        self.links.push(Link { src, dst, capacity });
+        self.out_links[src.index()].push(id);
+        self.in_links[dst.index()].push(id);
+        self.link_lookup.insert((src, dst), id);
+        id
+    }
+
+    fn push_bidirectional(&mut self, a: NodeId, b: NodeId, capacity: f64) {
+        self.push_link(a, b, capacity);
+        self.push_link(b, a, capacity);
+    }
+
+    /// The topology family (mesh/torus dimensions or custom).
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of nodes `|U|`.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed links `|F|`.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns the link record for `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link(&self, link: LinkId) -> Link {
+        self.links[link.index()]
+    }
+
+    /// Looks up the directed link `src -> dst`.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.link_lookup.get(&(src, dst)).copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId::new)
+    }
+
+    /// Iterates over all links with their ids.
+    pub fn links(&self) -> impl ExactSizeIterator<Item = (LinkId, Link)> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId::new(i), *l))
+    }
+
+    /// Outgoing links of `node` (the paper's adjacency set `Adj_i`).
+    pub fn out_links(&self, node: NodeId) -> impl Iterator<Item = (LinkId, Link)> + '_ {
+        self.out_links[node.index()]
+            .iter()
+            .map(move |&id| (id, self.links[id.index()]))
+    }
+
+    /// Incoming links of `node`.
+    pub fn in_links(&self, node: NodeId) -> impl Iterator<Item = (LinkId, Link)> + '_ {
+        self.in_links[node.index()]
+            .iter()
+            .map(move |&id| (id, self.links[id.index()]))
+    }
+
+    /// Number of distinct neighbour nodes reachable over one outgoing link.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_links[node.index()].len()
+    }
+
+    /// The mesh coordinates `(x, y)` of `node` (synthetic `(index, 0)` for
+    /// custom topologies).
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        self.coords[node.index()]
+    }
+
+    /// The node at mesh coordinates `(x, y)`.
+    ///
+    /// Returns `None` if out of range or if the topology is custom.
+    pub fn node_at(&self, x: usize, y: usize) -> Option<NodeId> {
+        match self.kind {
+            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
+                (x < width && y < height).then(|| NodeId::new(y * width + x))
+            }
+            TopologyKind::Custom => None,
+        }
+    }
+
+    /// Minimum hop count `dist(a, b)` between two nodes (Equation 7's
+    /// distance). Closed-form Manhattan / torus distance for mesh and torus;
+    /// BFS for custom topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range, or if the nodes are
+    /// disconnected in a custom topology.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        assert!(a.index() < self.node_count, "node {a} out of range");
+        assert!(b.index() < self.node_count, "node {b} out of range");
+        match self.kind {
+            TopologyKind::Mesh { .. } => {
+                let (ax, ay) = self.coords(a);
+                let (bx, by) = self.coords(b);
+                ax.abs_diff(bx) + ay.abs_diff(by)
+            }
+            TopologyKind::Torus { width, height } => {
+                let (ax, ay) = self.coords(a);
+                let (bx, by) = self.coords(b);
+                let dx = ax.abs_diff(bx);
+                let dy = ay.abs_diff(by);
+                // Wrap links only exist for dimensions > 2.
+                let dx = if width > 2 { dx.min(width - dx) } else { dx };
+                let dy = if height > 2 { dy.min(height - dy) } else { dy };
+                dx + dy
+            }
+            TopologyKind::Custom => crate::algo::bfs_hops(self, a)[b.index()]
+                .unwrap_or_else(|| panic!("{}", GraphError::Disconnected(a, b))),
+        }
+    }
+
+    /// The node with the largest number of neighbours — `max_t` in
+    /// `initialize()`. Ties break toward the node closest to the geometric
+    /// center of the mesh, then toward the lowest id, so results are
+    /// deterministic and centered (a central seed is what the paper's cost
+    /// function rewards).
+    pub fn max_degree_node(&self) -> NodeId {
+        let center = self.center_coords();
+        self.nodes()
+            .min_by(|&a, &b| {
+                self.degree(b)
+                    .cmp(&self.degree(a))
+                    .then_with(|| {
+                        self.center_distance(a, center)
+                            .cmp(&self.center_distance(b, center))
+                    })
+                    .then(a.cmp(&b))
+            })
+            .expect("topology has at least one node")
+    }
+
+    fn center_coords(&self) -> (f64, f64) {
+        match self.kind {
+            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
+                ((width as f64 - 1.0) / 2.0, (height as f64 - 1.0) / 2.0)
+            }
+            TopologyKind::Custom => (0.0, 0.0),
+        }
+    }
+
+    fn center_distance(&self, node: NodeId, center: (f64, f64)) -> u64 {
+        let (x, y) = self.coords(node);
+        // Scaled L1 distance to the center, kept integral for total ordering.
+        let d = (x as f64 - center.0).abs() + (y as f64 - center.1).abs();
+        (d * 2.0).round() as u64
+    }
+
+    /// True if every node can reach every other node over directed links.
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.node_count == 0 {
+            return true;
+        }
+        let forward = crate::algo::bfs_hops(self, NodeId::new(0));
+        if forward.iter().any(Option::is_none) {
+            return false;
+        }
+        // Reverse reachability: BFS on reversed adjacency.
+        let mut seen = vec![false; self.node_count];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for (_, l) in self.in_links(n) {
+                if !seen[l.src.index()] {
+                    seen[l.src.index()] = true;
+                    count += 1;
+                    stack.push(l.src);
+                }
+            }
+        }
+        count == self.node_count
+    }
+
+    /// Smallest square-ish mesh `(w, h)` with at least `cores` nodes,
+    /// preferring squares then wider-by-one rectangles — the sizing rule the
+    /// experiments use when the paper does not state mesh dimensions.
+    pub fn fit_mesh_dims(cores: usize) -> (usize, usize) {
+        assert!(cores > 0, "need at least one core");
+        let mut w = 1usize;
+        while w * w < cores {
+            w += 1;
+        }
+        // Try to shave a row if a w x (w-1) mesh still fits.
+        if w > 1 && w * (w - 1) >= cores {
+            (w, w - 1)
+        } else {
+            (w, w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let m = Topology::mesh(4, 4, 100.0);
+        assert_eq!(m.node_count(), 16);
+        assert_eq!(m.link_count(), 48);
+        let m = Topology::mesh(2, 3, 100.0);
+        assert_eq!(m.node_count(), 6);
+        // channels: horizontal 1*3, vertical 2*2 => 7 * 2 directed = 14
+        assert_eq!(m.link_count(), 14);
+        let m = Topology::mesh(1, 1, 100.0);
+        assert_eq!(m.link_count(), 0);
+    }
+
+    #[test]
+    fn torus_counts_and_no_duplicate_wraps() {
+        let t = Topology::torus(4, 4, 100.0);
+        // mesh 48 + wrap: 4 rows * 2 + 4 cols * 2 = 64
+        assert_eq!(t.link_count(), 64);
+        // width 2: wrap would duplicate the existing channel; must be absent
+        let t = Topology::torus(2, 4, 100.0);
+        assert_eq!(
+            t.link_count(),
+            Topology::mesh(2, 4, 100.0).link_count() + 2 * 2
+        );
+    }
+
+    #[test]
+    fn mesh_hop_distance_is_manhattan() {
+        let m = Topology::mesh(4, 4, 1.0);
+        let a = m.node_at(0, 0).unwrap();
+        let b = m.node_at(3, 3).unwrap();
+        assert_eq!(m.hop_distance(a, b), 6);
+        assert_eq!(m.hop_distance(b, a), 6);
+        assert_eq!(m.hop_distance(a, a), 0);
+    }
+
+    #[test]
+    fn torus_hop_distance_uses_wraparound() {
+        let t = Topology::torus(4, 4, 1.0);
+        let a = t.node_at(0, 0).unwrap();
+        let b = t.node_at(3, 0).unwrap();
+        assert_eq!(t.hop_distance(a, b), 1);
+        let c = t.node_at(2, 2).unwrap();
+        assert_eq!(t.hop_distance(a, c), 4);
+    }
+
+    #[test]
+    fn torus_size_two_dimension_has_no_shortcut() {
+        let t = Topology::torus(2, 5, 1.0);
+        let a = t.node_at(0, 0).unwrap();
+        let b = t.node_at(1, 0).unwrap();
+        assert_eq!(t.hop_distance(a, b), 1);
+        let c = t.node_at(0, 4).unwrap();
+        assert_eq!(t.hop_distance(a, c), 1); // vertical wrap exists (5 > 2)
+    }
+
+    #[test]
+    fn max_degree_node_is_central() {
+        let m = Topology::mesh(3, 3, 1.0);
+        assert_eq!(m.max_degree_node(), m.node_at(1, 1).unwrap());
+        let m = Topology::mesh(4, 4, 1.0);
+        // Four interior nodes tie on degree 4; closest-to-center tie-break
+        // keeps one of (1,1),(2,1),(1,2),(2,2); lowest id wins among equals.
+        assert_eq!(m.max_degree_node(), m.node_at(1, 1).unwrap());
+    }
+
+    #[test]
+    fn degree_counts() {
+        let m = Topology::mesh(3, 3, 1.0);
+        assert_eq!(m.degree(m.node_at(0, 0).unwrap()), 2);
+        assert_eq!(m.degree(m.node_at(1, 0).unwrap()), 3);
+        assert_eq!(m.degree(m.node_at(1, 1).unwrap()), 4);
+        let t = Topology::torus(4, 4, 1.0);
+        for n in t.nodes() {
+            assert_eq!(t.degree(n), 4);
+        }
+    }
+
+    #[test]
+    fn custom_topology_and_bfs_distance() {
+        // 0 -> 1 -> 2, 0 -> 2 (one-way ring-ish)
+        let t = Topology::custom(
+            3,
+            [
+                (NodeId::new(0), NodeId::new(1), 10.0),
+                (NodeId::new(1), NodeId::new(2), 10.0),
+                (NodeId::new(2), NodeId::new(0), 10.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.hop_distance(NodeId::new(0), NodeId::new(2)), 2);
+        assert_eq!(t.hop_distance(NodeId::new(2), NodeId::new(1)), 2);
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn custom_topology_validation() {
+        assert_eq!(Topology::custom(0, []), Err(GraphError::EmptyTopology));
+        let bad = Topology::custom(2, [(NodeId::new(0), NodeId::new(5), 1.0)]);
+        assert_eq!(bad, Err(GraphError::UnknownNode(NodeId::new(5))));
+        let bad = Topology::custom(2, [(NodeId::new(0), NodeId::new(1), -3.0)]);
+        assert_eq!(bad, Err(GraphError::InvalidCapacity(-3.0)));
+    }
+
+    #[test]
+    fn meshes_are_strongly_connected() {
+        assert!(Topology::mesh(5, 3, 1.0).is_strongly_connected());
+        assert!(Topology::torus(3, 3, 1.0).is_strongly_connected());
+        let lonely = Topology::custom(2, []).unwrap();
+        assert!(!lonely.is_strongly_connected());
+    }
+
+    #[test]
+    fn fit_mesh_dims_prefers_tight_rectangles() {
+        assert_eq!(Topology::fit_mesh_dims(1), (1, 1));
+        assert_eq!(Topology::fit_mesh_dims(4), (2, 2));
+        assert_eq!(Topology::fit_mesh_dims(6), (3, 2));
+        assert_eq!(Topology::fit_mesh_dims(8), (3, 3));
+        assert_eq!(Topology::fit_mesh_dims(12), (4, 3));
+        assert_eq!(Topology::fit_mesh_dims(16), (4, 4));
+        assert_eq!(Topology::fit_mesh_dims(25), (5, 5));
+        assert_eq!(Topology::fit_mesh_dims(30), (6, 5));
+    }
+
+    #[test]
+    fn node_at_round_trips_coords() {
+        let m = Topology::mesh(5, 4, 1.0);
+        for n in m.nodes() {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), Some(n));
+        }
+        assert_eq!(m.node_at(5, 0), None);
+    }
+
+    #[test]
+    fn find_link_direction_sensitive() {
+        let m = Topology::mesh(2, 1, 7.0);
+        let a = NodeId::new(0);
+        let b = NodeId::new(1);
+        let ab = m.find_link(a, b).unwrap();
+        let ba = m.find_link(b, a).unwrap();
+        assert_ne!(ab, ba);
+        assert_eq!(m.link(ab).capacity, 7.0);
+    }
+}

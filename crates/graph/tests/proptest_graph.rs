@@ -1,0 +1,162 @@
+//! Property-based tests for topologies, quadrant DAGs, Dijkstra and the
+//! random graph generator.
+
+use noc_graph::{bfs_hops, dijkstra, NodeId, QuadrantDag, RandomGraphConfig, Topology};
+use proptest::prelude::*;
+
+fn mesh_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=6, 1usize..=6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Mesh hop distance is a metric: symmetric, zero iff equal, triangle
+    /// inequality; and BFS agrees with the closed form.
+    #[test]
+    fn mesh_distance_is_a_metric((w, h) in mesh_dims(), seed in 0u64..1000) {
+        let t = Topology::mesh(w, h, 1.0);
+        let n = t.node_count();
+        let a = NodeId::new((seed as usize) % n);
+        let b = NodeId::new((seed as usize * 7 + 3) % n);
+        let c = NodeId::new((seed as usize * 13 + 5) % n);
+        prop_assert_eq!(t.hop_distance(a, b), t.hop_distance(b, a));
+        prop_assert_eq!(t.hop_distance(a, a), 0);
+        if a != b {
+            prop_assert!(t.hop_distance(a, b) > 0);
+        }
+        prop_assert!(
+            t.hop_distance(a, c) <= t.hop_distance(a, b) + t.hop_distance(b, c)
+        );
+        let hops = bfs_hops(&t, a);
+        prop_assert_eq!(hops[b.index()], Some(t.hop_distance(a, b)));
+    }
+
+    /// Torus distances never exceed mesh distances on the same grid.
+    #[test]
+    fn torus_shortcuts_never_lengthen((w, h) in (2usize..=6, 2usize..=6), seed in 0u64..1000) {
+        let mesh = Topology::mesh(w, h, 1.0);
+        let torus = Topology::torus(w, h, 1.0);
+        let n = mesh.node_count();
+        let a = NodeId::new((seed as usize) % n);
+        let b = NodeId::new((seed as usize * 11 + 1) % n);
+        prop_assert!(torus.hop_distance(a, b) <= mesh.hop_distance(a, b));
+    }
+
+    /// Every maximal walk through the quadrant DAG is a minimal path, and
+    /// the DAG is non-empty whenever source != dest.
+    #[test]
+    fn quadrant_paths_are_minimal((w, h) in (2usize..=6, 2usize..=6), seed in 0u64..1000) {
+        let t = Topology::mesh(w, h, 1.0);
+        let n = t.node_count();
+        let s = NodeId::new((seed as usize) % n);
+        let d = NodeId::new((seed as usize * 17 + 2) % n);
+        prop_assume!(s != d);
+        let q = QuadrantDag::new(&t, s, d);
+        prop_assert!(!q.links().is_empty());
+        // Walk greedily along quadrant links; each step must reduce the
+        // distance to the destination by exactly one.
+        let mut at = s;
+        let mut steps = 0;
+        while at != d {
+            let next = t
+                .out_links(at)
+                .find(|(id, _)| q.contains(*id))
+                .map(|(_, l)| l.dst)
+                .expect("quadrant has no dead ends");
+            prop_assert_eq!(t.hop_distance(next, d) + 1, t.hop_distance(at, d));
+            at = next;
+            steps += 1;
+            prop_assert!(steps <= n, "walk did not terminate");
+        }
+        prop_assert_eq!(steps, t.hop_distance(s, d));
+    }
+
+    /// Dijkstra with unit weights matches hop distance on meshes and tori.
+    #[test]
+    fn dijkstra_matches_distance((w, h) in mesh_dims(), torus in any::<bool>(), seed in 0u64..1000) {
+        let t = if torus { Topology::torus(w, h, 1.0) } else { Topology::mesh(w, h, 1.0) };
+        let n = t.node_count();
+        let a = NodeId::new((seed as usize) % n);
+        let b = NodeId::new((seed as usize * 5 + 1) % n);
+        let out = dijkstra(&t, a, b, |_| 1.0, |_| true).expect("meshes are connected");
+        prop_assert_eq!(out.hops(), t.hop_distance(a, b));
+        // Path is contiguous.
+        for (i, &l) in out.links.iter().enumerate() {
+            prop_assert_eq!(t.link(l).src, out.nodes[i]);
+            prop_assert_eq!(t.link(l).dst, out.nodes[i + 1]);
+        }
+    }
+
+    /// Dijkstra's cost with arbitrary non-negative weights is a lower
+    /// bound on any explicitly constructed path's weight (here: an XY
+    /// staircase walk).
+    #[test]
+    fn dijkstra_is_optimal_vs_xy_walk(
+        (w, h) in (2usize..=5, 2usize..=5),
+        seed in 0u64..500,
+        weights_seed in 0u64..100,
+    ) {
+        let t = Topology::mesh(w, h, 1.0);
+        let n = t.node_count();
+        let a = NodeId::new((seed as usize) % n);
+        let b = NodeId::new((seed as usize * 3 + 2) % n);
+        prop_assume!(a != b);
+        let weight = |l: noc_graph::LinkId| {
+            // Deterministic pseudo-random positive weights.
+            let x = l.index() as u64 * 2654435761 + weights_seed * 97;
+            1.0 + (x % 100) as f64 / 10.0
+        };
+        let best = dijkstra(&t, a, b, weight, |_| true).expect("connected");
+
+        // Manual XY walk.
+        let (ax, ay) = t.coords(a);
+        let (bx, by) = t.coords(b);
+        let mut cost = 0.0;
+        let (mut x, mut y) = (ax, ay);
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            let l = t.find_link(t.node_at(x, y).unwrap(), t.node_at(nx, y).unwrap()).unwrap();
+            cost += weight(l);
+            x = nx;
+        }
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            let l = t.find_link(t.node_at(x, y).unwrap(), t.node_at(x, ny).unwrap()).unwrap();
+            cost += weight(l);
+            y = ny;
+        }
+        prop_assert!(best.cost <= cost + 1e-9, "dijkstra {} > xy walk {}", best.cost, cost);
+    }
+
+    /// Generated random graphs are connected, respect their bandwidth
+    /// range and have the requested number of cores.
+    #[test]
+    fn random_graphs_are_well_formed(cores in 2usize..40, seed in 0u64..50) {
+        let cfg = RandomGraphConfig { cores, ..Default::default() };
+        let g = cfg.generate(seed);
+        prop_assert_eq!(g.core_count(), cores);
+        prop_assert!(g.is_connected());
+        prop_assert!(g.edge_count() >= cores - 1);
+        for (_, e) in g.edges() {
+            prop_assert!(e.bandwidth >= cfg.min_bandwidth);
+            prop_assert!(e.bandwidth <= cfg.max_bandwidth);
+        }
+    }
+
+    /// Mesh link structure: every node's degree matches its position
+    /// (corner 2, edge 3, interior 4) and in-degree equals out-degree.
+    #[test]
+    fn mesh_degrees_match_positions((w, h) in (2usize..=7, 2usize..=7)) {
+        let t = Topology::mesh(w, h, 1.0);
+        for node in t.nodes() {
+            let (x, y) = t.coords(node);
+            let expected = [x > 0, x + 1 < w, y > 0, y + 1 < h]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            prop_assert_eq!(t.degree(node), expected);
+            prop_assert_eq!(t.in_links(node).count(), t.out_links(node).count());
+        }
+    }
+}

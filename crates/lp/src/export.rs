@@ -1,0 +1,146 @@
+//! CPLEX-LP-format export, so any model built here can be cross-checked
+//! against an external solver (`lp_solve`, GLPK, HiGHS, …) — the
+//! verification path a reproduction of an `lp_solve`-based paper should
+//! offer.
+
+use std::fmt::Write as _;
+
+use crate::problem::{ConstraintSense, LinearProgram, Sense};
+
+impl LinearProgram {
+    /// Renders the model in CPLEX LP format.
+    ///
+    /// Variable names are sanitized to `x<index>` (LP-format identifiers
+    /// are restrictive); the mapping to the model's own names is emitted
+    /// as comments.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use noc_lp::{LinearProgram, Sense};
+    /// let mut lp = LinearProgram::new(Sense::Minimize);
+    /// let x = lp.add_variable("flow_a", 2.0);
+    /// lp.add_le(&[(x, 1.0)], 5.0);
+    /// let text = lp.to_lp_format();
+    /// assert!(text.contains("Minimize"));
+    /// assert!(text.contains("c0: + 1 x0 <= 5"));
+    /// ```
+    pub fn to_lp_format(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "\\ exported by noc-lp; {} variables, {} constraints",
+            self.variable_count(),
+            self.constraint_count()
+        );
+        for i in 0..self.variable_count() {
+            let name = self.variable_name(crate::VarId(i));
+            if name != format!("x{i}") {
+                let _ = writeln!(out, "\\ x{i} = {name}");
+            }
+        }
+
+        out.push_str(match self.sense() {
+            Sense::Minimize => "Minimize\n obj:",
+            Sense::Maximize => "Maximize\n obj:",
+        });
+        let mut any = false;
+        for (i, &cost) in self.costs().iter().enumerate() {
+            if cost != 0.0 {
+                let _ = write!(out, " {} {} x{i}", sign(cost), fmt_mag(cost));
+                any = true;
+            }
+        }
+        if !any {
+            out.push_str(" 0 x0");
+        }
+        out.push_str("\nSubject To\n");
+        for (r, c) in self.constraints().iter().enumerate() {
+            let _ = write!(out, " c{r}:");
+            for &(var, coeff) in &c.terms {
+                if coeff != 0.0 {
+                    let _ = write!(out, " {} {} x{}", sign(coeff), fmt_mag(coeff), var.0);
+                }
+            }
+            let op = match c.sense {
+                ConstraintSense::Le => "<=",
+                ConstraintSense::Eq => "=",
+                ConstraintSense::Ge => ">=",
+            };
+            let _ = writeln!(out, " {op} {}", fmt_num(c.rhs));
+        }
+        // All variables are non-negative, which is the LP-format default;
+        // state it explicitly for clarity.
+        out.push_str("Bounds\n");
+        for i in 0..self.variable_count() {
+            let _ = writeln!(out, " 0 <= x{i}");
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+fn sign(v: f64) -> char {
+    if v < 0.0 {
+        '-'
+    } else {
+        '+'
+    }
+}
+
+fn fmt_mag(v: f64) -> String {
+    fmt_num(v.abs())
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, Sense};
+
+    #[test]
+    fn exports_a_small_model() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        let y = lp.add_variable("flow", -2.5);
+        lp.add_le(&[(x, 1.0), (y, 2.0)], 10.0);
+        lp.add_ge(&[(y, 1.0)], 1.0);
+        lp.add_eq(&[(x, 1.0), (y, -1.0)], 0.0);
+        let text = lp.to_lp_format();
+        assert!(text.contains("Minimize"));
+        assert!(text.contains("obj: + 1 x0 - 2.5 x1"));
+        assert!(text.contains("c0: + 1 x0 + 2 x1 <= 10"));
+        assert!(text.contains("c1: + 1 x1 >= 1"));
+        assert!(text.contains("c2: + 1 x0 - 1 x1 = 0"));
+        assert!(text.contains("\\ x1 = flow"));
+        assert!(text.trim_end().ends_with("End"));
+    }
+
+    #[test]
+    fn maximization_and_empty_objective() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable("x0", 0.0);
+        lp.add_le(&[(x, 1.0)], 4.0);
+        let text = lp.to_lp_format();
+        assert!(text.contains("Maximize"));
+        assert!(text.contains("obj: 0 x0"), "zero objective must still be syntactic: {text}");
+    }
+
+    #[test]
+    fn bounds_section_lists_every_variable() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        for i in 0..3 {
+            lp.add_variable(format!("v{i}"), 1.0);
+        }
+        let text = lp.to_lp_format();
+        for i in 0..3 {
+            assert!(text.contains(&format!("0 <= x{i}")));
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! Two-phase primal simplex over a dense tableau.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible solution (or prove infeasibility); phase 2 optimizes the real
+//! objective. Entering variables follow Dantzig's rule until the objective
+//! stalls, then Bland's rule, which guarantees termination on degenerate
+//! problems.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::problem::{Constraint, ConstraintSense};
+
+/// Tunable solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Feasibility/optimality tolerance.
+    pub tolerance: f64,
+    /// Hard cap on pivots across both phases.
+    pub max_iterations: usize,
+    /// Number of non-improving pivots before switching to Bland's rule.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-9, max_iterations: 200_000, stall_threshold: 256 }
+    }
+}
+
+/// Failure modes of [`crate::LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The constraint set has no feasible point.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+    /// The pivot budget was exhausted before reaching an optimum.
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "linear program is infeasible"),
+            SolveError::Unbounded => write!(f, "linear program is unbounded"),
+            SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Dense simplex tableau. Rows `0..m` are constraints; the last row is the
+/// objective. Column layout: structural variables, then slacks/surpluses,
+/// then artificials, then the RHS.
+struct Tableau {
+    rows: usize,
+    cols: usize, // including rhs column
+    data: Vec<f64>,
+    basis: Vec<usize>,
+    artificial_start: usize,
+    options: SimplexOptions,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    #[inline]
+    fn rhs_col(&self) -> usize {
+        self.cols - 1
+    }
+
+    fn obj_row(&self) -> usize {
+        self.rows - 1
+    }
+
+    /// Gauss-Jordan pivot on (`pivot_row`, `pivot_col`).
+    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+        let cols = self.cols;
+        let start = pivot_row * cols;
+        let pivot_value = self.data[start + pivot_col];
+        debug_assert!(pivot_value.abs() > 0.0, "zero pivot");
+        let inv = 1.0 / pivot_value;
+        for c in 0..cols {
+            self.data[start + c] *= inv;
+        }
+        // Snap the pivot entry exactly to 1 to limit drift.
+        self.data[start + pivot_col] = 1.0;
+
+        let pivot_row_copy: Vec<f64> = self.data[start..start + cols].to_vec();
+        for r in 0..self.rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = self.data[r * cols + pivot_col];
+            if factor == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * cols..(r + 1) * cols];
+            for (value, &p) in row.iter_mut().zip(&pivot_row_copy) {
+                *value -= factor * p;
+            }
+            row[pivot_col] = 0.0;
+        }
+        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Runs simplex until optimality over columns `< allowed_cols`.
+    fn optimize(&mut self, allowed_cols: usize, iterations: &mut usize) -> Result<(), SolveError> {
+        let tol = self.options.tolerance;
+        let mut stall = 0usize;
+        let mut last_objective = self.at(self.obj_row(), self.rhs_col());
+        loop {
+            if *iterations >= self.options.max_iterations {
+                return Err(SolveError::IterationLimit);
+            }
+            let bland = stall > self.options.stall_threshold;
+            let obj = self.obj_row();
+
+            // Entering column.
+            let mut entering: Option<usize> = None;
+            let mut best = -tol;
+            for c in 0..allowed_cols {
+                let reduced = self.at(obj, c);
+                if bland {
+                    if reduced < -tol {
+                        entering = Some(c);
+                        break;
+                    }
+                } else if reduced < best {
+                    best = reduced;
+                    entering = Some(c);
+                }
+            }
+            let Some(enter) = entering else {
+                return Ok(()); // optimal
+            };
+
+            // Ratio test.
+            let rhs_col = self.rhs_col();
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows - 1 {
+                let coeff = self.at(r, enter);
+                if coeff > tol {
+                    let ratio = self.at(r, rhs_col) / coeff;
+                    let better = ratio < best_ratio - tol
+                        || (ratio < best_ratio + tol
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]));
+                    if leave.is_none() || better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(SolveError::Unbounded);
+            };
+
+            self.pivot(leave, enter);
+            *iterations += 1;
+
+            let objective = self.at(self.obj_row(), self.rhs_col());
+            if objective < last_objective - tol {
+                stall = 0;
+                last_objective = objective;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+}
+
+/// Solves `min c·x` subject to `constraints` and `x ≥ 0`.
+/// Returns the optimal values of the structural variables.
+pub(crate) fn solve_standard_form(
+    costs: &[f64],
+    constraints: &[Constraint],
+    options: SimplexOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = costs.len();
+    let m = constraints.len();
+    let tol = options.tolerance;
+
+    // Column layout.
+    let mut slack_count = 0usize;
+    let mut artificial_count = 0usize;
+    for c in constraints {
+        let rhs_negative = c.rhs < 0.0;
+        let sense = effective_sense(c.sense, rhs_negative);
+        match sense {
+            ConstraintSense::Le => slack_count += 1,
+            ConstraintSense::Ge => {
+                slack_count += 1;
+                artificial_count += 1;
+            }
+            ConstraintSense::Eq => artificial_count += 1,
+        }
+    }
+    let slack_start = n;
+    let artificial_start = n + slack_count;
+    let total_vars = n + slack_count + artificial_count;
+    let cols = total_vars + 1;
+    let rows = m + 1;
+
+    let mut t = Tableau {
+        rows,
+        cols,
+        data: vec![0.0; rows * cols],
+        basis: vec![usize::MAX; m],
+        artificial_start,
+        options,
+    };
+
+    // Fill constraint rows.
+    let mut next_slack = slack_start;
+    let mut next_artificial = artificial_start;
+    for (r, c) in constraints.iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for &(var, coeff) in &c.terms {
+            let cell = r * cols + var.0;
+            t.data[cell] += sign * coeff; // accumulate duplicate terms
+        }
+        t.set(r, t.rhs_col(), sign * c.rhs);
+        match effective_sense(c.sense, flip) {
+            ConstraintSense::Le => {
+                t.set(r, next_slack, 1.0);
+                t.basis[r] = next_slack;
+                next_slack += 1;
+            }
+            ConstraintSense::Ge => {
+                t.set(r, next_slack, -1.0);
+                next_slack += 1;
+                t.set(r, next_artificial, 1.0);
+                t.basis[r] = next_artificial;
+                next_artificial += 1;
+            }
+            ConstraintSense::Eq => {
+                t.set(r, next_artificial, 1.0);
+                t.basis[r] = next_artificial;
+                next_artificial += 1;
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+
+    // ---- Phase 1: minimize sum of artificials ----
+    if artificial_count > 0 {
+        let obj = t.obj_row();
+        for a in artificial_start..total_vars {
+            t.set(obj, a, 1.0);
+        }
+        // Zero out reduced costs of the basic artificials.
+        for r in 0..m {
+            if t.basis[r] >= artificial_start {
+                let row: Vec<f64> = t.data[r * cols..(r + 1) * cols].to_vec();
+                let orow = &mut t.data[obj * cols..(obj + 1) * cols];
+                for (o, v) in orow.iter_mut().zip(&row) {
+                    *o -= v;
+                }
+            }
+        }
+        t.optimize(total_vars, &mut iterations)?;
+        let phase1 = -t.at(t.obj_row(), t.rhs_col());
+        // Objective row stores -value after eliminations; the minimized sum
+        // of artificials is the negation of the stored rhs entry.
+        if phase1.abs() > tol.max(1e-7) {
+            return Err(SolveError::Infeasible);
+        }
+
+        // Drive remaining artificials out of the basis.
+        let mut r = 0usize;
+        while r < t.rows - 1 {
+            if t.basis[r] >= artificial_start {
+                let mut pivoted = false;
+                for c in 0..artificial_start {
+                    if t.at(r, c).abs() > 1e-7 {
+                        t.pivot(r, c);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: remove it.
+                    remove_row(&mut t, r);
+                    continue;
+                }
+            }
+            r += 1;
+        }
+    }
+
+    // ---- Phase 2: original objective ----
+    {
+        let obj = t.obj_row();
+        let rhs = t.rhs_col();
+        for c in 0..cols {
+            t.set(obj, c, 0.0);
+        }
+        for (v, &cost) in costs.iter().enumerate() {
+            t.set(obj, v, cost);
+        }
+        t.set(obj, rhs, 0.0);
+        // Make reduced costs of basic variables zero.
+        for r in 0..t.rows - 1 {
+            let b = t.basis[r];
+            let cost = if b < n { costs[b] } else { 0.0 };
+            if cost != 0.0 {
+                let row: Vec<f64> = t.data[r * cols..(r + 1) * cols].to_vec();
+                let orow = &mut t.data[obj * cols..(obj + 1) * cols];
+                for (o, v) in orow.iter_mut().zip(&row) {
+                    *o -= cost * v;
+                }
+            }
+        }
+        // Artificials may not re-enter.
+        t.optimize(t.artificial_start, &mut iterations)?;
+    }
+
+    // Extract structural solution.
+    let mut values = vec![0.0; n];
+    let rhs = t.rhs_col();
+    for r in 0..t.rows - 1 {
+        let b = t.basis[r];
+        if b < n {
+            values[b] = t.at(r, rhs);
+        }
+    }
+    Ok(values)
+}
+
+fn effective_sense(sense: ConstraintSense, flipped: bool) -> ConstraintSense {
+    if !flipped {
+        return sense;
+    }
+    match sense {
+        ConstraintSense::Le => ConstraintSense::Ge,
+        ConstraintSense::Ge => ConstraintSense::Le,
+        ConstraintSense::Eq => ConstraintSense::Eq,
+    }
+}
+
+/// Removes constraint row `r` from the tableau (redundant after phase 1).
+fn remove_row(t: &mut Tableau, r: usize) {
+    let cols = t.cols;
+    let start = r * cols;
+    t.data.drain(start..start + cols);
+    t.basis.remove(r);
+    t.rows -= 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProgram, Sense, VarId};
+
+    const EPS: f64 = 1e-7;
+
+    #[test]
+    fn infeasible_program_is_detected() {
+        // x <= 1 and x >= 2
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        lp.add_le(&[(x, 1.0)], 1.0);
+        lp.add_ge(&[(x, 1.0)], 2.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program_is_detected() {
+        // min -x, x unconstrained above
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", -1.0);
+        lp.add_ge(&[(x, 1.0)], 0.0);
+        assert_eq!(lp.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // -x <= -5  <=>  x >= 5
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        lp.add_le(&[(x, -1.0)], -5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        // (x + x) <= 6  => x <= 3; maximize x
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable("x", 1.0);
+        lp.add_le(&[(x, 1.0), (x, 1.0)], 6.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        // x + y = 4 stated twice plus x - y = 0 => x = y = 2.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        let y = lp.add_variable("y", 2.0);
+        lp.add_eq(&[(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq(&[(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq(&[(x, 1.0), (y, -1.0)], 0.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 2.0).abs() < EPS);
+        assert!((sol[y] - 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale's classic degenerate LP that cycles under naive Dantzig:
+        // min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+        // s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+        //      0.50 x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+        //      x3 <= 1
+        // Optimum: -0.05 at x = (0.04/0.8.., ...) — objective is -1/20.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x1 = lp.add_variable("x1", -0.75);
+        let x2 = lp.add_variable("x2", 150.0);
+        let x3 = lp.add_variable("x3", -0.02);
+        let x4 = lp.add_variable("x4", 6.0);
+        lp.add_le(&[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], 0.0);
+        lp.add_le(&[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], 0.0);
+        lp.add_le(&[(x3, 1.0)], 1.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - (-0.05)).abs() < 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn degenerate_transport_problem() {
+        // Balanced 2x2 transportation problem with degenerate basis.
+        // supplies (10, 10), demands (10, 10), costs [[1, 2], [3, 1]].
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x11 = lp.add_variable("x11", 1.0);
+        let x12 = lp.add_variable("x12", 2.0);
+        let x21 = lp.add_variable("x21", 3.0);
+        let x22 = lp.add_variable("x22", 1.0);
+        lp.add_eq(&[(x11, 1.0), (x12, 1.0)], 10.0);
+        lp.add_eq(&[(x21, 1.0), (x22, 1.0)], 10.0);
+        lp.add_eq(&[(x11, 1.0), (x21, 1.0)], 10.0);
+        lp.add_eq(&[(x12, 1.0), (x22, 1.0)], 10.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 20.0).abs() < EPS);
+        assert!((sol[x11] - 10.0).abs() < EPS);
+        assert!((sol[x22] - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_variable_program() {
+        let lp = LinearProgram::new(Sense::Minimize);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, 0.0);
+        assert!(sol.values.is_empty());
+    }
+
+    #[test]
+    fn constraint_only_feasibility_check() {
+        // No objective (all costs zero): solver acts as a feasibility oracle.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 0.0);
+        let y = lp.add_variable("y", 0.0);
+        lp.add_eq(&[(x, 1.0), (y, 1.0)], 3.0);
+        lp.add_ge(&[(x, 1.0)], 1.0);
+        let sol = lp.solve().unwrap();
+        assert!(sol[x] >= 1.0 - EPS);
+        assert!((sol[x] + sol[y] - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let mut vars = Vec::new();
+        for i in 0..20 {
+            vars.push(lp.add_variable(format!("x{i}"), -1.0));
+        }
+        for i in 0..20 {
+            let terms: Vec<(VarId, f64)> =
+                vars.iter().map(|&v| (v, if v.index() == i { 2.0 } else { 1.0 })).collect();
+            lp.add_le(&terms, 100.0);
+        }
+        lp.set_options(SimplexOptions { max_iterations: 1, ..Default::default() });
+        assert_eq!(lp.solve().unwrap_err(), SolveError::IterationLimit);
+    }
+
+    #[test]
+    fn klee_minty_3d_solves_to_corner() {
+        // Klee-Minty cube in 3 dimensions: max 100x1 + 10x2 + x3
+        // s.t. x1 <= 1; 20x1 + x2 <= 100; 200x1 + 20x2 + x3 <= 10000.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x1 = lp.add_variable("x1", 100.0);
+        let x2 = lp.add_variable("x2", 10.0);
+        let x3 = lp.add_variable("x3", 1.0);
+        lp.add_le(&[(x1, 1.0)], 1.0);
+        lp.add_le(&[(x1, 20.0), (x2, 1.0)], 100.0);
+        lp.add_le(&[(x1, 200.0), (x2, 20.0), (x3, 1.0)], 10_000.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 10_000.0).abs() < 1e-6);
+        assert!(sol[x1].abs() < EPS);
+        assert!(sol[x2].abs() < EPS);
+        assert!((sol[x3] - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_sense_problem() {
+        // min x + y + z
+        // x + y >= 4; y + z = 6; x <= 3
+        // optimum: x=0, y=4..6... let's check: y+z=6 fixed sum, minimize
+        // x+y+z = x + y + (6-y) = x + 6 => x = 0 as long as y >= 4 feasible
+        // (y <= 6, z = 6 - y >= 0). So optimum 6 with y in [4,6].
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        let y = lp.add_variable("y", 1.0);
+        let z = lp.add_variable("z", 1.0);
+        lp.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq(&[(y, 1.0), (z, 1.0)], 6.0);
+        lp.add_le(&[(x, 1.0)], 3.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 6.0).abs() < EPS, "objective {}", sol.objective);
+        assert!(sol[x].abs() < EPS);
+        assert!(sol[y] >= 4.0 - EPS && sol[y] <= 6.0 + EPS);
+        assert!((sol[y] + sol[z] - 6.0).abs() < EPS);
+    }
+
+    #[test]
+    fn equality_with_negative_rhs() {
+        // -x - y = -8 with min x s.t. y <= 5 => x = 3.
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        let y = lp.add_variable("y", 0.0);
+        lp.add_eq(&[(x, -1.0), (y, -1.0)], -8.0);
+        lp.add_le(&[(y, 1.0)], 5.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol[x] - 3.0).abs() < EPS);
+        assert!((sol[y] - 5.0).abs() < EPS);
+    }
+}

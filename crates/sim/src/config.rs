@@ -1,0 +1,117 @@
+//! Simulator configuration.
+
+/// Parameters of the simulated NoC and measurement window.
+///
+/// Defaults follow the paper's DSP design (Table 3): 64-byte packets,
+/// 7-cycle switch delay, 4-byte (32-bit) flits, 8-flit input buffers, and
+/// a 1 GHz clock (1 cycle = 1 ns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Flit width in bytes (×pipes uses 32-bit phits).
+    pub flit_bytes: usize,
+    /// Packet payload size in bytes (Table 3: 64 B).
+    pub packet_bytes: usize,
+    /// Input buffer depth per router port, in flits.
+    pub buffer_flits: usize,
+    /// Router pipeline delay in cycles applied to each head flit per hop
+    /// (Table 3: switch delay 7 cycles).
+    pub router_pipeline_cycles: u64,
+    /// Warm-up cycles excluded from statistics.
+    pub warmup_cycles: u64,
+    /// Measured cycles after warm-up.
+    pub measure_cycles: u64,
+    /// Drain window after measurement so in-flight packets can finish.
+    pub drain_cycles: u64,
+    /// Mean burst length of the on/off sources, in packets.
+    pub burst_packets: u32,
+    /// Peak-to-mean ratio of the on/off sources: packets inside a burst
+    /// arrive this many times faster than the long-run average rate.
+    pub burst_intensity: f64,
+    /// RNG seed for the traffic processes.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            flit_bytes: 4,
+            packet_bytes: 64,
+            buffer_flits: 8,
+            router_pipeline_cycles: 7,
+            warmup_cycles: 20_000,
+            measure_cycles: 100_000,
+            drain_cycles: 30_000,
+            burst_packets: 8,
+            burst_intensity: 3.0,
+            seed: 0xA0C0_FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of flits a packet occupies: one head flit (routing header)
+    /// plus the payload flits.
+    pub fn flits_per_packet(&self) -> usize {
+        1 + self.packet_bytes.div_ceil(self.flit_bytes)
+    }
+
+    /// Bytes a link moves per cycle at `bandwidth_mbps` MB/s under the
+    /// 1 GHz clock: `MB/s × 10⁶ B/MB ÷ 10⁹ cycles/s`.
+    pub fn bytes_per_cycle(bandwidth_mbps: f64) -> f64 {
+        bandwidth_mbps / 1000.0
+    }
+
+    /// Validates the configuration, panicking on nonsensical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the measurement window is empty.
+    pub fn validate(&self) {
+        assert!(self.flit_bytes > 0, "flit size must be non-zero");
+        assert!(self.packet_bytes > 0, "packet size must be non-zero");
+        assert!(self.buffer_flits >= 2, "buffers must hold at least 2 flits");
+        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
+        assert!(self.burst_packets > 0, "burst length must be non-zero");
+        assert!(
+            self.burst_intensity >= 1.0 && self.burst_intensity.is_finite(),
+            "burst intensity must be >= 1"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_packet_is_17_flits() {
+        // 64 B / 4 B = 16 payload flits + 1 head.
+        assert_eq!(SimConfig::default().flits_per_packet(), 17);
+    }
+
+    #[test]
+    fn odd_sizes_round_up() {
+        let c = SimConfig { packet_bytes: 65, ..Default::default() };
+        assert_eq!(c.flits_per_packet(), 18);
+        let c = SimConfig { packet_bytes: 1, ..Default::default() };
+        assert_eq!(c.flits_per_packet(), 2);
+    }
+
+    #[test]
+    fn bytes_per_cycle_at_1ghz() {
+        assert_eq!(SimConfig::bytes_per_cycle(1000.0), 1.0); // 1 GB/s = 1 B/ns
+        assert_eq!(SimConfig::bytes_per_cycle(1600.0), 1.6);
+        assert_eq!(SimConfig::bytes_per_cycle(200.0), 0.2);
+    }
+
+    #[test]
+    fn default_validates() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffers must hold")]
+    fn tiny_buffer_rejected() {
+        SimConfig { buffer_flits: 1, ..Default::default() }.validate();
+    }
+}

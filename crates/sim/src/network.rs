@@ -1,0 +1,710 @@
+//! The cycle-driven network simulator.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use noc_graph::{LinkId, NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::packet::Packet;
+use crate::router::{Buffer, ChannelState, FlitRef, InputId};
+use crate::stats::LatencyStats;
+use crate::traffic::{BurstSource, FlowSpec};
+
+/// Cycles without any flit movement (while traffic is in flight) after
+/// which the oldest in-network packet is dropped to break a deadlock.
+const STALL_THRESHOLD: u64 = 5_000;
+
+/// Measurement report returned by [`Simulator::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total simulated cycles (warm-up + measurement + drain).
+    pub cycles: u64,
+    /// Packets generated over the whole run.
+    pub generated_packets: u64,
+    /// Packets fully delivered (tail ejected) over the whole run.
+    pub delivered_packets: u64,
+    /// Packets dropped by deadlock recovery (should be 0 in healthy runs).
+    pub dropped_packets: u64,
+    /// Packets generated in the measurement window but not delivered by
+    /// the end of the drain period (a symptom of saturation).
+    pub unfinished_measured_packets: u64,
+    /// Latency statistics over packets generated in the measurement
+    /// window (generation → tail ejection, source queueing included).
+    pub latency: LatencyStats,
+    /// Network-only latency (head flit entering the network → tail
+    /// ejection) over the same packets — the metric hardware NoC
+    /// measurements usually report.
+    pub network_latency: LatencyStats,
+    /// Per-flow latency statistics (same window, full latency).
+    pub per_flow_latency: Vec<LatencyStats>,
+    /// Flits that crossed each link during the measurement window.
+    pub link_flits: Vec<u64>,
+    /// Length of the measurement window in cycles.
+    pub measure_cycles: u64,
+    /// Flit width used (bytes), for utilization conversions.
+    pub flit_bytes: usize,
+}
+
+impl SimReport {
+    /// Mean packet latency in cycles over the measurement window
+    /// (including source queueing).
+    pub fn avg_latency_cycles(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Mean network-only packet latency in cycles (excluding source
+    /// queueing).
+    pub fn avg_network_latency_cycles(&self) -> f64 {
+        self.network_latency.mean()
+    }
+
+    /// Delivered payload+header bandwidth of `link` during the window, in
+    /// MB/s (1 GHz clock).
+    pub fn link_throughput_mbps(&self, link: LinkId) -> f64 {
+        let bytes = self.link_flits[link.index()] as f64 * self.flit_bytes as f64;
+        bytes / self.measure_cycles as f64 * 1000.0
+    }
+
+    /// True when the run shows signs of saturation: deadlock drops or a
+    /// non-negligible share of measured packets still in flight at the end.
+    pub fn saturated(&self) -> bool {
+        if self.dropped_packets > 0 {
+            return true;
+        }
+        let measured = self.latency.count() + self.unfinished_measured_packets;
+        measured > 0 && self.unfinished_measured_packets as f64 > 0.02 * measured as f64
+    }
+}
+
+/// Flit-level wormhole simulator over a [`Topology`] and a set of
+/// [`FlowSpec`]s. See the [crate-level docs](crate) for the model.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    flows: Vec<FlowSpec>,
+    sources: Vec<BurstSource>,
+    rng: ChaCha8Rng,
+
+    // Static network structure (copied out of the Topology).
+    node_count: usize,
+    link_src: Vec<NodeId>,
+    link_rate: Vec<f64>, // bytes per cycle
+    node_inputs: Vec<Vec<InputId>>,
+
+    // Dynamic state.
+    cycle: u64,
+    packets: Vec<Option<Packet>>,
+    free_slots: Vec<usize>,
+    link_buffers: Vec<Buffer>,
+    link_tokens: Vec<f64>,
+    link_channel: Vec<ChannelState>,
+    /// One injection queue per (flow, path) pair, indexed by
+    /// `inject_queue_of[flow][path]`.
+    inject_queues: Vec<Buffer>,
+    inject_queue_of: Vec<Vec<usize>>,
+    eject_channel: Vec<ChannelState>,
+    last_progress: u64,
+
+    // Accounting.
+    next_packet_id: u64,
+    generated: u64,
+    delivered: u64,
+    dropped: u64,
+    latency: LatencyStats,
+    network_latency: LatencyStats,
+    per_flow_latency: Vec<LatencyStats>,
+    link_flits: Vec<u64>,
+    measured_outstanding: u64,
+}
+
+impl Simulator {
+    /// Builds a simulator for `topology` with the given flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or any flow path is not a
+    /// contiguous source→destination walk in `topology`.
+    pub fn new(topology: &Topology, flows: Vec<FlowSpec>, config: SimConfig) -> Self {
+        config.validate();
+        for (i, flow) in flows.iter().enumerate() {
+            for wp in &flow.paths {
+                validate_path(topology, flow, &wp.links, i);
+            }
+        }
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let sources = flows
+            .iter()
+            .map(|f| BurstSource::new(f, &config, &mut rng))
+            .collect();
+
+        let node_count = topology.node_count();
+        let link_count = topology.link_count();
+        let mut node_inputs: Vec<Vec<InputId>> = vec![Vec::new(); node_count];
+        for (id, link) in topology.links() {
+            node_inputs[link.dst.index()].push(InputId::Link(id));
+        }
+        // Connection-oriented NI: one injection queue per (flow, path).
+        let mut inject_queues: Vec<Buffer> = Vec::new();
+        let mut inject_queue_of: Vec<Vec<usize>> = Vec::with_capacity(flows.len());
+        for flow in &flows {
+            let mut ids = Vec::with_capacity(flow.paths.len());
+            for _ in &flow.paths {
+                let id = inject_queues.len();
+                inject_queues.push(Buffer::new(usize::MAX));
+                node_inputs[flow.source.index()].push(InputId::Inject(id));
+                ids.push(id);
+            }
+            inject_queue_of.push(ids);
+        }
+
+        let per_flow_latency = vec![LatencyStats::new(); flows.len()];
+        Self {
+            sources,
+            rng,
+            node_count,
+            link_src: topology.links().map(|(_, l)| l.src).collect(),
+            link_rate: topology
+                .links()
+                .map(|(_, l)| SimConfig::bytes_per_cycle(l.capacity))
+                .collect(),
+            node_inputs,
+            cycle: 0,
+            packets: Vec::new(),
+            free_slots: Vec::new(),
+            link_buffers: (0..link_count).map(|_| Buffer::new(config.buffer_flits)).collect(),
+            link_tokens: vec![0.0; link_count],
+            link_channel: vec![ChannelState::default(); link_count],
+            inject_queues,
+            inject_queue_of,
+            eject_channel: vec![ChannelState::default(); node_count],
+            last_progress: 0,
+            next_packet_id: 0,
+            generated: 0,
+            delivered: 0,
+            dropped: 0,
+            latency: LatencyStats::new(),
+            network_latency: LatencyStats::new(),
+            per_flow_latency,
+            link_flits: vec![0; link_count],
+            measured_outstanding: 0,
+            flows,
+            config,
+        }
+    }
+
+    /// Runs warm-up, measurement and drain, returning the report.
+    pub fn run(&mut self) -> SimReport {
+        let total =
+            self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
+        let generation_end = self.config.warmup_cycles + self.config.measure_cycles;
+        while self.cycle < total {
+            self.step(self.cycle < generation_end);
+        }
+        SimReport {
+            cycles: self.cycle,
+            generated_packets: self.generated,
+            delivered_packets: self.delivered,
+            dropped_packets: self.dropped,
+            unfinished_measured_packets: self.measured_outstanding,
+            latency: self.latency.clone(),
+            network_latency: self.network_latency.clone(),
+            per_flow_latency: self.per_flow_latency.clone(),
+            link_flits: self.link_flits.clone(),
+            measure_cycles: self.config.measure_cycles,
+            flit_bytes: self.config.flit_bytes,
+        }
+    }
+
+    /// Advances the simulation by one cycle. `generate` gates the traffic
+    /// sources (off during the drain window).
+    fn step(&mut self, generate: bool) {
+        if generate {
+            self.generate_traffic();
+        }
+        self.eject();
+        self.traverse_links();
+        self.watchdog();
+        self.cycle += 1;
+    }
+
+    fn in_measurement_window(&self) -> bool {
+        self.cycle >= self.config.warmup_cycles
+            && self.cycle < self.config.warmup_cycles + self.config.measure_cycles
+    }
+
+    fn generate_traffic(&mut self) {
+        for i in 0..self.sources.len() {
+            let spec = &self.flows[i];
+            if let Some(path_idx) = self.sources[i].poll(self.cycle, spec, &mut self.rng) {
+                let path = spec.paths[path_idx].links.clone();
+                let measured = self.in_measurement_window();
+                let packet = Packet {
+                    id: self.next_packet_id,
+                    flow: i,
+                    flits: self.config.flits_per_packet(),
+                    path,
+                    generated_at: self.cycle,
+                    injected_at: None,
+                    measured,
+                };
+                self.next_packet_id += 1;
+                self.generated += 1;
+                if measured {
+                    self.measured_outstanding += 1;
+                }
+                let slot = self.alloc_packet(packet);
+                let flits = self.packets[slot].as_ref().expect("just placed").flits;
+                let queue = self.inject_queue_of[i][path_idx];
+                for f in 0..flits {
+                    self.inject_queues[queue].push(FlitRef {
+                        packet: slot,
+                        flit: f as u32,
+                        hop: 0,
+                        arrived: self.cycle,
+                    });
+                }
+            }
+        }
+    }
+
+    fn alloc_packet(&mut self, packet: Packet) -> usize {
+        if let Some(slot) = self.free_slots.pop() {
+            self.packets[slot] = Some(packet);
+            slot
+        } else {
+            self.packets.push(Some(packet));
+            self.packets.len() - 1
+        }
+    }
+
+    /// A flit may leave its buffer once its per-hop delay has elapsed:
+    /// head flits pay the router pipeline, body/tail flits stream.
+    fn eligible(&self, flit: &FlitRef) -> bool {
+        let delay = if flit.flit == 0 { self.config.router_pipeline_cycles } else { 1 };
+        flit.arrived + delay <= self.cycle
+    }
+
+    fn buffer(&self, input: InputId, _node: usize) -> &Buffer {
+        match input {
+            InputId::Link(l) => &self.link_buffers[l.index()],
+            InputId::Inject(q) => &self.inject_queues[q],
+        }
+    }
+
+    fn buffer_mut(&mut self, input: InputId, _node: usize) -> &mut Buffer {
+        match input {
+            InputId::Link(l) => &mut self.link_buffers[l.index()],
+            InputId::Inject(q) => &mut self.inject_queues[q],
+        }
+    }
+
+    /// Next output required by `flit`: `None` = local ejection.
+    fn next_link(&self, flit: &FlitRef) -> Option<LinkId> {
+        let packet = self.packets[flit.packet].as_ref().expect("live packet");
+        packet.path.get(flit.hop as usize).copied()
+    }
+
+    fn eject(&mut self) {
+        for node in 0..self.node_count {
+            // Allocate the ejection channel if free.
+            if self.eject_channel[node].owner.is_none() {
+                let inputs = self.node_inputs[node].clone();
+                let start = self.eject_channel[node].rr_next;
+                for off in 0..inputs.len() {
+                    let input = inputs[(start + off) % inputs.len()];
+                    let Some(front) = self.buffer(input, node).front().copied() else {
+                        continue;
+                    };
+                    if front.flit == 0
+                        && self.next_link(&front).is_none()
+                        && self.eligible(&front)
+                    {
+                        self.eject_channel[node].allocate(input, front.packet);
+                        self.eject_channel[node].rr_next = (start + off + 1) % inputs.len();
+                        break;
+                    }
+                }
+            }
+            // Move one flit through the allocated ejection channel.
+            let Some((input, packet)) = self.eject_channel[node].owner else {
+                continue;
+            };
+            let Some(front) = self.buffer(input, node).front().copied() else {
+                continue;
+            };
+            if front.packet != packet || !self.eligible(&front) {
+                continue;
+            }
+            let flit = self.buffer_mut(input, node).pop().expect("front exists");
+            self.last_progress = self.cycle;
+            let total_flits = self.packets[packet].as_ref().expect("live").flits;
+            if flit.flit as usize + 1 == total_flits {
+                self.eject_channel[node].release();
+                self.complete_packet(packet);
+            }
+        }
+    }
+
+    fn complete_packet(&mut self, slot: usize) {
+        let packet = self.packets[slot].take().expect("live packet");
+        self.free_slots.push(slot);
+        self.delivered += 1;
+        if packet.measured {
+            self.measured_outstanding -= 1;
+            let latency = self.cycle - packet.generated_at;
+            self.latency.record(latency);
+            self.per_flow_latency[packet.flow].record(latency);
+            let entered = packet.injected_at.unwrap_or(packet.generated_at);
+            self.network_latency.record(self.cycle - entered);
+        }
+    }
+
+    fn traverse_links(&mut self) {
+        let flit_bytes = self.config.flit_bytes as f64;
+        for link in 0..self.link_buffers.len() {
+            // Serialization: accumulate tokens. The cap must exceed one
+            // flit so the fractional remainder after a send carries over
+            // (otherwise every rate between flit/3 and flit/2 bytes-per-
+            // cycle would quantize to the same 3-cycle serialization);
+            // two flits' worth bounds idle bursts to a single extra flit.
+            self.link_tokens[link] =
+                (self.link_tokens[link] + self.link_rate[link]).min(2.0 * flit_bytes);
+            if self.link_tokens[link] < flit_bytes {
+                continue;
+            }
+            if !self.link_buffers[link].has_space() {
+                continue;
+            }
+            let upstream = self.link_src[link].index();
+            let link_id = LinkId::new(link);
+
+            // Allocate the channel to a head flit if free.
+            if self.link_channel[link].owner.is_none() {
+                let inputs = self.node_inputs[upstream].clone();
+                let start = self.link_channel[link].rr_next;
+                for off in 0..inputs.len() {
+                    let input = inputs[(start + off) % inputs.len()];
+                    let Some(front) = self.buffer(input, upstream).front().copied() else {
+                        continue;
+                    };
+                    if front.flit == 0
+                        && self.next_link(&front) == Some(link_id)
+                        && self.eligible(&front)
+                    {
+                        self.link_channel[link].allocate(input, front.packet);
+                        self.link_channel[link].rr_next = (start + off + 1) % inputs.len();
+                        break;
+                    }
+                }
+            }
+
+            // Forward one flit of the owning packet.
+            let Some((input, packet)) = self.link_channel[link].owner else {
+                continue;
+            };
+            let Some(front) = self.buffer(input, upstream).front().copied() else {
+                continue;
+            };
+            if front.packet != packet || !self.eligible(&front) {
+                continue;
+            }
+            let flit = self.buffer_mut(input, upstream).pop().expect("front exists");
+            if matches!(input, InputId::Inject(_)) && flit.flit == 0 {
+                let p = self.packets[flit.packet].as_mut().expect("live packet");
+                p.injected_at = Some(self.cycle);
+            }
+            self.link_tokens[link] -= flit_bytes;
+            self.last_progress = self.cycle;
+            if self.in_measurement_window() {
+                self.link_flits[link] += 1;
+            }
+            let total_flits = self.packets[packet].as_ref().expect("live").flits;
+            if flit.flit as usize + 1 == total_flits {
+                self.link_channel[link].release();
+            }
+            self.link_buffers[link].push(FlitRef {
+                packet: flit.packet,
+                flit: flit.flit,
+                hop: flit.hop + 1,
+                arrived: self.cycle,
+            });
+        }
+    }
+
+    /// Deadlock recovery: if nothing has moved for [`STALL_THRESHOLD`]
+    /// cycles while flits wait in *network* buffers, drop the oldest
+    /// in-network packet. Source-queue-only stalls are legitimate idle
+    /// periods and are ignored.
+    fn watchdog(&mut self) {
+        if self.cycle - self.last_progress < STALL_THRESHOLD {
+            return;
+        }
+        let network_busy = self.link_buffers.iter().any(|b| !b.is_empty());
+        if !network_busy {
+            self.last_progress = self.cycle;
+            return;
+        }
+        // Oldest packet with flits inside the network.
+        let mut victim: Option<(u64, usize)> = None;
+        for buffer in &self.link_buffers {
+            for flit in buffer.iter() {
+                let gen = self.packets[flit.packet].as_ref().expect("live").generated_at;
+                if victim.is_none_or(|(g, _)| gen < g) {
+                    victim = Some((gen, flit.packet));
+                }
+            }
+        }
+        let Some((_, slot)) = victim else {
+            self.last_progress = self.cycle;
+            return;
+        };
+        for buffer in &mut self.link_buffers {
+            buffer.purge_packet(slot);
+        }
+        for queue in &mut self.inject_queues {
+            queue.purge_packet(slot);
+        }
+        for node in 0..self.node_count {
+            if self.eject_channel[node].owner.is_some_and(|(_, p)| p == slot) {
+                self.eject_channel[node].release();
+            }
+        }
+        for ch in &mut self.link_channel {
+            if ch.owner.is_some_and(|(_, p)| p == slot) {
+                ch.release();
+            }
+        }
+        let packet = self.packets[slot].take().expect("live packet");
+        self.free_slots.push(slot);
+        self.dropped += 1;
+        if packet.measured {
+            self.measured_outstanding -= 1;
+        }
+        self.last_progress = self.cycle;
+    }
+}
+
+/// Validates one flow path: contiguous walk from the flow's source to its
+/// destination.
+fn validate_path(topology: &Topology, flow: &FlowSpec, links: &[LinkId], flow_idx: usize) {
+    assert!(
+        !(links.is_empty() && flow.source != flow.dest),
+        "flow {flow_idx}: empty path but distinct endpoints"
+    );
+    let mut at = flow.source;
+    for &l in links {
+        let link = topology.link(l);
+        assert_eq!(
+            link.src, at,
+            "flow {flow_idx}: path link {l} does not continue from {at}"
+        );
+        at = link.dst;
+    }
+    assert_eq!(at, flow.dest, "flow {flow_idx}: path ends at {at}, not the destination");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_graph::Topology;
+
+    fn mesh() -> Topology {
+        Topology::mesh(3, 3, 1_000.0)
+    }
+
+    fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
+        hops.iter()
+            .map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link"))
+            .collect()
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            drain_cycles: 10_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_flow_delivers_all_packets() {
+        let t = mesh();
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            200.0,
+            path(&t, &[(0, 1), (1, 2)]),
+        );
+        let mut sim = Simulator::new(&t, vec![flow], quick_config());
+        let report = sim.run();
+        assert!(report.generated_packets > 20);
+        assert_eq!(report.dropped_packets, 0);
+        assert_eq!(report.unfinished_measured_packets, 0);
+        assert_eq!(report.delivered_packets, report.generated_packets);
+    }
+
+    #[test]
+    fn uncontended_latency_matches_analytic_model() {
+        // One 2-hop flow at light load on 1 GB/s links, 4 B flits:
+        // serialization 4 cycles/flit, 17 flits. Head: ~7 (NI) + 4 + 7 + 4
+        // per hop; tail arrives ~16*4 cycles after the head. Latency should
+        // sit in the few-dozen range and stay far from the hundreds.
+        let t = mesh();
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            50.0, // light load
+            path(&t, &[(0, 1), (1, 2)]),
+        );
+        let mut sim = Simulator::new(&t, vec![flow], quick_config());
+        let report = sim.run();
+        let avg = report.avg_latency_cycles();
+        assert!(avg > 60.0 && avg < 130.0, "unexpected latency {avg}");
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let t = mesh();
+        let mk = |rate: f64| {
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(2), rate, path(&t, &[(0, 1), (1, 2)]))
+        };
+        let light = Simulator::new(&t, vec![mk(100.0)], quick_config()).run();
+        let heavy = Simulator::new(&t, vec![mk(800.0)], quick_config()).run();
+        assert!(
+            heavy.avg_latency_cycles() > light.avg_latency_cycles(),
+            "heavy {} <= light {}",
+            heavy.avg_latency_cycles(),
+            light.avg_latency_cycles()
+        );
+    }
+
+    #[test]
+    fn contention_on_shared_link_increases_latency() {
+        let t = mesh();
+        let solo = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            400.0,
+            path(&t, &[(0, 1), (1, 2)]),
+        );
+        let rival = FlowSpec::single_path(
+            NodeId::new(3),
+            NodeId::new(2),
+            400.0,
+            path(&t, &[(3, 4), (4, 1), (1, 2)]),
+        );
+        let alone = Simulator::new(&t, vec![solo.clone()], quick_config()).run();
+        let shared = Simulator::new(&t, vec![solo, rival], quick_config()).run();
+        assert!(
+            shared.per_flow_latency[0].mean() > alone.per_flow_latency[0].mean(),
+            "shared {} <= alone {}",
+            shared.per_flow_latency[0].mean(),
+            alone.per_flow_latency[0].mean()
+        );
+    }
+
+    #[test]
+    fn split_flow_uses_both_paths() {
+        let t = mesh();
+        let p1 = path(&t, &[(0, 1), (1, 2)]);
+        let p2 = path(&t, &[(0, 3), (3, 4), (4, 5), (5, 2)]);
+        let flow = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(2),
+            400.0,
+            vec![(p1.clone(), 0.5), (p2.clone(), 0.5)],
+        );
+        let mut sim = Simulator::new(&t, vec![flow], quick_config());
+        let report = sim.run();
+        assert!(report.link_flits[p1[0].index()] > 0, "path 1 unused");
+        assert!(report.link_flits[p2[0].index()] > 0, "path 2 unused");
+        let f1 = report.link_flits[p1[0].index()] as f64;
+        let f2 = report.link_flits[p2[0].index()] as f64;
+        let share = f1 / (f1 + f2);
+        assert!((share - 0.5).abs() < 0.1, "split share {share}");
+    }
+
+    #[test]
+    fn link_throughput_matches_offered_load() {
+        let t = mesh();
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(1),
+            400.0,
+            path(&t, &[(0, 1)]),
+        );
+        let config = SimConfig {
+            warmup_cycles: 5_000,
+            measure_cycles: 200_000,
+            drain_cycles: 10_000,
+            ..Default::default()
+        };
+        let mut sim = Simulator::new(&t, vec![flow], config);
+        let report = sim.run();
+        let l = t.find_link(NodeId::new(0), NodeId::new(1)).unwrap();
+        let tput = report.link_throughput_mbps(l);
+        // Offered 400 MB/s payload + 1/16 header overhead ≈ 425 MB/s.
+        assert!((tput - 425.0).abs() < 50.0, "throughput {tput}");
+    }
+
+    #[test]
+    fn oversubscribed_link_saturates() {
+        let t = Topology::mesh(2, 1, 100.0); // one 100 MB/s channel
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(1),
+            400.0, // 4x the capacity
+            vec![t.find_link(NodeId::new(0), NodeId::new(1)).unwrap()],
+        );
+        let mut sim = Simulator::new(&t, vec![flow], quick_config());
+        let report = sim.run();
+        assert!(report.saturated(), "4x oversubscription must saturate");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not continue")]
+    fn discontiguous_path_is_rejected() {
+        let t = mesh();
+        let bad = path(&t, &[(0, 1), (4, 5)]);
+        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(5), 10.0, bad);
+        let _ = Simulator::new(&t, vec![flow], quick_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "ends at")]
+    fn wrong_destination_is_rejected() {
+        let t = mesh();
+        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(5), 10.0, path(&t, &[(0, 1)]));
+        let _ = Simulator::new(&t, vec![flow], quick_config());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = mesh();
+        let mk = || {
+            FlowSpec::single_path(
+                NodeId::new(0),
+                NodeId::new(2),
+                300.0,
+                path(&t, &[(0, 1), (1, 2)]),
+            )
+        };
+        let r1 = Simulator::new(&t, vec![mk()], quick_config()).run();
+        let r2 = Simulator::new(&t, vec![mk()], quick_config()).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn zero_rate_flow_generates_nothing() {
+        let t = mesh();
+        let flow =
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 0.0, path(&t, &[(0, 1)]));
+        let mut sim = Simulator::new(&t, vec![flow], quick_config());
+        let report = sim.run();
+        assert_eq!(report.generated_packets, 0);
+        assert_eq!(report.avg_latency_cycles(), 0.0);
+    }
+}

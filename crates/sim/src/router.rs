@@ -1,0 +1,176 @@
+//! Router-side plumbing: flit buffers, ports and wormhole channel state.
+
+use std::collections::VecDeque;
+
+use noc_graph::LinkId;
+
+/// A flit sitting in a buffer. Flits reference their packet by slab index;
+/// payload is never materialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FlitRef {
+    /// Slab index of the owning packet.
+    pub packet: usize,
+    /// 0-based flit position within the packet.
+    pub flit: u32,
+    /// Number of links the flit has already traversed (0 = still at the
+    /// source NI). `path[hop]` is the next link to take.
+    pub hop: u32,
+    /// Cycle the flit entered this buffer.
+    pub arrived: u64,
+}
+
+/// An input port of a router: either the downstream end of a link or one
+/// of the local injection queues.
+///
+/// The network interface is connection-oriented (as in ×pipes): each
+/// (flow, path) pair owns a private injection queue, so a packet waiting
+/// for a busy path never blocks packets of other flows — or of the same
+/// split flow bound for a different path — behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum InputId {
+    /// Flits arriving over a physical link.
+    Link(LinkId),
+    /// Flits injected by the local NI, from the numbered injection queue.
+    Inject(usize),
+}
+
+/// A FIFO flit buffer with bounded capacity (credit pool). The injection
+/// queue uses `capacity = usize::MAX` (the NI's source queue is unbounded;
+/// source queueing time is part of measured latency).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Buffer {
+    fifo: VecDeque<FlitRef>,
+    capacity: usize,
+}
+
+impl Buffer {
+    pub fn new(capacity: usize) -> Self {
+        Self { fifo: VecDeque::new(), capacity }
+    }
+
+    pub fn has_space(&self) -> bool {
+        self.fifo.len() < self.capacity
+    }
+
+    pub fn push(&mut self, flit: FlitRef) {
+        debug_assert!(self.has_space(), "buffer overflow");
+        self.fifo.push_back(flit);
+    }
+
+    pub fn front(&self) -> Option<&FlitRef> {
+        self.fifo.front()
+    }
+
+    pub fn pop(&mut self) -> Option<FlitRef> {
+        self.fifo.pop_front()
+    }
+
+    /// Number of buffered flits (diagnostics; exercised by unit tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Removes every flit of `packet` (deadlock-recovery drop). Returns the
+    /// number of flits removed.
+    pub fn purge_packet(&mut self, packet: usize) -> usize {
+        let before = self.fifo.len();
+        self.fifo.retain(|f| f.packet != packet);
+        before - self.fifo.len()
+    }
+
+    /// Iterates over buffered flits front-to-back (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &FlitRef> {
+        self.fifo.iter()
+    }
+}
+
+/// Wormhole allocation state of one output channel (a link's upstream end
+/// or a node's ejection port): which input owns it and for which packet.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct ChannelState {
+    /// Current owner, if a packet holds the channel.
+    pub owner: Option<(InputId, usize)>,
+    /// Round-robin pointer over the upstream node's input list.
+    pub rr_next: usize,
+}
+
+impl ChannelState {
+    /// True if `input` may send `packet` through this channel right now
+    /// (diagnostics; exercised by unit tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn admits(&self, input: InputId, packet: usize) -> bool {
+        match self.owner {
+            Some((i, p)) => i == input && p == packet,
+            None => false,
+        }
+    }
+
+    pub fn allocate(&mut self, input: InputId, packet: usize) {
+        debug_assert!(self.owner.is_none(), "channel already allocated");
+        self.owner = Some((input, packet));
+    }
+
+    pub fn release(&mut self) {
+        self.owner = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(packet: usize, flit: u32) -> FlitRef {
+        FlitRef { packet, flit, hop: 0, arrived: 0 }
+    }
+
+    #[test]
+    fn buffer_is_fifo_with_capacity() {
+        let mut b = Buffer::new(2);
+        assert!(b.has_space());
+        b.push(flit(1, 0));
+        b.push(flit(1, 1));
+        assert!(!b.has_space());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop().unwrap().flit, 0);
+        assert_eq!(b.front().unwrap().flit, 1);
+        assert!(b.has_space());
+    }
+
+    #[test]
+    fn purge_removes_only_target_packet() {
+        let mut b = Buffer::new(8);
+        b.push(flit(1, 0));
+        b.push(flit(2, 0));
+        b.push(flit(1, 1));
+        assert_eq!(b.purge_packet(1), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.front().unwrap().packet, 2);
+    }
+
+    #[test]
+    fn channel_allocation_lifecycle() {
+        let mut ch = ChannelState::default();
+        assert!(!ch.admits(InputId::Inject(0), 5));
+        ch.allocate(InputId::Inject(0), 5);
+        assert!(ch.admits(InputId::Inject(0), 5));
+        assert!(!ch.admits(InputId::Inject(0), 6));
+        assert!(!ch.admits(InputId::Inject(1), 5));
+        assert!(!ch.admits(InputId::Link(LinkId::new(0)), 5));
+        ch.release();
+        assert!(!ch.admits(InputId::Inject(0), 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel already allocated")]
+    #[cfg(debug_assertions)]
+    fn double_allocation_panics_in_debug() {
+        let mut ch = ChannelState::default();
+        ch.allocate(InputId::Inject(0), 1);
+        ch.allocate(InputId::Inject(0), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Latency and throughput statistics.
+
+/// Streaming latency statistics (count, mean, min/max) plus a coarse
+/// histogram for percentile estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+    /// Histogram buckets: [0,2), [2,4), [4,8), … powers of two.
+    buckets: Vec<u64>,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: u64::MAX, max: 0, buckets: vec![0; 40] }
+    }
+
+    /// Records one latency sample (cycles).
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.sum += latency as f64;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+        let bucket = (64 - latency.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Upper edge of the histogram bucket containing the given quantile
+    /// (`0.0 < q ≤ 1.0`) — a coarse percentile estimate.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(1u64 << i);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut s = LatencyStats::new();
+        for v in [10, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn quantile_bound_covers_samples() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        let p50 = s.quantile_upper_bound(0.5).unwrap();
+        assert!((50..=64).contains(&p50), "p50 bound {p50}");
+        let p100 = s.quantile_upper_bound(1.0).unwrap();
+        assert!(p100 >= 100);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(5);
+        let mut b = LatencyStats::new();
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 10.0);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(15));
+    }
+
+    #[test]
+    fn zero_latency_sample_is_handled() {
+        let mut s = LatencyStats::new();
+        s.record(0);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Behavioural tests for the wormhole simulator: analytic latency floors,
+//! packet conservation, backpressure and wormhole blocking scenarios.
+
+use noc_graph::{LinkId, NodeId, Topology};
+use noc_sim::{FlowSpec, SimConfig, Simulator};
+
+fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
+    hops.iter()
+        .map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link"))
+        .collect()
+}
+
+fn quick(measure: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: measure,
+        drain_cycles: 10_000,
+        ..SimConfig::default()
+    }
+}
+
+/// Hard lower bound for an uncontended packet's network latency: the tail
+/// flit cannot leave the source link before all preceding flits have been
+/// serialized, minus the two-flit token credit an idle link accrues.
+fn serialization_floor(config: &SimConfig, bandwidth_mbps: f64) -> f64 {
+    let cycles_per_flit = config.flit_bytes as f64 / SimConfig::bytes_per_cycle(bandwidth_mbps);
+    (config.flits_per_packet() as f64 - 2.0) * cycles_per_flit
+}
+
+/// Generous upper estimate at light load: serialization of every flit
+/// plus the full pipeline at every hop (including ejection), with no
+/// overlap credit.
+fn latency_ceiling(config: &SimConfig, hops: usize, bandwidth_mbps: f64) -> f64 {
+    let cycles_per_flit = config.flit_bytes as f64 / SimConfig::bytes_per_cycle(bandwidth_mbps);
+    (hops as f64 + 1.0) * (config.router_pipeline_cycles as f64 + cycles_per_flit)
+        + config.flits_per_packet() as f64 * cycles_per_flit
+}
+
+#[test]
+fn network_latency_respects_analytic_bounds() {
+    let t = Topology::mesh(3, 3, 1_000.0);
+    let config = quick(30_000);
+    let flow = FlowSpec::single_path(
+        NodeId::new(0),
+        NodeId::new(2),
+        50.0, // light load: queueing negligible
+        path(&t, &[(0, 1), (1, 2)]),
+    );
+    let mut sim = Simulator::new(&t, vec![flow], config.clone());
+    let report = sim.run();
+    let floor = serialization_floor(&config, 1_000.0);
+    let ceiling = latency_ceiling(&config, 2, 1_000.0);
+    let measured = report.avg_network_latency_cycles();
+    assert!(
+        measured >= floor,
+        "network latency {measured} below serialization floor {floor}"
+    );
+    assert!(
+        measured <= ceiling,
+        "network latency {measured} above light-load ceiling {ceiling}"
+    );
+}
+
+#[test]
+fn packets_are_conserved() {
+    let t = Topology::mesh(3, 3, 1_000.0);
+    let flows = vec![
+        FlowSpec::single_path(NodeId::new(0), NodeId::new(2), 300.0, path(&t, &[(0, 1), (1, 2)])),
+        FlowSpec::single_path(NodeId::new(6), NodeId::new(8), 300.0, path(&t, &[(6, 7), (7, 8)])),
+        FlowSpec::single_path(NodeId::new(0), NodeId::new(6), 200.0, path(&t, &[(0, 3), (3, 6)])),
+    ];
+    let mut sim = Simulator::new(&t, flows, quick(50_000));
+    let report = sim.run();
+    assert_eq!(report.dropped_packets, 0);
+    // Everything generated is delivered once the drain window passes
+    // (loads are far below capacity).
+    assert_eq!(report.delivered_packets, report.generated_packets);
+    assert_eq!(report.unfinished_measured_packets, 0);
+}
+
+#[test]
+fn latency_decreases_with_bandwidth() {
+    let mut previous = f64::INFINITY;
+    for bw in [600.0, 900.0, 1_400.0] {
+        let t = Topology::mesh(2, 2, bw);
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(3),
+            200.0,
+            path(&t, &[(0, 1), (1, 3)]),
+        );
+        let mut sim = Simulator::new(&t, vec![flow], quick(30_000));
+        let report = sim.run();
+        let latency = report.avg_latency_cycles();
+        assert!(
+            latency < previous,
+            "latency {latency} did not improve at {bw} MB/s (was {previous})"
+        );
+        previous = latency;
+    }
+}
+
+#[test]
+fn wormhole_blocking_propagates_upstream() {
+    // Two flows: A crosses the middle column vertically, B rides the top
+    // row through the same router (node 1). When B's destination link is
+    // saturated by a third flow, B's packets block in node 1's input
+    // buffer and A (sharing that buffer's upstream link) slows too —
+    // the domino effect the paper attributes to wormhole flow control.
+    let t = Topology::mesh(3, 2, 400.0);
+    let a_alone = FlowSpec::single_path(
+        NodeId::new(0),
+        NodeId::new(2),
+        150.0,
+        path(&t, &[(0, 1), (1, 2)]),
+    );
+    let b = FlowSpec::single_path(
+        NodeId::new(0),
+        NodeId::new(5),
+        150.0,
+        path(&t, &[(0, 1), (1, 4), (4, 5)]),
+    );
+    // Saturator on (4,5): consumes most of that link.
+    let sat = FlowSpec::single_path(NodeId::new(1), NodeId::new(5), 330.0, path(&t, &[(1, 4), (4, 5)]));
+
+    let solo = Simulator::new(&t, vec![a_alone.clone()], quick(40_000)).run();
+    let jammed = Simulator::new(&t, vec![a_alone, b, sat], quick(40_000)).run();
+    assert!(
+        jammed.per_flow_latency[0].mean() > solo.per_flow_latency[0].mean() * 1.05,
+        "flow A unaffected by downstream congestion: solo {} vs jammed {}",
+        solo.per_flow_latency[0].mean(),
+        jammed.per_flow_latency[0].mean()
+    );
+}
+
+#[test]
+fn split_flow_shares_match_weights_in_delivery() {
+    let t = Topology::mesh(2, 2, 1_000.0);
+    let direct = path(&t, &[(0, 1)]);
+    let detour = path(&t, &[(0, 2), (2, 3), (3, 1)]);
+    let flow = FlowSpec::split(
+        NodeId::new(0),
+        NodeId::new(1),
+        300.0,
+        vec![(direct.clone(), 2.0), (detour.clone(), 1.0)],
+    );
+    let mut sim = Simulator::new(&t, vec![flow], quick(60_000));
+    let report = sim.run();
+    let f_direct = report.link_flits[direct[0].index()] as f64;
+    let f_detour = report.link_flits[detour[0].index()] as f64;
+    let share = f_direct / (f_direct + f_detour);
+    assert!((share - 2.0 / 3.0).abs() < 0.05, "direct share {share}, want 0.667");
+}
+
+#[test]
+fn saturation_flag_tracks_overload() {
+    let t = Topology::mesh(2, 1, 200.0);
+    let l = path(&t, &[(0, 1)]);
+    let light = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 100.0, l.clone());
+    let heavy = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 500.0, l);
+    assert!(!Simulator::new(&t, vec![light], quick(30_000)).run().saturated());
+    assert!(Simulator::new(&t, vec![heavy], quick(30_000)).run().saturated());
+}
+
+#[test]
+fn per_flow_stats_cover_all_flows() {
+    let t = Topology::mesh(2, 2, 1_000.0);
+    let flows = vec![
+        FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 100.0, path(&t, &[(0, 1)])),
+        FlowSpec::single_path(NodeId::new(2), NodeId::new(3), 100.0, path(&t, &[(2, 3)])),
+    ];
+    let mut sim = Simulator::new(&t, flows, quick(30_000));
+    let report = sim.run();
+    assert_eq!(report.per_flow_latency.len(), 2);
+    for (i, stats) in report.per_flow_latency.iter().enumerate() {
+        assert!(stats.count() > 0, "flow {i} has no samples");
+    }
+    // Full latency includes the network component.
+    assert!(report.avg_latency_cycles() >= report.avg_network_latency_cycles());
+}
+
+#[test]
+fn single_hop_flow_on_torus_wrap_link() {
+    let t = Topology::torus(4, 4, 800.0);
+    let a = t.node_at(0, 0).unwrap();
+    let b = t.node_at(3, 0).unwrap();
+    let wrap = t.find_link(b, a).unwrap();
+    let flow = FlowSpec::single_path(b, a, 200.0, vec![wrap]);
+    let mut sim = Simulator::new(&t, vec![flow], quick(20_000));
+    let report = sim.run();
+    assert!(report.delivered_packets > 0);
+    assert_eq!(report.dropped_packets, 0);
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the simulator: conservation, stability and
+//! determinism over randomized flow sets on random meshes.
+
+use noc_graph::{NodeId, Topology};
+use noc_sim::{FlowSpec, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// Builds an XY path between two nodes of a mesh (always valid).
+fn xy_path(t: &Topology, from: NodeId, to: NodeId) -> Vec<noc_graph::LinkId> {
+    let (mut x, mut y) = t.coords(from);
+    let (tx, ty) = t.coords(to);
+    let mut links = Vec::new();
+    let mut at = from;
+    while x != tx {
+        let nx = if tx > x { x + 1 } else { x - 1 };
+        let next = t.node_at(nx, y).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        x = nx;
+    }
+    while y != ty {
+        let ny = if ty > y { y + 1 } else { y - 1 };
+        let next = t.node_at(x, ny).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        y = ny;
+    }
+    links
+}
+
+fn quick_config(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 500,
+        measure_cycles: 6_000,
+        drain_cycles: 6_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under light load every generated packet is delivered, none are
+    /// dropped, and latency stats only cover measured packets.
+    #[test]
+    fn light_load_conserves_packets(
+        (w, h) in (2usize..=4, 2usize..=4),
+        pairs in prop::collection::vec((0usize..16, 0usize..16, 20.0..120.0f64), 1..5),
+        seed in 0u64..100,
+    ) {
+        let t = Topology::mesh(w, h, 1_000.0);
+        let n = t.node_count();
+        let flows: Vec<FlowSpec> = pairs
+            .into_iter()
+            .filter_map(|(a, b, rate)| {
+                let from = NodeId::new(a % n);
+                let to = NodeId::new(b % n);
+                (from != to).then(|| {
+                    FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))
+                })
+            })
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let mut sim = Simulator::new(&t, flows, quick_config(seed));
+        let report = sim.run();
+        prop_assert_eq!(report.dropped_packets, 0);
+        prop_assert_eq!(report.delivered_packets, report.generated_packets);
+        prop_assert_eq!(report.unfinished_measured_packets, 0);
+        prop_assert!(report.latency.count() <= report.delivered_packets);
+        if report.latency.count() > 0 {
+            prop_assert!(report.avg_latency_cycles() >= report.avg_network_latency_cycles());
+        }
+    }
+
+    /// The same seed reproduces the identical report; different seeds may
+    /// differ but never violate conservation.
+    #[test]
+    fn determinism_under_random_flows(
+        (w, h) in (2usize..=3, 2usize..=3),
+        a in 0usize..9,
+        b in 0usize..9,
+        rate in 50.0..400.0f64,
+        seed in 0u64..50,
+    ) {
+        let t = Topology::mesh(w, h, 800.0);
+        let n = t.node_count();
+        let from = NodeId::new(a % n);
+        let to = NodeId::new(b % n);
+        prop_assume!(from != to);
+        let mk = || vec![FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))];
+        let r1 = Simulator::new(&t, mk(), quick_config(seed)).run();
+        let r2 = Simulator::new(&t, mk(), quick_config(seed)).run();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Splitting a flow across two disjoint paths never loses packets and
+    /// the per-link flit counts respect the requested shares.
+    #[test]
+    fn split_flows_conserve_and_share(
+        share in 1.0..4.0f64,
+        rate in 100.0..300.0f64,
+        seed in 0u64..50,
+    ) {
+        let t = Topology::mesh(2, 2, 1_000.0);
+        let from = NodeId::new(0);
+        let to = NodeId::new(3);
+        let p1 = xy_path(&t, from, to); // right, then down
+        let p2 = vec![
+            t.find_link(NodeId::new(0), NodeId::new(2)).unwrap(),
+            t.find_link(NodeId::new(2), NodeId::new(3)).unwrap(),
+        ];
+        let flow = FlowSpec::split(from, to, rate, vec![(p1.clone(), share), (p2.clone(), 1.0)]);
+        let config = SimConfig {
+            warmup_cycles: 500,
+            measure_cycles: 40_000,
+            drain_cycles: 6_000,
+            seed,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&t, vec![flow], config);
+        let report = sim.run();
+        prop_assert_eq!(report.dropped_packets, 0);
+        prop_assert_eq!(report.delivered_packets, report.generated_packets);
+        let f1 = report.link_flits[p1[0].index()] as f64;
+        let f2 = report.link_flits[p2[0].index()] as f64;
+        prop_assume!(f1 + f2 > 500.0); // enough samples for a stable share
+        let want = share / (share + 1.0);
+        let got = f1 / (f1 + f2);
+        prop_assert!((got - want).abs() < 0.08, "share {got:.3}, wanted {want:.3}");
+    }
+}

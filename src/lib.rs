@@ -1,0 +1,27 @@
+//! **nmap-suite** — umbrella crate of the NMAP reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — core graphs, NoC topologies, quadrant DAGs, random graphs
+//!   ([`noc_graph`]).
+//! * [`lp`] — the two-phase simplex LP solver ([`noc_lp`]).
+//! * [`nmap`] — the NMAP mapping algorithms (single-path and
+//!   split-traffic) and MCF formulations.
+//! * [`baselines`] — PMAP, GMAP and PBB comparison mappers
+//!   ([`noc_baselines`]).
+//! * [`sim`] — the flit-level wormhole NoC simulator ([`noc_sim`]).
+//! * [`apps`] — the paper's benchmark applications ([`noc_apps`]).
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory; runnable walk-throughs live in `examples/`.
+
+#![forbid(unsafe_code)]
+
+pub use noc_apps as apps;
+pub use noc_baselines as baselines;
+pub use noc_graph as graph;
+pub use noc_lp as lp;
+pub use noc_sim as sim;
+
+pub use nmap;

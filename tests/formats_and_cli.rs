@@ -1,0 +1,64 @@
+//! Integration tests for the text formats: the built-in applications
+//! round-trip through the `.app` format and map identically afterwards.
+
+use nmap_suite::apps::App;
+use nmap_suite::graph::{parse_core_graph, parse_topology, write_core_graph, Topology};
+use nmap_suite::nmap::{map_single_path, MappingProblem, SinglePathOptions};
+
+#[test]
+fn all_apps_round_trip_through_the_text_format() {
+    for app in App::all() {
+        let original = app.core_graph();
+        let text = write_core_graph(&original);
+        let parsed = parse_core_graph(&text).unwrap_or_else(|e| panic!("{app}: {e}"));
+        assert_eq!(parsed, original, "{app} did not round-trip");
+    }
+}
+
+#[test]
+fn parsed_graph_maps_identically_to_builtin() {
+    let app = App::Pip;
+    let builtin = app.core_graph();
+    let parsed = parse_core_graph(&write_core_graph(&builtin)).unwrap();
+
+    let (w, h) = app.mesh_dims();
+    let p1 = MappingProblem::new(builtin, Topology::mesh(w, h, 1_000.0)).unwrap();
+    let p2 = MappingProblem::new(parsed, Topology::mesh(w, h, 1_000.0)).unwrap();
+    let m1 = map_single_path(&p1, &SinglePathOptions::default()).unwrap();
+    let m2 = map_single_path(&p2, &SinglePathOptions::default()).unwrap();
+    assert_eq!(m1.mapping, m2.mapping);
+    assert_eq!(m1.comm_cost, m2.comm_cost);
+}
+
+#[test]
+fn topology_formats_parse_to_working_problems() {
+    let mesh = parse_topology("mesh 3 3 1000\n").unwrap();
+    let torus = parse_topology("torus 3 3 1000\n").unwrap();
+    let graph = App::Pip.core_graph();
+    for topology in [mesh, torus] {
+        let problem = MappingProblem::new(graph.clone(), topology).unwrap();
+        let out = map_single_path(&problem, &SinglePathOptions::default()).unwrap();
+        assert!(out.feasible);
+    }
+}
+
+#[test]
+fn dsp_app_written_by_hand_matches_builtin() {
+    // The exact DSP filter graph, written the way a user would write it.
+    let text = "\
+# DSP filter design, Figure 5(a)
+comm arm memory 200
+comm memory arm 200
+comm memory fft 200
+comm fft filter 600
+comm filter fft 600
+comm fft ifft 200
+comm ifft memory 200
+comm ifft display 200
+";
+    let parsed = parse_core_graph(text).unwrap();
+    let builtin = nmap_suite::apps::dsp_filter();
+    assert_eq!(parsed.core_count(), builtin.core_count());
+    assert_eq!(parsed.edge_count(), builtin.edge_count());
+    assert_eq!(parsed.total_bandwidth(), builtin.total_bandwidth());
+}
