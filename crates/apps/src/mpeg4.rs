@@ -80,11 +80,7 @@ mod tests {
         let hub_comm = g.total_comm(sdram);
         for c in g.cores() {
             if c != sdram {
-                assert!(
-                    g.total_comm(c) <= hub_comm,
-                    "{} busier than sdram",
-                    g.name(c)
-                );
+                assert!(g.total_comm(c) <= hub_comm, "{} busier than sdram", g.name(c));
             }
         }
     }

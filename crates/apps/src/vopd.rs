@@ -85,8 +85,8 @@ mod tests {
         let mut weights: Vec<f64> = g.edges().map(|(_, e)| e.bandwidth).collect();
         weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut expected = vec![
-            16.0, 16.0, 16.0, 16.0, 16.0, 16.0, 27.0, 49.0, 70.0, 94.0, 157.0, 300.0, 313.0,
-            313.0, 353.0, 357.0, 362.0, 362.0, 362.0, 500.0,
+            16.0, 16.0, 16.0, 16.0, 16.0, 16.0, 27.0, 49.0, 70.0, 94.0, 157.0, 300.0, 313.0, 313.0,
+            353.0, 357.0, 362.0, 362.0, 362.0, 500.0,
         ];
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(weights, expected);
@@ -95,10 +95,8 @@ mod tests {
     #[test]
     fn hottest_edge_is_ref_memory() {
         let g = vopd();
-        let max = g
-            .edges()
-            .max_by(|a, b| a.1.bandwidth.partial_cmp(&b.1.bandwidth).unwrap())
-            .unwrap();
+        let max =
+            g.edges().max_by(|a, b| a.1.bandwidth.partial_cmp(&b.1.bandwidth).unwrap()).unwrap();
         assert_eq!(g.name(max.1.src), "ref_mem");
         assert_eq!(g.name(max.1.dst), "up_samp");
         assert_eq!(max.1.bandwidth, 500.0);

@@ -85,12 +85,7 @@ mod tests {
 
     #[test]
     fn heaviest_core_is_placed_first_at_center() {
-        let p = problem(
-            &[(2, 0, 500.0), (2, 1, 500.0), (2, 3, 500.0), (0, 1, 1.0)],
-            4,
-            3,
-            3,
-        );
+        let p = problem(&[(2, 0, 500.0), (2, 1, 500.0), (2, 3, 500.0), (0, 1, 1.0)], 4, 3, 3);
         let m = gmap(&p);
         let hub = m.node_of(CoreId::new(2)).unwrap();
         assert_eq!(hub, p.topology().max_degree_node());

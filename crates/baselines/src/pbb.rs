@@ -116,11 +116,7 @@ pub fn pbb(problem: &MappingProblem, options: &PbbOptions) -> PbbOutcome {
     // Core order: decreasing total communication demand.
     let mut order: Vec<CoreId> = cores.cores().collect();
     order.sort_by(|&a, &b| {
-        cores
-            .total_comm(b)
-            .partial_cmp(&cores.total_comm(a))
-            .expect("finite")
-            .then(a.cmp(&b))
+        cores.total_comm(b).partial_cmp(&cores.total_comm(a)).expect("finite").then(a.cmp(&b))
     });
     let position: Vec<usize> = {
         let mut pos = vec![0usize; order.len()];
@@ -252,13 +248,7 @@ pub fn pbb(problem: &MappingProblem, options: &PbbOptions) -> PbbOutcome {
         }
     };
 
-    PbbOutcome {
-        comm_cost: problem.comm_cost(&mapping),
-        mapping,
-        feasible,
-        expansions,
-        truncated,
-    }
+    PbbOutcome { comm_cost: problem.comm_cost(&mapping), mapping, feasible, expansions, truncated }
 }
 
 /// Candidate nodes for the first core: one octant of the mesh (x ≤ ⌈w/2⌉,
@@ -316,12 +306,7 @@ mod tests {
     #[test]
     fn optimal_on_star_graph() {
         // Star with 4 satellites on 3x3: all satellites adjacent to hub.
-        let p = problem(
-            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
-            5,
-            3,
-            3,
-        );
+        let p = problem(&[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)], 5, 3, 3);
         let out = pbb(&p, &PbbOptions::default());
         assert_eq!(out.comm_cost, 400.0);
     }

@@ -118,18 +118,11 @@ mod tests {
     fn region_grows_contiguously() {
         // With the adjacency restriction, each placed core (after the
         // seed) must touch at least one other placed core.
-        let p = problem(
-            &[(0, 1, 100.0), (1, 2, 90.0), (2, 3, 80.0), (3, 4, 70.0)],
-            5,
-            3,
-            3,
-        );
+        let p = problem(&[(0, 1, 100.0), (1, 2, 90.0), (2, 3, 80.0), (3, 4, 70.0)], 5, 3, 3);
         let m = pmap(&p);
         for (core, node) in m.assignments() {
-            let has_neighbour = p
-                .topology()
-                .out_links(node)
-                .any(|(_, l)| m.core_at(l.dst).is_some());
+            let has_neighbour =
+                p.topology().out_links(node).any(|(_, l)| m.core_at(l.dst).is_some());
             assert!(
                 has_neighbour || p.cores().core_count() == 1,
                 "core {core} is isolated at {node}"
@@ -154,12 +147,7 @@ mod tests {
     #[test]
     fn full_mesh_placement_works() {
         // |V| == |U|: every node ends up occupied.
-        let p = problem(
-            &[(0, 1, 10.0), (1, 2, 20.0), (2, 3, 30.0), (3, 0, 40.0)],
-            4,
-            2,
-            2,
-        );
+        let p = problem(&[(0, 1, 10.0), (1, 2, 20.0), (2, 3, 30.0), (3, 0, 40.0)], 4, 2, 2);
         let m = pmap(&p);
         assert_eq!(m.placed_count(), 4);
     }

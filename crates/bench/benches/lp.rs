@@ -33,8 +33,7 @@ fn bench_mcf_models(c: &mut Criterion) {
     group.bench_function("minmax_vopd_allpaths", |b| {
         b.iter(|| {
             black_box(
-                solve_mcf(&vopd, &vopd_mapping, McfKind::MinMaxLoad, PathScope::AllPaths)
-                    .unwrap(),
+                solve_mcf(&vopd, &vopd_mapping, McfKind::MinMaxLoad, PathScope::AllPaths).unwrap(),
             )
         })
     });

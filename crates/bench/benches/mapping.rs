@@ -41,20 +41,16 @@ fn bench_single_path_mappers(c: &mut Criterion) {
     group.bench_function("pmap", |b| b.iter(|| black_box(pmap(&vopd))));
     group.bench_function("gmap", |b| b.iter(|| black_box(gmap(&vopd))));
     group.bench_function("pbb_small_budget", |b| {
-        b.iter(|| {
-            black_box(pbb(&vopd, &PbbOptions { max_queue: 1_000, max_expansions: 10_000 }))
-        })
+        b.iter(|| black_box(pbb(&vopd, &PbbOptions { max_queue: 1_000, max_expansions: 10_000 })))
     });
     group.finish();
 }
 
 fn bench_split_mapper(c: &mut Criterion) {
     // Split mapping solves O(|U|^2) LPs; bench on the small PIP app.
-    let problem = nmap::MappingProblem::new(
-        noc_apps::pip(),
-        noc_graph::Topology::mesh(3, 3, 1_000.0),
-    )
-    .unwrap();
+    let problem =
+        nmap::MappingProblem::new(noc_apps::pip(), noc_graph::Topology::mesh(3, 3, 1_000.0))
+            .unwrap();
     let mut group = c.benchmark_group("map_with_splitting_pip");
     group.sample_size(10);
     group.bench_function("quadrant", |b| {
@@ -78,8 +74,7 @@ fn bench_nmap_scaling(c: &mut Criterion) {
     for cores in [15usize, 25, 35] {
         let graph = RandomGraphConfig { cores, ..Default::default() }.generate(7);
         let (w, h) = Topology::fit_mesh_dims(cores);
-        let problem =
-            nmap::MappingProblem::new(graph, Topology::mesh(w, h, 1e9)).unwrap();
+        let problem = nmap::MappingProblem::new(graph, Topology::mesh(w, h, 1e9)).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(cores), &problem, |b, p| {
             b.iter(|| black_box(map_single_path(p, &SinglePathOptions::paper_exact()).unwrap()))
         });

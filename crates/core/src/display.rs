@@ -36,20 +36,12 @@ pub fn render_mapping_grid(problem: &MappingProblem, mapping: &Mapping) -> Strin
     match topology.kind() {
         TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
             // Column width: longest name (or the `.` placeholder).
-            let cell = cores
-                .cores()
-                .map(|c| cores.name(c).len())
-                .max()
-                .unwrap_or(1)
-                .max(1);
+            let cell = cores.cores().map(|c| cores.name(c).len()).max().unwrap_or(1).max(1);
             let mut out = String::new();
             for y in 0..height {
                 for x in 0..width {
                     let node = topology.node_at(x, y).expect("in range");
-                    let label = mapping
-                        .core_at(node)
-                        .map(|c| cores.name(c))
-                        .unwrap_or(".");
+                    let label = mapping.core_at(node).map(|c| cores.name(c)).unwrap_or(".");
                     if x > 0 {
                         out.push_str("  ");
                     }
@@ -82,12 +74,7 @@ pub fn summarize(problem: &MappingProblem, mapping: &Mapping, loads: &LinkLoads)
     let worst = problem
         .topology()
         .links()
-        .max_by(|a, b| {
-            loads
-                .get(a.0)
-                .partial_cmp(&loads.get(b.0))
-                .expect("loads are finite")
-        });
+        .max_by(|a, b| loads.get(a.0).partial_cmp(&loads.get(b.0)).expect("loads are finite"));
     let mut out = format!(
         "comm cost {cost:.0} hops*MB/s ({:.2}x the 1-hop lower bound)\n",
         cost / lower_bound

@@ -76,10 +76,8 @@ fn select_next_core(
     unmapped.iter().copied().max_by(|&a, &b| {
         let comm_a: f64 = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
         let comm_b: f64 = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
-        comm_a
-            .partial_cmp(&comm_b)
-            .expect("bandwidths are finite")
-            .then(b.cmp(&a)) // prefer lower id on ties
+        comm_a.partial_cmp(&comm_b).expect("bandwidths are finite").then(b.cmp(&a))
+        // prefer lower id on ties
     })
 }
 
@@ -100,12 +98,7 @@ mod tests {
     #[test]
     fn seed_goes_to_center() {
         // Star: core 0 talks to everyone; must land on the 3x3 center.
-        let p = problem(
-            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
-            5,
-            3,
-            3,
-        );
+        let p = problem(&[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)], 5, 3, 3);
         let m = initialize(&p);
         let center = p.topology().node_at(1, 1).unwrap();
         assert_eq!(m.node_of(CoreId::new(0)), Some(center));
@@ -113,21 +106,12 @@ mod tests {
 
     #[test]
     fn star_satellites_surround_hub() {
-        let p = problem(
-            &[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)],
-            5,
-            3,
-            3,
-        );
+        let p = problem(&[(0, 1, 100.0), (0, 2, 100.0), (0, 3, 100.0), (0, 4, 100.0)], 5, 3, 3);
         let m = initialize(&p);
         let hub = m.node_of(CoreId::new(0)).unwrap();
         for i in 1..5 {
             let n = m.node_of(CoreId::new(i)).unwrap();
-            assert_eq!(
-                p.topology().hop_distance(hub, n),
-                1,
-                "satellite {i} not adjacent to hub"
-            );
+            assert_eq!(p.topology().hop_distance(hub, n), 1, "satellite {i} not adjacent to hub");
         }
     }
 

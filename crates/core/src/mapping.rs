@@ -38,17 +38,11 @@ impl Mapping {
     /// cores around).
     pub fn place(&mut self, core: CoreId, node: NodeId) {
         assert!(node.index() < self.node_to_core.len(), "node {node} out of range");
-        assert!(
-            self.node_to_core[node.index()].is_none(),
-            "node {node} is already occupied"
-        );
+        assert!(self.node_to_core[node.index()].is_none(), "node {node} is already occupied");
         if core.index() >= self.core_to_node.len() {
             self.core_to_node.resize(core.index() + 1, None);
         }
-        assert!(
-            self.core_to_node[core.index()].is_none(),
-            "core {core} is already placed"
-        );
+        assert!(self.core_to_node[core.index()].is_none(), "core {core} is already placed");
         self.core_to_node[core.index()] = Some(node);
         self.node_to_core[node.index()] = Some(core);
     }
@@ -188,10 +182,7 @@ mod tests {
         m.place(CoreId::new(1), NodeId::new(3));
         m.place(CoreId::new(0), NodeId::new(2));
         let pairs = m.to_pairs();
-        assert_eq!(
-            pairs,
-            vec![(CoreId::new(0), NodeId::new(2)), (CoreId::new(1), NodeId::new(3))]
-        );
+        assert_eq!(pairs, vec![(CoreId::new(0), NodeId::new(2)), (CoreId::new(1), NodeId::new(3))]);
     }
 
     #[test]

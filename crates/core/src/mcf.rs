@@ -187,8 +187,7 @@ impl McfModel {
                         continue;
                     }
                     let slack = lp.add_variable(format!("s_{id}"), 1.0);
-                    let mut terms: Vec<(VarId, f64)> =
-                        vars.iter().map(|&v| (v, 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
                     terms.push((slack, -1.0));
                     lp.add_le(&terms, link.capacity);
                 }
@@ -210,8 +209,7 @@ impl McfModel {
                     if vars.is_empty() {
                         continue;
                     }
-                    let mut terms: Vec<(VarId, f64)> =
-                        vars.iter().map(|&v| (v, 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
                     terms.push((lambda, -1.0));
                     lp.add_le(&terms, 0.0);
                 }
@@ -276,10 +274,7 @@ fn decompose_flows(
             let Some(path) = positive_path(topology, residual, c.source, c.dest) else {
                 break;
             };
-            let bottleneck = path
-                .iter()
-                .map(|l| residual[l])
-                .fold(f64::INFINITY, f64::min);
+            let bottleneck = path.iter().map(|l| residual[l]).fold(f64::INFINITY, f64::min);
             debug_assert!(bottleneck > 0.0);
             for l in &path {
                 let v = residual.get_mut(l).expect("path uses residual links");
@@ -327,8 +322,7 @@ fn positive_path(
             return Some(path);
         }
         for (id, link) in topology.out_links(n) {
-            if !seen[link.dst.index()] && residual.get(&id).copied().unwrap_or(0.0) > FLOW_EPSILON
-            {
+            if !seen[link.dst.index()] && residual.get(&id).copied().unwrap_or(0.0) > FLOW_EPSILON {
                 seen[link.dst.index()] = true;
                 prev[link.dst.index()] = Some(id);
                 queue.push_back(link.dst);
@@ -462,12 +456,8 @@ mod tests {
     fn fractions_sum_to_one() {
         let (p, m) = one_flow_problem(150.0, 300.0);
         let sol = solve_mcf(&p, &m, McfKind::FlowMin, PathScope::AllPaths).unwrap();
-        let total: f64 = sol
-            .tables
-            .routes_of(noc_graph::EdgeId::new(0))
-            .iter()
-            .map(|r| r.fraction)
-            .sum();
+        let total: f64 =
+            sol.tables.routes_of(noc_graph::EdgeId::new(0)).iter().map(|r| r.fraction).sum();
         assert!((total - 1.0).abs() < 1e-6, "fractions sum to {total}");
     }
 

@@ -154,10 +154,7 @@ impl LinkLoads {
     /// Total capacity violation `Σ max(0, load - capacity)` — comparable
     /// to the MCF1 slack objective (Equation 8).
     pub fn violation(&self, topology: &Topology) -> f64 {
-        topology
-            .links()
-            .map(|(id, link)| (self.loads[id.index()] - link.capacity).max(0.0))
-            .sum()
+        topology.links().map(|(id, link)| (self.loads[id.index()] - link.capacity).max(0.0)).sum()
     }
 
     /// Read-only view of the raw per-link loads.
@@ -204,14 +201,9 @@ pub fn route_min_paths(
             continue;
         }
         let quadrant = QuadrantDag::new(topology, c.source, c.dest);
-        let outcome = dijkstra(
-            topology,
-            c.source,
-            c.dest,
-            |l| 1.0 + loads.get(l),
-            |l| quadrant.contains(l),
-        )
-        .ok_or(MapError::Unroutable { commodity: edge.index() })?;
+        let outcome =
+            dijkstra(topology, c.source, c.dest, |l| 1.0 + loads.get(l), |l| quadrant.contains(l))
+                .ok_or(MapError::Unroutable { commodity: edge.index() })?;
         for &l in &outcome.links {
             loads.add(l, c.value);
         }

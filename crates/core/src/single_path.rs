@@ -87,15 +87,10 @@ pub fn map_single_path(
         let mut placed = seed.clone();
         if restart > 0 {
             let anchor = NodeId::new((restart * node_count) / restarts);
-            let origin = seed
-                .assignments()
-                .next()
-                .map(|(_, node)| node)
-                .unwrap_or(anchor);
+            let origin = seed.assignments().next().map(|(_, node)| node).unwrap_or(anchor);
             placed.swap_nodes(origin, anchor);
         }
-        let (cost, mapping) =
-            swap_descent(problem, placed, options.passes, &mut evaluations)?;
+        let (cost, mapping) = swap_descent(problem, placed, options.passes, &mut evaluations)?;
         if cost < best_cost || best.is_none() {
             best_cost = cost;
             best = Some(mapping);

@@ -233,11 +233,8 @@ mod tests {
     #[test]
     fn quadrant_scope_keeps_paths_minimal() {
         let p = MappingProblem::new(pipeline(4, 120.0), Topology::mesh(2, 2, 1e9)).unwrap();
-        let out = map_with_splitting(
-            &p,
-            &SplitOptions { scope: PathScope::Quadrant, passes: 1 },
-        )
-        .unwrap();
+        let out = map_with_splitting(&p, &SplitOptions { scope: PathScope::Quadrant, passes: 1 })
+            .unwrap();
         assert!(out.feasible);
         let commodities = p.commodities(&out.mapping);
         for c in &commodities {

@@ -10,13 +10,9 @@ use proptest::prelude::*;
 
 /// A random problem: `cores` cores on the smallest fitting mesh.
 fn random_problem(cores: usize, seed: u64, capacity: f64) -> MappingProblem {
-    let graph = RandomGraphConfig {
-        cores,
-        avg_degree: 2.0,
-        min_bandwidth: 10.0,
-        max_bandwidth: 300.0,
-    }
-    .generate(seed);
+    let graph =
+        RandomGraphConfig { cores, avg_degree: 2.0, min_bandwidth: 10.0, max_bandwidth: 300.0 }
+            .generate(seed);
     let (w, h) = Topology::fit_mesh_dims(cores);
     MappingProblem::new(graph, Topology::mesh(w, h, capacity)).expect("fits")
 }

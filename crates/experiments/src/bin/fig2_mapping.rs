@@ -18,10 +18,7 @@ fn main() {
     println!("=== Figure 2(b): 16-node mesh NoC graph (DOT) ===");
     println!("{}", topology_dot(problem.topology()));
     println!("=== Figure 2(c): NMAP mapping (DOT) ===");
-    println!(
-        "{}",
-        mapping_dot(problem.cores(), problem.topology(), &outcome.mapping.to_pairs())
-    );
+    println!("{}", mapping_dot(problem.cores(), problem.topology(), &outcome.mapping.to_pairs()));
     println!("=== Figure 2(c) as a text grid ===");
     println!("{}", render_mapping_grid(&problem, &outcome.mapping));
     println!("communication cost: {:.0} hops x MB/s", outcome.comm_cost);

@@ -77,8 +77,7 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--noc" => {
-                topology =
-                    TopologyChoice::File(raw.next().ok_or("--noc needs a file path")?);
+                topology = TopologyChoice::File(raw.next().ok_or("--noc needs a file path")?);
             }
             "--capacity" => {
                 let text = raw.next().ok_or("--capacity needs a value")?;
@@ -165,8 +164,8 @@ fn run(args: &Args) -> Result<bool, String> {
         TopologyChoice::Mesh(w, h) => Topology::mesh(*w, *h, args.capacity),
         TopologyChoice::Torus(w, h) => Topology::torus(*w, *h, args.capacity),
         TopologyChoice::File(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             parse_topology(&text).map_err(|e| format!("{path}: {e}"))?
         }
     };
@@ -180,11 +179,8 @@ fn run(args: &Args) -> Result<bool, String> {
             (out.mapping, out.link_loads)
         }
         Algorithm::NmapSplit => {
-            let out = map_with_splitting(
-                &problem,
-                &SplitOptions { scope: args.scope, passes: 1 },
-            )
-            .map_err(|e| e.to_string())?;
+            let out = map_with_splitting(&problem, &SplitOptions { scope: args.scope, passes: 1 })
+                .map_err(|e| e.to_string())?;
             println!(
                 "split routing: total flow {:.0}, slack {:.0}, up to {} paths per flow",
                 out.total_flow,

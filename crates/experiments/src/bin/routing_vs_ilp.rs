@@ -8,8 +8,7 @@ use noc_experiments::routing_ablation;
 fn main() {
     println!("Routing ablation — greedy quadrant router vs LP lower bound");
     println!("(paper: heuristic within ~10% of ILP, seconds vs minutes)\n");
-    let mut table =
-        TextTable::new(["app", "greedy max load", "LP bound", "ratio", "greedy", "LP"]);
+    let mut table = TextTable::new(["app", "greedy max load", "LP bound", "ratio", "greedy", "LP"]);
     for row in routing_ablation::run_all() {
         table.row([
             row.app.name().to_string(),

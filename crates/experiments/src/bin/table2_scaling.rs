@@ -10,12 +10,7 @@ fn main() {
     let rows = run(&Table2Config::default());
     let mut table = TextTable::new(["cores", "PBB", "NMAP", "ratio"]);
     for row in rows {
-        table.row([
-            row.cores.to_string(),
-            fmt(row.pbb, 0),
-            fmt(row.nmap, 0),
-            fmt(row.ratio, 2),
-        ]);
+        table.row([row.cores.to_string(), fmt(row.pbb, 0), fmt(row.nmap, 0), fmt(row.ratio, 2)]);
     }
     print!("{}", table.render());
 }

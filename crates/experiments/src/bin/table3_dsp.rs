@@ -13,15 +13,7 @@ fn main() {
     table.row(["SW area".into(), format!("{} mm2", t.switch_area_mm2), "paper".into()]);
     table.row(["SW delay".into(), format!("{} cy", t.switch_delay_cycles), "paper".into()]);
     table.row(["Pack. size".into(), format!("{} B", t.packet_bytes), "config".into()]);
-    table.row([
-        "minp BW".into(),
-        format!("{:.0} MB/s", t.minpath_bw_mbps),
-        "measured".into(),
-    ]);
-    table.row([
-        "split BW".into(),
-        format!("{:.0} MB/s", t.split_bw_mbps),
-        "measured".into(),
-    ]);
+    table.row(["minp BW".into(), format!("{:.0} MB/s", t.minpath_bw_mbps), "measured".into()]);
+    table.row(["split BW".into(), format!("{:.0} MB/s", t.split_bw_mbps), "measured".into()]);
     print!("{}", table.render());
 }

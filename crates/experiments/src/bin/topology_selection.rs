@@ -2,9 +2,9 @@
 //! extension): run NMAP over mesh/torus candidates for every video app
 //! and report the selected topology.
 
+use noc_apps::App;
 use noc_experiments::report::{fmt, TextTable};
 use noc_experiments::topology_selection::{best_by_cost, explore};
-use noc_apps::App;
 
 fn main() {
     for app in App::all() {

@@ -7,9 +7,7 @@
 //! (load-balanced single minimum-path routing), NMAPTM (split across
 //! minimal paths) and NMAPTA (split across all paths).
 
-use nmap::{
-    map_single_path, mcf::solve_mcf, routing, McfKind, PathScope, SinglePathOptions,
-};
+use nmap::{map_single_path, mcf::solve_mcf, routing, McfKind, PathScope, SinglePathOptions};
 use noc_apps::App;
 use noc_baselines::{gmap, pmap};
 
@@ -102,10 +100,7 @@ mod tests {
         // edge weight.
         let row = run_app(App::Pip);
         let g = App::Pip.core_graph();
-        let hottest = g
-            .edges()
-            .map(|(_, e)| e.bandwidth)
-            .fold(0.0f64, f64::max);
+        let hottest = g.edges().map(|(_, e)| e.bandwidth).fold(0.0f64, f64::max);
         for v in [row.dpmap, row.dgmap, row.pmap, row.gmap, row.nmap] {
             assert!(v >= hottest - 1e-6, "single-path BW {v} below hottest edge {hottest}");
         }

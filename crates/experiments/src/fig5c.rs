@@ -138,8 +138,7 @@ pub fn design_dsp() -> DspDesign {
                     continue; // never trade cost away
                 }
                 let target = split_target(&problem, &candidate);
-                if target < best_target - 1e-9
-                    || (target < best_target + 1e-9 && cost < best_cost)
+                if target < best_target - 1e-9 || (target < best_target + 1e-9 && cost < best_cost)
                 {
                     best_target = target;
                     best_cost = cost;
@@ -168,13 +167,9 @@ pub fn design_dsp() -> DspDesign {
             let single = &minpath_tables.routes_of(c.edge)[0];
             split_routes[c.edge.index()] = vec![single.clone()];
         } else {
-            let solo = solve_mcf_for(
-                &sizing_topology,
-                &[*c],
-                McfKind::FlowMin,
-                PathScope::AllPaths,
-            )
-            .expect("solo flow fits its own sizing");
+            let solo =
+                solve_mcf_for(&sizing_topology, &[*c], McfKind::FlowMin, PathScope::AllPaths)
+                    .expect("solo flow fits its own sizing");
             split_routes[c.edge.index()] = solo.tables.routes_of(c.edge).to_vec();
         }
     }
@@ -200,11 +195,8 @@ pub fn flows_from_tables(
         .into_iter()
         .filter(|c| c.value > 0.0)
         .map(|c| {
-            let paths: Vec<(Vec<_>, f64)> = tables
-                .routes_of(c.edge)
-                .iter()
-                .map(|r| (r.links.clone(), r.fraction))
-                .collect();
+            let paths: Vec<(Vec<_>, f64)> =
+                tables.routes_of(c.edge).iter().map(|r| (r.links.clone(), r.fraction)).collect();
             FlowSpec::split(c.source, c.dest, c.value, paths)
         })
         .collect()
@@ -254,11 +246,7 @@ mod tests {
         // Table 3: "minp BW 600 MB/s, split BW 200 MB/s".
         let design = design_dsp();
         assert_eq!(design.minpath_bw, 600.0, "min-path BW");
-        assert!(
-            (design.split_bw - 200.0).abs() < 1.0,
-            "split BW {} (paper: 200)",
-            design.split_bw
-        );
+        assert!((design.split_bw - 200.0).abs() < 1.0, "split BW {} (paper: 200)", design.split_bw);
     }
 
     #[test]
@@ -298,8 +286,7 @@ mod tests {
     #[test]
     fn flows_cover_all_commodities() {
         let design = design_dsp();
-        let flows =
-            flows_from_tables(&design.problem, &design.mapping, &design.minpath_tables);
+        let flows = flows_from_tables(&design.problem, &design.mapping, &design.minpath_tables);
         assert_eq!(flows.len(), 8); // the DSP graph's 8 edges
         let total: f64 = flows.iter().map(|f| f.rate_mbps).sum();
         assert_eq!(total, 2_400.0); // 6x200 + 2x600

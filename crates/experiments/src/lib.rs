@@ -52,6 +52,5 @@ pub const UNLIMITED_CAPACITY: f64 = 1e9;
 pub fn app_problem(app: App, capacity: f64) -> MappingProblem {
     let graph = app.core_graph();
     let (w, h) = app.mesh_dims();
-    MappingProblem::new(graph, Topology::mesh(w, h, capacity))
-        .expect("application fits its mesh")
+    MappingProblem::new(graph, Topology::mesh(w, h, capacity)).expect("application fits its mesh")
 }

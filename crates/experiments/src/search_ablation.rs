@@ -66,12 +66,8 @@ mod tests {
         let mut last = f64::INFINITY;
         // Configurations are ordered weakest-to-strongest in terms of the
         // search they subsume pairwise with the paper baseline.
-        let paper = map_single_path(&problem, &SinglePathOptions::paper_exact())
-            .unwrap()
-            .comm_cost;
-        let default = map_single_path(&problem, &SinglePathOptions::default())
-            .unwrap()
-            .comm_cost;
+        let paper = map_single_path(&problem, &SinglePathOptions::paper_exact()).unwrap().comm_cost;
+        let default = map_single_path(&problem, &SinglePathOptions::default()).unwrap().comm_cost;
         assert!(default <= paper + 1e-9);
         let _ = &mut last;
     }
@@ -79,9 +75,7 @@ mod tests {
     #[test]
     fn evaluations_scale_with_knobs() {
         let problem = app_problem(App::Pip, GENEROUS_CAPACITY);
-        let one = map_single_path(&problem, &SinglePathOptions::paper_exact())
-            .unwrap()
-            .evaluations;
+        let one = map_single_path(&problem, &SinglePathOptions::paper_exact()).unwrap().evaluations;
         let eight = map_single_path(&problem, &SinglePathOptions { passes: 1, restarts: 8 })
             .unwrap()
             .evaluations;

@@ -65,9 +65,8 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
             for instance in 0..config.instances {
                 let graph = family.graph(cores, instance);
                 let (w, h) = Topology::fit_mesh_dims(cores);
-                let problem =
-                    MappingProblem::new(graph, Topology::mesh(w, h, UNLIMITED_CAPACITY))
-                        .expect("generated graph fits");
+                let problem = MappingProblem::new(graph, Topology::mesh(w, h, UNLIMITED_CAPACITY))
+                    .expect("generated graph fits");
                 pbb_sum += pbb(&problem, &config.pbb).comm_cost;
                 nmap_sum += map_single_path(&problem, &SinglePathOptions::default())
                     .expect("mesh routing succeeds")

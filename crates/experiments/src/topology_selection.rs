@@ -66,8 +66,7 @@ pub fn explore(app: App) -> Vec<CandidateResult> {
             let fabric = describe(&topology);
             let nodes = topology.node_count();
             let links = topology.link_count();
-            let problem =
-                MappingProblem::new(graph.clone(), topology).expect("candidate fits");
+            let problem = MappingProblem::new(graph.clone(), topology).expect("candidate fits");
             let start = Instant::now();
             let out = map_single_path(&problem, &SinglePathOptions::default())
                 .expect("mesh/torus routing succeeds");

@@ -144,24 +144,17 @@ impl CoreGraph {
 
     /// Iterates over all edges with their ids, in insertion order.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, CoreEdge)> + '_ {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EdgeId::new(i), *e))
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId::new(i), *e))
     }
 
     /// Outgoing edges of `core`.
     pub fn out_edges(&self, core: CoreId) -> impl Iterator<Item = (EdgeId, CoreEdge)> + '_ {
-        self.out_adj[core.index()]
-            .iter()
-            .map(move |&id| (id, self.edges[id.index()]))
+        self.out_adj[core.index()].iter().map(move |&id| (id, self.edges[id.index()]))
     }
 
     /// Incoming edges of `core`.
     pub fn in_edges(&self, core: CoreId) -> impl Iterator<Item = (EdgeId, CoreEdge)> + '_ {
-        self.in_adj[core.index()]
-            .iter()
-            .map(move |&id| (id, self.edges[id.index()]))
+        self.in_adj[core.index()].iter().map(move |&id| (id, self.edges[id.index()]))
     }
 
     /// Total communication demand adjacent to `core` in the **undirected**
@@ -176,12 +169,8 @@ impl CoreGraph {
     /// Undirected communication volume between `a` and `b`:
     /// `comm(a→b) + comm(b→a)`.
     pub fn comm_between(&self, a: CoreId, b: CoreId) -> f64 {
-        let ab = self
-            .find_edge(a, b)
-            .map_or(0.0, |e| self.edges[e.index()].bandwidth);
-        let ba = self
-            .find_edge(b, a)
-            .map_or(0.0, |e| self.edges[e.index()].bandwidth);
+        let ab = self.find_edge(a, b).map_or(0.0, |e| self.edges[e.index()].bandwidth);
+        let ba = self.find_edge(b, a).map_or(0.0, |e| self.edges[e.index()].bandwidth);
         ab + ba
     }
 
@@ -227,10 +216,8 @@ impl CoreGraph {
         seen[0] = true;
         let mut visited = 1usize;
         while let Some(v) = stack.pop() {
-            let neighbours = self
-                .out_edges(v)
-                .map(|(_, e)| e.dst)
-                .chain(self.in_edges(v).map(|(_, e)| e.src));
+            let neighbours =
+                self.out_edges(v).map(|(_, e)| e.dst).chain(self.in_edges(v).map(|(_, e)| e.src));
             for n in neighbours {
                 if !seen[n.index()] {
                     seen[n.index()] = true;
@@ -331,18 +318,9 @@ mod tests {
         let mut g = CoreGraph::new();
         let a = g.add_core("a");
         let b = g.add_core("b");
-        assert!(matches!(
-            g.add_comm(a, b, -1.0),
-            Err(GraphError::InvalidBandwidth(_))
-        ));
-        assert!(matches!(
-            g.add_comm(a, b, f64::NAN),
-            Err(GraphError::InvalidBandwidth(_))
-        ));
-        assert!(matches!(
-            g.add_comm(a, b, f64::INFINITY),
-            Err(GraphError::InvalidBandwidth(_))
-        ));
+        assert!(matches!(g.add_comm(a, b, -1.0), Err(GraphError::InvalidBandwidth(_))));
+        assert!(matches!(g.add_comm(a, b, f64::NAN), Err(GraphError::InvalidBandwidth(_))));
+        assert!(matches!(g.add_comm(a, b, f64::INFINITY), Err(GraphError::InvalidBandwidth(_))));
     }
 
     #[test]

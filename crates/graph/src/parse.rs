@@ -158,13 +158,7 @@ pub fn write_core_graph(graph: &CoreGraph) -> String {
         let _ = writeln!(out, "core {}", graph.name(core));
     }
     for (_, e) in graph.edges() {
-        let _ = writeln!(
-            out,
-            "comm {} {} {}",
-            graph.name(e.src),
-            graph.name(e.dst),
-            e.bandwidth
-        );
+        let _ = writeln!(out, "comm {} {} {}", graph.name(e.src), graph.name(e.dst), e.bandwidth);
     }
     out
 }
@@ -216,7 +210,8 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
                         message: format!("invalid link bandwidth {bw}"),
                     });
                 }
-                let d = if keyword == "mesh" { Decl::Mesh(w, h, bw) } else { Decl::Torus(w, h, bw) };
+                let d =
+                    if keyword == "mesh" { Decl::Mesh(w, h, bw) } else { Decl::Torus(w, h, bw) };
                 decl = Some((line_no, d));
             }
             "custom" => {
@@ -238,9 +233,7 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
             other => {
                 return Err(ParseError::Syntax {
                     line: line_no,
-                    message: format!(
-                        "unknown keyword `{other}` (expected mesh/torus/custom/link)"
-                    ),
+                    message: format!("unknown keyword `{other}` (expected mesh/torus/custom/link)"),
                 });
             }
         }
@@ -295,16 +288,11 @@ fn parse_num<T: std::str::FromStr>(
     what: &str,
 ) -> Result<T, ParseError> {
     let text = parts.next().ok_or_else(|| missing(line, what))?;
-    text.parse().map_err(|_| ParseError::Syntax {
-        line,
-        message: format!("invalid {what} `{text}`"),
-    })
+    text.parse()
+        .map_err(|_| ParseError::Syntax { line, message: format!("invalid {what} `{text}`") })
 }
 
-fn reject_links(
-    links: &[(usize, NodeId, NodeId, f64)],
-    kind: &str,
-) -> Result<(), ParseError> {
+fn reject_links(links: &[(usize, NodeId, NodeId, f64)], kind: &str) -> Result<(), ParseError> {
     if let Some(&(line, ..)) = links.first() {
         return Err(ParseError::Syntax {
             line,
@@ -320,10 +308,9 @@ mod tests {
 
     #[test]
     fn parses_explicit_and_implicit_cores() {
-        let g = parse_core_graph(
-            "# demo\ncore a\ncomm a b 70\ncomm b c 30.5  # trailing comment\n",
-        )
-        .unwrap();
+        let g =
+            parse_core_graph("# demo\ncore a\ncomm a b 70\ncomm b c 30.5  # trailing comment\n")
+                .unwrap();
         assert_eq!(g.core_count(), 3);
         assert_eq!(g.edge_count(), 2);
         let a = g.cores().find(|&c| g.name(c) == "a").unwrap();
@@ -333,11 +320,8 @@ mod tests {
 
     #[test]
     fn core_graph_round_trips() {
-        let original = crate::random::RandomGraphConfig {
-            cores: 12,
-            ..Default::default()
-        }
-        .generate(3);
+        let original =
+            crate::random::RandomGraphConfig { cores: 12, ..Default::default() }.generate(3);
         let text = write_core_graph(&original);
         let parsed = parse_core_graph(&text).unwrap();
         assert_eq!(parsed, original);

@@ -75,14 +75,8 @@ impl QuadrantDag {
 pub fn quadrant_links(topology: &Topology, source: NodeId, dest: NodeId) -> Vec<LinkId> {
     let (dist_to_dest, dist_from_source): (Vec<usize>, Vec<usize>) = match topology.kind() {
         TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => (
-            topology
-                .nodes()
-                .map(|n| topology.hop_distance(n, dest))
-                .collect(),
-            topology
-                .nodes()
-                .map(|n| topology.hop_distance(source, n))
-                .collect(),
+            topology.nodes().map(|n| topology.hop_distance(n, dest)).collect(),
+            topology.nodes().map(|n| topology.hop_distance(source, n)).collect(),
         ),
         TopologyKind::Custom => {
             // dist(n, dest) needs reverse BFS; compute via BFS from dest on
@@ -103,9 +97,7 @@ pub fn quadrant_links(topology: &Topology, source: NodeId, dest: NodeId) -> Vec<
             let fwd = bfs_hops(topology, source);
             let total = fwd[dest.index()]
                 .and_then(|a| rev[source.index()].map(|_| a))
-                .unwrap_or_else(|| {
-                    panic!("{}", crate::GraphError::Disconnected(source, dest))
-                });
+                .unwrap_or_else(|| panic!("{}", crate::GraphError::Disconnected(source, dest)));
             let _ = total;
             let big = usize::MAX / 2;
             (

@@ -54,10 +54,7 @@ impl RandomGraphConfig {
                 && self.max_bandwidth.is_finite(),
             "invalid bandwidth range"
         );
-        assert!(
-            self.avg_degree.is_finite() && self.avg_degree > 0.0,
-            "invalid average degree"
-        );
+        assert!(self.avg_degree.is_finite() && self.avg_degree > 0.0, "invalid average degree");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut g = CoreGraph::new();
         for i in 0..self.cores {

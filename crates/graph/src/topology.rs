@@ -233,24 +233,17 @@ impl Topology {
 
     /// Iterates over all links with their ids.
     pub fn links(&self) -> impl ExactSizeIterator<Item = (LinkId, Link)> + '_ {
-        self.links
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (LinkId::new(i), *l))
+        self.links.iter().enumerate().map(|(i, l)| (LinkId::new(i), *l))
     }
 
     /// Outgoing links of `node` (the paper's adjacency set `Adj_i`).
     pub fn out_links(&self, node: NodeId) -> impl Iterator<Item = (LinkId, Link)> + '_ {
-        self.out_links[node.index()]
-            .iter()
-            .map(move |&id| (id, self.links[id.index()]))
+        self.out_links[node.index()].iter().map(move |&id| (id, self.links[id.index()]))
     }
 
     /// Incoming links of `node`.
     pub fn in_links(&self, node: NodeId) -> impl Iterator<Item = (LinkId, Link)> + '_ {
-        self.in_links[node.index()]
-            .iter()
-            .map(move |&id| (id, self.links[id.index()]))
+        self.in_links[node.index()].iter().map(move |&id| (id, self.links[id.index()]))
     }
 
     /// Number of distinct neighbour nodes reachable over one outgoing link.
@@ -320,8 +313,7 @@ impl Topology {
                 self.degree(b)
                     .cmp(&self.degree(a))
                     .then_with(|| {
-                        self.center_distance(a, center)
-                            .cmp(&self.center_distance(b, center))
+                        self.center_distance(a, center).cmp(&self.center_distance(b, center))
                     })
                     .then(a.cmp(&b))
             })
@@ -412,10 +404,7 @@ mod tests {
         assert_eq!(t.link_count(), 64);
         // width 2: wrap would duplicate the existing channel; must be absent
         let t = Topology::torus(2, 4, 100.0);
-        assert_eq!(
-            t.link_count(),
-            Topology::mesh(2, 4, 100.0).link_count() + 2 * 2
-        );
+        assert_eq!(t.link_count(), Topology::mesh(2, 4, 100.0).link_count() + 2 * 2);
     }
 
     #[test]

@@ -182,13 +182,9 @@ impl LinearProgram {
     ///   (raise it via [`SimplexOptions`]).
     pub fn solve(&self) -> Result<Solution, SolveError> {
         let negate = self.sense == Sense::Maximize;
-        let costs: Vec<f64> = if negate {
-            self.costs.iter().map(|c| -c).collect()
-        } else {
-            self.costs.clone()
-        };
-        let mut values =
-            solve_standard_form(&costs, &self.constraints, self.options)?;
+        let costs: Vec<f64> =
+            if negate { self.costs.iter().map(|c| -c).collect() } else { self.costs.clone() };
+        let mut values = solve_standard_form(&costs, &self.constraints, self.options)?;
         let mut objective = 0.0;
         for (value, cost) in values.iter().zip(&self.costs) {
             objective += value * cost;

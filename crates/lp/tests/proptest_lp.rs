@@ -22,10 +22,8 @@ fn random_lp(bounded: bool) -> impl Strategy<Value = RandomLp> {
     dims.prop_flat_map(move |(n, m)| {
         let costs = prop::collection::vec(-10.0..10.0f64, n);
         let point = prop::collection::vec(0.0..8.0f64, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(-5.0..5.0f64, n), 0u8..3, 0.0..6.0f64),
-            m,
-        );
+        let rows =
+            prop::collection::vec((prop::collection::vec(-5.0..5.0f64, n), 0u8..3, 0.0..6.0f64), m);
         (costs, point, rows).prop_map(move |(costs, feasible_point, raw_rows)| {
             let constraints = raw_rows
                 .into_iter()
@@ -55,8 +53,7 @@ fn build(lp_data: &RandomLp) -> (LinearProgram, Vec<VarId>) {
         .map(|(i, &c)| lp.add_variable(format!("x{i}"), c))
         .collect();
     for (coeffs, sense, rhs) in &lp_data.constraints {
-        let terms: Vec<(VarId, f64)> =
-            vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)).collect();
+        let terms: Vec<(VarId, f64)> = vars.iter().zip(coeffs).map(|(&v, &a)| (v, a)).collect();
         match sense {
             0 => lp.add_le(&terms, *rhs),
             1 => lp.add_ge(&terms, *rhs),

@@ -134,10 +134,7 @@ impl Simulator {
         }
 
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let sources = flows
-            .iter()
-            .map(|f| BurstSource::new(f, &config, &mut rng))
-            .collect();
+        let sources = flows.iter().map(|f| BurstSource::new(f, &config, &mut rng)).collect();
 
         let node_count = topology.node_count();
         let link_count = topology.link_count();
@@ -317,9 +314,7 @@ impl Simulator {
                     let Some(front) = self.buffer(input, node).front().copied() else {
                         continue;
                     };
-                    if front.flit == 0
-                        && self.next_link(&front).is_none()
-                        && self.eligible(&front)
+                    if front.flit == 0 && self.next_link(&front).is_none() && self.eligible(&front)
                     {
                         self.eject_channel[node].allocate(input, front.packet);
                         self.eject_channel[node].rr_next = (start + off + 1) % inputs.len();
@@ -496,10 +491,7 @@ fn validate_path(topology: &Topology, flow: &FlowSpec, links: &[LinkId], flow_id
     let mut at = flow.source;
     for &l in links {
         let link = topology.link(l);
-        assert_eq!(
-            link.src, at,
-            "flow {flow_idx}: path link {l} does not continue from {at}"
-        );
+        assert_eq!(link.src, at, "flow {flow_idx}: path link {l} does not continue from {at}");
         at = link.dst;
     }
     assert_eq!(at, flow.dest, "flow {flow_idx}: path ends at {at}, not the destination");
@@ -630,12 +622,8 @@ mod tests {
     #[test]
     fn link_throughput_matches_offered_load() {
         let t = mesh();
-        let flow = FlowSpec::single_path(
-            NodeId::new(0),
-            NodeId::new(1),
-            400.0,
-            path(&t, &[(0, 1)]),
-        );
+        let flow =
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 400.0, path(&t, &[(0, 1)]));
         let config = SimConfig {
             warmup_cycles: 5_000,
             measure_cycles: 200_000,
@@ -700,8 +688,7 @@ mod tests {
     #[test]
     fn zero_rate_flow_generates_nothing() {
         let t = mesh();
-        let flow =
-            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 0.0, path(&t, &[(0, 1)]));
+        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 0.0, path(&t, &[(0, 1)]));
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
         let report = sim.run();
         assert_eq!(report.generated_packets, 0);

@@ -51,10 +51,8 @@ impl FlowSpec {
         assert!(!paths.is_empty(), "a flow needs at least one path");
         let total: f64 = paths.iter().map(|(_, w)| w).sum();
         assert!(total > 0.0, "path weights must be positive");
-        let paths = paths
-            .into_iter()
-            .map(|(links, w)| WeightedPath { links, weight: w / total })
-            .collect();
+        let paths =
+            paths.into_iter().map(|(links, w)| WeightedPath { links, weight: w / total }).collect();
         Self { source, dest, rate_mbps, paths }
     }
 }
@@ -91,11 +89,8 @@ impl BurstSource {
         let bytes_per_packet = config.packet_bytes as f64;
         let bytes_per_cycle = SimConfig::bytes_per_cycle(spec.rate_mbps);
         // Zero-rate flows never fire.
-        let mean_gap = if bytes_per_cycle > 0.0 {
-            bytes_per_packet / bytes_per_cycle
-        } else {
-            f64::INFINITY
-        };
+        let mean_gap =
+            if bytes_per_cycle > 0.0 { bytes_per_packet / bytes_per_cycle } else { f64::INFINITY };
         let burst_gap = mean_gap / config.burst_intensity;
         let start = if mean_gap.is_finite() {
             rng.gen_range(0.0..mean_gap.max(1.0))
@@ -160,7 +155,6 @@ impl BurstSource {
         self.next_at += gap.max(1.0);
         Some(self.pick_path(spec))
     }
-
 }
 
 #[cfg(test)]
@@ -182,10 +176,12 @@ mod tests {
 
     #[test]
     fn split_constructor_normalizes_weights() {
-        let f = FlowSpec::split(NodeId::new(0), NodeId::new(1), 100.0, vec![
-            (vec![], 2.0),
-            (vec![], 6.0),
-        ]);
+        let f = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(1),
+            100.0,
+            vec![(vec![], 2.0), (vec![], 6.0)],
+        );
         assert!((f.paths[0].weight - 0.25).abs() < 1e-12);
         assert!((f.paths[1].weight - 0.75).abs() < 1e-12);
     }
@@ -209,8 +205,7 @@ mod tests {
                 count += 1;
             }
         }
-        let measured_rate =
-            count as f64 * config.packet_bytes as f64 / horizon as f64 * 1000.0; // MB/s
+        let measured_rate = count as f64 * config.packet_bytes as f64 / horizon as f64 * 1000.0; // MB/s
         let err = (measured_rate - 400.0).abs() / 400.0;
         assert!(err < 0.15, "measured {measured_rate} MB/s, expected ~400");
     }
@@ -235,20 +230,18 @@ mod tests {
         let mean_gap = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
         let short = gaps.iter().filter(|&&g| (g as f64) < mean_gap / 2.0).count();
         // Bursty: a solid share of gaps are much shorter than the mean.
-        assert!(
-            short as f64 > gaps.len() as f64 * 0.3,
-            "only {short}/{} short gaps",
-            gaps.len()
-        );
+        assert!(short as f64 > gaps.len() as f64 * 0.3, "only {short}/{} short gaps", gaps.len());
     }
 
     #[test]
     fn weighted_round_robin_converges_to_weights() {
         let config = SimConfig::default();
-        let spec = FlowSpec::split(NodeId::new(0), NodeId::new(1), 300.0, vec![
-            (vec![], 1.0),
-            (vec![], 3.0),
-        ]);
+        let spec = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(1),
+            300.0,
+            vec![(vec![], 1.0), (vec![], 3.0)],
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut src = BurstSource::new(&spec, &config, &mut rng);
         let mut counts = [0usize; 2];

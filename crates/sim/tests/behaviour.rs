@@ -5,9 +5,7 @@ use noc_graph::{LinkId, NodeId, Topology};
 use noc_sim::{FlowSpec, SimConfig, Simulator};
 
 fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
-    hops.iter()
-        .map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link"))
-        .collect()
+    hops.iter().map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link")).collect()
 }
 
 fn quick(measure: u64) -> SimConfig {
@@ -51,14 +49,8 @@ fn network_latency_respects_analytic_bounds() {
     let floor = serialization_floor(&config, 1_000.0);
     let ceiling = latency_ceiling(&config, 2, 1_000.0);
     let measured = report.avg_network_latency_cycles();
-    assert!(
-        measured >= floor,
-        "network latency {measured} below serialization floor {floor}"
-    );
-    assert!(
-        measured <= ceiling,
-        "network latency {measured} above light-load ceiling {ceiling}"
-    );
+    assert!(measured >= floor, "network latency {measured} below serialization floor {floor}");
+    assert!(measured <= ceiling, "network latency {measured} above light-load ceiling {ceiling}");
 }
 
 #[test]
@@ -108,12 +100,8 @@ fn wormhole_blocking_propagates_upstream() {
     // buffer and A (sharing that buffer's upstream link) slows too —
     // the domino effect the paper attributes to wormhole flow control.
     let t = Topology::mesh(3, 2, 400.0);
-    let a_alone = FlowSpec::single_path(
-        NodeId::new(0),
-        NodeId::new(2),
-        150.0,
-        path(&t, &[(0, 1), (1, 2)]),
-    );
+    let a_alone =
+        FlowSpec::single_path(NodeId::new(0), NodeId::new(2), 150.0, path(&t, &[(0, 1), (1, 2)]));
     let b = FlowSpec::single_path(
         NodeId::new(0),
         NodeId::new(5),
@@ -121,7 +109,8 @@ fn wormhole_blocking_propagates_upstream() {
         path(&t, &[(0, 1), (1, 4), (4, 5)]),
     );
     // Saturator on (4,5): consumes most of that link.
-    let sat = FlowSpec::single_path(NodeId::new(1), NodeId::new(5), 330.0, path(&t, &[(1, 4), (4, 5)]));
+    let sat =
+        FlowSpec::single_path(NodeId::new(1), NodeId::new(5), 330.0, path(&t, &[(1, 4), (4, 5)]));
 
     let solo = Simulator::new(&t, vec![a_alone.clone()], quick(40_000)).run();
     let jammed = Simulator::new(&t, vec![a_alone, b, sat], quick(40_000)).run();

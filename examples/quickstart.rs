@@ -44,11 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Each commodity's route is available for the NoC's routing tables.
     let commodities = problem.commodities(&outcome.mapping);
-    let longest = outcome
-        .paths
-        .iter()
-        .max_by_key(|p| p.hops())
-        .expect("at least one commodity");
+    let longest = outcome.paths.iter().max_by_key(|p| p.hops()).expect("at least one commodity");
     let edge = problem.cores().edge(longest.edge);
     println!(
         "\nlongest route: {} -> {} ({} hops, {:.0} MB/s)",

@@ -58,9 +58,8 @@ fn random_graphs_reproduce_from_seeds() {
 #[test]
 fn simulator_reproduces_from_seed() {
     let t = Topology::mesh(2, 2, 800.0);
-    let link = t
-        .find_link(nmap_suite::graph::NodeId::new(0), nmap_suite::graph::NodeId::new(1))
-        .unwrap();
+    let link =
+        t.find_link(nmap_suite::graph::NodeId::new(0), nmap_suite::graph::NodeId::new(1)).unwrap();
     let mk = || {
         vec![FlowSpec::single_path(
             nmap_suite::graph::NodeId::new(0),

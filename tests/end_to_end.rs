@@ -85,8 +85,8 @@ fn min_max_lp_is_a_lower_bound_for_the_greedy_router() {
     for app in [App::Pip, App::Mwa] {
         let problem = problem_for(app, 1e9);
         let out = map_single_path(&problem, &SinglePathOptions::default()).unwrap();
-        let lp = solve_mcf(&problem, &out.mapping, McfKind::MinMaxLoad, PathScope::Quadrant)
-            .unwrap();
+        let lp =
+            solve_mcf(&problem, &out.mapping, McfKind::MinMaxLoad, PathScope::Quadrant).unwrap();
         assert!(
             lp.objective <= out.link_loads.max() + 1e-6,
             "{app}: LP bound {} above greedy max load {}",
@@ -154,10 +154,7 @@ fn torus_mapping_is_no_worse_than_mesh() {
     let torus = MappingProblem::new(app, Topology::torus(4, 4, 1e9)).unwrap();
     let mesh_cost = map_single_path(&mesh, &SinglePathOptions::default()).unwrap().comm_cost;
     let torus_cost = map_single_path(&torus, &SinglePathOptions::default()).unwrap().comm_cost;
-    assert!(
-        torus_cost <= mesh_cost + 1e-9,
-        "torus {torus_cost} worse than mesh {mesh_cost}"
-    );
+    assert!(torus_cost <= mesh_cost + 1e-9, "torus {torus_cost} worse than mesh {mesh_cost}");
 }
 
 #[test]

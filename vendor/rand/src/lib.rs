@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates.io registry cache, so the handful of `rand` APIs the workspace
+//! actually uses are reimplemented here and wired in through a path
+//! dependency. The surface is intentionally tiny:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the generator plumbing traits.
+//! * [`Rng`] — `gen_range`, `gen_bool` and `gen::<f64>()`.
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle`.
+//!
+//! The streams produced are deterministic for a given seed (everything the
+//! workspace relies on) but are **not** bit-compatible with the real
+//! `rand` crate. If a registry ever becomes available, this shim can be
+//! dropped by pointing the workspace dependency back at crates.io.
+
+#![forbid(unsafe_code)]
+
+/// The core of any random number generator: a source of `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`RngCore::next_u64`]
+    /// by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`Range` or `RangeInclusive` over
+    /// the integer types and `f64`). Panics on an empty range.
+    fn gen_range<R: distributions::SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool called with p = {p}");
+        distributions::unit_f64(self) < p
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform sampling support for range types.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Draws a `f64` uniformly from `[0, 1)` using the top 53 bits of one
+    /// output word.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Range types [`super::Rng::gen_range`] accepts.
+    pub trait SampleRange {
+        /// The element type produced by the range.
+        type Output;
+        /// Samples one value uniformly from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+    }
+
+    /// Types with a standard distribution for [`super::Rng::gen`].
+    pub trait Standard: Sized {
+        /// Samples one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    /// Uniform `u64` in `[0, n)` by widening multiply (no modulo bias worth
+    /// caring about at these magnitudes).
+    fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range on empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + below(rng, span) as $t
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range on empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: one raw word is already uniform.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below(rng, span) as $t
+                }
+            }
+        )*};
+    }
+    int_ranges!(usize, u8, u16, u32, u64);
+
+    macro_rules! signed_int_ranges {
+        ($($t:ty as $u:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range on empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range on empty range");
+                    let span = ((hi as $u).wrapping_sub(lo as $u) as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    signed_int_ranges!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+    macro_rules! float_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range on empty range");
+                    // Rounding in the cast or the fma below can land exactly on
+                    // `end` (e.g. f32 narrowing of a unit draw > 1 - 2^-25);
+                    // resample so the exclusive bound is honoured.
+                    loop {
+                        let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                        if v < self.end {
+                            return v;
+                        }
+                    }
+                }
+            }
+            impl SampleRange for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range on empty range");
+                    lo + (hi - lo) * unit_f64(rng) as $t
+                }
+            }
+        )*};
+    }
+    float_ranges!(f64, f32);
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::RngCore;
+
+    /// Extension trait providing an in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Uniformly permutes the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::unit_f64;
+    use super::{Rng, RngCore};
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(2u64..=5);
+            assert!((2..=5).contains(&w));
+            let f = rng.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&f));
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut Counter(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rand_chacha` crate, providing [`ChaCha8Rng`].
+//!
+//! Like the sibling `vendor/rand` shim, this exists because the build
+//! environment has no crates.io access. The generator is a genuine
+//! ChaCha with 8 rounds (IETF variant layout, zero nonce), seeded from a
+//! `u64` through SplitMix64 key expansion. Streams are deterministic and
+//! of cryptographic quality, but are **not** bit-compatible with the real
+//! `rand_chacha` crate.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha random number generator using 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words 4..12 and counter/nonce words 12..16 of the ChaCha state.
+    state: [u32; 16],
+    /// Output of the last block function invocation.
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 means "buffer exhausted".
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // One double round: four column rounds then four diagonals.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (out, (x, y)) in self.buf.iter_mut().zip(w.iter().zip(self.state.iter())) {
+            *out = x.wrapping_add(*y);
+        }
+        // 64-bit block counter in words 12/13 (nonce stays in 14/15).
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        self.state[13] = self.state[13].wrapping_add(carry as u32);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 key expansion, as rand's generic seed_from_u64 does.
+        let mut x = state;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let word = next();
+            s[4 + 2 * i] = word as u32;
+            s[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng { state: s, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn output_crosses_block_boundaries() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // 40 u64s = 5 blocks of 16 u32 words; must not repeat blockwise.
+        let words: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        assert_ne!(&words[..8], &words[8..16]);
+    }
+}
