@@ -1,0 +1,87 @@
+//! Design-space-sweep benchmarks: the `noc-dse` worker pool (sequential
+//! vs pooled throughput on a multi-scenario sweep) and the cached
+//! evaluation context that accelerates every scenario's hot path.
+//!
+//! On a multi-core host the pooled rows should beat `threads_1` roughly
+//! linearly in core count (scenarios are independent); on a single-core
+//! host they tie, which is itself the determinism story — thread count
+//! changes wall time only, never results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::vopd_instance;
+use nmap::{
+    initialize, map_single_path, map_single_path_with, routing, EvalContext, SinglePathOptions,
+};
+use noc_dse::{run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, TopologySpec};
+use noc_graph::RandomGraphConfig;
+
+/// A sweep wide enough to keep several workers busy: 6 bundled apps +
+/// 4 random graphs, two fabrics each, NMAP paper-exact under min-path
+/// routing (40 scenarios).
+fn sweep_set() -> ScenarioSet {
+    ScenarioSet::builder()
+        .root_seed(11)
+        .all_apps()
+        .random(RandomGraphConfig { cores: 16, ..Default::default() }, 4)
+        .topology(TopologySpec::FitMesh)
+        .topology(TopologySpec::FitTorus)
+        .mapper(MapperSpec::Nmap(SinglePathOptions::paper_exact()))
+        .routing(RoutingSpec::MinPath)
+        .build()
+}
+
+fn bench_sweep_runner(c: &mut Criterion) {
+    let set = sweep_set();
+    let parallelism = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let mut group = c.benchmark_group("sweep_runner");
+    group.sample_size(10);
+    let mut thread_counts: Vec<usize> =
+        [1usize, 2, parallelism].into_iter().filter(|&t| t <= parallelism).collect();
+    thread_counts.dedup();
+    for threads in thread_counts {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| black_box(run_scenarios(set.scenarios(), threads)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_context(c: &mut Criterion) {
+    // The swap-descent hot path: repeated evaluation of placements of one
+    // problem. The cached context skips quadrant-DAG rebuilds and reuses
+    // scratch buffers; the uncached row is the pre-context code path.
+    let problem = vopd_instance();
+    let mapping = initialize(&problem);
+    let mut group = c.benchmark_group("eval_vopd");
+    group.bench_function("route_uncached", |b| {
+        b.iter(|| black_box(routing::route_min_paths(&problem, &mapping).unwrap().1.max()))
+    });
+    let mut ctx = EvalContext::new(&problem);
+    group.bench_function("route_cached_ctx", |b| {
+        b.iter(|| black_box(ctx.route_min_loads(&mapping).unwrap().max()))
+    });
+    group.finish();
+}
+
+fn bench_single_path_with_context(c: &mut Criterion) {
+    // Full mapper runs sharing one context across iterations — the way
+    // the DSE engine amortizes cache warm-up across a sweep.
+    let problem = vopd_instance();
+    let mut group = c.benchmark_group("nmap_vopd_paper_exact");
+    group.sample_size(10);
+    group.bench_function("fresh_context", |b| {
+        b.iter(|| black_box(map_single_path(&problem, &SinglePathOptions::paper_exact()).unwrap()))
+    });
+    let mut ctx = EvalContext::new(&problem);
+    group.bench_function("shared_context", |b| {
+        b.iter(|| {
+            black_box(map_single_path_with(&mut ctx, &SinglePathOptions::paper_exact()).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_runner, bench_eval_context, bench_single_path_with_context);
+criterion_main!(benches);

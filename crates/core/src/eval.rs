@@ -1,0 +1,254 @@
+//! Reusable evaluation context for placement search — the hot path of
+//! [`map_single_path`](crate::map_single_path) and of every design-space
+//! sweep built on top of it.
+//!
+//! Evaluating one candidate placement means routing every commodity over
+//! its quadrant DAG and checking link capacities. The naive loop rebuilds
+//! three mapping-independent artifacts on every call:
+//!
+//! * the **quadrant DAG** of each `(source, dest)` node pair — a pure
+//!   function of the topology, yet a pairwise-swap descent revisits the
+//!   same pairs thousands of times;
+//! * the **commodity processing order** (edges by decreasing bandwidth) —
+//!   a pure function of the core graph;
+//! * the **scratch vectors** (commodity list, per-link loads) — identical
+//!   shape on every evaluation.
+//!
+//! [`EvalContext`] caches the first two and reuses the third, while
+//! producing *bit-identical* results to the uncached
+//! [`routing::route_min_paths`](crate::routing::route_min_paths) +
+//! [`MappingProblem::comm_cost`] pipeline: the same Dijkstra queries run
+//! with the same weights in the same order, so every floating-point
+//! operation is unchanged (asserted by tests and the workspace determinism
+//! suite).
+
+use noc_graph::{dijkstra, QuadrantDag};
+
+use crate::routing::LinkLoads;
+use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
+
+/// Cached state for repeatedly evaluating placements of one
+/// [`MappingProblem`].
+///
+/// Create one per problem and feed it to
+/// [`map_single_path_with`](crate::map_single_path_with), or drive it
+/// directly via [`EvalContext::evaluate`] for custom search loops.
+#[derive(Debug, Clone)]
+pub struct EvalContext<'p> {
+    problem: &'p MappingProblem,
+    /// Commodity processing order (decreasing bandwidth) — graph-only.
+    order: Vec<noc_graph::EdgeId>,
+    /// Quadrant DAG cache, keyed by `source * node_count + dest`.
+    quadrants: Vec<Option<QuadrantDag>>,
+    /// Scratch: commodity list of the mapping under evaluation.
+    commodities: Vec<Commodity>,
+    /// Scratch: per-link loads of the routing under evaluation.
+    loads: LinkLoads,
+    /// Quadrant cache misses (diagnostics: DAGs actually built).
+    built_quadrants: usize,
+}
+
+impl<'p> EvalContext<'p> {
+    /// Creates an empty context for `problem`. Caches fill lazily.
+    pub fn new(problem: &'p MappingProblem) -> Self {
+        let nodes = problem.topology().node_count();
+        Self {
+            problem,
+            order: problem.commodity_order(),
+            quadrants: vec![None; nodes * nodes],
+            commodities: Vec::with_capacity(problem.cores().edge_count()),
+            loads: LinkLoads::zeros(problem.topology().link_count()),
+            built_quadrants: 0,
+        }
+    }
+
+    /// The problem this context evaluates against.
+    pub fn problem(&self) -> &'p MappingProblem {
+        self.problem
+    }
+
+    /// Number of distinct quadrant DAGs built so far (cache size).
+    pub fn built_quadrants(&self) -> usize {
+        self.built_quadrants
+    }
+
+    /// Equation-7 communication cost of `mapping` — delegates to the
+    /// (allocation-free) [`MappingProblem::comm_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is incomplete.
+    pub fn comm_cost(&self, mapping: &Mapping) -> f64 {
+        self.problem.comm_cost(mapping)
+    }
+
+    /// Routes every commodity over a single minimal path exactly like
+    /// [`routing::route_min_paths`](crate::routing::route_min_paths), but
+    /// returns only the aggregate link loads and reuses the cached
+    /// quadrant DAGs and scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Unroutable`] under the same conditions as the uncached
+    /// router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is incomplete.
+    pub fn route_min_loads(&mut self, mapping: &Mapping) -> Result<&LinkLoads> {
+        self.problem.commodities_into(mapping, &mut self.commodities);
+        self.loads.reset();
+        let topology = self.problem.topology();
+        let nodes = topology.node_count();
+
+        for &edge in &self.order {
+            let c = self.commodities[edge.index()];
+            if c.source == c.dest {
+                // Unreachable through the public API (injective mapping, no
+                // self-loops); mirror route_min_paths and stay total.
+                continue;
+            }
+            let key = c.source.index() * nodes + c.dest.index();
+            if self.quadrants[key].is_none() {
+                self.built_quadrants += 1;
+                self.quadrants[key] = Some(QuadrantDag::new(topology, c.source, c.dest));
+            }
+            let quadrant = self.quadrants[key].as_ref().expect("filled above");
+            let loads = &self.loads;
+            let outcome = dijkstra(
+                topology,
+                c.source,
+                c.dest,
+                |l| 1.0 + loads.get(l),
+                |l| quadrant.contains(l),
+            )
+            .ok_or(MapError::Unroutable { commodity: edge.index() })?;
+            for &l in &outcome.links {
+                self.loads.add(l, c.value);
+            }
+        }
+        Ok(&self.loads)
+    }
+
+    /// The paper's `shortestpath()` score of `mapping`: its Equation-7
+    /// communication cost if the routed loads satisfy every link capacity,
+    /// `f64::INFINITY` otherwise.
+    ///
+    /// Lazy feasibility as in the swap descent: when the (cheap,
+    /// placement-only) cost already fails to beat `threshold`, the
+    /// (expensive) routing-based capacity check is skipped — such
+    /// candidates would be rejected either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError::Unroutable`] from the router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` is incomplete.
+    pub fn evaluate(&mut self, mapping: &Mapping, threshold: f64) -> Result<f64> {
+        let cost = self.comm_cost(mapping);
+        if cost >= threshold {
+            return Ok(f64::INFINITY);
+        }
+        let topology = self.problem.topology();
+        let feasible = self.route_min_loads(mapping)?.within_capacity(topology);
+        Ok(if feasible { cost } else { f64::INFINITY })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing;
+    use noc_graph::{NodeId, RandomGraphConfig, Topology};
+
+    fn random_problem(seed: u64) -> MappingProblem {
+        let g = RandomGraphConfig { cores: 12, ..Default::default() }.generate(seed);
+        MappingProblem::new(g, Topology::mesh(4, 3, 500.0)).unwrap()
+    }
+
+    /// Deterministic complete placements to compare both evaluation paths.
+    fn placements(problem: &MappingProblem) -> Vec<Mapping> {
+        let base = crate::initialize(problem);
+        let n = problem.topology().node_count();
+        let mut all = vec![base.clone()];
+        for k in 1..6 {
+            let mut m = all.last().unwrap().clone();
+            m.swap_nodes(NodeId::new(k % n), NodeId::new((3 * k + 1) % n));
+            all.push(m);
+        }
+        all
+    }
+
+    #[test]
+    fn cached_loads_match_uncached_router_bit_for_bit() {
+        for seed in 0..4 {
+            let p = random_problem(seed);
+            let mut ctx = EvalContext::new(&p);
+            for m in placements(&p) {
+                let (_, want) = routing::route_min_paths(&p, &m).unwrap();
+                let got = ctx.route_min_loads(&m).unwrap();
+                assert_eq!(got.as_slice(), want.as_slice(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_comm_cost_matches_problem_comm_cost() {
+        let p = random_problem(9);
+        let ctx = EvalContext::new(&p);
+        for m in placements(&p) {
+            assert_eq!(ctx.comm_cost(&m), p.comm_cost(&m));
+        }
+    }
+
+    #[test]
+    fn quadrant_cache_is_hit_on_reevaluation() {
+        let p = random_problem(2);
+        let mut ctx = EvalContext::new(&p);
+        let m = crate::initialize(&p);
+        ctx.route_min_loads(&m).unwrap();
+        let after_first = ctx.built_quadrants();
+        assert!(after_first > 0);
+        ctx.route_min_loads(&m).unwrap();
+        assert_eq!(ctx.built_quadrants(), after_first, "second pass must not rebuild");
+    }
+
+    #[test]
+    fn evaluate_scores_like_the_paper() {
+        let p = random_problem(5);
+        let mut ctx = EvalContext::new(&p);
+        let m = crate::initialize(&p);
+        let cost = ctx.comm_cost(&m);
+        // Below-threshold candidates are rejected without routing.
+        assert_eq!(ctx.evaluate(&m, cost).unwrap(), f64::INFINITY);
+        // Otherwise the score is the cost (feasible) or infinity.
+        let score = ctx.evaluate(&m, f64::INFINITY).unwrap();
+        let feasible = ctx.route_min_loads(&m).unwrap().within_capacity(p.topology());
+        assert_eq!(score.is_finite(), feasible);
+        if feasible {
+            assert_eq!(score, cost);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no path between")]
+    fn disconnected_custom_topology_panics_like_uncached_router() {
+        use noc_graph::{CoreGraph, NodeId};
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 10.0).unwrap();
+        g.add_comm(b, a, 10.0).unwrap();
+        // Only a one-way link: b -> a has no route, and the quadrant
+        // builder reports it the same way route_min_paths does.
+        let t = Topology::custom(2, [(NodeId::new(0), NodeId::new(1), 100.0)]).unwrap();
+        let p = MappingProblem::new(g, t).unwrap();
+        let mut m = Mapping::new(2);
+        m.place(a, NodeId::new(0));
+        m.place(b, NodeId::new(1));
+        let mut ctx = EvalContext::new(&p);
+        let _ = ctx.route_min_loads(&m);
+    }
+}

@@ -53,6 +53,7 @@
 
 mod display;
 mod error;
+mod eval;
 mod init;
 mod mapping;
 pub mod mcf;
@@ -63,12 +64,15 @@ mod split;
 
 pub use display::{render_mapping_grid, summarize};
 pub use error::MapError;
+pub use eval::EvalContext;
 pub use init::initialize;
 pub use mapping::Mapping;
 pub use mcf::{McfKind, McfSolution, PathScope};
 pub use problem::{Commodity, MappingProblem};
 pub use routing::{CommodityPath, LinkLoads, RoutingTables, SplitRoute};
-pub use single_path::{map_single_path, SinglePathOptions, SinglePathOutcome};
+pub use single_path::{
+    map_single_path, map_single_path_with, SinglePathOptions, SinglePathOutcome,
+};
 pub use split::{map_with_splitting, SplitOptions, SplitOutcome};
 
 /// Convenience alias for fallible NMAP operations.

@@ -72,19 +72,30 @@ impl MappingProblem {
     /// Panics if `mapping` does not place every core (see
     /// [`Mapping::is_complete`]).
     pub fn commodities(&self, mapping: &Mapping) -> Vec<Commodity> {
+        let mut out = Vec::with_capacity(self.cores.edge_count());
+        self.commodities_into(mapping, &mut out);
+        out
+    }
+
+    /// Writes the commodity set of `mapping` into `out` (cleared first) —
+    /// the allocation-reusing form of [`MappingProblem::commodities`],
+    /// producing the same commodities in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not place every core.
+    pub fn commodities_into(&self, mapping: &Mapping, out: &mut Vec<Commodity>) {
         assert!(
             mapping.is_complete(&self.cores),
             "mapping must place every core before commodities can be formed"
         );
-        self.cores
-            .edges()
-            .map(|(edge, e)| Commodity {
-                edge,
-                value: e.bandwidth,
-                source: mapping.node_of(e.src).expect("complete mapping"),
-                dest: mapping.node_of(e.dst).expect("complete mapping"),
-            })
-            .collect()
+        out.clear();
+        out.extend(self.cores.edges().map(|(edge, e)| Commodity {
+            edge,
+            value: e.bandwidth,
+            source: mapping.node_of(e.src).expect("complete mapping"),
+            dest: mapping.node_of(e.dst).expect("complete mapping"),
+        }));
     }
 
     /// Commodity indices ordered by decreasing value, the processing order
@@ -96,15 +107,24 @@ impl MappingProblem {
     /// Communication cost of `mapping` per Equation 7:
     /// `Σ_k vl(d_k) · dist(source(d_k), dest(d_k))` where `dist` is the
     /// minimum hop count. This depends only on the placement, not on the
-    /// routing.
+    /// routing. Allocation-free (summed straight off the edge list in
+    /// edge order) — it is the inner loop of every swap descent.
     ///
     /// # Panics
     ///
     /// Panics if `mapping` is incomplete.
     pub fn comm_cost(&self, mapping: &Mapping) -> f64 {
-        self.commodities(mapping)
-            .iter()
-            .map(|c| c.value * self.topology.hop_distance(c.source, c.dest) as f64)
+        assert!(
+            mapping.is_complete(&self.cores),
+            "mapping must place every core before commodities can be formed"
+        );
+        self.cores
+            .edges()
+            .map(|(_, e)| {
+                let src = mapping.node_of(e.src).expect("complete mapping");
+                let dst = mapping.node_of(e.dst).expect("complete mapping");
+                e.bandwidth * self.topology.hop_distance(src, dst) as f64
+            })
             .sum()
     }
 }

@@ -131,6 +131,12 @@ impl LinkLoads {
         self.loads[link.index()] += amount;
     }
 
+    /// Zeroes every load in place, keeping the allocation (scratch reuse
+    /// in [`crate::EvalContext`]).
+    pub fn reset(&mut self) {
+        self.loads.fill(0.0);
+    }
+
     /// The heaviest link load — the minimum uniform link capacity that
     /// would make this routing feasible (the paper's Figure 4 metric).
     pub fn max(&self) -> f64 {
@@ -171,6 +177,11 @@ impl LinkLoads {
 /// `1 + (traffic already committed to the link)`; after routing, the
 /// path's links gain the commodity's bandwidth. Because every quadrant
 /// path is minimal, the result is always a minimum-hop routing.
+///
+/// Any change to this loop (order, weights, tie-breaking) must be
+/// mirrored in [`crate::EvalContext::route_min_loads`], the cached
+/// loads-only replay of the same algorithm; their bit-identity is
+/// asserted by the `eval` module's tests.
 ///
 /// # Errors
 ///

@@ -14,7 +14,7 @@
 use noc_graph::NodeId;
 
 use crate::routing::{self, CommodityPath, LinkLoads, RoutingTables};
-use crate::{initialize, Mapping, MappingProblem, Result};
+use crate::{initialize, EvalContext, Mapping, MappingProblem, Result};
 
 /// Tuning knobs for [`map_single_path`].
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +72,23 @@ pub fn map_single_path(
     problem: &MappingProblem,
     options: &SinglePathOptions,
 ) -> Result<SinglePathOutcome> {
+    map_single_path_with(&mut EvalContext::new(problem), options)
+}
+
+/// [`map_single_path`] driven through a caller-owned [`EvalContext`], so
+/// repeated runs on the same problem (e.g. option sweeps) share the
+/// quadrant-DAG cache and scratch buffers across calls in addition to the
+/// sharing every single call's restarts already get. Results are
+/// identical to [`map_single_path`].
+///
+/// # Errors
+///
+/// Same conditions as [`map_single_path`].
+pub fn map_single_path_with(
+    ctx: &mut EvalContext<'_>,
+    options: &SinglePathOptions,
+) -> Result<SinglePathOutcome> {
+    let problem = ctx.problem();
     let node_count = problem.topology().node_count();
     let restarts = options.restarts.max(1);
     let mut evaluations = 0usize;
@@ -90,7 +107,7 @@ pub fn map_single_path(
             let origin = seed.assignments().next().map(|(_, node)| node).unwrap_or(anchor);
             placed.swap_nodes(origin, anchor);
         }
-        let (cost, mapping) = swap_descent(problem, placed, options.passes, &mut evaluations)?;
+        let (cost, mapping) = swap_descent(ctx, placed, options.passes, &mut evaluations)?;
         if cost < best_cost || best.is_none() {
             best_cost = cost;
             best = Some(mapping);
@@ -115,14 +132,21 @@ pub fn map_single_path(
 }
 
 /// One multi-pass pairwise-swap descent (the paper's improvement loop).
+///
+/// The `shortestpath()` score of each candidate is computed through the
+/// shared [`EvalContext`] — cached quadrant DAGs, reused scratch buffers,
+/// and the same lazy-feasibility shortcut as always: candidates whose
+/// placement-only Equation-7 cost cannot beat the incumbent skip the
+/// expensive routing-based capacity check.
 fn swap_descent(
-    problem: &MappingProblem,
+    ctx: &mut EvalContext<'_>,
     mut placed: Mapping,
     passes: usize,
     evaluations: &mut usize,
 ) -> Result<(f64, Mapping)> {
-    let node_count = problem.topology().node_count();
-    let mut best_cost = evaluate(problem, &placed, f64::INFINITY, evaluations)?;
+    let node_count = ctx.problem().topology().node_count();
+    *evaluations += 1;
+    let mut best_cost = ctx.evaluate(&placed, f64::INFINITY)?;
     let mut best = placed.clone();
     for _ in 0..passes.max(1) {
         for i in 0..node_count {
@@ -135,7 +159,8 @@ fn swap_descent(
                 }
                 let mut candidate = placed.clone();
                 candidate.swap_nodes(a, b);
-                let cost = evaluate(problem, &candidate, best_cost, evaluations)?;
+                *evaluations += 1;
+                let cost = ctx.evaluate(&candidate, best_cost)?;
                 if cost < best_cost {
                     best_cost = cost;
                     best = candidate;
@@ -145,32 +170,6 @@ fn swap_descent(
         }
     }
     Ok((best_cost, best))
-}
-
-/// The paper's `shortestpath()` score: communication cost if the routed
-/// loads satisfy all capacities, `maxvalue` otherwise.
-///
-/// Lazy feasibility: the Equation-7 cost depends only on the placement, so
-/// candidates that cannot beat `threshold` skip the (much more expensive)
-/// routing-based capacity check. This changes nothing about the result —
-/// such candidates would be rejected either way.
-fn evaluate(
-    problem: &MappingProblem,
-    mapping: &Mapping,
-    threshold: f64,
-    evaluations: &mut usize,
-) -> Result<f64> {
-    *evaluations += 1;
-    let cost = problem.comm_cost(mapping);
-    if cost >= threshold {
-        return Ok(f64::INFINITY);
-    }
-    let (_, loads) = routing::route_min_paths(problem, mapping)?;
-    if loads.within_capacity(problem.topology()) {
-        Ok(cost)
-    } else {
-        Ok(f64::INFINITY)
-    }
 }
 
 #[cfg(test)]
@@ -290,6 +289,21 @@ mod tests {
         let out = map_single_path(&p, &SinglePathOptions::default()).unwrap();
         assert!(out.feasible);
         assert_eq!(out.comm_cost, 500.0, "ring embedding should be perfect on a torus");
+    }
+
+    #[test]
+    fn shared_context_reproduces_fresh_runs() {
+        // One EvalContext reused across runs (the noc-dse usage pattern)
+        // must give byte-identical outcomes to fresh map_single_path calls.
+        let p = MappingProblem::new(pipeline(6, 50.0), Topology::mesh(3, 3, 120.0)).unwrap();
+        let mut ctx = EvalContext::new(&p);
+        let opts = SinglePathOptions::default();
+        let fresh = map_single_path(&p, &opts).unwrap();
+        let first = map_single_path_with(&mut ctx, &opts).unwrap();
+        let second = map_single_path_with(&mut ctx, &opts).unwrap();
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        assert!(ctx.built_quadrants() > 0);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The sweep engine: runs every [`Scenario`] of a set, optionally on a
+//! deterministic `std::thread` worker pool.
+//!
+//! Determinism contract: a scenario's record depends only on the scenario
+//! itself (its seed is fixed at build time, never derived from worker
+//! identity), workers claim scenarios from a shared atomic cursor, and
+//! each record is written into the slot of its scenario index — so the
+//! returned `Vec<RunRecord>` is in scenario order and its deterministic
+//! fields are byte-identical for 1 or N threads. Only the wall-clock
+//! [`StageTimes`] vary between runs, and the report writers exclude them
+//! by default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nmap::{
+    initialize, map_single_path, map_with_splitting, mcf::solve_mcf, routing, LinkLoads, MapError,
+    Mapping, MappingProblem, McfKind, PathScope, SplitOptions,
+};
+use noc_baselines::{gmap, pbb, pmap};
+use noc_lp::SolveError;
+
+use crate::report::{RunRecord, StageTimes, SweepReport};
+use crate::scenario::{topology_label, MapperSpec, RoutingSpec, Scenario, ScenarioSet};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineOptions {
+    /// Worker threads; `0` (the default) uses the machine's available
+    /// parallelism. The pool never spawns more workers than scenarios.
+    pub threads: usize,
+}
+
+/// Runs every scenario of `set` and aggregates the records into a
+/// [`SweepReport`] (records in scenario order).
+pub fn run_sweep(set: &ScenarioSet, options: &EngineOptions) -> SweepReport {
+    SweepReport::new(run_scenarios(set.scenarios(), options.threads))
+}
+
+/// Runs `scenarios` on `threads` workers (`0` = available parallelism),
+/// returning records in scenario order. Scenario-level failures (app does
+/// not fit, unroutable, LP breakdown) become records with a non-empty
+/// `error` field; they never abort the sweep.
+pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<RunRecord> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = effective_threads(threads, n);
+    if workers <= 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let record = run_scenario(&scenarios[i]);
+                *slots[i].lock().expect("no poisoned slots") = Some(record);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("no poisoned slots").expect("every slot filled"))
+        .collect()
+}
+
+/// Resolves the worker count: `0` → available parallelism, clamped to the
+/// scenario count and at least 1.
+fn effective_threads(threads: usize, scenarios: usize) -> usize {
+    let requested = if threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        threads
+    };
+    requested.clamp(1, scenarios.max(1))
+}
+
+/// Runs one scenario end to end: build → map → route → measure.
+pub fn run_scenario(scenario: &Scenario) -> RunRecord {
+    let build_start = Instant::now();
+    let (graph, topology) = scenario.parts();
+    let cores = graph.core_count();
+    let topo_label = topology_label(&topology);
+    let problem = match MappingProblem::new(graph, topology) {
+        Ok(p) => p,
+        Err(e) => return RunRecord::failed(scenario, cores, topo_label, e.to_string()),
+    };
+    let build_us = StageTimes::us(build_start.elapsed());
+
+    let map_start = Instant::now();
+    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper) {
+        Ok(result) => result,
+        Err(e) => {
+            let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
+            r.times.build_us = build_us;
+            return r;
+        }
+    };
+    let map_us = StageTimes::us(map_start.elapsed());
+
+    let route_start = Instant::now();
+    let loads = match route(&problem, &mapping, scenario.routing) {
+        Ok(loads) => loads,
+        Err(e) => {
+            let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
+            r.times.build_us = build_us;
+            r.times.map_us = map_us;
+            r.evaluations = evaluations;
+            return r;
+        }
+    };
+    let route_us = StageTimes::us(route_start.elapsed());
+
+    RunRecord {
+        scenario: scenario.label.clone(),
+        cores,
+        topology: topo_label,
+        capacity: scenario.capacity,
+        mapper: scenario.mapper.name(),
+        routing: scenario.routing.name().to_string(),
+        seed: scenario.seed,
+        error: String::new(),
+        feasible: loads.within_capacity(problem.topology()),
+        comm_cost: problem.comm_cost(&mapping),
+        max_link_load: loads.max(),
+        total_load: loads.total(),
+        evaluations,
+        times: StageTimes { build_us, map_us, route_us },
+    }
+}
+
+/// Dispatches the mapper, returning the placement and a work measure
+/// (swap evaluations, LP solves or search expansions).
+fn run_mapper(problem: &MappingProblem, mapper: &MapperSpec) -> nmap::Result<(Mapping, usize)> {
+    match mapper {
+        MapperSpec::NmapInit => Ok((initialize(problem), 0)),
+        MapperSpec::Nmap(options) => {
+            let out = map_single_path(problem, options)?;
+            Ok((out.mapping, out.evaluations))
+        }
+        MapperSpec::NmapSplit { scope, passes } => {
+            let out =
+                map_with_splitting(problem, &SplitOptions { scope: *scope, passes: *passes })?;
+            Ok((out.mapping, out.lp_solves))
+        }
+        MapperSpec::Pmap => Ok((pmap(problem), 0)),
+        MapperSpec::Gmap => Ok((gmap(problem), 0)),
+        MapperSpec::Pbb(options) => {
+            let out = pbb(problem, options);
+            Ok((out.mapping, out.expansions))
+        }
+    }
+}
+
+/// Routes `mapping` under the scenario's regime and returns the link
+/// loads the feasibility check and load metrics are taken from.
+///
+/// For the MCF regimes the minimum-total-flow program (MCF2) provides the
+/// loads; when its capacities are infeasible, the always-feasible
+/// slack-minimizing program (MCF1) provides them instead, so the record
+/// still reports how much traffic the best split routing would carry.
+fn route(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    routing: RoutingSpec,
+) -> nmap::Result<LinkLoads> {
+    match routing {
+        RoutingSpec::MinPath => Ok(routing::route_min_paths(problem, mapping)?.1),
+        RoutingSpec::Xy => Ok(routing::route_xy(problem, mapping)?.1),
+        RoutingSpec::McfQuadrant => mcf_loads(problem, mapping, PathScope::Quadrant),
+        RoutingSpec::McfAllPaths => mcf_loads(problem, mapping, PathScope::AllPaths),
+    }
+}
+
+fn mcf_loads(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    scope: PathScope,
+) -> nmap::Result<LinkLoads> {
+    match solve_mcf(problem, mapping, McfKind::FlowMin, scope) {
+        Ok(solution) => Ok(solution.link_loads),
+        Err(MapError::Lp(SolveError::Infeasible)) => {
+            Ok(solve_mcf(problem, mapping, McfKind::SlackMin, scope)?.link_loads)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AppSpec, TopologySpec};
+    use nmap::SinglePathOptions;
+    use noc_apps::App;
+    use noc_graph::RandomGraphConfig;
+
+    fn strip_times(records: &[RunRecord]) -> Vec<RunRecord> {
+        records
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.times = StageTimes::default();
+                r
+            })
+            .collect()
+    }
+
+    fn small_set() -> ScenarioSet {
+        ScenarioSet::builder()
+            .root_seed(3)
+            .app(App::Pip)
+            .dsp()
+            .random(RandomGraphConfig { cores: 9, ..Default::default() }, 2)
+            .topology(TopologySpec::FitMesh)
+            .topology(TopologySpec::FitTorus)
+            .mapper(MapperSpec::NmapInit)
+            .mapper(MapperSpec::Gmap)
+            .routing(RoutingSpec::MinPath)
+            .routing(RoutingSpec::Xy)
+            .build()
+    }
+
+    #[test]
+    fn pool_matches_sequential_run() {
+        let set = small_set();
+        let sequential = run_scenarios(set.scenarios(), 1);
+        assert_eq!(sequential.len(), set.len());
+        for threads in [2, 4] {
+            let pooled = run_scenarios(set.scenarios(), threads);
+            assert_eq!(strip_times(&pooled), strip_times(&sequential), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn failure_becomes_a_record_not_a_panic() {
+        let scenario = Scenario {
+            label: "VOPD".into(),
+            app: AppSpec::Bundled(App::Vopd),
+            seed: 0,
+            topology: TopologySpec::Mesh { width: 2, height: 2 },
+            capacity: 1_000.0,
+            mapper: MapperSpec::Pmap,
+            routing: RoutingSpec::MinPath,
+        };
+        let record = run_scenario(&scenario);
+        assert!(!record.is_ok());
+        assert!(record.error.contains("16 cores"), "error: {}", record.error);
+        assert!(!record.feasible);
+    }
+
+    #[test]
+    fn mcf_routing_reports_split_loads() {
+        let scenario = Scenario {
+            label: "DSP".into(),
+            app: AppSpec::DspFilter,
+            seed: 0,
+            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            capacity: 1_000.0,
+            mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
+            routing: RoutingSpec::McfQuadrant,
+        };
+        let record = run_scenario(&scenario);
+        assert!(record.is_ok(), "error: {}", record.error);
+        assert!(record.feasible);
+        assert!(record.max_link_load > 0.0);
+        assert!(record.total_load >= record.max_link_load);
+    }
+
+    #[test]
+    fn infeasible_capacity_is_reported_infeasible() {
+        // One 500 MB/s flow on 100 MB/s links cannot fit, split or not.
+        let scenario = Scenario {
+            label: "DSP".into(),
+            app: AppSpec::DspFilter,
+            seed: 0,
+            topology: TopologySpec::FitMesh,
+            capacity: 100.0,
+            mapper: MapperSpec::NmapInit,
+            routing: RoutingSpec::McfAllPaths,
+        };
+        let record = run_scenario(&scenario);
+        assert!(record.is_ok(), "error: {}", record.error);
+        assert!(!record.feasible);
+        assert!(record.max_link_load > 100.0);
+    }
+
+    #[test]
+    fn run_sweep_aggregates_in_order() {
+        let set = small_set();
+        let report = run_sweep(&set, &EngineOptions::default());
+        assert_eq!(report.records.len(), set.len());
+        let labels: Vec<_> = report.records.iter().map(|r| r.scenario.clone()).collect();
+        let expected: Vec<_> = set.scenarios().iter().map(|s| s.label.clone()).collect();
+        assert_eq!(labels, expected);
+        let summary = report.summary();
+        assert_eq!(summary.failed, 0);
+        assert!(summary.feasibility_rate > 0.0);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(5, 2), 2);
+        assert_eq!(effective_threads(1, 100), 1);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(3, 0), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! **noc-dse** — parallel design-space exploration over the NMAP suite.
+//!
+//! The paper (and the `noc-experiments` crate mirroring it) evaluates one
+//! `{application, topology, mapper, routing}` point at a time. This crate
+//! treats that tuple as a first-class **scenario** and sweeps whole
+//! scenario spaces:
+//!
+//! * [`Scenario`] / [`ScenarioSet`] — the data model, built either through
+//!   [`ScenarioSet::builder`] or from the plain-text spec format of
+//!   [`parse_spec`] (see [`spec`] for the grammar). Applications cover the
+//!   six bundled video apps, the DSP filter and seeded random graphs;
+//!   fabrics cover fitted/fixed meshes and tori; mappers cover NMAP
+//!   (init/single-path/split), PMAP, GMAP and PBB; routing regimes cover
+//!   load-balanced min-path, dimension-ordered XY and the MCF splits.
+//! * [`run_sweep`] / [`run_scenarios`] — a deterministic `std::thread`
+//!   worker pool: scenarios carry their own seeds (derived from a root
+//!   seed at build time, never from worker identity) and records merge in
+//!   scenario order, so sweep output is byte-identical for 1 or N threads.
+//! * [`RunRecord`] / [`SweepReport`] — the aggregation layer: JSON-lines
+//!   and CSV writers plus summary statistics (feasibility rate, cost
+//!   quantiles, per-stage wall time).
+//!
+//! # Example
+//!
+//! ```
+//! use noc_dse::{run_sweep, EngineOptions, MapperSpec, RoutingSpec, ScenarioSet};
+//! use noc_apps::App;
+//!
+//! let set = ScenarioSet::builder()
+//!     .app(App::Pip)
+//!     .mapper(MapperSpec::NmapInit)
+//!     .mapper(MapperSpec::Gmap)
+//!     .routing(RoutingSpec::MinPath)
+//!     .routing(RoutingSpec::Xy)
+//!     .build();
+//! let report = run_sweep(&set, &EngineOptions::default());
+//! assert_eq!(report.records.len(), 4);
+//! assert!(report.records.iter().all(|r| r.is_ok()));
+//! println!("{}", report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod report;
+mod scenario;
+pub mod spec;
+
+pub use engine::{run_scenario, run_scenarios, run_sweep, EngineOptions};
+pub use report::{RunRecord, StageTimes, SweepReport, SweepSummary};
+pub use scenario::{
+    topology_label, AppSpec, MapperSpec, RoutingSpec, Scenario, ScenarioSet, ScenarioSetBuilder,
+    TopologySpec,
+};
+pub use spec::{parse_spec, AppDirective, SpecError, SweepSpec};

@@ -1,0 +1,454 @@
+//! Sweep results: per-scenario [`RunRecord`]s, the aggregate
+//! [`SweepReport`], JSON-lines and CSV writers, and summary statistics.
+//!
+//! Writers emit records in scenario order and, by default, exclude the
+//! wall-clock timing fields — everything else is a deterministic function
+//! of the scenario, so default-form output is byte-identical regardless of
+//! how many engine threads produced it (asserted by the crate's
+//! determinism integration test). Pass `timing = true` to include the
+//! per-stage microsecond timings for profiling.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::Scenario;
+
+/// Wall-clock time spent in each stage of one scenario, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTimes {
+    /// Building the core graph and topology.
+    pub build_us: u64,
+    /// Running the mapper.
+    pub map_us: u64,
+    /// Routing the placed traffic and measuring loads.
+    pub route_us: u64,
+}
+
+impl StageTimes {
+    /// Total microseconds across all stages.
+    pub fn total_us(&self) -> u64 {
+        self.build_us + self.map_us + self.route_us
+    }
+
+    /// Converts a [`Duration`] to saturating microseconds.
+    pub fn us(d: Duration) -> u64 {
+        u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Application label (e.g. `VOPD`, `rand25#2`).
+    pub scenario: String,
+    /// Number of cores in the application.
+    pub cores: usize,
+    /// Resolved topology label (e.g. `mesh4x4`).
+    pub topology: String,
+    /// Uniform link capacity (MB/s).
+    pub capacity: f64,
+    /// Mapper name.
+    pub mapper: String,
+    /// Routing-regime name.
+    pub routing: String,
+    /// The scenario's seed.
+    pub seed: u64,
+    /// Empty on success, otherwise the failure message.
+    pub error: String,
+    /// Whether the routed loads satisfy every link capacity.
+    pub feasible: bool,
+    /// Equation-7 communication cost of the placement.
+    pub comm_cost: f64,
+    /// Heaviest link load under the scenario's routing regime.
+    pub max_link_load: f64,
+    /// Sum of all link loads (total flow).
+    pub total_load: f64,
+    /// Mapper work measure (placement evaluations, LP solves or search
+    /// expansions, depending on the mapper; 0 for constructive mappers).
+    pub evaluations: usize,
+    /// Per-stage wall-clock times (excluded from default-form output).
+    pub times: StageTimes,
+}
+
+impl RunRecord {
+    /// A record for a scenario that failed before producing a mapping.
+    pub fn failed(scenario: &Scenario, cores: usize, topology: String, error: String) -> Self {
+        RunRecord {
+            scenario: scenario.label.clone(),
+            cores,
+            topology,
+            capacity: scenario.capacity,
+            mapper: scenario.mapper.name(),
+            routing: scenario.routing.name().to_string(),
+            seed: scenario.seed,
+            error,
+            feasible: false,
+            comm_cost: 0.0,
+            max_link_load: 0.0,
+            total_load: 0.0,
+            evaluations: 0,
+            times: StageTimes::default(),
+        }
+    }
+
+    /// True when the scenario ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_empty()
+    }
+
+    /// One JSON object (single line, no trailing newline).
+    pub fn to_json(&self, timing: bool) -> String {
+        let mut out = String::with_capacity(192);
+        out.push('{');
+        push_json_str(&mut out, "scenario", &self.scenario);
+        out.push(',');
+        push_json_raw(&mut out, "cores", &self.cores.to_string());
+        out.push(',');
+        push_json_str(&mut out, "topology", &self.topology);
+        out.push(',');
+        push_json_raw(&mut out, "capacity", &fmt_f64(self.capacity));
+        out.push(',');
+        push_json_str(&mut out, "mapper", &self.mapper);
+        out.push(',');
+        push_json_str(&mut out, "routing", &self.routing);
+        out.push(',');
+        push_json_raw(&mut out, "seed", &self.seed.to_string());
+        out.push(',');
+        push_json_str(&mut out, "error", &self.error);
+        out.push(',');
+        push_json_raw(&mut out, "feasible", if self.feasible { "true" } else { "false" });
+        out.push(',');
+        push_json_raw(&mut out, "comm_cost", &fmt_f64(self.comm_cost));
+        out.push(',');
+        push_json_raw(&mut out, "max_link_load", &fmt_f64(self.max_link_load));
+        out.push(',');
+        push_json_raw(&mut out, "total_load", &fmt_f64(self.total_load));
+        out.push(',');
+        push_json_raw(&mut out, "evaluations", &self.evaluations.to_string());
+        if timing {
+            out.push(',');
+            push_json_raw(&mut out, "build_us", &self.times.build_us.to_string());
+            out.push(',');
+            push_json_raw(&mut out, "map_us", &self.times.map_us.to_string());
+            out.push(',');
+            push_json_raw(&mut out, "route_us", &self.times.route_us.to_string());
+        }
+        out.push('}');
+        out
+    }
+
+    /// The CSV header matching [`RunRecord::to_csv`].
+    pub fn csv_header(timing: bool) -> String {
+        let mut h = "scenario,cores,topology,capacity,mapper,routing,seed,error,feasible,\
+comm_cost,max_link_load,total_load,evaluations"
+            .to_string();
+        if timing {
+            h.push_str(",build_us,map_us,route_us");
+        }
+        h
+    }
+
+    /// One CSV data line (no trailing newline). Text fields are quoted
+    /// only when they contain a separator, quote or newline.
+    pub fn to_csv(&self, timing: bool) -> String {
+        let mut cells = vec![
+            csv_cell(&self.scenario),
+            self.cores.to_string(),
+            csv_cell(&self.topology),
+            fmt_f64(self.capacity),
+            csv_cell(&self.mapper),
+            csv_cell(&self.routing),
+            self.seed.to_string(),
+            csv_cell(&self.error),
+            (if self.feasible { "true" } else { "false" }).to_string(),
+            fmt_f64(self.comm_cost),
+            fmt_f64(self.max_link_load),
+            fmt_f64(self.total_load),
+            self.evaluations.to_string(),
+        ];
+        if timing {
+            cells.push(self.times.build_us.to_string());
+            cells.push(self.times.map_us.to_string());
+            cells.push(self.times.route_us.to_string());
+        }
+        cells.join(",")
+    }
+}
+
+/// The complete result of one sweep: records in scenario order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepReport {
+    /// Per-scenario records, in [`crate::ScenarioSet`] order.
+    pub records: Vec<RunRecord>,
+}
+
+impl SweepReport {
+    /// Wraps records (already in scenario order).
+    pub fn new(records: Vec<RunRecord>) -> Self {
+        Self { records }
+    }
+
+    /// All records as JSON lines (one object per line, trailing newline).
+    pub fn write_jsonl(&self, timing: bool) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json(timing));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// All records as CSV with a header row (trailing newline).
+    pub fn write_csv(&self, timing: bool) -> String {
+        let mut out = RunRecord::csv_header(timing);
+        out.push('\n');
+        for r in &self.records {
+            out.push_str(&r.to_csv(timing));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Aggregate statistics over the records.
+    pub fn summary(&self) -> SweepSummary {
+        let mut costs: Vec<f64> =
+            self.records.iter().filter(|r| r.is_ok()).map(|r| r.comm_cost).collect();
+        // total_cmp keeps this panic-free even for hand-built records
+        // holding non-finite costs (NaN sorts last).
+        costs.sort_by(f64::total_cmp);
+        let completed = costs.len();
+        let feasible = self.records.iter().filter(|r| r.feasible).count();
+        let times = self.records.iter().fold(StageTimes::default(), |acc, r| StageTimes {
+            build_us: acc.build_us + r.times.build_us,
+            map_us: acc.map_us + r.times.map_us,
+            route_us: acc.route_us + r.times.route_us,
+        });
+        SweepSummary {
+            scenarios: self.records.len(),
+            failed: self.records.len() - completed,
+            feasible,
+            feasibility_rate: if completed == 0 { 0.0 } else { feasible as f64 / completed as f64 },
+            cost_min: quantile(&costs, 0.0),
+            cost_median: quantile(&costs, 0.5),
+            cost_p90: quantile(&costs, 0.9),
+            cost_max: quantile(&costs, 1.0),
+            times,
+        }
+    }
+}
+
+/// Aggregate statistics of a sweep (see [`SweepReport::summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Total scenarios run.
+    pub scenarios: usize,
+    /// Scenarios that errored before producing a mapping/routing.
+    pub failed: usize,
+    /// Scenarios whose routed loads met every link capacity.
+    pub feasible: usize,
+    /// `feasible / (scenarios - failed)`; 0 when nothing completed.
+    pub feasibility_rate: f64,
+    /// Minimum communication cost over completed scenarios (0 if none).
+    pub cost_min: f64,
+    /// Median communication cost (nearest-rank).
+    pub cost_median: f64,
+    /// 90th-percentile communication cost (nearest-rank).
+    pub cost_p90: f64,
+    /// Maximum communication cost.
+    pub cost_max: f64,
+    /// Total wall-clock time per stage across all scenarios.
+    pub times: StageTimes,
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "scenarios: {} ({} failed), feasible: {} ({:.1}%)",
+            self.scenarios,
+            self.failed,
+            self.feasible,
+            self.feasibility_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "comm cost: min {:.1}, median {:.1}, p90 {:.1}, max {:.1}",
+            self.cost_min, self.cost_median, self.cost_p90, self.cost_max
+        )?;
+        write!(
+            f,
+            "wall time: build {:.1} ms, map {:.1} ms, route {:.1} ms",
+            self.times.build_us as f64 / 1e3,
+            self.times.map_us as f64 / 1e3,
+            self.times.route_us as f64 / 1e3
+        )
+    }
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice; 0 when empty.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Shortest-round-trip decimal form of an `f64` (Rust's `{}`). Engine
+/// records only hold finite numbers, but hand-built records might not:
+/// JSON has no spelling for `inf`/`NaN`, so non-finite values become
+/// `null` rather than emitting unparsable output.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_raw(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(value);
+}
+
+fn csv_cell(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cost: f64, feasible: bool) -> RunRecord {
+        RunRecord {
+            scenario: "VOPD".into(),
+            cores: 16,
+            topology: "mesh4x4".into(),
+            capacity: 1_000.0,
+            mapper: "nmap".into(),
+            routing: "min-path".into(),
+            seed: 42,
+            error: String::new(),
+            feasible,
+            comm_cost: cost,
+            max_link_load: cost / 4.0,
+            total_load: cost,
+            evaluations: 7,
+            times: StageTimes { build_us: 10, map_us: 200, route_us: 30 },
+        }
+    }
+
+    #[test]
+    fn json_line_shape_and_escaping() {
+        let mut r = record(4119.5, true);
+        r.error = "bad \"quote\"\nline".into();
+        let json = r.to_json(false);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"comm_cost\":4119.5"));
+        assert!(json.contains("\"feasible\":true"));
+        assert!(json.contains("\\\"quote\\\"\\nline"));
+        assert!(!json.contains("build_us"));
+        assert!(r.to_json(true).contains("\"map_us\":200"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let r = record(100.0, false);
+        for timing in [false, true] {
+            let header = RunRecord::csv_header(timing);
+            let row = r.to_csv(timing);
+            assert_eq!(header.split(',').count(), row.split(',').count(), "timing={timing}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let mut r = record(1.0, true);
+        r.scenario = "a,b".into();
+        assert!(r.to_csv(false).starts_with("\"a,b\","));
+        assert_eq!(csv_cell("plain"), "plain");
+        assert_eq!(csv_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let report = SweepReport::new(vec![
+            record(10.0, true),
+            record(20.0, true),
+            record(30.0, false),
+            record(40.0, true),
+            {
+                let mut r = record(0.0, false);
+                r.error = "boom".into();
+                r
+            },
+        ]);
+        let s = report.summary();
+        assert_eq!(s.scenarios, 5);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.feasible, 3);
+        assert!((s.feasibility_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.cost_min, 10.0);
+        assert_eq!(s.cost_median, 30.0); // nearest rank: round(1.5) = index 2
+        assert_eq!(s.cost_max, 40.0);
+        assert_eq!(s.times.map_us, 5 * 200);
+        let shown = s.to_string();
+        assert!(shown.contains("feasible: 3"));
+    }
+
+    #[test]
+    fn writers_are_line_per_record() {
+        let report = SweepReport::new(vec![record(1.0, true), record(2.0, true)]);
+        assert_eq!(report.write_jsonl(false).lines().count(), 2);
+        assert_eq!(report.write_csv(false).lines().count(), 3); // header + 2
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        // Engine records are always finite, but RunRecord fields are pub;
+        // the writers must stay parsable for hand-built records too.
+        let mut r = record(1.0, true);
+        r.comm_cost = f64::INFINITY;
+        r.max_link_load = f64::NAN;
+        let json = r.to_json(false);
+        assert!(json.contains("\"comm_cost\":null"));
+        assert!(json.contains("\"max_link_load\":null"));
+        assert!(!json.contains("inf") && !json.contains("NaN"));
+        assert!(r.to_csv(false).contains("null"));
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0); // rank round(1.5) = 2
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,540 @@
+//! The scenario space: `{application × topology × mapper × routing × seed}`
+//! as first-class data, plus the builder that expands cross products into a
+//! concrete, ordered [`ScenarioSet`].
+
+use nmap::{MappingProblem, PathScope, SinglePathOptions};
+use noc_apps::App;
+use noc_baselines::PbbOptions;
+use noc_graph::{CoreGraph, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which application core graph a scenario maps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// One of the six bundled video applications (Section 7.1).
+    Bundled(App),
+    /// The six-core DSP filter of Section 7.2.
+    DspFilter,
+    /// A seeded random graph; the generator seed is the scenario's seed.
+    Random(RandomGraphConfig),
+}
+
+impl AppSpec {
+    /// Builds the core graph. `seed` drives [`AppSpec::Random`] generation
+    /// and is ignored by the fixed applications.
+    pub fn core_graph(&self, seed: u64) -> CoreGraph {
+        match self {
+            AppSpec::Bundled(app) => app.core_graph(),
+            AppSpec::DspFilter => noc_apps::dsp_filter(),
+            AppSpec::Random(config) => config.generate(seed),
+        }
+    }
+
+    /// Short family name: `VOPD`, `DSP`, `rand25`, ...
+    pub fn family(&self) -> String {
+        match self {
+            AppSpec::Bundled(app) => app.name().to_string(),
+            AppSpec::DspFilter => "DSP".to_string(),
+            AppSpec::Random(config) => format!("rand{}", config.cores),
+        }
+    }
+}
+
+/// Which NoC fabric a scenario maps onto. `Fit*` variants resolve to the
+/// smallest square-ish grid holding the application when the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Smallest fitting mesh ([`Topology::fit_mesh_dims`]).
+    FitMesh,
+    /// Smallest fitting torus (same dimensions as [`TopologySpec::FitMesh`]).
+    FitTorus,
+    /// A fixed `width × height` mesh.
+    Mesh {
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+    /// A fixed `width × height` torus.
+    Torus {
+        /// Torus width.
+        width: usize,
+        /// Torus height.
+        height: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the topology for an application with `cores` cores and
+    /// uniform link `capacity` (MB/s).
+    pub fn build(&self, cores: usize, capacity: f64) -> Topology {
+        match *self {
+            TopologySpec::FitMesh => {
+                let (w, h) = Topology::fit_mesh_dims(cores);
+                Topology::mesh(w, h, capacity)
+            }
+            TopologySpec::FitTorus => {
+                let (w, h) = Topology::fit_mesh_dims(cores);
+                Topology::torus(w, h, capacity)
+            }
+            TopologySpec::Mesh { width, height } => Topology::mesh(width, height, capacity),
+            TopologySpec::Torus { width, height } => Topology::torus(width, height, capacity),
+        }
+    }
+}
+
+/// Resolved display label of a built topology, e.g. `mesh4x4` / `torus3x3`.
+pub fn topology_label(topology: &Topology) -> String {
+    match topology.kind() {
+        TopologyKind::Mesh { width, height } => format!("mesh{width}x{height}"),
+        TopologyKind::Torus { width, height } => format!("torus{width}x{height}"),
+        TopologyKind::Custom => format!("custom{}", topology.node_count()),
+    }
+}
+
+/// Which mapping algorithm places the cores.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapperSpec {
+    /// NMAP's greedy constructive placement only (`initialize()`), no
+    /// improvement loop — the cheapest baseline in the family.
+    NmapInit,
+    /// NMAP single-minimum-path mapping (Section 5).
+    Nmap(SinglePathOptions),
+    /// NMAP with split-traffic routing (Section 6): MCF-driven placement.
+    NmapSplit {
+        /// Link scope: quadrant (NMAPTM) or all paths (NMAPTA).
+        scope: PathScope,
+        /// Pairwise-swap sweeps.
+        passes: usize,
+    },
+    /// The PMAP two-phase baseline.
+    Pmap,
+    /// The GMAP greedy baseline.
+    Gmap,
+    /// Truncated branch-and-bound (PBB).
+    Pbb(PbbOptions),
+}
+
+impl MapperSpec {
+    /// Stable display name, aligned with the spec-format keywords: the
+    /// bare keyword for the named configurations, the keyword plus a
+    /// `[..]` parameter suffix otherwise. Every form parses back to an
+    /// equal spec ([`crate::spec`] round-trip property, tested).
+    pub fn name(&self) -> String {
+        match self {
+            MapperSpec::NmapInit => "nmap-init".to_string(),
+            MapperSpec::Nmap(opts) if *opts == SinglePathOptions::paper_exact() => {
+                "nmap-paper".to_string()
+            }
+            MapperSpec::Nmap(opts) if *opts == SinglePathOptions::default() => "nmap".to_string(),
+            MapperSpec::Nmap(opts) => format!("nmap[p{}r{}]", opts.passes, opts.restarts),
+            MapperSpec::NmapSplit { scope, passes } => {
+                let base = match scope {
+                    PathScope::Quadrant => "nmap-split-quadrant",
+                    PathScope::AllPaths => "nmap-split-all",
+                };
+                if *passes == 1 {
+                    base.to_string()
+                } else {
+                    format!("{base}[p{passes}]")
+                }
+            }
+            MapperSpec::Pmap => "pmap".to_string(),
+            MapperSpec::Gmap => "gmap".to_string(),
+            MapperSpec::Pbb(opts) if *opts == PbbOptions::default() => "pbb".to_string(),
+            MapperSpec::Pbb(opts) => format!("pbb[q{}e{}]", opts.max_queue, opts.max_expansions),
+        }
+    }
+}
+
+/// How the placed traffic is routed and checked against link capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingSpec {
+    /// Load-balanced single minimum paths (the paper's `shortestpath()`).
+    MinPath,
+    /// Deterministic dimension-ordered XY routing.
+    Xy,
+    /// Split traffic over quadrant paths via the MCF LP (NMAPTM regime).
+    McfQuadrant,
+    /// Split traffic over all paths via the MCF LP (NMAPTA regime).
+    McfAllPaths,
+}
+
+impl RoutingSpec {
+    /// Stable display name, aligned with the spec-format keywords.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingSpec::MinPath => "min-path",
+            RoutingSpec::Xy => "xy",
+            RoutingSpec::McfQuadrant => "mcf-quadrant",
+            RoutingSpec::McfAllPaths => "mcf-all",
+        }
+    }
+}
+
+/// One fully specified experiment: build the app, build the fabric, run
+/// the mapper, route the traffic, measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Application label shown in reports (e.g. `VOPD`, `rand25#2`).
+    pub label: String,
+    /// The application.
+    pub app: AppSpec,
+    /// Per-scenario seed: drives random graph generation; recorded always.
+    pub seed: u64,
+    /// The fabric.
+    pub topology: TopologySpec,
+    /// Uniform link capacity in MB/s.
+    pub capacity: f64,
+    /// The mapping algorithm.
+    pub mapper: MapperSpec,
+    /// The routing regime evaluating the placement.
+    pub routing: RoutingSpec,
+}
+
+impl Scenario {
+    /// Materializes the application graph and the fabric it targets —
+    /// the parts of [`Scenario::problem`], available even when the pair
+    /// fails validation (the engine reports core/fabric labels for
+    /// failed scenarios too).
+    pub fn parts(&self) -> (CoreGraph, Topology) {
+        let graph = self.app.core_graph(self.seed);
+        let topology = self.topology.build(graph.core_count(), self.capacity);
+        (graph, topology)
+    }
+
+    /// Materializes the mapping problem (graph + topology).
+    ///
+    /// # Errors
+    ///
+    /// [`nmap::MapError`] when the application does not fit the fabric.
+    pub fn problem(&self) -> nmap::Result<MappingProblem> {
+        let (graph, topology) = self.parts();
+        MappingProblem::new(graph, topology)
+    }
+}
+
+/// An ordered list of scenarios. The order is the report order and the
+/// deterministic-merge order of the parallel engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScenarioSet {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioSet {
+    /// Starts a builder.
+    pub fn builder() -> ScenarioSetBuilder {
+        ScenarioSetBuilder::default()
+    }
+
+    /// The scenarios, in sweep order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True when the set holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// One application entry of the builder: the spec plus an optional pinned
+/// seed (entries without one get a ChaCha-derived seed at build time).
+#[derive(Debug, Clone, PartialEq)]
+struct AppEntry {
+    label: String,
+    spec: AppSpec,
+    pinned_seed: Option<u64>,
+}
+
+/// Builder assembling the cross product
+/// `apps × topologies × mappers × routings` into a [`ScenarioSet`].
+///
+/// Axis defaults when left empty: topology [`TopologySpec::FitMesh`],
+/// mapper `nmap` with [`SinglePathOptions::default`], routing
+/// [`RoutingSpec::MinPath`]. Per-scenario seeds are derived from
+/// [`ScenarioSetBuilder::root_seed`] through a `ChaCha` stream in app
+/// order at build time — never from engine worker identity — so a sweep's
+/// scenario list is a pure function of the builder calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSetBuilder {
+    capacity: f64,
+    root_seed: u64,
+    apps: Vec<AppEntry>,
+    topologies: Vec<TopologySpec>,
+    mappers: Vec<MapperSpec>,
+    routings: Vec<RoutingSpec>,
+}
+
+impl Default for ScenarioSetBuilder {
+    fn default() -> Self {
+        Self {
+            capacity: 1_000.0,
+            root_seed: 0,
+            apps: Vec::new(),
+            topologies: Vec::new(),
+            mappers: Vec::new(),
+            routings: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioSetBuilder {
+    /// Sets the uniform link capacity (MB/s) of every scenario.
+    pub fn capacity(mut self, capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the root seed from which unpinned per-scenario seeds derive.
+    pub fn root_seed(mut self, seed: u64) -> Self {
+        self.root_seed = seed;
+        self
+    }
+
+    /// Adds one bundled application.
+    pub fn app(mut self, app: App) -> Self {
+        self.apps.push(AppEntry {
+            label: app.name().to_string(),
+            spec: AppSpec::Bundled(app),
+            pinned_seed: None,
+        });
+        self
+    }
+
+    /// Adds all six bundled video applications, in paper order.
+    pub fn all_apps(mut self) -> Self {
+        for app in App::all() {
+            self = self.app(app);
+        }
+        self
+    }
+
+    /// Adds the DSP filter application.
+    pub fn dsp(mut self) -> Self {
+        self.apps.push(AppEntry {
+            label: "DSP".to_string(),
+            spec: AppSpec::DspFilter,
+            pinned_seed: None,
+        });
+        self
+    }
+
+    /// Adds `instances` random graphs from `config`, with seeds derived
+    /// from the root seed at build time.
+    pub fn random(mut self, config: RandomGraphConfig, instances: u64) -> Self {
+        for i in 0..instances {
+            self.apps.push(AppEntry {
+                label: format!("rand{}#{i}", config.cores),
+                spec: AppSpec::Random(config.clone()),
+                pinned_seed: None,
+            });
+        }
+        self
+    }
+
+    /// Adds a [`RandomGraphFamily`]-compatible sweep: for every size in
+    /// `sizes`, `instances` graphs whose seeds are pinned to
+    /// [`RandomGraphFamily::instance_seed`] — the exact graphs the Table 2
+    /// harness generates.
+    pub fn random_family(
+        mut self,
+        base: &RandomGraphConfig,
+        sizes: &[usize],
+        instances: u64,
+    ) -> Self {
+        for &cores in sizes {
+            for instance in 0..instances {
+                self.apps.push(AppEntry {
+                    label: format!("rand{cores}#{instance}"),
+                    spec: AppSpec::Random(RandomGraphConfig { cores, ..base.clone() }),
+                    pinned_seed: Some(RandomGraphFamily::instance_seed(cores, instance)),
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds one topology to the sweep axis.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.topologies.push(topology);
+        self
+    }
+
+    /// Adds one mapper to the sweep axis.
+    pub fn mapper(mut self, mapper: MapperSpec) -> Self {
+        self.mappers.push(mapper);
+        self
+    }
+
+    /// Adds one routing regime to the sweep axis.
+    pub fn routing(mut self, routing: RoutingSpec) -> Self {
+        self.routings.push(routing);
+        self
+    }
+
+    /// Expands the cross product into an ordered [`ScenarioSet`].
+    ///
+    /// Scenario order is `apps` (insertion order) × `topologies` ×
+    /// `mappers` × `routings`. Every scenario of one app entry shares that
+    /// entry's seed, so mappers and routings are compared on identical
+    /// graph instances.
+    pub fn build(self) -> ScenarioSet {
+        let topologies =
+            if self.topologies.is_empty() { vec![TopologySpec::FitMesh] } else { self.topologies };
+        let mappers = if self.mappers.is_empty() {
+            vec![MapperSpec::Nmap(SinglePathOptions::default())]
+        } else {
+            self.mappers
+        };
+        let routings =
+            if self.routings.is_empty() { vec![RoutingSpec::MinPath] } else { self.routings };
+
+        // Seeds are a pure function of (root_seed, app order): one ChaCha
+        // draw per unpinned entry, in entry order.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.root_seed);
+        let mut scenarios = Vec::new();
+        for entry in &self.apps {
+            let seed = match entry.pinned_seed {
+                Some(s) => s,
+                None => rng.next_u64(),
+            };
+            for topology in &topologies {
+                for mapper in &mappers {
+                    for routing in &routings {
+                        scenarios.push(Scenario {
+                            label: entry.label.clone(),
+                            app: entry.spec.clone(),
+                            seed,
+                            topology: *topology,
+                            capacity: self.capacity,
+                            mapper: mapper.clone(),
+                            routing: *routing,
+                        });
+                    }
+                }
+            }
+        }
+        ScenarioSet { scenarios }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_order_is_apps_topos_mappers_routings() {
+        let set = ScenarioSet::builder()
+            .app(App::Pip)
+            .app(App::Vopd)
+            .topology(TopologySpec::FitMesh)
+            .topology(TopologySpec::FitTorus)
+            .mapper(MapperSpec::Pmap)
+            .routing(RoutingSpec::MinPath)
+            .routing(RoutingSpec::Xy)
+            .build();
+        assert_eq!(set.len(), 8); // 2 apps x 2 topologies x 1 mapper x 2 routings
+        let labels: Vec<_> =
+            set.scenarios().iter().map(|s| (s.label.as_str(), s.topology, s.routing)).collect();
+        assert_eq!(labels[0], ("PIP", TopologySpec::FitMesh, RoutingSpec::MinPath));
+        assert_eq!(labels[1], ("PIP", TopologySpec::FitMesh, RoutingSpec::Xy));
+        assert_eq!(labels[2], ("PIP", TopologySpec::FitTorus, RoutingSpec::MinPath));
+        assert_eq!(labels[4], ("VOPD", TopologySpec::FitMesh, RoutingSpec::MinPath));
+    }
+
+    #[test]
+    fn axis_defaults_fill_in() {
+        let set = ScenarioSet::builder().app(App::Pip).build();
+        assert_eq!(set.len(), 1);
+        let s = &set.scenarios()[0];
+        assert_eq!(s.topology, TopologySpec::FitMesh);
+        assert_eq!(s.mapper, MapperSpec::Nmap(SinglePathOptions::default()));
+        assert_eq!(s.routing, RoutingSpec::MinPath);
+        assert_eq!(s.capacity, 1_000.0);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_shared_across_axes() {
+        let build = || {
+            ScenarioSet::builder()
+                .root_seed(7)
+                .random(RandomGraphConfig::default(), 2)
+                .mapper(MapperSpec::Pmap)
+                .mapper(MapperSpec::Gmap)
+                .build()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b, "same builder calls must give the same set");
+        let s = a.scenarios();
+        assert_eq!(s.len(), 4);
+        // Both mappers of one instance share the seed; instances differ.
+        assert_eq!(s[0].seed, s[1].seed);
+        assert_eq!(s[2].seed, s[3].seed);
+        assert_ne!(s[0].seed, s[2].seed);
+        // A different root seed moves every derived seed.
+        let c = ScenarioSet::builder()
+            .root_seed(8)
+            .random(RandomGraphConfig::default(), 2)
+            .mapper(MapperSpec::Pmap)
+            .mapper(MapperSpec::Gmap)
+            .build();
+        assert_ne!(c.scenarios()[0].seed, s[0].seed);
+    }
+
+    #[test]
+    fn family_seeds_match_random_graph_family() {
+        let base = RandomGraphConfig::default();
+        let set = ScenarioSet::builder().random_family(&base, &[25, 35], 2).build();
+        assert_eq!(set.len(), 4);
+        let family = RandomGraphFamily::new(base);
+        let s = &set.scenarios()[3]; // cores 35, instance 1
+        assert_eq!(s.label, "rand35#1");
+        assert_eq!(s.app.core_graph(s.seed), family.graph(35, 1));
+    }
+
+    #[test]
+    fn scenario_problem_respects_fit_and_fixed_topologies() {
+        let fit = Scenario {
+            label: "VOPD".into(),
+            app: AppSpec::Bundled(App::Vopd),
+            seed: 0,
+            topology: TopologySpec::FitMesh,
+            capacity: 500.0,
+            mapper: MapperSpec::Pmap,
+            routing: RoutingSpec::MinPath,
+        };
+        let p = fit.problem().unwrap();
+        assert_eq!(p.topology().node_count(), 16);
+        assert_eq!(topology_label(p.topology()), "mesh4x4");
+
+        let tight = Scenario { topology: TopologySpec::Mesh { width: 2, height: 2 }, ..fit };
+        assert!(tight.problem().is_err(), "16 cores cannot fit 4 nodes");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MapperSpec::Nmap(SinglePathOptions::default()).name(), "nmap");
+        assert_eq!(MapperSpec::Nmap(SinglePathOptions::paper_exact()).name(), "nmap-paper");
+        assert_eq!(
+            MapperSpec::Nmap(SinglePathOptions { passes: 4, restarts: 2 }).name(),
+            "nmap[p4r2]"
+        );
+        assert_eq!(MapperSpec::NmapInit.name(), "nmap-init");
+        assert_eq!(
+            MapperSpec::NmapSplit { scope: PathScope::Quadrant, passes: 1 }.name(),
+            "nmap-split-quadrant"
+        );
+        assert_eq!(MapperSpec::Pbb(PbbOptions::default()).name(), "pbb");
+        assert_eq!(RoutingSpec::McfAllPaths.name(), "mcf-all");
+        assert_eq!(AppSpec::Random(RandomGraphConfig::default()).family(), "rand25");
+    }
+}

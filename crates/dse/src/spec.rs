@@ -1,0 +1,595 @@
+//! Plain-text sweep specifications — the `.dse` format.
+//!
+//! Line-oriented like the `noc-graph` formats; `#` starts a comment.
+//! Directives:
+//!
+//! ```text
+//! # VOPD and two random 25-core graphs, on mesh and torus, two mappers.
+//! capacity 1000              # uniform link capacity, MB/s (default 1000)
+//! seed 42                    # root seed for derived scenario seeds
+//! app vopd mpeg4             # mpeg4|vopd|pip|mwa|mwag|dsd|dsp|all
+//! random 25 2                # cores instances [avg_degree [min_bw max_bw]]
+//! topology mesh 4x4          # fit | fit-torus | mesh WxH | torus WxH
+//! mapper nmap pbb            # nmap|nmap-paper|nmap-init|nmap-split-quadrant|
+//!                            #   nmap-split-all|pmap|gmap|pbb|all
+//! routing min-path xy        # min-path|xy|mcf-quadrant|mcf-all|all
+//! ```
+//!
+//! `app`, `mapper` and `routing` accept several names per line and may
+//! repeat; `all` expands to the six bundled apps, the four mapper families
+//! (`nmap pmap gmap pbb`), or all four routing regimes. Axes left out
+//! default to the fitted mesh, `nmap`, and `min-path`. Mapper
+//! configurations beyond the named defaults use a `[..]` parameter
+//! suffix: `nmap[p4r2]` (passes/restarts), `nmap-split-quadrant[p3]`
+//! (passes), `pbb[q5000e50000]` (queue/expansion budget). [`SweepSpec`]'s
+//! `Display` writes the canonical form; parsing it back yields an equal
+//! spec for *every* representable configuration (round-trip property,
+//! tested).
+
+use std::error::Error;
+use std::fmt;
+
+use nmap::{PathScope, SinglePathOptions};
+use noc_apps::App;
+use noc_baselines::PbbOptions;
+use noc_graph::RandomGraphConfig;
+
+use crate::scenario::{MapperSpec, RoutingSpec, ScenarioSet, TopologySpec};
+
+/// One application directive of a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppDirective {
+    /// A bundled video application.
+    Bundled(App),
+    /// The DSP filter.
+    Dsp,
+    /// `instances` random graphs from one generator configuration.
+    Random {
+        /// Generator configuration (cores, degree, bandwidth range).
+        config: RandomGraphConfig,
+        /// Number of instances (scenario seeds derive from the root seed).
+        instances: u64,
+    },
+}
+
+/// A parsed sweep specification. Feed to [`SweepSpec::scenarios`] to
+/// expand into a concrete [`ScenarioSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Uniform link capacity (MB/s).
+    pub capacity: f64,
+    /// Root seed for derived scenario seeds.
+    pub root_seed: u64,
+    /// Applications, in directive order.
+    pub apps: Vec<AppDirective>,
+    /// Topology axis (empty → fitted mesh).
+    pub topologies: Vec<TopologySpec>,
+    /// Mapper axis (empty → `nmap`).
+    pub mappers: Vec<MapperSpec>,
+    /// Routing axis (empty → `min-path`).
+    pub routings: Vec<RoutingSpec>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self {
+            capacity: 1_000.0,
+            root_seed: 0,
+            apps: Vec::new(),
+            topologies: Vec::new(),
+            mappers: Vec::new(),
+            routings: Vec::new(),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Expands the spec into the ordered scenario cross product.
+    pub fn scenarios(&self) -> ScenarioSet {
+        let mut builder = ScenarioSet::builder().capacity(self.capacity).root_seed(self.root_seed);
+        for app in &self.apps {
+            builder = match app {
+                AppDirective::Bundled(a) => builder.app(*a),
+                AppDirective::Dsp => builder.dsp(),
+                AppDirective::Random { config, instances } => {
+                    builder.random(config.clone(), *instances)
+                }
+            };
+        }
+        for t in &self.topologies {
+            builder = builder.topology(*t);
+        }
+        for m in &self.mappers {
+            builder = builder.mapper(m.clone());
+        }
+        for r in &self.routings {
+            builder = builder.routing(*r);
+        }
+        builder.build()
+    }
+}
+
+impl fmt::Display for SweepSpec {
+    /// Canonical spec form: one directive per line, axes in fixed order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "capacity {}", self.capacity)?;
+        writeln!(f, "seed {}", self.root_seed)?;
+        for app in &self.apps {
+            match app {
+                AppDirective::Bundled(a) => writeln!(f, "app {}", app_keyword(*a))?,
+                AppDirective::Dsp => writeln!(f, "app dsp")?,
+                AppDirective::Random { config, instances } => writeln!(
+                    f,
+                    "random {} {} {} {} {}",
+                    config.cores,
+                    instances,
+                    config.avg_degree,
+                    config.min_bandwidth,
+                    config.max_bandwidth
+                )?,
+            }
+        }
+        for t in &self.topologies {
+            match *t {
+                TopologySpec::FitMesh => writeln!(f, "topology fit")?,
+                TopologySpec::FitTorus => writeln!(f, "topology fit-torus")?,
+                TopologySpec::Mesh { width, height } => {
+                    writeln!(f, "topology mesh {width}x{height}")?
+                }
+                TopologySpec::Torus { width, height } => {
+                    writeln!(f, "topology torus {width}x{height}")?
+                }
+            }
+        }
+        for m in &self.mappers {
+            writeln!(f, "mapper {}", m.name())?;
+        }
+        for r in &self.routings {
+            writeln!(f, "routing {}", r.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced by [`parse_spec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A line could not be interpreted.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The spec declared no applications.
+    Empty,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            SpecError::Empty => write!(f, "spec declares no applications"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// Parses the spec format described in the [module docs](self).
+///
+/// # Errors
+///
+/// [`SpecError::Syntax`] with the offending 1-based line on malformed
+/// input; [`SpecError::Empty`] when no `app`/`random` directive appears.
+pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
+    let mut spec = SweepSpec::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "capacity" => {
+                let v: f64 = parse_one(&rest, line_no, "capacity")?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(syntax(line_no, format!("capacity must be positive, got {v}")));
+                }
+                spec.capacity = v;
+            }
+            "seed" => spec.root_seed = parse_one(&rest, line_no, "seed")?,
+            "app" => {
+                if rest.is_empty() {
+                    return Err(syntax(line_no, "`app` needs at least one name".into()));
+                }
+                for name in rest {
+                    match name {
+                        "all" => {
+                            spec.apps.extend(App::all().into_iter().map(AppDirective::Bundled))
+                        }
+                        "dsp" => spec.apps.push(AppDirective::Dsp),
+                        _ => spec
+                            .apps
+                            .push(AppDirective::Bundled(parse_app(name).ok_or_else(|| {
+                                syntax(line_no, format!("unknown app `{name}`"))
+                            })?)),
+                    }
+                }
+            }
+            "random" => {
+                if rest.len() < 2 || rest.len() == 4 || rest.len() > 5 {
+                    return Err(syntax(
+                        line_no,
+                        "`random` takes: cores instances [avg_degree [min_bw max_bw]]".into(),
+                    ));
+                }
+                let cores: usize = parse_field(rest[0], line_no, "cores")?;
+                let instances: u64 = parse_field(rest[1], line_no, "instances")?;
+                let mut config = RandomGraphConfig { cores, ..Default::default() };
+                if rest.len() >= 3 {
+                    config.avg_degree = parse_field(rest[2], line_no, "avg_degree")?;
+                }
+                if rest.len() == 5 {
+                    config.min_bandwidth = parse_field(rest[3], line_no, "min_bw")?;
+                    config.max_bandwidth = parse_field(rest[4], line_no, "max_bw")?;
+                }
+                if cores == 0
+                    || instances == 0
+                    || !(config.avg_degree.is_finite() && config.avg_degree > 0.0)
+                    || config.min_bandwidth < 0.0
+                    || config.max_bandwidth < config.min_bandwidth
+                {
+                    return Err(syntax(line_no, "invalid `random` parameters".into()));
+                }
+                spec.apps.push(AppDirective::Random { config, instances });
+            }
+            "topology" => {
+                let t = match rest.as_slice() {
+                    ["fit"] => TopologySpec::FitMesh,
+                    ["fit-torus"] => TopologySpec::FitTorus,
+                    [kind @ ("mesh" | "torus"), dims] => {
+                        let (width, height) = parse_dims(dims, line_no)?;
+                        if *kind == "mesh" {
+                            TopologySpec::Mesh { width, height }
+                        } else {
+                            TopologySpec::Torus { width, height }
+                        }
+                    }
+                    _ => {
+                        return Err(syntax(
+                            line_no,
+                            "`topology` takes: fit | fit-torus | mesh WxH | torus WxH".into(),
+                        ))
+                    }
+                };
+                spec.topologies.push(t);
+            }
+            "mapper" => {
+                if rest.is_empty() {
+                    return Err(syntax(line_no, "`mapper` needs at least one name".into()));
+                }
+                for name in rest {
+                    if name == "all" {
+                        spec.mappers.extend([
+                            MapperSpec::Nmap(SinglePathOptions::default()),
+                            MapperSpec::Pmap,
+                            MapperSpec::Gmap,
+                            MapperSpec::Pbb(PbbOptions::default()),
+                        ]);
+                    } else {
+                        spec.mappers.push(
+                            parse_mapper(name).ok_or_else(|| {
+                                syntax(line_no, format!("unknown mapper `{name}`"))
+                            })?,
+                        );
+                    }
+                }
+            }
+            "routing" => {
+                if rest.is_empty() {
+                    return Err(syntax(line_no, "`routing` needs at least one name".into()));
+                }
+                for name in rest {
+                    if name == "all" {
+                        spec.routings.extend([
+                            RoutingSpec::MinPath,
+                            RoutingSpec::Xy,
+                            RoutingSpec::McfQuadrant,
+                            RoutingSpec::McfAllPaths,
+                        ]);
+                    } else {
+                        spec.routings.push(
+                            parse_routing(name).ok_or_else(|| {
+                                syntax(line_no, format!("unknown routing `{name}`"))
+                            })?,
+                        );
+                    }
+                }
+            }
+            other => {
+                return Err(syntax(
+                    line_no,
+                    format!(
+                        "unknown keyword `{other}` (expected capacity/seed/app/random/\
+topology/mapper/routing)"
+                    ),
+                ));
+            }
+        }
+    }
+    if spec.apps.is_empty() {
+        return Err(SpecError::Empty);
+    }
+    Ok(spec)
+}
+
+fn syntax(line: usize, message: String) -> SpecError {
+    SpecError::Syntax { line, message }
+}
+
+fn parse_one<T: std::str::FromStr>(rest: &[&str], line: usize, what: &str) -> Result<T, SpecError> {
+    match rest {
+        [one] => parse_field(one, line, what),
+        _ => Err(syntax(line, format!("`{what}` takes exactly one value"))),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(text: &str, line: usize, what: &str) -> Result<T, SpecError> {
+    text.parse().map_err(|_| syntax(line, format!("invalid {what} `{text}`")))
+}
+
+fn parse_dims(text: &str, line: usize) -> Result<(usize, usize), SpecError> {
+    let (w, h) = text
+        .split_once('x')
+        .ok_or_else(|| syntax(line, format!("bad dimensions `{text}`, want WxH")))?;
+    let width: usize = parse_field(w, line, "width")?;
+    let height: usize = parse_field(h, line, "height")?;
+    if width == 0 || height == 0 {
+        return Err(syntax(line, "dimensions must be non-zero".into()));
+    }
+    Ok((width, height))
+}
+
+fn parse_app(name: &str) -> Option<App> {
+    Some(match name {
+        "mpeg4" => App::Mpeg4,
+        "vopd" => App::Vopd,
+        "pip" => App::Pip,
+        "mwa" => App::Mwa,
+        "mwag" => App::Mwag,
+        "dsd" => App::Dsd,
+        _ => return None,
+    })
+}
+
+/// Spec keyword of a bundled app (inverse of [`parse_app`]).
+fn app_keyword(app: App) -> &'static str {
+    match app {
+        App::Mpeg4 => "mpeg4",
+        App::Vopd => "vopd",
+        App::Pip => "pip",
+        App::Mwa => "mwa",
+        App::Mwag => "mwag",
+        App::Dsd => "dsd",
+    }
+}
+
+fn parse_mapper(name: &str) -> Option<MapperSpec> {
+    Some(match name {
+        "nmap" => MapperSpec::Nmap(SinglePathOptions::default()),
+        "nmap-paper" => MapperSpec::Nmap(SinglePathOptions::paper_exact()),
+        "nmap-init" => MapperSpec::NmapInit,
+        "nmap-split-quadrant" => MapperSpec::NmapSplit { scope: PathScope::Quadrant, passes: 1 },
+        "nmap-split-all" => MapperSpec::NmapSplit { scope: PathScope::AllPaths, passes: 1 },
+        "pmap" => MapperSpec::Pmap,
+        "gmap" => MapperSpec::Gmap,
+        "pbb" => MapperSpec::Pbb(PbbOptions::default()),
+        _ => return parse_parameterized_mapper(name),
+    })
+}
+
+/// The `keyword[..]` spellings [`MapperSpec::name`] emits for
+/// configurations beyond the named defaults: `nmap[p2r8]`,
+/// `nmap-split-quadrant[p3]`, `nmap-split-all[p2]`, `pbb[q5000e50000]`.
+fn parse_parameterized_mapper(name: &str) -> Option<MapperSpec> {
+    let (base, rest) = name.split_once('[')?;
+    let params = rest.strip_suffix(']')?;
+    match base {
+        "nmap" => {
+            let (passes, restarts) = params
+                .strip_prefix('p')?
+                .split_once('r')
+                .and_then(|(p, r)| Some((p.parse().ok()?, r.parse().ok()?)))?;
+            Some(MapperSpec::Nmap(SinglePathOptions { passes, restarts }))
+        }
+        "nmap-split-quadrant" | "nmap-split-all" => {
+            let passes = params.strip_prefix('p')?.parse().ok()?;
+            let scope = if base == "nmap-split-quadrant" {
+                PathScope::Quadrant
+            } else {
+                PathScope::AllPaths
+            };
+            Some(MapperSpec::NmapSplit { scope, passes })
+        }
+        "pbb" => {
+            let (max_queue, max_expansions) = params
+                .strip_prefix('q')?
+                .split_once('e')
+                .and_then(|(q, e)| Some((q.parse().ok()?, e.parse().ok()?)))?;
+            Some(MapperSpec::Pbb(PbbOptions { max_queue, max_expansions }))
+        }
+        _ => None,
+    }
+}
+
+fn parse_routing(name: &str) -> Option<RoutingSpec> {
+    Some(match name {
+        "min-path" => RoutingSpec::MinPath,
+        "xy" => RoutingSpec::Xy,
+        "mcf-quadrant" => RoutingSpec::McfQuadrant,
+        "mcf-all" => RoutingSpec::McfAllPaths,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# exercise every directive
+capacity 800
+seed 9
+app vopd mpeg4
+app dsp
+random 12 2 3 50 60
+topology fit
+topology mesh 4x4
+topology torus 3x3
+topology fit-torus
+mapper nmap nmap-paper nmap-init pmap gmap pbb nmap-split-quadrant nmap-split-all
+routing min-path xy mcf-quadrant mcf-all
+";
+
+    #[test]
+    fn parses_every_directive() {
+        let spec = parse_spec(FULL).unwrap();
+        assert_eq!(spec.capacity, 800.0);
+        assert_eq!(spec.root_seed, 9);
+        assert_eq!(spec.apps.len(), 4);
+        assert_eq!(
+            spec.apps[3],
+            AppDirective::Random {
+                config: RandomGraphConfig {
+                    cores: 12,
+                    avg_degree: 3.0,
+                    min_bandwidth: 50.0,
+                    max_bandwidth: 60.0,
+                },
+                instances: 2,
+            }
+        );
+        assert_eq!(spec.topologies.len(), 4);
+        assert_eq!(spec.mappers.len(), 8);
+        assert_eq!(spec.routings.len(), 4);
+        // 4 app entries + 1 extra random instance = 5 app axis entries.
+        assert_eq!(spec.scenarios().len(), 5 * 4 * 8 * 4);
+    }
+
+    #[test]
+    fn canonical_display_round_trips() {
+        let spec = parse_spec(FULL).unwrap();
+        let reparsed = parse_spec(&spec.to_string()).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn parameterized_mappers_round_trip() {
+        // Builder-level configurations must survive Display -> parse.
+        let spec = SweepSpec {
+            apps: vec![AppDirective::Bundled(App::Pip)],
+            mappers: vec![
+                MapperSpec::Nmap(SinglePathOptions { passes: 4, restarts: 2 }),
+                MapperSpec::NmapSplit { scope: PathScope::Quadrant, passes: 3 },
+                MapperSpec::NmapSplit { scope: PathScope::AllPaths, passes: 2 },
+                MapperSpec::Pbb(PbbOptions { max_queue: 123, max_expansions: 456 }),
+            ],
+            ..Default::default()
+        };
+        let reparsed = parse_spec(&spec.to_string()).unwrap();
+        assert_eq!(reparsed.mappers, spec.mappers);
+        // And the inline forms parse directly.
+        assert_eq!(
+            parse_spec("app pip\nmapper nmap[p4r2] pbb[q10e20]\n").unwrap().mappers,
+            vec![
+                MapperSpec::Nmap(SinglePathOptions { passes: 4, restarts: 2 }),
+                MapperSpec::Pbb(PbbOptions { max_queue: 10, max_expansions: 20 }),
+            ]
+        );
+        // Malformed parameter suffixes are rejected, not defaulted.
+        for bad in ["nmap[p4]", "pbb[q10]", "nmap-split-all[x2]", "gmap[p1]"] {
+            assert!(
+                parse_spec(&format!("app pip\nmapper {bad}\n")).is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn all_keywords_expand() {
+        let spec = parse_spec("app all\nmapper all\nrouting all\n").unwrap();
+        assert_eq!(spec.apps.len(), 6);
+        assert_eq!(spec.mappers.len(), 4);
+        assert_eq!(spec.routings.len(), 4);
+    }
+
+    #[test]
+    fn defaults_apply_when_axes_missing() {
+        let spec = parse_spec("app pip\n").unwrap();
+        let set = spec.scenarios();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.scenarios()[0].capacity, 1_000.0);
+        assert_eq!(set.scenarios()[0].routing, RoutingSpec::MinPath);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = parse_spec("# header\n\napp pip # trailing\n").unwrap();
+        assert_eq!(spec.apps, vec![AppDirective::Bundled(App::Pip)]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_spec("app pip\nfrobnicate\n").unwrap_err();
+        assert_eq!(err.to_string(), "line 2: unknown keyword `frobnicate` (expected capacity/seed/app/random/topology/mapper/routing)");
+        assert!(matches!(
+            parse_spec("app nosuch\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("mapper warp\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("routing teleport\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("topology blob\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("topology mesh 0x4\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("capacity -5\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("random 5\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("random 5 2 0.0\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert_eq!(parse_spec("capacity 500\n").unwrap_err(), SpecError::Empty);
+        assert_eq!(parse_spec("").unwrap_err(), SpecError::Empty);
+    }
+
+    #[test]
+    fn derived_random_seeds_depend_on_root_seed() {
+        let a = parse_spec("seed 1\nrandom 10 1\n").unwrap().scenarios();
+        let b = parse_spec("seed 2\nrandom 10 1\n").unwrap().scenarios();
+        assert_ne!(a.scenarios()[0].seed, b.scenarios()[0].seed);
+    }
+}

@@ -1,0 +1,74 @@
+//! The engine's central guarantee: sweep output is byte-identical no
+//! matter how many worker threads produced it. Scenario seeds derive from
+//! the root seed at set-build time — never from worker identity — and
+//! records merge in scenario order, so the default-form (timing-free)
+//! writers must produce the same bytes for `threads = 1, 2, 8`.
+
+use noc_dse::{
+    parse_spec, run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, SweepReport, TopologySpec,
+};
+use noc_graph::RandomGraphConfig;
+
+/// A sweep wide enough that 8 workers genuinely interleave: 14 app
+/// entries × 2 topologies × 2 mappers × 2 routings = 112 scenarios.
+fn wide_set() -> ScenarioSet {
+    ScenarioSet::builder()
+        .root_seed(2024)
+        .capacity(600.0)
+        .all_apps()
+        .dsp()
+        .random(RandomGraphConfig { cores: 10, ..Default::default() }, 4)
+        .random(RandomGraphConfig { cores: 14, avg_degree: 2.5, ..Default::default() }, 3)
+        .topology(TopologySpec::FitMesh)
+        .topology(TopologySpec::FitTorus)
+        .mapper(MapperSpec::NmapInit)
+        .mapper(MapperSpec::Gmap)
+        .routing(RoutingSpec::MinPath)
+        .routing(RoutingSpec::Xy)
+        .build()
+}
+
+#[test]
+fn sweep_output_is_byte_identical_across_thread_counts() {
+    let set = wide_set();
+    assert_eq!(set.len(), 112);
+
+    let baseline = SweepReport::new(run_scenarios(set.scenarios(), 1));
+    let jsonl = baseline.write_jsonl(false);
+    let csv = baseline.write_csv(false);
+    assert_eq!(jsonl.lines().count(), set.len());
+
+    for threads in [2usize, 8] {
+        let report = SweepReport::new(run_scenarios(set.scenarios(), threads));
+        assert_eq!(report.write_jsonl(false), jsonl, "JSONL diverged at threads={threads}");
+        assert_eq!(report.write_csv(false), csv, "CSV diverged at threads={threads}");
+    }
+}
+
+#[test]
+fn spec_driven_sweeps_are_reproducible_end_to_end() {
+    // Same spec text, parsed twice, run with different thread counts:
+    // derived seeds and records must line up exactly.
+    let text = "\
+seed 77
+capacity 700
+random 9 3
+app pip
+mapper nmap-init gmap
+routing min-path xy
+";
+    let a = parse_spec(text).unwrap().scenarios();
+    let b = parse_spec(text).unwrap().scenarios();
+    assert_eq!(a, b);
+
+    let r1 = SweepReport::new(run_scenarios(a.scenarios(), 1));
+    let r8 = SweepReport::new(run_scenarios(b.scenarios(), 8));
+    assert_eq!(r1.write_jsonl(false), r8.write_jsonl(false));
+
+    // The feasibility/cost aggregates agree too (they ignore timing).
+    let s1 = r1.summary();
+    let s8 = r8.summary();
+    assert_eq!(s1.scenarios, s8.scenarios);
+    assert_eq!(s1.feasible, s8.feasible);
+    assert_eq!(s1.cost_median, s8.cost_median);
+}

@@ -1,0 +1,227 @@
+//! `nmap_dse` — drive the `noc-dse` design-space exploration engine.
+//!
+//! ```text
+//! nmap_dse --smoke                  fast built-in sweep (CI health check)
+//! nmap_dse --table2                 Table 2 scaling study through the engine
+//! nmap_dse --torus-vs-mesh         torus wrap-link gain over meshes
+//! nmap_dse --spec <file>            run a .dse sweep specification
+//! options:  --threads N             worker threads (default: all cores)
+//!           --jsonl <path>          write records as JSON lines
+//!           --csv <path>            write records as CSV
+//!           --timing                include per-stage wall times in output
+//!           --allow-failures        (--spec only) exit 0 even when scenarios fail
+//! ```
+//!
+//! `--table2` prints the same values as `table2_scaling` (the sequential
+//! reference harness); the sweep itself fans out across the worker pool.
+//! Exit code 1 on bad input or a sweep containing failed scenarios —
+//! pass `--allow-failures` for exploratory sweeps where does-not-fit
+//! records are data rather than errors.
+
+use std::process::ExitCode;
+
+use noc_dse::{parse_spec, run_sweep, EngineOptions, SweepReport};
+use noc_experiments::dse_bridge::{
+    table2_rows_from_records, table2_scenario_set, torus_vs_mesh_rows_from_records,
+    torus_vs_mesh_set,
+};
+use noc_experiments::report::{fmt, TextTable};
+use noc_experiments::table2::Table2Config;
+
+const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --spec <file>) \
+[--threads N] [--jsonl <path>] [--csv <path>] [--timing] [--allow-failures]";
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Smoke,
+    Table2,
+    TorusVsMesh,
+    Spec,
+}
+
+#[derive(Debug)]
+struct Args {
+    mode: Mode,
+    spec_path: Option<String>,
+    threads: usize,
+    jsonl: Option<String>,
+    csv: Option<String>,
+    timing: bool,
+    allow_failures: bool,
+}
+
+/// Returns `Ok(None)` for `--help`/`-h` (print usage, exit 0).
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut raw = std::env::args().skip(1);
+    let mut mode = None;
+    let mut spec_path = None;
+    let mut threads = 0usize;
+    let mut jsonl = None;
+    let mut csv = None;
+    let mut timing = false;
+    let mut allow_failures = false;
+
+    fn set_mode(m: Mode, current: &mut Option<Mode>) -> Result<(), String> {
+        if current.is_some() {
+            return Err("choose exactly one of --smoke/--table2/--torus-vs-mesh/--spec".into());
+        }
+        *current = Some(m);
+        Ok(())
+    }
+
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--smoke" => set_mode(Mode::Smoke, &mut mode)?,
+            "--table2" => set_mode(Mode::Table2, &mut mode)?,
+            "--torus-vs-mesh" => set_mode(Mode::TorusVsMesh, &mut mode)?,
+            "--spec" => {
+                set_mode(Mode::Spec, &mut mode)?;
+                spec_path = Some(raw.next().ok_or("--spec needs a file path")?);
+            }
+            "--threads" => {
+                let text = raw.next().ok_or("--threads needs a count")?;
+                threads = text.parse().map_err(|_| format!("bad thread count `{text}`"))?;
+            }
+            "--jsonl" => jsonl = Some(raw.next().ok_or("--jsonl needs a path")?),
+            "--csv" => csv = Some(raw.next().ok_or("--csv needs a path")?),
+            "--timing" => timing = true,
+            "--allow-failures" => allow_failures = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let mode = mode.ok_or(USAGE.to_string())?;
+    if allow_failures && mode != Mode::Spec {
+        // The built-in sweeps treat failed scenarios as bugs; only
+        // user-authored specs can legitimately contain infeasible points.
+        return Err("--allow-failures is only valid with --spec".into());
+    }
+    Ok(Some(Args { mode, spec_path, threads, jsonl, csv, timing, allow_failures }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.mode {
+        Mode::Table2 => {
+            println!("Table 2 via noc-dse — PBB vs NMAP on random graphs (engine sweep)");
+            println!("(values identical to the sequential table2_scaling harness)\n");
+            let config = Table2Config::default();
+            let report = sweep(&table2_scenario_set(&config), args)?;
+            let rows = table2_rows_from_records(&config, &report.records);
+            let mut table = TextTable::new(["cores", "PBB", "NMAP", "ratio"]);
+            for row in rows {
+                table.row([
+                    row.cores.to_string(),
+                    fmt(row.pbb, 0),
+                    fmt(row.nmap, 0),
+                    fmt(row.ratio, 2),
+                ]);
+            }
+            print!("{}", table.render());
+            Ok(())
+        }
+        Mode::TorusVsMesh => {
+            println!("Torus vs mesh — NMAP cost with and without wrap links\n");
+            let report = sweep(&torus_vs_mesh_set(), args)?;
+            let rows = torus_vs_mesh_rows_from_records(&report.records);
+            let mut table = TextTable::new(["app", "mesh", "torus", "mesh/torus"]);
+            for row in rows {
+                table.row([
+                    row.app,
+                    fmt(row.mesh_cost, 0),
+                    fmt(row.torus_cost, 0),
+                    fmt(row.gain, 2),
+                ]);
+            }
+            print!("{}", table.render());
+            Ok(())
+        }
+        Mode::Smoke => {
+            let spec = parse_spec(SMOKE_SPEC).map_err(|e| format!("smoke spec: {e}"))?;
+            let report = sweep(&spec.scenarios(), args)?;
+            let failed: Vec<_> = report.records.iter().filter(|r| !r.is_ok()).collect();
+            if !failed.is_empty() {
+                return Err(format!(
+                    "{} smoke scenarios failed, first: {}",
+                    failed.len(),
+                    failed[0].error
+                ));
+            }
+            println!("smoke sweep OK");
+            Ok(())
+        }
+        Mode::Spec => {
+            let path = args.spec_path.as_deref().expect("set with --spec");
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let spec = parse_spec(&text).map_err(|e| format!("{path}: {e}"))?;
+            // A successfully parsed spec always expands to at least one
+            // scenario: parse_spec requires an app directive and the
+            // builder default-fills every other axis.
+            let report = sweep(&spec.scenarios(), args)?;
+            let failed = report.records.iter().filter(|r| !r.is_ok()).count();
+            if failed > 0 && !args.allow_failures {
+                return Err(format!(
+                    "{failed} of {} scenarios failed (use --allow-failures if \
+that is expected)",
+                    report.records.len()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs the sweep, writes requested outputs, prints the summary.
+fn sweep(set: &noc_dse::ScenarioSet, args: &Args) -> Result<SweepReport, String> {
+    println!("running {} scenarios...", set.len());
+    let report = run_sweep(set, &EngineOptions { threads: args.threads });
+    if let Some(path) = &args.jsonl {
+        std::fs::write(path, report.write_jsonl(args.timing))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, report.write_csv(args.timing))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!("{}", report.summary());
+    Ok(report)
+}
+
+/// The built-in CI health-check sweep: small apps, both grid families,
+/// three mapper families and both cheap routing regimes — 36 scenarios
+/// that finish in well under a second.
+const SMOKE_SPEC: &str = "\
+# nmap_dse --smoke
+capacity 800
+seed 1
+app pip
+app dsp
+random 9 1
+topology fit
+topology fit-torus
+mapper nmap-paper nmap-init gmap
+routing min-path xy
+";

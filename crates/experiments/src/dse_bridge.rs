@@ -1,0 +1,184 @@
+//! Paper experiments re-expressed as `noc-dse` scenario sweeps.
+//!
+//! The point-by-point harnesses in this crate (one module per figure or
+//! table) remain the reference implementations; this module shows the
+//! same studies flowing through the parallel engine. [`table2_via_engine`]
+//! reproduces [`crate::table2::run`] *exactly* — same graph seeds, same
+//! mapper budgets, same floating-point accumulation order — so the two
+//! paths are mutually checking (asserted by the `dse_table2` integration
+//! test). [`torus_vs_mesh`] is a new engine-only study: how much of each
+//! application's communication cost the wrap-around links of a torus
+//! recover over a mesh of the same radix.
+
+use noc_dse::{run_scenarios, MapperSpec, RoutingSpec, RunRecord, ScenarioSet, TopologySpec};
+use noc_graph::RandomGraphConfig;
+
+use crate::table2::{Table2Config, Table2Row};
+use crate::{GENEROUS_CAPACITY, UNLIMITED_CAPACITY};
+
+use nmap::SinglePathOptions;
+
+/// Expands a Table 2 configuration into the equivalent scenario set:
+/// for every `(size, instance)` random graph (identical seeds to
+/// [`noc_graph::RandomGraphFamily`]), one PBB and one NMAP scenario on
+/// the fitted mesh with unlimited capacity.
+pub fn table2_scenario_set(config: &Table2Config) -> ScenarioSet {
+    ScenarioSet::builder()
+        .capacity(UNLIMITED_CAPACITY)
+        .random_family(&RandomGraphConfig::default(), &config.sizes, config.instances)
+        .mapper(MapperSpec::Pbb(config.pbb))
+        .mapper(MapperSpec::Nmap(SinglePathOptions::default()))
+        .routing(RoutingSpec::MinPath)
+        .build()
+}
+
+/// Folds the engine records of [`table2_scenario_set`] back into Table 2
+/// rows, accumulating costs in the same instance order (and therefore the
+/// same floating-point sums) as [`crate::table2::run`].
+///
+/// # Panics
+///
+/// Panics if `records` does not match the shape of
+/// `table2_scenario_set(config)` or contains failed scenarios.
+pub fn table2_rows_from_records(config: &Table2Config, records: &[RunRecord]) -> Vec<Table2Row> {
+    let instances = config.instances as usize;
+    assert_eq!(
+        records.len(),
+        config.sizes.len() * instances * 2,
+        "record count does not match the Table 2 scenario shape"
+    );
+    config
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(size_idx, &cores)| {
+            let mut pbb_sum = 0.0;
+            let mut nmap_sum = 0.0;
+            for instance in 0..instances {
+                // Scenario order: app entries (size-major, then instance),
+                // each expanded to [pbb, nmap].
+                let base = (size_idx * instances + instance) * 2;
+                let (pbb, nmap) = (&records[base], &records[base + 1]);
+                assert!(pbb.is_ok() && nmap.is_ok(), "Table 2 scenarios cannot fail");
+                assert!(pbb.mapper.starts_with("pbb"), "unexpected order: {}", pbb.mapper);
+                assert_eq!(pbb.cores, cores);
+                pbb_sum += pbb.comm_cost;
+                nmap_sum += nmap.comm_cost;
+            }
+            let pbb_avg = pbb_sum / config.instances as f64;
+            let nmap_avg = nmap_sum / config.instances as f64;
+            Table2Row { cores, pbb: pbb_avg, nmap: nmap_avg, ratio: pbb_avg / nmap_avg }
+        })
+        .collect()
+}
+
+/// Runs the Table 2 scaling study through the engine on `threads` workers
+/// (`0` = available parallelism). Values are identical to
+/// [`crate::table2::run`] with the same configuration.
+pub fn table2_via_engine(config: &Table2Config, threads: usize) -> Vec<Table2Row> {
+    let set = table2_scenario_set(config);
+    let records = run_scenarios(set.scenarios(), threads);
+    table2_rows_from_records(config, &records)
+}
+
+/// One row of the torus-vs-mesh study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TorusVsMeshRow {
+    /// Application name.
+    pub app: String,
+    /// NMAP communication cost on the fitted mesh.
+    pub mesh_cost: f64,
+    /// NMAP communication cost on the torus of the same radix.
+    pub torus_cost: f64,
+    /// `mesh_cost / torus_cost` (≥ 1 when the wrap links help).
+    pub gain: f64,
+}
+
+/// The scenario set behind [`torus_vs_mesh`]: all six video applications
+/// on their fitted mesh and the torus of the same radix, mapped by NMAP
+/// under min-path routing with the experiments' generous capacity.
+pub fn torus_vs_mesh_set() -> ScenarioSet {
+    ScenarioSet::builder()
+        .capacity(GENEROUS_CAPACITY)
+        .all_apps()
+        .topology(TopologySpec::FitMesh)
+        .topology(TopologySpec::FitTorus)
+        .mapper(MapperSpec::Nmap(SinglePathOptions::default()))
+        .routing(RoutingSpec::MinPath)
+        .build()
+}
+
+/// Runs the torus-vs-mesh sweep through the engine.
+///
+/// # Panics
+///
+/// Panics if any scenario fails (the bundled applications always fit
+/// their fabrics).
+pub fn torus_vs_mesh(threads: usize) -> Vec<TorusVsMeshRow> {
+    let set = torus_vs_mesh_set();
+    let records = run_scenarios(set.scenarios(), threads);
+    torus_vs_mesh_rows_from_records(&records)
+}
+
+/// Folds the engine records of [`torus_vs_mesh_set`] into study rows
+/// (mesh/torus record pairs in scenario order).
+///
+/// # Panics
+///
+/// Panics if `records` does not match the shape of [`torus_vs_mesh_set`]
+/// or contains failed scenarios.
+pub fn torus_vs_mesh_rows_from_records(records: &[RunRecord]) -> Vec<TorusVsMeshRow> {
+    assert_eq!(records.len() % 2, 0, "records must be mesh/torus pairs");
+    records
+        .chunks_exact(2)
+        .map(|pair| {
+            let (mesh, torus) = (&pair[0], &pair[1]);
+            assert!(mesh.is_ok() && torus.is_ok(), "bundled apps always fit");
+            assert!(mesh.topology.starts_with("mesh"), "unexpected order: {}", mesh.topology);
+            assert!(torus.topology.starts_with("torus"), "unexpected order: {}", torus.topology);
+            TorusVsMeshRow {
+                app: mesh.scenario.clone(),
+                mesh_cost: mesh.comm_cost,
+                torus_cost: torus.comm_cost,
+                gain: mesh.comm_cost / torus.comm_cost,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_set_shape_matches_config() {
+        let config = Table2Config {
+            sizes: vec![9, 12],
+            instances: 2,
+            pbb: noc_baselines::PbbOptions { max_queue: 100, max_expansions: 500 },
+        };
+        let set = table2_scenario_set(&config);
+        assert_eq!(set.len(), 2 * 2 * 2);
+        assert_eq!(set.scenarios()[0].mapper.name(), "pbb[q100e500]");
+        assert_eq!(set.scenarios()[1].mapper.name(), "nmap");
+    }
+
+    #[test]
+    fn torus_never_loses_to_mesh() {
+        // The mesh embedding is always available on the torus, so with
+        // NMAP's multi-restart search the torus cost should not exceed
+        // the mesh cost by more than search noise; the gain stays >= ~1.
+        let rows = torus_vs_mesh(0);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.torus_cost > 0.0);
+            assert!(
+                row.gain >= 0.95,
+                "{}: torus ({}) much worse than mesh ({})",
+                row.app,
+                row.torus_cost,
+                row.mesh_cost
+            );
+        }
+    }
+}

@@ -16,10 +16,12 @@
 //! | [`table3`] | Table 3 — DSP NoC design parameters |
 //! | [`routing_ablation`] | §5 claim — heuristic routing vs LP bound |
 //! | [`topology_selection`] | §8 future work — fabric design-space exploration |
+//! | [`dse_bridge`] | Table 2 and a torus-vs-mesh study through the `noc-dse` engine |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dse_bridge;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5c;

@@ -1,0 +1,47 @@
+//! The acceptance check for the `noc-dse` engine: Table 2 run through the
+//! engine must produce *identical* values to the sequential reference
+//! harness in `table2.rs` — same random-graph seeds, same mapper budgets,
+//! same floating-point accumulation order — for any worker count.
+
+use noc_baselines::PbbOptions;
+use noc_experiments::dse_bridge::{table2_scenario_set, table2_via_engine};
+use noc_experiments::table2::{run, Table2Config};
+
+/// A reduced configuration so the test stays fast; the full-size study
+/// runs in `nmap_dse --table2`.
+fn small_config() -> Table2Config {
+    Table2Config {
+        sizes: vec![12, 16],
+        instances: 2,
+        pbb: PbbOptions { max_queue: 500, max_expansions: 5_000 },
+    }
+}
+
+#[test]
+fn engine_reproduces_table2_exactly() {
+    let config = small_config();
+    let reference = run(&config);
+    for threads in [1usize, 4] {
+        let engine = table2_via_engine(&config, threads);
+        assert_eq!(engine.len(), reference.len());
+        for (e, r) in engine.iter().zip(&reference) {
+            assert_eq!(e.cores, r.cores);
+            assert_eq!(e.pbb, r.pbb, "PBB mean diverged at {} cores", r.cores);
+            assert_eq!(e.nmap, r.nmap, "NMAP mean diverged at {} cores", r.cores);
+            assert_eq!(e.ratio, r.ratio, "ratio diverged at {} cores", r.cores);
+        }
+    }
+}
+
+#[test]
+fn scenario_set_carries_the_pbb_budget() {
+    let config = small_config();
+    let set = table2_scenario_set(&config);
+    assert_eq!(set.len(), config.sizes.len() * config.instances as usize * 2);
+    // Budgets ride inside the mapper spec, not a side channel.
+    let has_budget = set
+        .scenarios()
+        .iter()
+        .any(|s| matches!(&s.mapper, noc_dse::MapperSpec::Pbb(o) if *o == config.pbb));
+    assert!(has_budget);
+}

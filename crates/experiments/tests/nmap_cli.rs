@@ -1,0 +1,99 @@
+//! Error-path tests for the `nmap_cli` binary: bad inputs must exit
+//! nonzero with a clear message on stderr — never a panic, never a
+//! success code.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nmap_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nmap_cli")).args(args).output().expect("binary launches")
+}
+
+/// A scratch file that cleans up after itself.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn with_content(name: &str, content: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("nmap_cli_test_{}_{name}", std::process::id()));
+        std::fs::write(&path, content).expect("temp dir is writable");
+        Self(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn assert_clean_failure(output: &Output, needle: &str) {
+    let stderr = stderr_of(output);
+    assert_eq!(output.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains(needle), "stderr missing `{needle}`: {stderr}");
+    assert!(!stderr.contains("panicked"), "binary panicked: {stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "binary crashed instead of reporting: {stderr}");
+}
+
+#[test]
+fn nonexistent_app_file_fails_cleanly() {
+    let out = nmap_cli(&["/definitely/not/a/real/file.app"]);
+    assert_clean_failure(&out, "cannot read /definitely/not/a/real/file.app");
+}
+
+#[test]
+fn unparsable_app_file_reports_the_line() {
+    let bad = TempFile::with_content("garbage.app", "core a\nfrobnicate the widgets\n");
+    let out = nmap_cli(&[bad.path()]);
+    assert_clean_failure(&out, "line 2: unknown keyword `frobnicate`");
+}
+
+#[test]
+fn app_larger_than_topology_fails_cleanly() {
+    // Five cores cannot fit a 2x2 mesh; every algorithm must refuse the
+    // problem up front rather than panic mid-search.
+    let app = TempFile::with_content(
+        "five_cores.app",
+        "comm a b 10\ncomm b c 10\ncomm c d 10\ncomm d e 10\n",
+    );
+    for algorithm in ["nmap", "nmap-split", "pmap", "gmap", "pbb"] {
+        let out = nmap_cli(&[app.path(), "--mesh", "2x2", "--algorithm", algorithm]);
+        assert_clean_failure(&out, "5 cores but the topology only has 4 nodes");
+    }
+}
+
+#[test]
+fn unparsable_topology_file_fails_cleanly() {
+    let app = TempFile::with_content("ok.app", "comm a b 10\n");
+    let noc = TempFile::with_content("bad.noc", "mesh 2 2 100\nlink 0 1 50\n");
+    let out = nmap_cli(&[app.path(), "--noc", noc.path()]);
+    assert_clean_failure(&out, "only valid for custom topologies");
+}
+
+#[test]
+fn bad_flags_print_usage() {
+    let out = nmap_cli(&["--mesh", "not-dims", "whatever.app"]);
+    assert_clean_failure(&out, "bad dimensions");
+    let out = nmap_cli(&[]);
+    assert_clean_failure(&out, "usage:");
+    let out = nmap_cli(&["app.app", "--algorithm", "quantum"]);
+    assert_clean_failure(&out, "unknown algorithm `quantum`");
+}
+
+#[test]
+fn infeasible_bandwidth_exits_two_not_one() {
+    // Exit code 2 is the documented "constraints unsatisfied" signal,
+    // distinct from input errors.
+    let app = TempFile::with_content("hot.app", "comm a b 500\n");
+    let out = nmap_cli(&[app.path(), "--mesh", "2x2", "--capacity", "100"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("NOT satisfied"));
+}

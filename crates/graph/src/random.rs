@@ -122,9 +122,17 @@ impl RandomGraphFamily {
     /// Generates the `instance`-th graph with `cores` cores.
     pub fn graph(&self, cores: usize, instance: u64) -> CoreGraph {
         let config = RandomGraphConfig { cores, ..self.base.clone() };
-        // Mix the instance into the seed; cores is in the config already
-        // but adding it decorrelates sweeps that share instance numbers.
-        config.generate(instance.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cores as u64)
+        config.generate(Self::instance_seed(cores, instance))
+    }
+
+    /// The generator seed [`RandomGraphFamily::graph`] uses for
+    /// `(cores, instance)` — public so external sweep drivers (e.g. the
+    /// `noc-dse` engine) can reference the exact same graph instances.
+    ///
+    /// The instance is mixed into the seed; cores is in the config already
+    /// but adding it decorrelates sweeps that share instance numbers.
+    pub fn instance_seed(cores: usize, instance: u64) -> u64 {
+        instance.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cores as u64
     }
 }
 

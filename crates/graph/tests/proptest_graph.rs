@@ -144,6 +144,39 @@ proptest! {
         }
     }
 
+    /// The generator hits the requested shape across configurations: the
+    /// edge count equals `round(cores · avg_degree)` (clamped between the
+    /// spanning minimum and the simple-digraph maximum), the graph stays
+    /// connected, and bandwidths stay inside the configured range — the
+    /// guarantees the `noc-dse` random sweeps build on.
+    #[test]
+    fn random_graphs_hit_requested_degree_and_range(
+        cores in 4usize..32,
+        tenths_degree in 10u32..45, // avg_degree 1.0..4.5
+        bw_base in 1u32..200,
+        bw_spread in 0u32..100,
+        seed in 0u64..200,
+    ) {
+        let cfg = RandomGraphConfig {
+            cores,
+            avg_degree: tenths_degree as f64 / 10.0,
+            min_bandwidth: bw_base as f64,
+            max_bandwidth: (bw_base + bw_spread) as f64,
+        };
+        let g = cfg.generate(seed);
+        prop_assert_eq!(g.core_count(), cores);
+        prop_assert!(g.is_connected(), "seed {} disconnected", seed);
+        let target = ((cores as f64 * cfg.avg_degree).round() as usize)
+            .clamp(cores - 1, cores * (cores - 1));
+        prop_assert_eq!(g.edge_count(), target, "cores {} degree {}", cores, cfg.avg_degree);
+        for (_, e) in g.edges() {
+            prop_assert!(e.bandwidth >= cfg.min_bandwidth);
+            prop_assert!(e.bandwidth <= cfg.max_bandwidth);
+        }
+        // Reproducibility: the same (config, seed) pair is one graph.
+        prop_assert_eq!(cfg.generate(seed), g);
+    }
+
     /// Mesh link structure: every node's degree matches its position
     /// (corner 2, edge 3, interior 4) and in-degree equals out-degree.
     #[test]

@@ -10,6 +10,8 @@
 //!   split-traffic) and MCF formulations.
 //! * [`baselines`] — PMAP, GMAP and PBB comparison mappers
 //!   ([`noc_baselines`]).
+//! * [`dse`] — the parallel design-space exploration engine
+//!   ([`noc_dse`]).
 //! * [`sim`] — the flit-level wormhole NoC simulator ([`noc_sim`]).
 //! * [`apps`] — the paper's benchmark applications ([`noc_apps`]).
 //!
@@ -20,6 +22,7 @@
 
 pub use noc_apps as apps;
 pub use noc_baselines as baselines;
+pub use noc_dse as dse;
 pub use noc_graph as graph;
 pub use noc_lp as lp;
 pub use noc_sim as sim;

@@ -30,6 +30,15 @@ fn reexported_paths_resolve() {
     let opts = nmap_suite::baselines::PbbOptions::default();
     assert!(opts.max_expansions > 0);
 
+    // nmap_suite::dse -> noc_dse
+    let set = nmap_suite::dse::ScenarioSet::builder()
+        .app(nmap_suite::apps::App::Pip)
+        .mapper(nmap_suite::dse::MapperSpec::NmapInit)
+        .build();
+    let report = nmap_suite::dse::run_sweep(&set, &nmap_suite::dse::EngineOptions::default());
+    assert_eq!(report.records.len(), 1);
+    assert!(report.records[0].is_ok());
+
     // nmap_suite::nmap -> nmap (the core crate)
     let _: fn(&MappingProblem) -> nmap_suite::nmap::Mapping = nmap_suite::nmap::initialize;
 }
