@@ -16,13 +16,16 @@ use std::time::Instant;
 
 use nmap::{
     initialize, map_single_path, map_with_splitting, mcf::solve_mcf, routing, LinkLoads, MapError,
-    Mapping, MappingProblem, McfKind, PathScope, SplitOptions,
+    Mapping, MappingProblem, McfKind, PathScope, RoutingTables, SplitOptions,
 };
 use noc_baselines::{gmap, pbb, pmap};
 use noc_lp::SolveError;
+use noc_sim::{FlowSpec, SimReport, Simulator};
 
-use crate::report::{RunRecord, StageTimes, SweepReport};
-use crate::scenario::{topology_label, MapperSpec, RoutingSpec, Scenario, ScenarioSet};
+use crate::report::{RunRecord, SimStats, StageTimes, SweepReport};
+use crate::scenario::{
+    topology_label, MapperSpec, RoutingSpec, Scenario, ScenarioSet, SimulateSpec,
+};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,26 +46,43 @@ pub fn run_sweep(set: &ScenarioSet, options: &EngineOptions) -> SweepReport {
 /// not fit, unroutable, LP breakdown) become records with a non-empty
 /// `error` field; they never abort the sweep.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<RunRecord> {
-    let n = scenarios.len();
-    if n == 0 {
+    pool_map(scenarios.len(), threads, |i| run_scenario(&scenarios[i]))
+}
+
+/// The engine's deterministic worker pool, exposed for harnesses that fan
+/// out work the scenario pipeline cannot express (e.g. the engine-backed
+/// Figure 5(c) sweep): runs `task(0..count)` on `threads` workers (`0` =
+/// available parallelism) and returns the results **in index order**.
+///
+/// The determinism contract is the caller's half of the engine's: `task`
+/// must be a pure function of its index (no shared mutable state, no
+/// worker-identity dependence). Under that contract the returned vector
+/// is identical for 1 or N threads — workers claim indices from a shared
+/// atomic cursor and write each result into its index's slot.
+pub fn pool_map<T, F>(count: usize, threads: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
         return Vec::new();
     }
-    let workers = effective_threads(threads, n);
+    let workers = effective_threads(threads, count);
     if workers <= 1 {
-        return scenarios.iter().map(run_scenario).collect();
+        return (0..count).map(task).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                if i >= count {
                     break;
                 }
-                let record = run_scenario(&scenarios[i]);
-                *slots[i].lock().expect("no poisoned slots") = Some(record);
+                let result = task(i);
+                *slots[i].lock().expect("no poisoned slots") = Some(result);
             });
         }
     });
@@ -83,12 +103,33 @@ fn effective_threads(threads: usize, scenarios: usize) -> usize {
     requested.clamp(1, scenarios.max(1))
 }
 
-/// Runs one scenario end to end: build → map → route → measure.
+/// Runs one scenario end to end: build → map → route → measure, plus the
+/// optional wormhole-simulation stage (the scenario's routing tables are
+/// loaded into the simulator as source routes).
 pub fn run_scenario(scenario: &Scenario) -> RunRecord {
     let build_start = Instant::now();
     let (graph, topology) = scenario.parts();
     let cores = graph.core_count();
     let topo_label = topology_label(&topology);
+    // Scenario fields are public, so a hand-built scenario can bypass the
+    // builder's validation; an invalid simulate spec must become an error
+    // record here, not a Simulator::new panic inside a pool worker. The
+    // same goes for unresolved bandwidth points — the engine simulates at
+    // the scenario's capacity, so silently ignoring them would mislabel
+    // every sim column.
+    if let Some(spec) = &scenario.simulate {
+        let problem = if spec.bandwidths_mbps.is_empty() {
+            spec.validate().err()
+        } else {
+            Some(
+                "unresolved bandwidth sweep points (expand them through ScenarioSetBuilder)"
+                    .to_string(),
+            )
+        };
+        if let Some(message) = problem {
+            return RunRecord::failed(scenario, cores, topo_label, format!("simulate: {message}"));
+        }
+    }
     let problem = match MappingProblem::new(graph, topology) {
         Ok(p) => p,
         Err(e) => return RunRecord::failed(scenario, cores, topo_label, e.to_string()),
@@ -107,8 +148,9 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
     let map_us = StageTimes::us(map_start.elapsed());
 
     let route_start = Instant::now();
-    let loads = match route(&problem, &mapping, scenario.routing) {
-        Ok(loads) => loads,
+    let need_tables = scenario.simulate.is_some();
+    let (tables, loads) = match route(&problem, &mapping, scenario.routing, need_tables) {
+        Ok(routed) => routed,
         Err(e) => {
             let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
             r.times.build_us = build_us;
@@ -118,6 +160,13 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
         }
     };
     let route_us = StageTimes::us(route_start.elapsed());
+
+    let sim_start = Instant::now();
+    let sim = scenario.simulate.as_ref().map(|spec| {
+        let tables = tables.as_ref().expect("tables built when simulate is present");
+        simulate(&problem, &mapping, tables, spec, scenario.seed)
+    });
+    let sim_us = if sim.is_some() { StageTimes::us(sim_start.elapsed()) } else { 0 };
 
     RunRecord {
         scenario: scenario.label.clone(),
@@ -133,7 +182,74 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
         max_link_load: loads.max(),
         total_load: loads.total(),
         evaluations,
-        times: StageTimes { build_us, map_us, route_us },
+        sim,
+        times: StageTimes { build_us, map_us, route_us, sim_us },
+    }
+}
+
+/// Runs the wormhole simulator over the scenario's routed traffic: one
+/// [`FlowSpec`] per positive commodity, paths and shares straight from the
+/// routing tables, link bandwidth = the scenario's capacity (the topology
+/// was built with it). The traffic seed is a pure function of the
+/// scenario's seed, so the stats are worker-independent.
+fn simulate(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    tables: &RoutingTables,
+    spec: &SimulateSpec,
+    scenario_seed: u64,
+) -> SimStats {
+    let flows = flows_from_tables(problem, mapping, tables);
+    let config = spec.sim_config(scenario_seed);
+    let packet_bytes = config.packet_bytes;
+    let report = Simulator::new(problem.topology(), flows, config).run();
+    sim_stats(&report, problem.topology().link_count(), packet_bytes)
+}
+
+/// Converts a placement's commodities plus routing tables into simulator
+/// flows: one [`FlowSpec`] per positive commodity, paths and traffic
+/// shares straight from the tables (zero-fraction placeholder routes are
+/// dropped — [`FlowSpec::split`] rejects non-positive weights). This is
+/// *the* bridge between the mapping layer and the simulator; the
+/// sequential Figure 5(c) harness routes through it too.
+pub fn flows_from_tables(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    tables: &RoutingTables,
+) -> Vec<FlowSpec> {
+    problem
+        .commodities(mapping)
+        .into_iter()
+        .filter(|c| c.value > 0.0)
+        .map(|c| {
+            let paths: Vec<(Vec<_>, f64)> = tables
+                .routes_of(c.edge)
+                .iter()
+                .filter(|r| r.fraction > 0.0)
+                .map(|r| (r.links.clone(), r.fraction))
+                .collect();
+            FlowSpec::split(c.source, c.dest, c.value, paths)
+        })
+        .collect()
+}
+
+/// Folds a [`SimReport`] into the record-level [`SimStats`] columns.
+fn sim_stats(report: &SimReport, link_count: usize, packet_bytes: usize) -> SimStats {
+    let delivered_mbps = if report.measure_cycles == 0 {
+        0.0
+    } else {
+        report.latency.count() as f64 * packet_bytes as f64 / report.measure_cycles as f64 * 1000.0
+    };
+    let max_link_mbps = (0..link_count)
+        .map(|l| report.link_throughput_mbps(noc_graph::LinkId::new(l)))
+        .fold(0.0, f64::max);
+    SimStats {
+        avg_latency_cycles: report.avg_latency_cycles(),
+        avg_network_latency_cycles: report.avg_network_latency_cycles(),
+        p95_latency_cycles: report.latency.quantile_upper_bound(0.95).unwrap_or(0),
+        delivered_mbps,
+        max_link_mbps,
+        saturated: report.saturated(),
     }
 }
 
@@ -161,34 +277,47 @@ fn run_mapper(problem: &MappingProblem, mapper: &MapperSpec) -> nmap::Result<(Ma
 }
 
 /// Routes `mapping` under the scenario's regime and returns the link
-/// loads the feasibility check and load metrics are taken from.
+/// loads the feasibility check and load metrics are taken from, plus —
+/// when `need_tables` is set (the scenario simulates) — the routing
+/// tables the simulate stage loads as source routes. The single-path
+/// regimes skip the table construction (per-commodity path clones)
+/// otherwise; the MCF regimes get tables for free from flow decomposition
+/// and always return them.
 ///
 /// For the MCF regimes the minimum-total-flow program (MCF2) provides the
-/// loads; when its capacities are infeasible, the always-feasible
-/// slack-minimizing program (MCF1) provides them instead, so the record
+/// routing; when its capacities are infeasible, the always-feasible
+/// slack-minimizing program (MCF1) provides it instead, so the record
 /// still reports how much traffic the best split routing would carry.
 fn route(
     problem: &MappingProblem,
     mapping: &Mapping,
     routing: RoutingSpec,
-) -> nmap::Result<LinkLoads> {
+    need_tables: bool,
+) -> nmap::Result<(Option<RoutingTables>, LinkLoads)> {
     match routing {
-        RoutingSpec::MinPath => Ok(routing::route_min_paths(problem, mapping)?.1),
-        RoutingSpec::Xy => Ok(routing::route_xy(problem, mapping)?.1),
-        RoutingSpec::McfQuadrant => mcf_loads(problem, mapping, PathScope::Quadrant),
-        RoutingSpec::McfAllPaths => mcf_loads(problem, mapping, PathScope::AllPaths),
+        RoutingSpec::MinPath => {
+            let (paths, loads) = routing::route_min_paths(problem, mapping)?;
+            Ok((need_tables.then(|| RoutingTables::from_single_paths(&paths)), loads))
+        }
+        RoutingSpec::Xy => {
+            let (paths, loads) = routing::route_xy(problem, mapping)?;
+            Ok((need_tables.then(|| RoutingTables::from_single_paths(&paths)), loads))
+        }
+        RoutingSpec::McfQuadrant => mcf_routing(problem, mapping, PathScope::Quadrant),
+        RoutingSpec::McfAllPaths => mcf_routing(problem, mapping, PathScope::AllPaths),
     }
 }
 
-fn mcf_loads(
+fn mcf_routing(
     problem: &MappingProblem,
     mapping: &Mapping,
     scope: PathScope,
-) -> nmap::Result<LinkLoads> {
+) -> nmap::Result<(Option<RoutingTables>, LinkLoads)> {
     match solve_mcf(problem, mapping, McfKind::FlowMin, scope) {
-        Ok(solution) => Ok(solution.link_loads),
+        Ok(solution) => Ok((Some(solution.tables), solution.link_loads)),
         Err(MapError::Lp(SolveError::Infeasible)) => {
-            Ok(solve_mcf(problem, mapping, McfKind::SlackMin, scope)?.link_loads)
+            let solution = solve_mcf(problem, mapping, McfKind::SlackMin, scope)?;
+            Ok((Some(solution.tables), solution.link_loads))
         }
         Err(e) => Err(e),
     }
@@ -249,6 +378,7 @@ mod tests {
             capacity: 1_000.0,
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
+            simulate: None,
         };
         let record = run_scenario(&scenario);
         assert!(!record.is_ok());
@@ -266,6 +396,7 @@ mod tests {
             capacity: 1_000.0,
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::McfQuadrant,
+            simulate: None,
         };
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
@@ -285,11 +416,110 @@ mod tests {
             capacity: 100.0,
             mapper: MapperSpec::NmapInit,
             routing: RoutingSpec::McfAllPaths,
+            simulate: None,
         };
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
         assert!(!record.feasible);
         assert!(record.max_link_load > 100.0);
+    }
+
+    /// A fast simulate config for engine tests.
+    fn quick_sim() -> SimulateSpec {
+        SimulateSpec {
+            warmup_cycles: 1_000,
+            measure_cycles: 8_000,
+            drain_cycles: 4_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn simulate_stage_populates_sim_stats() {
+        let scenario = Scenario {
+            label: "DSP".into(),
+            app: AppSpec::DspFilter,
+            seed: 5,
+            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            capacity: 1_400.0,
+            mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
+            routing: RoutingSpec::MinPath,
+            simulate: Some(quick_sim()),
+        };
+        let record = run_scenario(&scenario);
+        assert!(record.is_ok(), "error: {}", record.error);
+        let sim = record.sim.as_ref().expect("simulate stage ran");
+        assert!(sim.avg_latency_cycles > 0.0, "no packets measured");
+        assert!(sim.avg_network_latency_cycles > 0.0);
+        assert!(sim.avg_network_latency_cycles <= sim.avg_latency_cycles);
+        assert!(sim.p95_latency_cycles > 0);
+        assert!(sim.delivered_mbps > 0.0);
+        assert!(sim.max_link_mbps > 0.0);
+        assert!(!sim.saturated, "1.4 GB/s links must not saturate the DSP design");
+
+        // Same scenario, same record — the sim stage is deterministic.
+        let again = run_scenario(&scenario);
+        assert_eq!(again.sim, record.sim);
+
+        // Without the simulate stage the columns stay empty.
+        let bare = run_scenario(&Scenario { simulate: None, ..scenario });
+        assert!(bare.sim.is_none());
+        assert_eq!(bare.comm_cost, record.comm_cost);
+    }
+
+    #[test]
+    fn invalid_hand_built_simulate_spec_becomes_an_error_record() {
+        // Scenario fields are public: a spec that bypassed the builder's
+        // validation must fail as a record, not as a worker panic that
+        // aborts the sweep.
+        let scenario = Scenario {
+            label: "DSP".into(),
+            app: AppSpec::DspFilter,
+            seed: 0,
+            topology: TopologySpec::FitMesh,
+            capacity: 1_000.0,
+            mapper: MapperSpec::NmapInit,
+            routing: RoutingSpec::MinPath,
+            simulate: Some(SimulateSpec { measure_cycles: 0, ..Default::default() }),
+        };
+        let records = run_scenarios(std::slice::from_ref(&scenario), 2);
+        assert_eq!(records.len(), 1);
+        assert!(!records[0].is_ok());
+        assert!(
+            records[0].error.contains("simulate: measurement window"),
+            "error: {}",
+            records[0].error
+        );
+        assert!(records[0].sim.is_none());
+
+        // Unresolved bandwidth points are an error too: the engine would
+        // otherwise simulate at `capacity` and mislabel every sim column.
+        let unresolved = Scenario {
+            simulate: Some(SimulateSpec { bandwidths_mbps: vec![600.0], ..Default::default() }),
+            ..scenario
+        };
+        let record = run_scenario(&unresolved);
+        assert!(!record.is_ok());
+        assert!(record.error.contains("unresolved bandwidth"), "error: {}", record.error);
+    }
+
+    #[test]
+    fn simulate_runs_split_tables_through_the_simulator() {
+        // MCF split routing hands multi-path tables to the simulator; the
+        // run must accept the per-path fractions as flow weights.
+        let scenario = Scenario {
+            label: "DSP".into(),
+            app: AppSpec::DspFilter,
+            seed: 1,
+            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            capacity: 1_400.0,
+            mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
+            routing: RoutingSpec::McfQuadrant,
+            simulate: Some(quick_sim()),
+        };
+        let record = run_scenario(&scenario);
+        assert!(record.is_ok(), "error: {}", record.error);
+        assert!(record.sim.as_ref().expect("sim ran").avg_latency_cycles > 0.0);
     }
 
     #[test]
@@ -303,6 +533,16 @@ mod tests {
         let summary = report.summary();
         assert_eq!(summary.failed, 0);
         assert!(summary.feasibility_rate > 0.0);
+    }
+
+    #[test]
+    fn pool_map_preserves_index_order() {
+        let square = |i: usize| i * i;
+        let expected: Vec<usize> = (0..97).map(square).collect();
+        for threads in [0, 1, 2, 8] {
+            assert_eq!(pool_map(97, threads, square), expected, "threads={threads}");
+        }
+        assert_eq!(pool_map(0, 4, square), Vec::<usize>::new());
     }
 
     #[test]

@@ -47,10 +47,12 @@ mod report;
 mod scenario;
 pub mod spec;
 
-pub use engine::{run_scenario, run_scenarios, run_sweep, EngineOptions};
-pub use report::{RunRecord, StageTimes, SweepReport, SweepSummary};
+pub use engine::{
+    flows_from_tables, pool_map, run_scenario, run_scenarios, run_sweep, EngineOptions,
+};
+pub use report::{RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};
 pub use scenario::{
     topology_label, AppSpec, MapperSpec, RoutingSpec, Scenario, ScenarioSet, ScenarioSetBuilder,
-    TopologySpec,
+    SimulateSpec, TopologySpec,
 };
 pub use spec::{parse_spec, AppDirective, SpecError, SweepSpec};

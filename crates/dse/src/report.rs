@@ -22,18 +22,46 @@ pub struct StageTimes {
     pub map_us: u64,
     /// Routing the placed traffic and measuring loads.
     pub route_us: u64,
+    /// Running the wormhole simulator (0 when the scenario has no
+    /// simulate stage).
+    pub sim_us: u64,
 }
 
 impl StageTimes {
     /// Total microseconds across all stages.
     pub fn total_us(&self) -> u64 {
-        self.build_us + self.map_us + self.route_us
+        self.build_us + self.map_us + self.route_us + self.sim_us
     }
 
     /// Converts a [`Duration`] to saturating microseconds.
     pub fn us(d: Duration) -> u64 {
         u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
     }
+}
+
+/// Simulation-stage measurements of one scenario (present when the
+/// scenario carried a [`crate::SimulateSpec`]). All values are
+/// deterministic functions of the scenario — the traffic seed derives
+/// from the scenario seed, never from engine worker identity — so they
+/// participate in the byte-identical-output guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Mean packet latency in cycles (generation → tail ejection,
+    /// source queueing included).
+    pub avg_latency_cycles: f64,
+    /// Mean network-only latency in cycles (network entry → ejection).
+    pub avg_network_latency_cycles: f64,
+    /// Coarse 95th-percentile latency bound in cycles (histogram bucket
+    /// upper edge; 0 when no packet was measured).
+    pub p95_latency_cycles: u64,
+    /// Accepted throughput over the measurement window in MB/s: payload
+    /// bytes of measured delivered packets per unit time.
+    pub delivered_mbps: f64,
+    /// Peak per-link throughput during the window in MB/s.
+    pub max_link_mbps: f64,
+    /// Saturation flag (deadlock drops or in-flight measured packets at
+    /// the end of the drain window).
+    pub saturated: bool,
 }
 
 /// Outcome of one scenario run.
@@ -66,6 +94,9 @@ pub struct RunRecord {
     /// Mapper work measure (placement evaluations, LP solves or search
     /// expansions, depending on the mapper; 0 for constructive mappers).
     pub evaluations: usize,
+    /// Simulation-stage measurements (`None` when the scenario has no
+    /// simulate stage; the sim columns then serialize as `null`).
+    pub sim: Option<SimStats>,
     /// Per-stage wall-clock times (excluded from default-form output).
     pub times: StageTimes,
 }
@@ -87,6 +118,7 @@ impl RunRecord {
             max_link_load: 0.0,
             total_load: 0.0,
             evaluations: 0,
+            sim: None,
             times: StageTimes::default(),
         }
     }
@@ -125,6 +157,42 @@ impl RunRecord {
         push_json_raw(&mut out, "total_load", &fmt_f64(self.total_load));
         out.push(',');
         push_json_raw(&mut out, "evaluations", &self.evaluations.to_string());
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_avg_latency",
+            &fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles)),
+        );
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_network_latency",
+            &fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles)),
+        );
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_p95_latency",
+            &self.sim.as_ref().map_or("null".to_string(), |s| s.p95_latency_cycles.to_string()),
+        );
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_delivered_mbps",
+            &fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps)),
+        );
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_max_link_mbps",
+            &fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps)),
+        );
+        out.push(',');
+        push_json_raw(
+            &mut out,
+            "sim_saturated",
+            self.sim.as_ref().map_or("null", |s| if s.saturated { "true" } else { "false" }),
+        );
         if timing {
             out.push(',');
             push_json_raw(&mut out, "build_us", &self.times.build_us.to_string());
@@ -132,18 +200,27 @@ impl RunRecord {
             push_json_raw(&mut out, "map_us", &self.times.map_us.to_string());
             out.push(',');
             push_json_raw(&mut out, "route_us", &self.times.route_us.to_string());
+            out.push(',');
+            push_json_raw(&mut out, "sim_us", &self.times.sim_us.to_string());
         }
         out.push('}');
         out
     }
 
+    /// Projects one `f64` sim column (`None` when the scenario did not
+    /// simulate).
+    fn sim_f64(&self, f: impl Fn(&SimStats) -> f64) -> Option<f64> {
+        self.sim.as_ref().map(f)
+    }
+
     /// The CSV header matching [`RunRecord::to_csv`].
     pub fn csv_header(timing: bool) -> String {
         let mut h = "scenario,cores,topology,capacity,mapper,routing,seed,error,feasible,\
-comm_cost,max_link_load,total_load,evaluations"
+comm_cost,max_link_load,total_load,evaluations,sim_avg_latency,sim_network_latency,\
+sim_p95_latency,sim_delivered_mbps,sim_max_link_mbps,sim_saturated"
             .to_string();
         if timing {
-            h.push_str(",build_us,map_us,route_us");
+            h.push_str(",build_us,map_us,route_us,sim_us");
         }
         h
     }
@@ -165,11 +242,21 @@ comm_cost,max_link_load,total_load,evaluations"
             fmt_f64(self.max_link_load),
             fmt_f64(self.total_load),
             self.evaluations.to_string(),
+            fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles)),
+            fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles)),
+            self.sim.as_ref().map_or("null".to_string(), |s| s.p95_latency_cycles.to_string()),
+            fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps)),
+            fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps)),
+            self.sim
+                .as_ref()
+                .map_or("null", |s| if s.saturated { "true" } else { "false" })
+                .to_string(),
         ];
         if timing {
             cells.push(self.times.build_us.to_string());
             cells.push(self.times.map_us.to_string());
             cells.push(self.times.route_us.to_string());
+            cells.push(self.times.sim_us.to_string());
         }
         cells.join(",")
     }
@@ -222,7 +309,11 @@ impl SweepReport {
             build_us: acc.build_us + r.times.build_us,
             map_us: acc.map_us + r.times.map_us,
             route_us: acc.route_us + r.times.route_us,
+            sim_us: acc.sim_us + r.times.sim_us,
         });
+        let sims: Vec<&SimStats> = self.records.iter().filter_map(|r| r.sim.as_ref()).collect();
+        let mut sim_latencies: Vec<f64> = sims.iter().map(|s| s.avg_latency_cycles).collect();
+        sim_latencies.sort_by(f64::total_cmp);
         SweepSummary {
             scenarios: self.records.len(),
             failed: self.records.len() - completed,
@@ -232,6 +323,10 @@ impl SweepReport {
             cost_median: quantile(&costs, 0.5),
             cost_p90: quantile(&costs, 0.9),
             cost_max: quantile(&costs, 1.0),
+            simulated: sims.len(),
+            saturated: sims.iter().filter(|s| s.saturated).count(),
+            sim_latency_median: quantile(&sim_latencies, 0.5),
+            sim_latency_p90: quantile(&sim_latencies, 0.9),
             times,
         }
     }
@@ -256,6 +351,15 @@ pub struct SweepSummary {
     pub cost_p90: f64,
     /// Maximum communication cost.
     pub cost_max: f64,
+    /// Scenarios that ran the simulation stage.
+    pub simulated: usize,
+    /// Simulated scenarios that showed saturation.
+    pub saturated: usize,
+    /// Median mean-packet-latency over simulated scenarios (cycles,
+    /// nearest-rank; 0 when nothing was simulated).
+    pub sim_latency_median: f64,
+    /// 90th-percentile mean-packet-latency over simulated scenarios.
+    pub sim_latency_p90: f64,
     /// Total wall-clock time per stage across all scenarios.
     pub times: StageTimes,
 }
@@ -275,23 +379,36 @@ impl fmt::Display for SweepSummary {
             "comm cost: min {:.1}, median {:.1}, p90 {:.1}, max {:.1}",
             self.cost_min, self.cost_median, self.cost_p90, self.cost_max
         )?;
+        if self.simulated > 0 {
+            writeln!(
+                f,
+                "simulated: {} ({} saturated), latency median {:.1} cy, p90 {:.1} cy",
+                self.simulated, self.saturated, self.sim_latency_median, self.sim_latency_p90
+            )?;
+        }
         write!(
             f,
-            "wall time: build {:.1} ms, map {:.1} ms, route {:.1} ms",
+            "wall time: build {:.1} ms, map {:.1} ms, route {:.1} ms, sim {:.1} ms",
             self.times.build_us as f64 / 1e3,
             self.times.map_us as f64 / 1e3,
-            self.times.route_us as f64 / 1e3
+            self.times.route_us as f64 / 1e3,
+            self.times.sim_us as f64 / 1e3
         )
     }
 }
 
 /// Nearest-rank quantile of an ascending-sorted slice; 0 when empty.
+///
+/// The nearest-rank definition: the smallest element such that at least
+/// `⌈q·n⌉` samples are ≤ it (rank floored at 1, so `q = 0` reports the
+/// minimum). No interpolation — the result is always an element of the
+/// slice, which keeps medians of small sweeps honest.
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Shortest-round-trip decimal form of an `f64` (Rust's `{}`). Engine
@@ -304,6 +421,12 @@ fn fmt_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// [`fmt_f64`] for optional columns: absent values (no sim stage) become
+/// `null`, in both JSON and CSV.
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), fmt_f64)
 }
 
 fn push_json_str(out: &mut String, key: &str, value: &str) {
@@ -360,7 +483,19 @@ mod tests {
             max_link_load: cost / 4.0,
             total_load: cost,
             evaluations: 7,
-            times: StageTimes { build_us: 10, map_us: 200, route_us: 30 },
+            sim: None,
+            times: StageTimes { build_us: 10, map_us: 200, route_us: 30, sim_us: 0 },
+        }
+    }
+
+    fn sim_stats(latency: f64, saturated: bool) -> SimStats {
+        SimStats {
+            avg_latency_cycles: latency,
+            avg_network_latency_cycles: latency - 10.0,
+            p95_latency_cycles: 256,
+            delivered_mbps: 400.0,
+            max_link_mbps: 425.5,
+            saturated,
         }
     }
 
@@ -375,6 +510,28 @@ mod tests {
         assert!(json.contains("\\\"quote\\\"\\nline"));
         assert!(!json.contains("build_us"));
         assert!(r.to_json(true).contains("\"map_us\":200"));
+    }
+
+    #[test]
+    fn sim_columns_serialize_and_null_out() {
+        let mut r = record(5.0, true);
+        let json = r.to_json(false);
+        assert!(json.contains("\"sim_avg_latency\":null"));
+        assert!(json.contains("\"sim_saturated\":null"));
+        assert!(r.to_csv(false).ends_with(",null,null,null,null,null,null"));
+
+        r.sim = Some(sim_stats(123.5, true));
+        let json = r.to_json(false);
+        assert!(json.contains("\"sim_avg_latency\":123.5"));
+        assert!(json.contains("\"sim_network_latency\":113.5"));
+        assert!(json.contains("\"sim_p95_latency\":256"));
+        assert!(json.contains("\"sim_max_link_mbps\":425.5"));
+        assert!(json.contains("\"sim_saturated\":true"));
+        assert!(r.to_csv(false).contains("123.5,113.5,256,400,425.5,true"));
+
+        r.times.sim_us = 77;
+        assert!(r.to_json(true).contains("\"sim_us\":77"));
+        assert!(r.to_csv(true).ends_with(",77"));
     }
 
     #[test]
@@ -415,11 +572,33 @@ mod tests {
         assert_eq!(s.feasible, 3);
         assert!((s.feasibility_rate - 0.75).abs() < 1e-12);
         assert_eq!(s.cost_min, 10.0);
-        assert_eq!(s.cost_median, 30.0); // nearest rank: round(1.5) = index 2
+        assert_eq!(s.cost_median, 20.0); // nearest rank: ceil(0.5*4) = rank 2
+        assert_eq!(s.cost_p90, 40.0); // ceil(0.9*4) = rank 4
         assert_eq!(s.cost_max, 40.0);
+        assert_eq!(s.simulated, 0);
+        assert_eq!(s.sim_latency_median, 0.0);
         assert_eq!(s.times.map_us, 5 * 200);
         let shown = s.to_string();
         assert!(shown.contains("feasible: 3"));
+        assert!(!shown.contains("simulated:"), "no sim line without simulated records");
+    }
+
+    #[test]
+    fn summary_aggregates_sim_stats() {
+        let mut fast = record(10.0, true);
+        fast.sim = Some(sim_stats(80.0, false));
+        fast.times.sim_us = 500;
+        let mut slow = record(20.0, true);
+        slow.sim = Some(sim_stats(200.0, true));
+        let report = SweepReport::new(vec![fast, slow, record(30.0, true)]);
+        let s = report.summary();
+        assert_eq!(s.simulated, 2);
+        assert_eq!(s.saturated, 1);
+        assert_eq!(s.sim_latency_median, 80.0); // ceil(0.5*2) = rank 1
+        assert_eq!(s.sim_latency_p90, 200.0);
+        assert_eq!(s.times.sim_us, 500);
+        let shown = s.to_string();
+        assert!(shown.contains("simulated: 2 (1 saturated)"), "display: {shown}");
     }
 
     #[test]
@@ -445,10 +624,32 @@ mod tests {
 
     #[test]
     fn quantile_nearest_rank() {
+        // Nearest-rank proper: the ⌈q·n⌉-th smallest element, never an
+        // interpolated midpoint (the old round((n-1)·q) disagreed with
+        // this for small n — e.g. it gave 3.0 as the "median" of four).
         let v = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(quantile(&v, 0.0), 1.0);
-        assert_eq!(quantile(&v, 0.5), 3.0); // rank round(1.5) = 2
+        assert_eq!(quantile(&v, 0.25), 1.0); // ceil(1) = rank 1
+        assert_eq!(quantile(&v, 0.5), 2.0); // ceil(2) = rank 2
+        assert_eq!(quantile(&v, 0.75), 3.0);
+        assert_eq!(quantile(&v, 0.9), 4.0); // ceil(3.6) = rank 4
         assert_eq!(quantile(&v, 1.0), 4.0);
         assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_small_slices() {
+        // One and two elements: the documented nearest-rank results.
+        assert_eq!(quantile(&[7.0], 0.0), 7.0);
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+        assert_eq!(quantile(&[7.0], 1.0), 7.0);
+        let two = [1.0, 9.0];
+        assert_eq!(quantile(&two, 0.5), 1.0); // ceil(1) = rank 1: the lower value
+        assert_eq!(quantile(&two, 0.51), 9.0); // ceil(1.02) = rank 2
+        assert_eq!(quantile(&two, 0.9), 9.0);
+        // Three elements: the median is the middle element.
+        let three = [1.0, 5.0, 9.0];
+        assert_eq!(quantile(&three, 0.5), 5.0);
+        assert_eq!(quantile(&three, 0.9), 9.0);
     }
 }

@@ -6,6 +6,7 @@ use nmap::{MappingProblem, PathScope, SinglePathOptions};
 use noc_apps::App;
 use noc_baselines::PbbOptions;
 use noc_graph::{CoreGraph, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind};
+use noc_sim::SimConfig;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -148,6 +149,104 @@ impl MapperSpec {
     }
 }
 
+/// Configuration of the optional wormhole-simulation stage (the paper's
+/// Section 7.2 validation flow): after map → route, the scenario's routing
+/// tables are loaded into [`noc_sim::Simulator`] as source routes and the
+/// bursty traffic generators replay the core graph's average rates at the
+/// scenario's link capacity.
+///
+/// At the [`ScenarioSetBuilder`] level, `bandwidths_mbps` lists the
+/// link-bandwidth sweep points (Figure 5(c)'s x-axis): each point expands
+/// into its own scenario whose `capacity` *is* the bandwidth. An empty
+/// list simulates at the builder's uniform capacity. Expanded
+/// [`Scenario`]s always carry an empty list — the point has been resolved
+/// into `Scenario::capacity`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateSpec {
+    /// Link-bandwidth sweep points (MB/s); empty → the builder capacity.
+    pub bandwidths_mbps: Vec<f64>,
+    /// Warm-up cycles excluded from statistics.
+    pub warmup_cycles: u64,
+    /// Measured cycles after warm-up (must be non-zero).
+    pub measure_cycles: u64,
+    /// Drain window after measurement.
+    pub drain_cycles: u64,
+    /// Mean burst length of the on/off sources, in packets.
+    pub burst_packets: u32,
+    /// Peak-to-mean ratio of the on/off sources.
+    pub burst_intensity: f64,
+    /// Simulation seed component; the per-scenario traffic seed mixes this
+    /// with the scenario seed (see [`SimulateSpec::sim_seed`]).
+    pub seed: u64,
+}
+
+impl Default for SimulateSpec {
+    /// Windows and burstiness follow [`SimConfig::default`] (the paper's
+    /// DSP design parameters); `seed` 0.
+    fn default() -> Self {
+        let sim = SimConfig::default();
+        Self {
+            bandwidths_mbps: Vec::new(),
+            warmup_cycles: sim.warmup_cycles,
+            measure_cycles: sim.measure_cycles,
+            drain_cycles: sim.drain_cycles,
+            burst_packets: sim.burst_packets,
+            burst_intensity: sim.burst_intensity,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates the combined (spec, scenario) seed
+/// so neighbouring scenario seeds drive unrelated traffic processes.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimulateSpec {
+    /// Checks the spec, returning the first violation as a message: the
+    /// bandwidth points must be positive and the materialized
+    /// [`SimConfig`] must pass [`SimConfig::check`] (the single source of
+    /// truth for window/burst constraints — no duplicated predicates to
+    /// drift). The builder and spec parser reject invalid specs up front;
+    /// the engine calls this too so a hand-built [`Scenario`] (all fields
+    /// are public) becomes an error *record* rather than a panic inside a
+    /// pool worker.
+    pub fn validate(&self) -> Result<(), String> {
+        for &bw in &self.bandwidths_mbps {
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(format!("bandwidth points must be positive, got {bw}"));
+            }
+        }
+        self.sim_config(0).check()
+    }
+
+    /// The traffic seed used for a scenario: a pure function of this
+    /// spec's `seed` and the scenario's seed, so sim results depend only
+    /// on the scenario — never on engine worker identity.
+    pub fn sim_seed(&self, scenario_seed: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(scenario_seed))
+    }
+
+    /// Materializes the [`SimConfig`] for a scenario. Flit/packet/buffer
+    /// and router-pipeline parameters follow [`SimConfig::default`] (the
+    /// paper's Table 3 DSP design).
+    pub fn sim_config(&self, scenario_seed: u64) -> SimConfig {
+        SimConfig {
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            drain_cycles: self.drain_cycles,
+            burst_packets: self.burst_packets,
+            burst_intensity: self.burst_intensity,
+            seed: self.sim_seed(scenario_seed),
+            ..SimConfig::default()
+        }
+    }
+}
+
 /// How the placed traffic is routed and checked against link capacities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingSpec {
@@ -191,6 +290,10 @@ pub struct Scenario {
     pub mapper: MapperSpec,
     /// The routing regime evaluating the placement.
     pub routing: RoutingSpec,
+    /// Optional wormhole-simulation stage run after map → route. The
+    /// simulator uses the scenario's `capacity` as the link bandwidth;
+    /// `bandwidths_mbps` is empty here (resolved at set-build time).
+    pub simulate: Option<SimulateSpec>,
 }
 
 impl Scenario {
@@ -270,6 +373,7 @@ pub struct ScenarioSetBuilder {
     topologies: Vec<TopologySpec>,
     mappers: Vec<MapperSpec>,
     routings: Vec<RoutingSpec>,
+    simulate: Option<SimulateSpec>,
 }
 
 impl Default for ScenarioSetBuilder {
@@ -281,6 +385,7 @@ impl Default for ScenarioSetBuilder {
             topologies: Vec::new(),
             mappers: Vec::new(),
             routings: Vec::new(),
+            simulate: None,
         }
     }
 }
@@ -380,12 +485,32 @@ impl ScenarioSetBuilder {
         self
     }
 
+    /// Enables the wormhole-simulation stage for every scenario. When
+    /// `spec.bandwidths_mbps` is non-empty, each bandwidth point becomes
+    /// its own scenario (the innermost sweep axis) whose link capacity is
+    /// that bandwidth; otherwise scenarios simulate at the builder's
+    /// uniform capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth point is non-positive/non-finite, the
+    /// measurement window is empty, or the burst parameters are invalid
+    /// (packets 0 or intensity < 1) — the [`SimulateSpec::validate`]
+    /// constraints, checked here so a bad spec fails fast at the builder.
+    pub fn simulate(mut self, spec: SimulateSpec) -> Self {
+        if let Err(message) = spec.validate() {
+            panic!("simulate: {message}");
+        }
+        self.simulate = Some(spec);
+        self
+    }
+
     /// Expands the cross product into an ordered [`ScenarioSet`].
     ///
     /// Scenario order is `apps` (insertion order) × `topologies` ×
-    /// `mappers` × `routings`. Every scenario of one app entry shares that
-    /// entry's seed, so mappers and routings are compared on identical
-    /// graph instances.
+    /// `mappers` × `routings` (× simulate bandwidth points, innermost).
+    /// Every scenario of one app entry shares that entry's seed, so
+    /// mappers and routings are compared on identical graph instances.
     pub fn build(self) -> ScenarioSet {
         let topologies =
             if self.topologies.is_empty() { vec![TopologySpec::FitMesh] } else { self.topologies };
@@ -396,6 +521,22 @@ impl ScenarioSetBuilder {
         };
         let routings =
             if self.routings.is_empty() { vec![RoutingSpec::MinPath] } else { self.routings };
+
+        // The simulate stage expands into (capacity, per-scenario spec)
+        // points: one per bandwidth, or the builder capacity when no sweep
+        // points are named. Expanded specs carry an empty bandwidth list —
+        // the point is resolved into the scenario's capacity.
+        let sim_points: Vec<(f64, Option<SimulateSpec>)> = match &self.simulate {
+            None => vec![(self.capacity, None)],
+            Some(spec) => {
+                let resolved = SimulateSpec { bandwidths_mbps: Vec::new(), ..spec.clone() };
+                if spec.bandwidths_mbps.is_empty() {
+                    vec![(self.capacity, Some(resolved))]
+                } else {
+                    spec.bandwidths_mbps.iter().map(|&bw| (bw, Some(resolved.clone()))).collect()
+                }
+            }
+        };
 
         // Seeds are a pure function of (root_seed, app order): one ChaCha
         // draw per unpinned entry, in entry order.
@@ -409,15 +550,18 @@ impl ScenarioSetBuilder {
             for topology in &topologies {
                 for mapper in &mappers {
                     for routing in &routings {
-                        scenarios.push(Scenario {
-                            label: entry.label.clone(),
-                            app: entry.spec.clone(),
-                            seed,
-                            topology: *topology,
-                            capacity: self.capacity,
-                            mapper: mapper.clone(),
-                            routing: *routing,
-                        });
+                        for (capacity, simulate) in &sim_points {
+                            scenarios.push(Scenario {
+                                label: entry.label.clone(),
+                                app: entry.spec.clone(),
+                                seed,
+                                topology: *topology,
+                                capacity: *capacity,
+                                mapper: mapper.clone(),
+                                routing: *routing,
+                                simulate: simulate.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -511,6 +655,7 @@ mod tests {
             capacity: 500.0,
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
+            simulate: None,
         };
         let p = fit.problem().unwrap();
         assert_eq!(p.topology().node_count(), 16);
@@ -518,6 +663,83 @@ mod tests {
 
         let tight = Scenario { topology: TopologySpec::Mesh { width: 2, height: 2 }, ..fit };
         assert!(tight.problem().is_err(), "16 cores cannot fit 4 nodes");
+    }
+
+    #[test]
+    fn simulate_bandwidths_expand_as_innermost_axis() {
+        let set = ScenarioSet::builder()
+            .app(App::Pip)
+            .routing(RoutingSpec::MinPath)
+            .routing(RoutingSpec::Xy)
+            .simulate(SimulateSpec {
+                bandwidths_mbps: vec![1_100.0, 1_400.0],
+                ..Default::default()
+            })
+            .build();
+        assert_eq!(set.len(), 4); // 1 app x 2 routings x 2 bandwidths
+        let points: Vec<_> = set.scenarios().iter().map(|s| (s.routing, s.capacity)).collect();
+        assert_eq!(
+            points,
+            vec![
+                (RoutingSpec::MinPath, 1_100.0),
+                (RoutingSpec::MinPath, 1_400.0),
+                (RoutingSpec::Xy, 1_100.0),
+                (RoutingSpec::Xy, 1_400.0),
+            ]
+        );
+        for s in set.scenarios() {
+            let spec = s.simulate.as_ref().expect("simulate enabled");
+            assert!(spec.bandwidths_mbps.is_empty(), "points resolve into capacity");
+        }
+    }
+
+    #[test]
+    fn simulate_without_points_uses_builder_capacity() {
+        let set = ScenarioSet::builder()
+            .capacity(750.0)
+            .app(App::Pip)
+            .simulate(SimulateSpec::default())
+            .build();
+        assert_eq!(set.len(), 1);
+        let s = &set.scenarios()[0];
+        assert_eq!(s.capacity, 750.0);
+        assert!(s.simulate.is_some());
+    }
+
+    #[test]
+    fn sim_seed_is_a_pure_function_of_spec_and_scenario_seeds() {
+        let spec = SimulateSpec::default();
+        assert_eq!(spec.sim_seed(7), spec.sim_seed(7));
+        assert_ne!(spec.sim_seed(7), spec.sim_seed(8));
+        let other = SimulateSpec { seed: 1, ..Default::default() };
+        assert_ne!(other.sim_seed(7), spec.sim_seed(7));
+        assert_eq!(spec.sim_config(7).seed, spec.sim_seed(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth points must be positive")]
+    fn simulate_rejects_bad_bandwidths() {
+        let _ = ScenarioSet::builder()
+            .app(App::Pip)
+            .simulate(SimulateSpec { bandwidths_mbps: vec![0.0], ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "burst length must be non-zero")]
+    fn simulate_rejects_zero_burst_packets() {
+        // Fail fast at the builder — not from inside a pool worker, which
+        // would abort the sweep instead of producing records.
+        let _ = ScenarioSet::builder()
+            .app(App::Pip)
+            .simulate(SimulateSpec { burst_packets: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "burst intensity must be >= 1")]
+    fn simulate_rejects_sub_one_burst_intensity() {
+        let _ = ScenarioSet::builder()
+            .app(App::Pip)
+            .simulate(SimulateSpec { burst_intensity: 0.5, ..Default::default() });
     }
 
     #[test]

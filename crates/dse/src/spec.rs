@@ -13,6 +13,15 @@
 //! mapper nmap pbb            # nmap|nmap-paper|nmap-init|nmap-split-quadrant|
 //!                            #   nmap-split-all|pmap|gmap|pbb|all
 //! routing min-path xy        # min-path|xy|mcf-quadrant|mcf-all|all
+//! simulate {                 # optional wormhole-simulation stage
+//!   bandwidths 1100 1400     # link-bandwidth sweep points, MB/s
+//!                            #   (omit to simulate at `capacity`)
+//!   warmup 20000             # cycles excluded from statistics
+//!   measure 100000           # measured cycles (must be > 0)
+//!   drain 30000              # drain window after measurement
+//!   burst 8 3                # mean burst packets, peak-to-mean ratio
+//!   seed 0                   # traffic-seed component
+//! }
 //! ```
 //!
 //! `app`, `mapper` and `routing` accept several names per line and may
@@ -21,7 +30,11 @@
 //! default to the fitted mesh, `nmap`, and `min-path`. Mapper
 //! configurations beyond the named defaults use a `[..]` parameter
 //! suffix: `nmap[p4r2]` (passes/restarts), `nmap-split-quadrant[p3]`
-//! (passes), `pbb[q5000e50000]` (queue/expansion budget). [`SweepSpec`]'s
+//! (passes), `pbb[q5000e50000]` (queue/expansion budget). The `simulate`
+//! block (at most one; every field optional, defaulting to
+//! [`SimulateSpec::default`]) attaches a simulation stage to every
+//! scenario; named `bandwidths` become the innermost sweep axis, one
+//! scenario per point with `capacity` = the point. [`SweepSpec`]'s
 //! `Display` writes the canonical form; parsing it back yields an equal
 //! spec for *every* representable configuration (round-trip property,
 //! tested).
@@ -34,7 +47,7 @@ use noc_apps::App;
 use noc_baselines::PbbOptions;
 use noc_graph::RandomGraphConfig;
 
-use crate::scenario::{MapperSpec, RoutingSpec, ScenarioSet, TopologySpec};
+use crate::scenario::{MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec, TopologySpec};
 
 /// One application directive of a spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +81,9 @@ pub struct SweepSpec {
     pub mappers: Vec<MapperSpec>,
     /// Routing axis (empty → `min-path`).
     pub routings: Vec<RoutingSpec>,
+    /// Optional simulation stage; bandwidth points expand as the innermost
+    /// sweep axis.
+    pub simulate: Option<SimulateSpec>,
 }
 
 impl Default for SweepSpec {
@@ -79,6 +95,7 @@ impl Default for SweepSpec {
             topologies: Vec::new(),
             mappers: Vec::new(),
             routings: Vec::new(),
+            simulate: None,
         }
     }
 }
@@ -104,6 +121,9 @@ impl SweepSpec {
         }
         for r in &self.routings {
             builder = builder.routing(*r);
+        }
+        if let Some(sim) = &self.simulate {
+            builder = builder.simulate(sim.clone());
         }
         builder.build()
     }
@@ -147,6 +167,22 @@ impl fmt::Display for SweepSpec {
         for r in &self.routings {
             writeln!(f, "routing {}", r.name())?;
         }
+        if let Some(sim) = &self.simulate {
+            writeln!(f, "simulate {{")?;
+            if !sim.bandwidths_mbps.is_empty() {
+                write!(f, "  bandwidths")?;
+                for bw in &sim.bandwidths_mbps {
+                    write!(f, " {bw}")?;
+                }
+                writeln!(f)?;
+            }
+            writeln!(f, "  warmup {}", sim.warmup_cycles)?;
+            writeln!(f, "  measure {}", sim.measure_cycles)?;
+            writeln!(f, "  drain {}", sim.drain_cycles)?;
+            writeln!(f, "  burst {} {}", sim.burst_packets, sim.burst_intensity)?;
+            writeln!(f, "  seed {}", sim.seed)?;
+            writeln!(f, "}}")?;
+        }
         Ok(())
     }
 }
@@ -184,6 +220,8 @@ impl Error for SpecError {}
 /// input; [`SpecError::Empty`] when no `app`/`random` directive appears.
 pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
     let mut spec = SweepSpec::default();
+    // `Some` while inside an open `simulate { ... }` block.
+    let mut sim_block: Option<SimulateSpec> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = match raw.find('#') {
@@ -197,6 +235,17 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
         let mut parts = line.split_whitespace();
         let keyword = parts.next().expect("non-empty line");
         let rest: Vec<&str> = parts.collect();
+        if let Some(block) = sim_block.as_mut() {
+            if keyword == "}" {
+                if !rest.is_empty() {
+                    return Err(syntax(line_no, "`}` must stand alone".into()));
+                }
+                spec.simulate = sim_block.take();
+            } else {
+                parse_simulate_field(block, keyword, &rest, line_no)?;
+            }
+            continue;
+        }
         match keyword {
             "capacity" => {
                 let v: f64 = parse_one(&rest, line_no, "capacity")?;
@@ -314,21 +363,100 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
                     }
                 }
             }
+            "simulate" => {
+                if rest != ["{"] {
+                    return Err(syntax(line_no, "`simulate` takes an opening `{`".into()));
+                }
+                if spec.simulate.is_some() {
+                    return Err(syntax(line_no, "duplicate `simulate` block".into()));
+                }
+                sim_block = Some(SimulateSpec::default());
+            }
             other => {
                 return Err(syntax(
                     line_no,
                     format!(
                         "unknown keyword `{other}` (expected capacity/seed/app/random/\
-topology/mapper/routing)"
+topology/mapper/routing/simulate)"
                     ),
                 ));
             }
         }
     }
+    if sim_block.is_some() {
+        return Err(SpecError::Syntax {
+            line: text.lines().count(),
+            message: "unclosed `simulate` block (missing `}`)".into(),
+        });
+    }
     if spec.apps.is_empty() {
         return Err(SpecError::Empty);
     }
     Ok(spec)
+}
+
+/// Parses one line inside a `simulate { ... }` block.
+fn parse_simulate_field(
+    block: &mut SimulateSpec,
+    keyword: &str,
+    rest: &[&str],
+    line_no: usize,
+) -> Result<(), SpecError> {
+    match keyword {
+        "bandwidths" => {
+            if rest.is_empty() {
+                return Err(syntax(line_no, "`bandwidths` needs at least one value".into()));
+            }
+            let mut points = Vec::with_capacity(rest.len());
+            for text in rest {
+                let bw: f64 = parse_field(text, line_no, "bandwidth")?;
+                if !(bw.is_finite() && bw > 0.0) {
+                    return Err(syntax(line_no, format!("bandwidth must be positive, got {bw}")));
+                }
+                points.push(bw);
+            }
+            block.bandwidths_mbps = points;
+        }
+        "warmup" => block.warmup_cycles = parse_one(rest, line_no, "warmup")?,
+        "measure" => {
+            let v: u64 = parse_one(rest, line_no, "measure")?;
+            if v == 0 {
+                return Err(syntax(line_no, "measurement window must be non-empty".into()));
+            }
+            block.measure_cycles = v;
+        }
+        "drain" => block.drain_cycles = parse_one(rest, line_no, "drain")?,
+        "burst" => {
+            let (packets, intensity): (u32, f64) = match rest {
+                [p, i] => (
+                    parse_field(p, line_no, "burst packets")?,
+                    parse_field(i, line_no, "burst intensity")?,
+                ),
+                _ => {
+                    return Err(syntax(line_no, "`burst` takes: packets intensity".into()));
+                }
+            };
+            if packets == 0 || !(intensity.is_finite() && intensity >= 1.0) {
+                return Err(syntax(
+                    line_no,
+                    "burst needs packets ≥ 1 and a finite intensity ≥ 1".into(),
+                ));
+            }
+            block.burst_packets = packets;
+            block.burst_intensity = intensity;
+        }
+        "seed" => block.seed = parse_one(rest, line_no, "seed")?,
+        other => {
+            return Err(syntax(
+                line_no,
+                format!(
+                    "unknown simulate field `{other}` (expected bandwidths/warmup/measure/\
+drain/burst/seed or `}}`)"
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn syntax(line: usize, message: String) -> SpecError {
@@ -457,6 +585,14 @@ topology torus 3x3
 topology fit-torus
 mapper nmap nmap-paper nmap-init pmap gmap pbb nmap-split-quadrant nmap-split-all
 routing min-path xy mcf-quadrant mcf-all
+simulate {
+  bandwidths 1100 1400
+  warmup 1000     # comments work inside the block too
+  measure 5000
+  drain 2000
+  burst 4 2.5
+  seed 3
+}
 ";
 
     #[test]
@@ -480,8 +616,21 @@ routing min-path xy mcf-quadrant mcf-all
         assert_eq!(spec.topologies.len(), 4);
         assert_eq!(spec.mappers.len(), 8);
         assert_eq!(spec.routings.len(), 4);
-        // 4 app entries + 1 extra random instance = 5 app axis entries.
-        assert_eq!(spec.scenarios().len(), 5 * 4 * 8 * 4);
+        assert_eq!(
+            spec.simulate,
+            Some(SimulateSpec {
+                bandwidths_mbps: vec![1_100.0, 1_400.0],
+                warmup_cycles: 1_000,
+                measure_cycles: 5_000,
+                drain_cycles: 2_000,
+                burst_packets: 4,
+                burst_intensity: 2.5,
+                seed: 3,
+            })
+        );
+        // 4 app entries + 1 extra random instance = 5 app axis entries;
+        // the two simulate bandwidths double the cross product.
+        assert_eq!(spec.scenarios().len(), 5 * 4 * 8 * 4 * 2);
     }
 
     #[test]
@@ -524,6 +673,49 @@ routing min-path xy mcf-quadrant mcf-all
     }
 
     #[test]
+    fn simulate_block_round_trips() {
+        // With explicit bandwidth points.
+        let with_points = parse_spec(FULL).unwrap();
+        assert_eq!(parse_spec(&with_points.to_string()).unwrap(), with_points);
+
+        // Defaults only: an empty block canonicalizes to the default spec.
+        let empty = parse_spec("app pip\nsimulate {\n}\n").unwrap();
+        assert_eq!(empty.simulate, Some(SimulateSpec::default()));
+        assert_eq!(parse_spec(&empty.to_string()).unwrap(), empty);
+        assert!(empty.scenarios().scenarios()[0].simulate.is_some());
+    }
+
+    #[test]
+    fn simulate_block_errors_carry_line_numbers() {
+        for (bad, line) in [
+            ("app pip\nsimulate {\n", 2),               // unclosed block
+            ("app pip\nsimulate\n", 2),                 // missing `{`
+            ("app pip\nsimulate {\nmeasure 0\n}\n", 3), // empty window
+            ("app pip\nsimulate {\nbandwidths -5\n}\n", 3),
+            ("app pip\nsimulate {\nbandwidths\n}\n", 3),
+            ("app pip\nsimulate {\nburst 0 2\n}\n", 3),
+            ("app pip\nsimulate {\nburst 4 0.5\n}\n", 3),
+            ("app pip\nsimulate {\nfrobnicate 1\n}\n", 3),
+            ("app pip\nsimulate {\n} trailing\n", 3),
+            ("app pip\nsimulate {\n}\nsimulate {\n}\n", 4), // duplicate
+        ] {
+            match parse_spec(bad) {
+                Err(SpecError::Syntax { line: l, .. }) => {
+                    assert_eq!(l, line, "wrong line for {bad:?}")
+                }
+                other => panic!("{bad:?} should fail with a syntax error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_seed_is_not_the_simulate_seed() {
+        let spec = parse_spec("seed 5\napp pip\nsimulate {\nseed 9\n}\n").unwrap();
+        assert_eq!(spec.root_seed, 5);
+        assert_eq!(spec.simulate.as_ref().unwrap().seed, 9);
+    }
+
+    #[test]
     fn all_keywords_expand() {
         let spec = parse_spec("app all\nmapper all\nrouting all\n").unwrap();
         assert_eq!(spec.apps.len(), 6);
@@ -549,7 +741,7 @@ routing min-path xy mcf-quadrant mcf-all
     #[test]
     fn errors_carry_line_numbers() {
         let err = parse_spec("app pip\nfrobnicate\n").unwrap_err();
-        assert_eq!(err.to_string(), "line 2: unknown keyword `frobnicate` (expected capacity/seed/app/random/topology/mapper/routing)");
+        assert_eq!(err.to_string(), "line 2: unknown keyword `frobnicate` (expected capacity/seed/app/random/topology/mapper/routing/simulate)");
         assert!(matches!(
             parse_spec("app nosuch\n").unwrap_err(),
             SpecError::Syntax { line: 1, .. }

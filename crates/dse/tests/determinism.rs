@@ -5,7 +5,8 @@
 //! writers must produce the same bytes for `threads = 1, 2, 8`.
 
 use noc_dse::{
-    parse_spec, run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, SweepReport, TopologySpec,
+    parse_spec, run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec, SweepReport,
+    TopologySpec,
 };
 use noc_graph::RandomGraphConfig;
 
@@ -43,6 +44,56 @@ fn sweep_output_is_byte_identical_across_thread_counts() {
         assert_eq!(report.write_jsonl(false), jsonl, "JSONL diverged at threads={threads}");
         assert_eq!(report.write_csv(false), csv, "CSV diverged at threads={threads}");
     }
+}
+
+/// A sim-enabled sweep: every scenario runs the wormhole simulator after
+/// map → route, with the link-bandwidth points as the innermost axis.
+/// 2 apps × 2 mappers × 2 routings × 3 bandwidths = 24 sim-backed
+/// scenarios — enough for 8 workers to interleave the heavier records.
+fn sim_set() -> ScenarioSet {
+    ScenarioSet::builder()
+        .root_seed(99)
+        .app(noc_apps::App::Pip)
+        .dsp()
+        .mapper(MapperSpec::Nmap(Default::default()))
+        .mapper(MapperSpec::NmapInit)
+        .routing(RoutingSpec::MinPath)
+        .routing(RoutingSpec::Xy)
+        .simulate(SimulateSpec {
+            bandwidths_mbps: vec![600.0, 1_000.0, 1_400.0],
+            warmup_cycles: 500,
+            measure_cycles: 4_000,
+            drain_cycles: 2_000,
+            ..Default::default()
+        })
+        .build()
+}
+
+#[test]
+fn sim_enabled_sweep_is_byte_identical_across_thread_counts() {
+    let set = sim_set();
+    assert_eq!(set.len(), 24);
+
+    let baseline = SweepReport::new(run_scenarios(set.scenarios(), 1));
+    let jsonl = baseline.write_jsonl(false);
+    let csv = baseline.write_csv(false);
+    // Every record carries real simulation numbers in the sim columns.
+    for record in &baseline.records {
+        let sim = record.sim.as_ref().expect("simulate stage ran");
+        assert!(sim.avg_latency_cycles > 0.0, "{}: no packets measured", record.scenario);
+    }
+    assert!(jsonl.lines().all(|l| !l.contains("\"sim_avg_latency\":null")));
+
+    for threads in [2usize, 8] {
+        let report = SweepReport::new(run_scenarios(set.scenarios(), threads));
+        assert_eq!(report.write_jsonl(false), jsonl, "JSONL diverged at threads={threads}");
+        assert_eq!(report.write_csv(false), csv, "CSV diverged at threads={threads}");
+    }
+
+    // Repeated runs (same process, same thread count) are identical too:
+    // the sim seed is a pure function of the scenario.
+    let again = SweepReport::new(run_scenarios(set.scenarios(), 1));
+    assert_eq!(again.write_jsonl(false), jsonl);
 }
 
 #[test]

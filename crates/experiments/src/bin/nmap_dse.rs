@@ -4,6 +4,8 @@
 //! nmap_dse --smoke                  fast built-in sweep (CI health check)
 //! nmap_dse --table2                 Table 2 scaling study through the engine
 //! nmap_dse --torus-vs-mesh         torus wrap-link gain over meshes
+//! nmap_dse --fig5c [--smoke]        Figure 5(c) latency sweep through the
+//!                                   engine pool (--smoke: reduced cycles)
 //! nmap_dse --spec <file>            run a .dse sweep specification
 //! options:  --threads N             worker threads (default: all cores)
 //!           --jsonl <path>          write records as JSON lines
@@ -12,8 +14,9 @@
 //!           --allow-failures        (--spec only) exit 0 even when scenarios fail
 //! ```
 //!
-//! `--table2` prints the same values as `table2_scaling` (the sequential
-//! reference harness); the sweep itself fans out across the worker pool.
+//! `--table2` prints the same values as `table2_scaling` and `--fig5c`
+//! the same points as `fig5c_latency` (the sequential reference
+//! harnesses); the sweeps themselves fan out across the worker pool.
 //! Exit code 1 on bad input or a sweep containing failed scenarios —
 //! pass `--allow-failures` for exploratory sweeps where does-not-fit
 //! records are data rather than errors.
@@ -22,26 +25,30 @@ use std::process::ExitCode;
 
 use noc_dse::{parse_spec, run_sweep, EngineOptions, SweepReport};
 use noc_experiments::dse_bridge::{
-    table2_rows_from_records, table2_scenario_set, torus_vs_mesh_rows_from_records,
-    torus_vs_mesh_set,
+    fig5c_smoke_config, fig5c_via_engine, table2_rows_from_records, table2_scenario_set,
+    torus_vs_mesh_rows_from_records, torus_vs_mesh_set,
 };
+use noc_experiments::fig5c::Fig5cConfig;
 use noc_experiments::report::{fmt, TextTable};
 use noc_experiments::table2::Table2Config;
 
-const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --spec <file>) \
-[--threads N] [--jsonl <path>] [--csv <path>] [--timing] [--allow-failures]";
+const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --fig5c [--smoke] \
+| --spec <file>) [--threads N] [--jsonl <path>] [--csv <path>] [--timing] [--allow-failures]";
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
     Smoke,
     Table2,
     TorusVsMesh,
+    Fig5c,
     Spec,
 }
 
 #[derive(Debug)]
 struct Args {
     mode: Mode,
+    /// `--fig5c --smoke`: run the reduced-cycle-count configuration.
+    fig5c_smoke: bool,
     spec_path: Option<String>,
     threads: usize,
     jsonl: Option<String>,
@@ -53,7 +60,7 @@ struct Args {
 /// Returns `Ok(None)` for `--help`/`-h` (print usage, exit 0).
 fn parse_args() -> Result<Option<Args>, String> {
     let mut raw = std::env::args().skip(1);
-    let mut mode = None;
+    let mut modes = Vec::new();
     let mut spec_path = None;
     let mut threads = 0usize;
     let mut jsonl = None;
@@ -61,21 +68,14 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut timing = false;
     let mut allow_failures = false;
 
-    fn set_mode(m: Mode, current: &mut Option<Mode>) -> Result<(), String> {
-        if current.is_some() {
-            return Err("choose exactly one of --smoke/--table2/--torus-vs-mesh/--spec".into());
-        }
-        *current = Some(m);
-        Ok(())
-    }
-
     while let Some(arg) = raw.next() {
         match arg.as_str() {
-            "--smoke" => set_mode(Mode::Smoke, &mut mode)?,
-            "--table2" => set_mode(Mode::Table2, &mut mode)?,
-            "--torus-vs-mesh" => set_mode(Mode::TorusVsMesh, &mut mode)?,
+            "--smoke" => modes.push(Mode::Smoke),
+            "--table2" => modes.push(Mode::Table2),
+            "--torus-vs-mesh" => modes.push(Mode::TorusVsMesh),
+            "--fig5c" => modes.push(Mode::Fig5c),
             "--spec" => {
-                set_mode(Mode::Spec, &mut mode)?;
+                modes.push(Mode::Spec);
                 spec_path = Some(raw.next().ok_or("--spec needs a file path")?);
             }
             "--threads" => {
@@ -90,13 +90,28 @@ fn parse_args() -> Result<Option<Args>, String> {
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
-    let mode = mode.ok_or(USAGE.to_string())?;
+    // `--smoke` doubles as the reduced-cycle-count modifier of `--fig5c`;
+    // every other combination of mode flags is ambiguous.
+    let (mode, fig5c_smoke) = match modes.as_slice() {
+        [] => return Err(USAGE.to_string()),
+        [m] => (*m, false),
+        [Mode::Fig5c, Mode::Smoke] | [Mode::Smoke, Mode::Fig5c] => (Mode::Fig5c, true),
+        _ => {
+            return Err(
+                "choose exactly one of --smoke/--table2/--torus-vs-mesh/--fig5c/--spec".into()
+            )
+        }
+    };
     if allow_failures && mode != Mode::Spec {
         // The built-in sweeps treat failed scenarios as bugs; only
         // user-authored specs can legitimately contain infeasible points.
         return Err("--allow-failures is only valid with --spec".into());
     }
-    Ok(Some(Args { mode, spec_path, threads, jsonl, csv, timing, allow_failures }))
+    if mode == Mode::Fig5c && (jsonl.is_some() || csv.is_some() || timing) {
+        // The fig5c sweep reports latency points, not scenario records.
+        return Err("--jsonl/--csv/--timing are not supported with --fig5c".into());
+    }
+    Ok(Some(Args { mode, fig5c_smoke, spec_path, threads, jsonl, csv, timing, allow_failures }))
 }
 
 fn main() -> ExitCode {
@@ -151,6 +166,31 @@ fn run(args: &Args) -> Result<(), String> {
                     fmt(row.mesh_cost, 0),
                     fmt(row.torus_cost, 0),
                     fmt(row.gain, 2),
+                ]);
+            }
+            print!("{}", table.render());
+            Ok(())
+        }
+        Mode::Fig5c => {
+            let config =
+                if args.fig5c_smoke { fig5c_smoke_config() } else { Fig5cConfig::default() };
+            println!("Figure 5(c) via noc-dse — avg packet latency vs link bandwidth, DSP NoC");
+            println!("(values identical to the sequential fig5c_latency harness)\n");
+            let points = fig5c_via_engine(&config, args.threads);
+            let mut table = TextTable::new(["BW (GB/s)", "Minp (cy)", "Split (cy)", "notes"]);
+            for p in &points {
+                let mut notes = String::new();
+                if p.minpath_saturated {
+                    notes.push_str("minp saturated ");
+                }
+                if p.split_saturated {
+                    notes.push_str("split saturated");
+                }
+                table.row([
+                    fmt(p.bandwidth_mbps / 1000.0, 1),
+                    fmt(p.minpath_latency, 1),
+                    fmt(p.split_latency, 1),
+                    notes.trim().to_string(),
                 ]);
             }
             print!("{}", table.render());
@@ -211,8 +251,9 @@ fn sweep(set: &noc_dse::ScenarioSet, args: &Args) -> Result<SweepReport, String>
 }
 
 /// The built-in CI health-check sweep: small apps, both grid families,
-/// three mapper families and both cheap routing regimes — 36 scenarios
-/// that finish in well under a second.
+/// three mapper families, both cheap routing regimes and a short
+/// wormhole-simulation stage — 36 sim-backed scenarios that finish in
+/// a couple of seconds.
 const SMOKE_SPEC: &str = "\
 # nmap_dse --smoke
 capacity 800
@@ -224,4 +265,9 @@ topology fit
 topology fit-torus
 mapper nmap-paper nmap-init gmap
 routing min-path xy
+simulate {
+  warmup 1000
+  measure 5000
+  drain 2000
+}
 ";

@@ -6,13 +6,21 @@
 //! reproduces [`crate::table2::run`] *exactly* — same graph seeds, same
 //! mapper budgets, same floating-point accumulation order — so the two
 //! paths are mutually checking (asserted by the `dse_table2` integration
-//! test). [`torus_vs_mesh`] is a new engine-only study: how much of each
+//! test). [`fig5c_via_engine`] does the same for the Figure 5(c)
+//! simulation sweep: the per-point wormhole runs fan out over the
+//! engine's deterministic [`pool_map`] and are asserted equal to the
+//! sequential [`crate::fig5c::run`] (the `dse_fig5c` integration test).
+//! [`torus_vs_mesh`] is a new engine-only study: how much of each
 //! application's communication cost the wrap-around links of a torus
 //! recover over a mesh of the same radix.
 
-use noc_dse::{run_scenarios, MapperSpec, RoutingSpec, RunRecord, ScenarioSet, TopologySpec};
-use noc_graph::RandomGraphConfig;
+use noc_dse::{
+    pool_map, run_scenarios, MapperSpec, RoutingSpec, RunRecord, ScenarioSet, TopologySpec,
+};
+use noc_graph::{RandomGraphConfig, Topology};
+use noc_sim::Simulator;
 
+use crate::fig5c::{design_dsp, flows_from_tables, Fig5cConfig, Fig5cPoint};
 use crate::table2::{Table2Config, Table2Row};
 use crate::{GENEROUS_CAPACITY, UNLIMITED_CAPACITY};
 
@@ -79,6 +87,58 @@ pub fn table2_via_engine(config: &Table2Config, threads: usize) -> Vec<Table2Row
     let set = table2_scenario_set(config);
     let records = run_scenarios(set.scenarios(), threads);
     table2_rows_from_records(config, &records)
+}
+
+/// Runs the Figure 5(c) simulation sweep through the engine's
+/// deterministic worker pool on `threads` workers (`0` = available
+/// parallelism). The DSP design (placement + both routing-table sets) is
+/// built once, exactly as [`crate::fig5c::run`] does; each
+/// `(bandwidth, table-set)` wormhole simulation is an independent pool
+/// task whose seed comes from `config.sim` alone — so the points are
+/// identical to the sequential harness at every thread count (asserted by
+/// the `dse_fig5c` integration test).
+pub fn fig5c_via_engine(config: &Fig5cConfig, threads: usize) -> Vec<Fig5cPoint> {
+    let design = design_dsp();
+    // Task order: [minpath(bw0), split(bw0), minpath(bw1), split(bw1), …].
+    let tasks = config.bandwidths_mbps.len() * 2;
+    let runs = pool_map(tasks, threads, |i| {
+        let bw = config.bandwidths_mbps[i / 2];
+        let tables = if i % 2 == 0 { &design.minpath_tables } else { &design.split_tables };
+        let topology = Topology::mesh(3, 2, bw);
+        let flows = flows_from_tables(&design.problem, &design.mapping, tables);
+        let report = Simulator::new(&topology, flows, config.sim.clone()).run();
+        (report.avg_latency_cycles(), report.avg_network_latency_cycles(), report.saturated())
+    });
+    runs.chunks_exact(2)
+        .zip(&config.bandwidths_mbps)
+        .map(|(pair, &bandwidth_mbps)| {
+            let (minpath_latency, minpath_network_latency, minpath_saturated) = pair[0];
+            let (split_latency, split_network_latency, split_saturated) = pair[1];
+            Fig5cPoint {
+                bandwidth_mbps,
+                minpath_latency,
+                split_latency,
+                minpath_network_latency,
+                split_network_latency,
+                minpath_saturated,
+                split_saturated,
+            }
+        })
+        .collect()
+}
+
+/// The reduced Figure 5(c) configuration behind `nmap_dse --fig5c
+/// --smoke`: two bandwidth points and short windows, sized for CI.
+pub fn fig5c_smoke_config() -> Fig5cConfig {
+    Fig5cConfig {
+        bandwidths_mbps: vec![1_200.0, 1_600.0],
+        sim: noc_sim::SimConfig {
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            drain_cycles: 8_000,
+            ..Default::default()
+        },
+    }
 }
 
 /// One row of the torus-vs-mesh study.

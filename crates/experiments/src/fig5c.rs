@@ -184,22 +184,15 @@ pub fn design_dsp() -> DspDesign {
     }
 }
 
-/// Converts commodities + routing tables into simulator flows.
+/// Converts commodities + routing tables into simulator flows (the shared
+/// mapping-layer → simulator bridge, re-exported here for the harnesses
+/// and benches that grew around this module).
 pub fn flows_from_tables(
     problem: &MappingProblem,
     mapping: &Mapping,
     tables: &RoutingTables,
 ) -> Vec<FlowSpec> {
-    problem
-        .commodities(mapping)
-        .into_iter()
-        .filter(|c| c.value > 0.0)
-        .map(|c| {
-            let paths: Vec<(Vec<_>, f64)> =
-                tables.routes_of(c.edge).iter().map(|r| (r.links.clone(), r.fraction)).collect();
-            FlowSpec::split(c.source, c.dest, c.value, paths)
-        })
-        .collect()
+    noc_dse::flows_from_tables(problem, mapping, tables)
 }
 
 /// Runs the full sweep.

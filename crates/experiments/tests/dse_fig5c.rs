@@ -1,0 +1,21 @@
+//! The engine-backed Figure 5(c) sweep must reproduce the sequential
+//! harness exactly: same DSP design, same simulator seeds, same points —
+//! at any worker count. This is the simulation counterpart of the
+//! `dse_table2` mutual check.
+
+use noc_experiments::dse_bridge::{fig5c_smoke_config, fig5c_via_engine};
+use noc_experiments::fig5c;
+
+#[test]
+fn engine_fig5c_matches_sequential_harness_at_1_and_4_threads() {
+    let config = fig5c_smoke_config();
+    let reference = fig5c::run(&config);
+    assert_eq!(reference.len(), config.bandwidths_mbps.len());
+    for point in &reference {
+        assert!(point.minpath_latency > 0.0 && point.split_latency > 0.0);
+    }
+    for threads in [1usize, 4] {
+        let engine = fig5c_via_engine(&config, threads);
+        assert_eq!(engine, reference, "threads={threads}");
+    }
+}

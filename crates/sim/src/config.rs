@@ -61,21 +61,41 @@ impl SimConfig {
         bandwidth_mbps / 1000.0
     }
 
+    /// Checks the configuration, returning the first violated constraint
+    /// as a message. The single source of truth for what a runnable
+    /// config looks like — [`SimConfig::validate`] panics on it and
+    /// layers above (the DSE simulate spec) report it as an error.
+    pub fn check(&self) -> Result<(), String> {
+        if self.flit_bytes == 0 {
+            return Err("flit size must be non-zero".into());
+        }
+        if self.packet_bytes == 0 {
+            return Err("packet size must be non-zero".into());
+        }
+        if self.buffer_flits < 2 {
+            return Err("buffers must hold at least 2 flits".into());
+        }
+        if self.measure_cycles == 0 {
+            return Err("measurement window must be non-empty".into());
+        }
+        if self.burst_packets == 0 {
+            return Err("burst length must be non-zero".into());
+        }
+        if !(self.burst_intensity >= 1.0 && self.burst_intensity.is_finite()) {
+            return Err("burst intensity must be >= 1".into());
+        }
+        Ok(())
+    }
+
     /// Validates the configuration, panicking on nonsensical values.
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero or the measurement window is empty.
+    /// Panics on the first [`SimConfig::check`] violation.
     pub fn validate(&self) {
-        assert!(self.flit_bytes > 0, "flit size must be non-zero");
-        assert!(self.packet_bytes > 0, "packet size must be non-zero");
-        assert!(self.buffer_flits >= 2, "buffers must hold at least 2 flits");
-        assert!(self.measure_cycles > 0, "measurement window must be non-empty");
-        assert!(self.burst_packets > 0, "burst length must be non-zero");
-        assert!(
-            self.burst_intensity >= 1.0 && self.burst_intensity.is_finite(),
-            "burst intensity must be >= 1"
-        );
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
     }
 }
 

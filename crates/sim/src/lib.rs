@@ -52,7 +52,7 @@ mod stats;
 mod traffic;
 
 pub use config::SimConfig;
-pub use network::{SimReport, Simulator};
+pub use network::{LoopKind, SimReport, Simulator};
 pub use packet::{FlitKind, Packet};
 pub use stats::LatencyStats;
 pub use traffic::{FlowSpec, WeightedPath};

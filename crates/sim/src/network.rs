@@ -15,6 +15,22 @@ use crate::traffic::{BurstSource, FlowSpec};
 /// which the oldest in-network packet is dropped to break a deadlock.
 const STALL_THRESHOLD: u64 = 5_000;
 
+/// Which cycle-loop implementation [`Simulator::run`] uses. Both produce
+/// bit-identical [`SimReport`]s (pinned by test); they differ only in how
+/// much per-cycle work they skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopKind {
+    /// Visit every router and link every cycle (the original loop) —
+    /// kept as the reference implementation and benchmark baseline.
+    FullScan,
+    /// Skip routers with no buffered flits and links whose upstream
+    /// router is empty, replaying the skipped cycles' serialization-token
+    /// accrual lazily when a link next becomes active. At realistic loads
+    /// most of the fabric idles most cycles, so this is the default.
+    #[default]
+    ActiveSet,
+}
+
 /// Measurement report returned by [`Simulator::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -60,8 +76,14 @@ impl SimReport {
     }
 
     /// Delivered payload+header bandwidth of `link` during the window, in
-    /// MB/s (1 GHz clock).
+    /// MB/s (1 GHz clock). An empty measurement window reports 0 rather
+    /// than `0/0 = NaN` — [`SimConfig::validate`] rejects such configs at
+    /// [`Simulator::new`], but `SimReport` fields are public and merged
+    /// reports may be hand-built.
     pub fn link_throughput_mbps(&self, link: LinkId) -> f64 {
+        if self.measure_cycles == 0 {
+            return 0.0;
+        }
         let bytes = self.link_flits[link.index()] as f64 * self.flit_bytes as f64;
         bytes / self.measure_cycles as f64 * 1000.0
     }
@@ -82,6 +104,7 @@ impl SimReport {
 #[derive(Debug)]
 pub struct Simulator {
     config: SimConfig,
+    loop_kind: LoopKind,
     flows: Vec<FlowSpec>,
     sources: Vec<BurstSource>,
     rng: ChaCha8Rng,
@@ -89,8 +112,11 @@ pub struct Simulator {
     // Static network structure (copied out of the Topology).
     node_count: usize,
     link_src: Vec<NodeId>,
+    link_dst: Vec<NodeId>,
     link_rate: Vec<f64>, // bytes per cycle
     node_inputs: Vec<Vec<InputId>>,
+    /// Node whose input the numbered injection queue feeds.
+    inject_node: Vec<NodeId>,
 
     // Dynamic state.
     cycle: u64,
@@ -98,7 +124,15 @@ pub struct Simulator {
     free_slots: Vec<usize>,
     link_buffers: Vec<Buffer>,
     link_tokens: Vec<f64>,
+    /// Next cycle whose serialization-token accrual has *not* yet been
+    /// applied to `link_tokens` (lazy replay for skipped idle links).
+    link_token_due: Vec<u64>,
     link_channel: Vec<ChannelState>,
+    /// Flits currently buffered at each node's inputs (link buffers at the
+    /// link's downstream node plus local injection queues) — the active-set
+    /// criterion: a node with zero buffered flits can neither eject nor
+    /// feed any of its outgoing links this cycle.
+    node_flits: Vec<u32>,
     /// One injection queue per (flow, path) pair, indexed by
     /// `inject_queue_of[flow][path]`.
     inject_queues: Vec<Buffer>,
@@ -145,12 +179,14 @@ impl Simulator {
         // Connection-oriented NI: one injection queue per (flow, path).
         let mut inject_queues: Vec<Buffer> = Vec::new();
         let mut inject_queue_of: Vec<Vec<usize>> = Vec::with_capacity(flows.len());
+        let mut inject_node: Vec<NodeId> = Vec::new();
         for flow in &flows {
             let mut ids = Vec::with_capacity(flow.paths.len());
             for _ in &flow.paths {
                 let id = inject_queues.len();
                 inject_queues.push(Buffer::new(usize::MAX));
                 node_inputs[flow.source.index()].push(InputId::Inject(id));
+                inject_node.push(flow.source);
                 ids.push(id);
             }
             inject_queue_of.push(ids);
@@ -160,19 +196,24 @@ impl Simulator {
         Self {
             sources,
             rng,
+            loop_kind: LoopKind::default(),
             node_count,
             link_src: topology.links().map(|(_, l)| l.src).collect(),
+            link_dst: topology.links().map(|(_, l)| l.dst).collect(),
             link_rate: topology
                 .links()
                 .map(|(_, l)| SimConfig::bytes_per_cycle(l.capacity))
                 .collect(),
             node_inputs,
+            inject_node,
             cycle: 0,
             packets: Vec::new(),
             free_slots: Vec::new(),
             link_buffers: (0..link_count).map(|_| Buffer::new(config.buffer_flits)).collect(),
             link_tokens: vec![0.0; link_count],
+            link_token_due: vec![0; link_count],
             link_channel: vec![ChannelState::default(); link_count],
+            node_flits: vec![0; node_count],
             inject_queues,
             inject_queue_of,
             eject_channel: vec![ChannelState::default(); node_count],
@@ -189,6 +230,14 @@ impl Simulator {
             flows,
             config,
         }
+    }
+
+    /// Selects the cycle-loop implementation (default
+    /// [`LoopKind::ActiveSet`]). Both loops produce bit-identical reports;
+    /// [`LoopKind::FullScan`] exists as the reference baseline and for the
+    /// `simulator` benchmark comparison.
+    pub fn set_loop_kind(&mut self, kind: LoopKind) {
+        self.loop_kind = kind;
     }
 
     /// Runs warm-up, measurement and drain, returning the report.
@@ -236,6 +285,7 @@ impl Simulator {
             let spec = &self.flows[i];
             if let Some(path_idx) = self.sources[i].poll(self.cycle, spec, &mut self.rng) {
                 let path = spec.paths[path_idx].links.clone();
+                let source = spec.source;
                 let measured = self.in_measurement_window();
                 let packet = Packet {
                     id: self.next_packet_id,
@@ -262,6 +312,7 @@ impl Simulator {
                         arrived: self.cycle,
                     });
                 }
+                self.node_flits[source.index()] += flits as u32;
             }
         }
     }
@@ -304,22 +355,33 @@ impl Simulator {
     }
 
     fn eject(&mut self) {
+        let skip_idle = self.loop_kind == LoopKind::ActiveSet;
         for node in 0..self.node_count {
+            // A node with no buffered flits has no fronts: neither the
+            // allocation scan nor the owner branch below could act, so the
+            // active-set loop skips it outright.
+            if skip_idle && self.node_flits[node] == 0 {
+                continue;
+            }
             // Allocate the ejection channel if free.
             if self.eject_channel[node].owner.is_none() {
-                let inputs = self.node_inputs[node].clone();
+                let count = self.node_inputs[node].len();
                 let start = self.eject_channel[node].rr_next;
-                for off in 0..inputs.len() {
-                    let input = inputs[(start + off) % inputs.len()];
+                let mut winner = None;
+                for off in 0..count {
+                    let input = self.node_inputs[node][(start + off) % count];
                     let Some(front) = self.buffer(input, node).front().copied() else {
                         continue;
                     };
                     if front.flit == 0 && self.next_link(&front).is_none() && self.eligible(&front)
                     {
-                        self.eject_channel[node].allocate(input, front.packet);
-                        self.eject_channel[node].rr_next = (start + off + 1) % inputs.len();
+                        winner = Some((input, front.packet, off));
                         break;
                     }
+                }
+                if let Some((input, packet, off)) = winner {
+                    self.eject_channel[node].allocate(input, packet);
+                    self.eject_channel[node].rr_next = (start + off + 1) % count;
                 }
             }
             // Move one flit through the allocated ejection channel.
@@ -333,6 +395,7 @@ impl Simulator {
                 continue;
             }
             let flit = self.buffer_mut(input, node).pop().expect("front exists");
+            self.node_flits[node] -= 1;
             self.last_progress = self.cycle;
             let total_flits = self.packets[packet].as_ref().expect("live").flits;
             if flit.flit as usize + 1 == total_flits {
@@ -356,31 +419,58 @@ impl Simulator {
         }
     }
 
+    /// Applies the serialization-token accrual for every cycle up to and
+    /// including the current one that `link` has not yet seen. The replay
+    /// performs the identical sequence of capped additions the full-scan
+    /// loop would have — fp-exact — and stops early once the cap is
+    /// reached (further additions are fixed points).
+    fn sync_link_tokens(&mut self, link: usize) {
+        let cap = 2.0 * self.config.flit_bytes as f64;
+        let rate = self.link_rate[link];
+        let mut pending = self.cycle + 1 - self.link_token_due[link];
+        self.link_token_due[link] = self.cycle + 1;
+        if rate <= 0.0 {
+            return; // each add is a no-op: tokens never grow
+        }
+        while pending > 0 && self.link_tokens[link] < cap {
+            self.link_tokens[link] = (self.link_tokens[link] + rate).min(cap);
+            pending -= 1;
+        }
+    }
+
     fn traverse_links(&mut self) {
+        let skip_idle = self.loop_kind == LoopKind::ActiveSet;
         let flit_bytes = self.config.flit_bytes as f64;
         for link in 0..self.link_buffers.len() {
+            let upstream = self.link_src[link].index();
+            // No flit is buffered anywhere at the upstream node: neither
+            // channel allocation nor forwarding could act, and the only
+            // full-scan effect — token accrual — is replayed lazily by
+            // `sync_link_tokens` when the link next wakes up.
+            if skip_idle && self.node_flits[upstream] == 0 {
+                continue;
+            }
             // Serialization: accumulate tokens. The cap must exceed one
             // flit so the fractional remainder after a send carries over
             // (otherwise every rate between flit/3 and flit/2 bytes-per-
             // cycle would quantize to the same 3-cycle serialization);
             // two flits' worth bounds idle bursts to a single extra flit.
-            self.link_tokens[link] =
-                (self.link_tokens[link] + self.link_rate[link]).min(2.0 * flit_bytes);
+            self.sync_link_tokens(link);
             if self.link_tokens[link] < flit_bytes {
                 continue;
             }
             if !self.link_buffers[link].has_space() {
                 continue;
             }
-            let upstream = self.link_src[link].index();
             let link_id = LinkId::new(link);
 
             // Allocate the channel to a head flit if free.
             if self.link_channel[link].owner.is_none() {
-                let inputs = self.node_inputs[upstream].clone();
+                let count = self.node_inputs[upstream].len();
                 let start = self.link_channel[link].rr_next;
-                for off in 0..inputs.len() {
-                    let input = inputs[(start + off) % inputs.len()];
+                let mut winner = None;
+                for off in 0..count {
+                    let input = self.node_inputs[upstream][(start + off) % count];
                     let Some(front) = self.buffer(input, upstream).front().copied() else {
                         continue;
                     };
@@ -388,10 +478,13 @@ impl Simulator {
                         && self.next_link(&front) == Some(link_id)
                         && self.eligible(&front)
                     {
-                        self.link_channel[link].allocate(input, front.packet);
-                        self.link_channel[link].rr_next = (start + off + 1) % inputs.len();
+                        winner = Some((input, front.packet, off));
                         break;
                     }
+                }
+                if let Some((input, packet, off)) = winner {
+                    self.link_channel[link].allocate(input, packet);
+                    self.link_channel[link].rr_next = (start + off + 1) % count;
                 }
             }
 
@@ -406,6 +499,7 @@ impl Simulator {
                 continue;
             }
             let flit = self.buffer_mut(input, upstream).pop().expect("front exists");
+            self.node_flits[upstream] -= 1;
             if matches!(input, InputId::Inject(_)) && flit.flit == 0 {
                 let p = self.packets[flit.packet].as_mut().expect("live packet");
                 p.injected_at = Some(self.cycle);
@@ -425,6 +519,7 @@ impl Simulator {
                 hop: flit.hop + 1,
                 arrived: self.cycle,
             });
+            self.node_flits[self.link_dst[link].index()] += 1;
         }
     }
 
@@ -455,11 +550,13 @@ impl Simulator {
             self.last_progress = self.cycle;
             return;
         };
-        for buffer in &mut self.link_buffers {
-            buffer.purge_packet(slot);
+        for link in 0..self.link_buffers.len() {
+            let purged = self.link_buffers[link].purge_packet(slot);
+            self.node_flits[self.link_dst[link].index()] -= purged as u32;
         }
-        for queue in &mut self.inject_queues {
-            queue.purge_packet(slot);
+        for queue_id in 0..self.inject_queues.len() {
+            let purged = self.inject_queues[queue_id].purge_packet(slot);
+            self.node_flits[self.inject_node[queue_id].index()] -= purged as u32;
         }
         for node in 0..self.node_count {
             if self.eject_channel[node].owner.is_some_and(|(_, p)| p == slot) {
@@ -669,6 +766,79 @@ mod tests {
         let _ = Simulator::new(&t, vec![flow], quick_config());
     }
 
+    /// Runs the same flow set under both cycle loops and asserts the
+    /// reports are bit-identical (PartialEq compares every f64 exactly).
+    fn assert_loops_agree(t: &Topology, flows: Vec<FlowSpec>, config: SimConfig) -> SimReport {
+        let mut full = Simulator::new(t, flows.clone(), config.clone());
+        full.set_loop_kind(LoopKind::FullScan);
+        let full_report = full.run();
+        let mut active = Simulator::new(t, flows, config);
+        active.set_loop_kind(LoopKind::ActiveSet);
+        assert_eq!(active.run(), full_report, "active-set loop diverged from full scan");
+        full_report
+    }
+
+    #[test]
+    fn active_set_matches_full_scan_under_contention() {
+        let t = mesh();
+        let flows = vec![
+            FlowSpec::single_path(
+                NodeId::new(0),
+                NodeId::new(2),
+                400.0,
+                path(&t, &[(0, 1), (1, 2)]),
+            ),
+            FlowSpec::single_path(
+                NodeId::new(3),
+                NodeId::new(2),
+                400.0,
+                path(&t, &[(3, 4), (4, 1), (1, 2)]),
+            ),
+            FlowSpec::split(
+                NodeId::new(6),
+                NodeId::new(8),
+                300.0,
+                vec![
+                    (path(&t, &[(6, 7), (7, 8)]), 0.5),
+                    (path(&t, &[(6, 3), (3, 4), (4, 5), (5, 8)]), 0.5),
+                ],
+            ),
+        ];
+        let report = assert_loops_agree(&t, flows, quick_config());
+        assert!(report.delivered_packets > 100, "workload too light to be meaningful");
+    }
+
+    #[test]
+    fn active_set_matches_full_scan_when_saturated() {
+        // Oversubscription exercises backpressure, unfinished-packet
+        // accounting and (at 4x) the watchdog's deadlock-recovery drops.
+        let t = Topology::mesh(2, 1, 100.0);
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(1),
+            400.0,
+            vec![t.find_link(NodeId::new(0), NodeId::new(1)).unwrap()],
+        );
+        let report = assert_loops_agree(&t, vec![flow], quick_config());
+        assert!(report.saturated());
+    }
+
+    #[test]
+    fn active_set_matches_full_scan_on_slow_links() {
+        // Sub-flit-per-cycle rates make the lazy token replay do real
+        // work: a 100 MB/s link accrues 0.1 B/cycle against 4 B flits, so
+        // reactivated links replay long idle stretches.
+        let t = Topology::mesh(3, 3, 100.0);
+        let flow = FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            60.0,
+            path(&t, &[(0, 1), (1, 2)]),
+        );
+        let report = assert_loops_agree(&t, vec![flow], quick_config());
+        assert!(report.delivered_packets > 0);
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let t = mesh();
@@ -683,6 +853,37 @@ mod tests {
         let r1 = Simulator::new(&t, vec![mk()], quick_config()).run();
         let r2 = Simulator::new(&t, vec![mk()], quick_config()).run();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn zero_measure_window_throughput_is_zero_not_nan() {
+        // SimReport fields are public; a hand-built report (or one merged
+        // from partial windows) must not turn 0/0 into NaN.
+        let report = SimReport {
+            cycles: 0,
+            generated_packets: 0,
+            delivered_packets: 0,
+            dropped_packets: 0,
+            unfinished_measured_packets: 0,
+            latency: LatencyStats::new(),
+            network_latency: LatencyStats::new(),
+            per_flow_latency: Vec::new(),
+            link_flits: vec![42],
+            measure_cycles: 0,
+            flit_bytes: 4,
+        };
+        let tput = report.link_throughput_mbps(LinkId::new(0));
+        assert_eq!(tput, 0.0);
+        assert!(!tput.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement window must be non-empty")]
+    fn empty_measure_window_rejected_at_construction() {
+        let t = mesh();
+        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 10.0, path(&t, &[(0, 1)]));
+        let config = SimConfig { measure_cycles: 0, ..Default::default() };
+        let _ = Simulator::new(&t, vec![flow], config);
     }
 
     #[test]

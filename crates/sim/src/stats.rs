@@ -59,12 +59,19 @@ impl LatencyStats {
     }
 
     /// Upper edge of the histogram bucket containing the given quantile
-    /// (`0.0 < q ≤ 1.0`) — a coarse percentile estimate.
+    /// (`0.0 ≤ q ≤ 1.0`) — a coarse percentile estimate.
+    ///
+    /// A sample `v` lands in the bucket with upper edge
+    /// `2^(64 - leading_zeros(max(v, 1)))`: bucket edges 2, 4, 8, … so
+    /// values 0–1 report 2, values 2–3 report 4, and so on. `q` at or
+    /// near 0 reports the bucket of the smallest sample (the target rank
+    /// is floored at 1 sample — otherwise the never-populated bucket 0
+    /// would satisfy `seen ≥ 0` and misreport 1).
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -125,6 +132,32 @@ mod tests {
         assert!((50..=64).contains(&p50), "p50 bound {p50}");
         let p100 = s.quantile_upper_bound(1.0).unwrap();
         assert!(p100 >= 100);
+    }
+
+    #[test]
+    fn quantile_at_zero_reports_smallest_sample_bucket() {
+        // Regression: target rank used to round to 0 for q ≈ 0, so the
+        // empty bucket 0 "contained" the quantile and Some(1) came back
+        // even when every sample was in the hundreds.
+        let mut s = LatencyStats::new();
+        for v in [300u64, 400, 500] {
+            s.record(v);
+        }
+        // 300..=500 all land in the [256, 512) bucket: upper edge 512.
+        for q in [0.0, 1e-9, 0.1, 0.5, 1.0] {
+            assert_eq!(s.quantile_upper_bound(q), Some(512), "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // Pin the documented edges: v=0,1 → 2; v=2,3 → 4; v=4..8 → 8; …
+        for (value, edge) in [(0u64, 2u64), (1, 2), (2, 4), (3, 4), (4, 8), (7, 8), (8, 16)] {
+            let mut s = LatencyStats::new();
+            s.record(value);
+            assert_eq!(s.quantile_upper_bound(0.5), Some(edge), "value={value}");
+            assert_eq!(s.quantile_upper_bound(0.0), Some(edge), "value={value}");
+        }
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl FlowSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `paths` is empty or all weights are ≤ 0.
+    /// Panics if `paths` is empty or any weight is non-finite or ≤ 0.
+    /// Each individual weight must be a positive share: a negative or NaN
+    /// weight would corrupt the deficit-round-robin credits of the packet
+    /// scheduler even when the weight *sum* looks healthy.
     pub fn split(
         source: NodeId,
         dest: NodeId,
@@ -49,8 +52,13 @@ impl FlowSpec {
         paths: Vec<(Vec<LinkId>, f64)>,
     ) -> Self {
         assert!(!paths.is_empty(), "a flow needs at least one path");
+        for (i, (_, w)) in paths.iter().enumerate() {
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "path weight {i} must be finite and positive, got {w}"
+            );
+        }
         let total: f64 = paths.iter().map(|(_, w)| w).sum();
-        assert!(total > 0.0, "path weights must be positive");
         let paths =
             paths.into_iter().map(|(links, w)| WeightedPath { links, weight: w / total }).collect();
         Self { source, dest, rate_mbps, paths }
@@ -190,6 +198,43 @@ mod tests {
     #[should_panic(expected = "at least one path")]
     fn empty_paths_panics() {
         let _ = FlowSpec::split(NodeId::new(0), NodeId::new(1), 1.0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "path weight 1 must be finite and positive, got -1")]
+    fn negative_weight_panics_even_with_positive_sum() {
+        // Sum is 2.0 > 0, but the negative share would drive path 1's
+        // round-robin credit ever downward — rejected outright.
+        let _ = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(1),
+            100.0,
+            vec![(vec![], 3.0), (vec![], -1.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn zero_weight_panics() {
+        let _ = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(1),
+            100.0,
+            vec![(vec![], 0.0), (vec![], 1.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn nan_weight_panics() {
+        let _ = FlowSpec::split(NodeId::new(0), NodeId::new(1), 100.0, vec![(vec![], f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn infinite_weight_panics() {
+        let _ =
+            FlowSpec::split(NodeId::new(0), NodeId::new(1), 100.0, vec![(vec![], f64::INFINITY)]);
     }
 
     #[test]
