@@ -15,7 +15,10 @@
 //!
 //! All three consume the same [`nmap::MappingProblem`] and produce an
 //! [`nmap::Mapping`], so every mapper can be evaluated under every routing
-//! regime (XY, load-balanced min-path, split-traffic MCF).
+//! regime (XY, load-balanced min-path, split-traffic MCF). Each also has
+//! a [`nmap::search::Mapper`] wrapper ([`PmapMapper`], [`GmapMapper`],
+//! [`PbbMapper`]), and [`standard_registry`] assembles the workspace-wide
+//! name-keyed mapper registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +26,9 @@
 mod gmap;
 mod pbb;
 mod pmap;
+mod search;
 
 pub use gmap::gmap;
 pub use pbb::{pbb, PbbOptions, PbbOutcome};
 pub use pmap::pmap;
+pub use search::{standard_registry, GmapMapper, PbbMapper, PmapMapper};

@@ -47,6 +47,27 @@ impl Default for PbbOptions {
     }
 }
 
+impl PbbOptions {
+    /// Checks the options, returning the first violation as a message —
+    /// the single source of the budget constraints, shared by the
+    /// [`crate::PbbMapper`] trait wrapper and the `.dse` spec parser.
+    /// (The bare [`pbb`] stays total: a zero budget there degenerates to
+    /// the `initialize()` fallback.)
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a budget is zero.
+    pub fn check(&self) -> std::result::Result<(), String> {
+        if self.max_queue == 0 {
+            return Err("pbb queue bound must be at least 1".into());
+        }
+        if self.max_expansions == 0 {
+            return Err("pbb expansion budget must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 /// Result of a [`pbb`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PbbOutcome {

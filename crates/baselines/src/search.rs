@@ -1,0 +1,169 @@
+//! The baseline mappers behind the [`nmap::search`] layer: [`Mapper`]
+//! wrappers for PMAP, GMAP and PBB, plus [`standard_registry`] — the
+//! full name-keyed registry of every mapper in the workspace (this
+//! crate's three baselines on top of [`nmap::search::core_registry`]).
+
+use nmap::search::{constructive_outcome_of, core_registry, MapOutcome, Mapper, Registry};
+use nmap::{EvalContext, Result};
+
+use crate::{gmap, pbb, pmap, PbbOptions};
+
+/// The PMAP two-phase baseline (registry name `pmap`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmapMapper;
+
+impl Mapper for PmapMapper {
+    fn name(&self) -> String {
+        "pmap".to_string()
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        let mapping = pmap(ctx.problem());
+        constructive_outcome_of(ctx, mapping, 0)
+    }
+
+    fn place(&self, ctx: &mut EvalContext<'_>) -> Result<(nmap::Mapping, usize)> {
+        Ok((pmap(ctx.problem()), 0))
+    }
+}
+
+/// The GMAP greedy baseline (registry name `gmap`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GmapMapper;
+
+impl Mapper for GmapMapper {
+    fn name(&self) -> String {
+        "gmap".to_string()
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        let mapping = gmap(ctx.problem());
+        constructive_outcome_of(ctx, mapping, 0)
+    }
+
+    fn place(&self, ctx: &mut EvalContext<'_>) -> Result<(nmap::Mapping, usize)> {
+        Ok((gmap(ctx.problem()), 0))
+    }
+}
+
+/// Truncated branch-and-bound (registry name `pbb`); `evaluations`
+/// counts search-tree expansions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbbMapper {
+    options: PbbOptions,
+}
+
+impl PbbMapper {
+    /// Wraps [`pbb`] with the given options.
+    pub fn new(options: PbbOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Default for PbbMapper {
+    fn default() -> Self {
+        Self::new(PbbOptions::default())
+    }
+}
+
+impl Mapper for PbbMapper {
+    fn name(&self) -> String {
+        if self.options == PbbOptions::default() {
+            "pbb".to_string()
+        } else {
+            format!("pbb[q{}e{}]", self.options.max_queue, self.options.max_expansions)
+        }
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        self.options.check().map_err(nmap::MapError::InvalidOptions)?;
+        let out = pbb(ctx.problem(), &self.options);
+        Ok(MapOutcome {
+            mapping: out.mapping,
+            comm_cost: out.comm_cost,
+            feasible: out.feasible,
+            evaluations: out.expansions,
+        })
+    }
+}
+
+/// Every mapper in the workspace under its canonical `.dse` name: the
+/// NMAP family and the `sa`/`tabu` searches from
+/// [`nmap::search::core_registry`], plus `pmap`, `gmap` and `pbb` from
+/// this crate.
+pub fn standard_registry() -> Registry {
+    let mut registry = core_registry();
+    registry.register("pmap", |_| Box::new(PmapMapper));
+    registry.register("gmap", |_| Box::new(GmapMapper));
+    registry.register("pbb", |_| Box::new(PbbMapper::default()));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nmap::MappingProblem;
+    use noc_graph::{RandomGraphConfig, Topology};
+
+    fn problem(seed: u64) -> MappingProblem {
+        let g = RandomGraphConfig { cores: 8, ..Default::default() }.generate(seed);
+        MappingProblem::new(g, Topology::mesh(3, 3, 2_000.0)).unwrap()
+    }
+
+    #[test]
+    fn standard_registry_builds_all_ten_mappers() {
+        let registry = standard_registry();
+        let names: Vec<_> = registry.names().collect();
+        assert_eq!(
+            names,
+            [
+                "nmap-init",
+                "nmap",
+                "nmap-paper",
+                "nmap-split-quadrant",
+                "nmap-split-all",
+                "sa",
+                "tabu",
+                "pmap",
+                "gmap",
+                "pbb"
+            ]
+        );
+        let p = problem(1);
+        for name in names {
+            let mapper = registry.build(name, 3).expect("registered");
+            assert_eq!(mapper.name(), name);
+            let out = mapper.map(&mut EvalContext::new(&p)).expect("small mesh maps");
+            assert!(out.mapping.is_complete(p.cores()), "{name}");
+        }
+    }
+
+    #[test]
+    fn trait_wrappers_match_the_bare_functions() {
+        let p = problem(6);
+        let out = PmapMapper.map(&mut EvalContext::new(&p)).unwrap();
+        assert_eq!(out.mapping, pmap(&p));
+        assert_eq!(out.comm_cost, p.comm_cost(&out.mapping));
+        assert_eq!(out.evaluations, 0);
+
+        let out = GmapMapper.map(&mut EvalContext::new(&p)).unwrap();
+        assert_eq!(out.mapping, gmap(&p));
+
+        let opts = PbbOptions { max_queue: 500, max_expansions: 5_000 };
+        let legacy = pbb(&p, &opts);
+        let out = PbbMapper::new(opts).map(&mut EvalContext::new(&p)).unwrap();
+        assert_eq!(out.mapping, legacy.mapping);
+        assert_eq!(out.comm_cost, legacy.comm_cost);
+        assert_eq!(out.feasible, legacy.feasible);
+        assert_eq!(out.evaluations, legacy.expansions);
+    }
+
+    #[test]
+    fn pbb_name_covers_parameterized_form() {
+        assert_eq!(PbbMapper::default().name(), "pbb");
+        assert_eq!(
+            PbbMapper::new(PbbOptions { max_queue: 10, max_expansions: 20 }).name(),
+            "pbb[q10e20]"
+        );
+    }
+}

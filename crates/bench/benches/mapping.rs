@@ -82,12 +82,71 @@ fn bench_nmap_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The swap-delta claim: the O(deg) delta-gated descent kernel beats the
+/// full-recompute kernel on the Table-2 workloads (bundled apps and the
+/// random-graph family) while producing bit-identical outcomes (pinned
+/// by `crates/core/tests/swap_delta_identity.rs` — here we only measure).
+fn bench_swap_delta_kernels(c: &mut Criterion) {
+    use nmap::{map_single_path_kernel, EvalContext, SwapKernel};
+
+    let mut group = c.benchmark_group("swap_delta");
+    group.sample_size(10);
+    let mut instances = vec![("vopd_16c".to_string(), vopd_instance())];
+    for cores in [25usize, 35, 50] {
+        let graph = RandomGraphConfig { cores, ..Default::default() }.generate(7);
+        let (w, h) = Topology::fit_mesh_dims(cores);
+        let problem = nmap::MappingProblem::new(graph, Topology::mesh(w, h, 1e9)).unwrap();
+        instances.push((format!("random_{cores}c"), problem));
+    }
+    // Sweep-realistic effort (multiple passes and restarts): the descent
+    // dominates over the shared initialize()/routing fixed costs, which
+    // both kernels pay identically.
+    let options = SinglePathOptions { passes: 2, restarts: 4 };
+    for (label, problem) in &instances {
+        for (kernel_label, kernel) in
+            [("full", SwapKernel::FullRecompute), ("delta", SwapKernel::DeltaGated)]
+        {
+            group.bench_function(BenchmarkId::new(kernel_label, label), |b| {
+                b.iter(|| {
+                    black_box(
+                        map_single_path_kernel(&mut EvalContext::new(problem), &options, kernel)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The kernel's customers: the SA and tabu searches propose/scan moves
+/// through `swap_delta`, so their cost is dominated by O(deg) work.
+fn bench_search_mappers(c: &mut Criterion) {
+    use nmap::search::{Mapper, SaMapper, SaOptions, TabuMapper, TabuOptions};
+    use nmap::EvalContext;
+
+    let vopd = vopd_instance();
+    let mut group = c.benchmark_group("search_mappers_vopd");
+    group.sample_size(10);
+    group.bench_function("sa_default", |b| {
+        let mapper = SaMapper::new(SaOptions::default(), 7);
+        b.iter(|| black_box(mapper.map(&mut EvalContext::new(&vopd)).unwrap()))
+    });
+    group.bench_function("tabu_default", |b| {
+        let mapper = TabuMapper::new(TabuOptions::default());
+        b.iter(|| black_box(mapper.map(&mut EvalContext::new(&vopd)).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_initialize,
     bench_router,
     bench_single_path_mappers,
     bench_split_mapper,
-    bench_nmap_scaling
+    bench_nmap_scaling,
+    bench_swap_delta_kernels,
+    bench_search_mappers
 );
 criterion_main!(benches);

@@ -27,6 +27,10 @@ pub enum MapError {
     /// The topology is not a mesh/torus, but a mesh-only routine
     /// (e.g. dimension-ordered XY routing) was requested.
     MeshRequired,
+    /// Mapper options failed their `check()` (e.g.
+    /// [`crate::SinglePathOptions::check`]): the entry points validate
+    /// instead of silently clamping.
+    InvalidOptions(String),
     /// An MCF linear program failed to solve.
     Lp(SolveError),
 }
@@ -43,6 +47,9 @@ impl fmt::Display for MapError {
             }
             MapError::MeshRequired => {
                 write!(f, "this routine requires a mesh or torus topology")
+            }
+            MapError::InvalidOptions(message) => {
+                write!(f, "invalid mapper options: {message}")
             }
             MapError::Lp(e) => write!(f, "multi-commodity flow LP failed: {e}"),
         }

@@ -22,7 +22,7 @@
 //! operation is unchanged (asserted by tests and the workspace determinism
 //! suite).
 
-use noc_graph::{dijkstra, QuadrantDag};
+use noc_graph::{dijkstra, NodeId, QuadrantDag};
 
 use crate::routing::LinkLoads;
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
@@ -82,6 +82,77 @@ impl<'p> EvalContext<'p> {
         self.problem.comm_cost(mapping)
     }
 
+    /// Equation-7 cost change of exchanging the contents of nodes `a` and
+    /// `b` in `mapping` (the move set of [`Mapping::swap_nodes`]), in
+    /// `O(deg(a) + deg(b))` hop-distance queries instead of the full
+    /// O(E) scan: only commodities incident to the two swapped cores
+    /// change their hop distance, so only those are re-measured. On
+    /// mesh/torus topologies each query is a closed form, so the whole
+    /// call is O(deg); custom topologies answer each query with a BFS
+    /// (see [`noc_graph::Topology::hop_distance`]), which the full scan
+    /// pays per edge too. Either node may be empty (a core→free-slot
+    /// move); `a == b` or two empty nodes give `0.0`.
+    ///
+    /// The returned delta equals `comm_cost(swapped) - comm_cost(mapping)`
+    /// up to floating-point rounding of the different summation orders —
+    /// exact in real arithmetic, including on custom topologies with
+    /// asymmetric hop distances (directions are preserved per edge). Use
+    /// it to *rank* or *prefilter* candidate swaps; confirm an accepted
+    /// candidate with the full [`EvalContext::evaluate`] when bit-exact
+    /// costs matter (that is what the delta-gated swap descent does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not place every core whose commodities
+    /// touch `a` or `b`, or if a node is out of range.
+    pub fn swap_delta(&self, mapping: &Mapping, a: NodeId, b: NodeId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let topology = self.problem.topology();
+        let cores = self.problem.cores();
+        let ca = mapping.core_at(a);
+        let cb = mapping.core_at(b);
+        let mut delta = 0.0;
+        let hop = |x: NodeId, y: NodeId| topology.hop_distance(x, y) as f64;
+        if let Some(ca) = ca {
+            for (_, e) in cores.out_edges(ca) {
+                if Some(e.dst) == cb {
+                    // ca→cb rides the swap on both ends: a→b becomes b→a.
+                    delta += e.bandwidth * (hop(b, a) - hop(a, b));
+                    continue;
+                }
+                let other = mapping.node_of(e.dst).expect("complete mapping");
+                delta += e.bandwidth * (hop(b, other) - hop(a, other));
+            }
+            for (_, e) in cores.in_edges(ca) {
+                if Some(e.src) == cb {
+                    delta += e.bandwidth * (hop(a, b) - hop(b, a));
+                    continue;
+                }
+                let other = mapping.node_of(e.src).expect("complete mapping");
+                delta += e.bandwidth * (hop(other, b) - hop(other, a));
+            }
+        }
+        if let Some(cb) = cb {
+            for (_, e) in cores.out_edges(cb) {
+                if Some(e.dst) == ca {
+                    continue; // counted once via ca's incoming loop
+                }
+                let other = mapping.node_of(e.dst).expect("complete mapping");
+                delta += e.bandwidth * (hop(a, other) - hop(b, other));
+            }
+            for (_, e) in cores.in_edges(cb) {
+                if Some(e.src) == ca {
+                    continue; // counted once via ca's outgoing loop
+                }
+                let other = mapping.node_of(e.src).expect("complete mapping");
+                delta += e.bandwidth * (hop(other, a) - hop(other, b));
+            }
+        }
+        delta
+    }
+
     /// Routes every commodity over a single minimal path exactly like
     /// [`routing::route_min_paths`](crate::routing::route_min_paths), but
     /// returns only the aggregate link loads and reuses the cached
@@ -138,6 +209,12 @@ impl<'p> EvalContext<'p> {
     /// placement-only) cost already fails to beat `threshold`, the
     /// (expensive) routing-based capacity check is skipped — such
     /// candidates would be rejected either way.
+    ///
+    /// The threshold comparison is **inclusive**: `cost == threshold`
+    /// returns `f64::INFINITY` too, because the descent only commits
+    /// *strict* improvements (`cost < incumbent`) — an equal-cost
+    /// candidate can never win, so routing it would be wasted work. Pass
+    /// `f64::INFINITY` as the threshold to force a full evaluation.
     ///
     /// # Errors
     ///
@@ -230,6 +307,101 @@ mod tests {
         if feasible {
             assert_eq!(score, cost);
         }
+    }
+
+    #[test]
+    fn evaluate_at_exact_threshold_returns_infinity() {
+        // The boundary contract: `cost == threshold` is a rejection (the
+        // descent needs strict improvement), with no routing performed.
+        let p = random_problem(3);
+        let mut ctx = EvalContext::new(&p);
+        let m = crate::initialize(&p);
+        let cost = ctx.comm_cost(&m);
+        assert!(cost.is_finite() && cost > 0.0);
+        assert_eq!(ctx.evaluate(&m, cost).unwrap(), f64::INFINITY);
+        assert_eq!(ctx.built_quadrants(), 0, "equality must not trigger routing");
+        // Nudging the threshold just above the cost re-enables evaluation.
+        let score = ctx.evaluate(&m, cost * (1.0 + 1e-12)).unwrap();
+        assert!(score == cost || score == f64::INFINITY);
+    }
+
+    /// `swap_delta` against ground truth: `comm_cost(after) - comm_cost(before)`.
+    fn assert_deltas_match(p: &MappingProblem, m: &Mapping) {
+        let ctx = EvalContext::new(p);
+        let base = ctx.comm_cost(m);
+        let n = p.topology().node_count();
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (NodeId::new(i), NodeId::new(j));
+                let mut swapped = m.clone();
+                swapped.swap_nodes(a, b);
+                let want = ctx.comm_cost(&swapped) - base;
+                let got = ctx.swap_delta(m, a, b);
+                let tol = 1e-9 * (1.0 + base.abs());
+                assert!(
+                    (got - want).abs() <= tol,
+                    "swap ({i},{j}): delta {got} but full recompute says {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_full_recompute_on_random_meshes() {
+        for seed in 0..4 {
+            let p = random_problem(seed);
+            for m in placements(&p) {
+                assert_deltas_match(&p, &m);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_handles_tori_and_empty_nodes() {
+        // 5 cores on a 3x3 torus: four empty positions exercise the
+        // core→free-slot and empty↔empty cases.
+        let g = RandomGraphConfig { cores: 5, ..Default::default() }.generate(11);
+        let p = MappingProblem::new(g, Topology::torus(3, 3, 500.0)).unwrap();
+        for m in placements(&p) {
+            assert_deltas_match(&p, &m);
+        }
+    }
+
+    #[test]
+    fn swap_delta_is_exact_on_asymmetric_custom_topologies() {
+        use noc_graph::CoreGraph;
+        // A directed ring plus one chord: hop(a, b) != hop(b, a) for most
+        // pairs, so the per-edge direction handling is load-bearing.
+        let mut g = CoreGraph::new();
+        let cores: Vec<_> = (0..4).map(|i| g.add_core(format!("c{i}"))).collect();
+        g.add_comm(cores[0], cores[1], 10.0).unwrap();
+        g.add_comm(cores[1], cores[2], 20.0).unwrap();
+        g.add_comm(cores[3], cores[0], 30.0).unwrap();
+        g.add_comm(cores[2], cores[3], 5.0).unwrap();
+        let ring: Vec<_> =
+            (0..5).map(|i| (NodeId::new(i), NodeId::new((i + 1) % 5), 100.0)).collect();
+        let mut links = ring;
+        links.push((NodeId::new(0), NodeId::new(3), 100.0));
+        let t = Topology::custom(5, links).unwrap();
+        let p = MappingProblem::new(g, t).unwrap();
+        assert_ne!(
+            p.topology().hop_distance(NodeId::new(1), NodeId::new(0)),
+            p.topology().hop_distance(NodeId::new(0), NodeId::new(1)),
+            "test premise: distances are asymmetric"
+        );
+        let mut m = Mapping::new(5);
+        for (i, &c) in cores.iter().enumerate() {
+            m.place(c, NodeId::new(i));
+        }
+        assert_deltas_match(&p, &m);
+    }
+
+    #[test]
+    fn swap_delta_of_identical_nodes_is_zero() {
+        let p = random_problem(1);
+        let ctx = EvalContext::new(&p);
+        let m = crate::initialize(&p);
+        assert_eq!(ctx.swap_delta(&m, NodeId::new(2), NodeId::new(2)), 0.0);
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! routers, link-load accounting, and the MCF model builder) are public so
 //! baseline mappers and experiment harnesses can recombine them.
 //!
+//! The [`search`] module unifies every placement algorithm behind the
+//! [`Mapper`] trait and a name-keyed registry ([`search::core_registry`]),
+//! and adds two strategies built on the O(deg)
+//! [`EvalContext::swap_delta`] kernel: seeded simulated annealing
+//! ([`search::SaMapper`]) and deterministic tabu search
+//! ([`search::TabuMapper`]).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -59,6 +66,7 @@ mod mapping;
 pub mod mcf;
 mod problem;
 pub mod routing;
+pub mod search;
 mod single_path;
 mod split;
 
@@ -70,8 +78,10 @@ pub use mapping::Mapping;
 pub use mcf::{McfKind, McfSolution, PathScope};
 pub use problem::{Commodity, MappingProblem};
 pub use routing::{CommodityPath, LinkLoads, RoutingTables, SplitRoute};
+pub use search::{MapOutcome, Mapper};
 pub use single_path::{
-    map_single_path, map_single_path_with, SinglePathOptions, SinglePathOutcome,
+    map_single_path, map_single_path_kernel, map_single_path_with, SinglePathOptions,
+    SinglePathOutcome, SwapKernel,
 };
 pub use split::{map_with_splitting, SplitOptions, SplitOutcome};
 

@@ -1,0 +1,407 @@
+//! The search layer: every placement algorithm in the workspace behind
+//! one [`Mapper`] trait, plus a name-keyed [`Registry`] so harnesses can
+//! treat mappers as data instead of enum arms.
+//!
+//! Before this layer, NMAP single-path, NMAP-split, and the baseline
+//! mappers each had their own call shape (`map_single_path(problem,
+//! opts) -> SinglePathOutcome`, `pmap(problem) -> Mapping`, ...) glued
+//! together by a hand-written `match` in the DSE engine. The trait
+//! unifies them:
+//!
+//! * [`Mapper::map`] drives a shared [`EvalContext`] (cached quadrant
+//!   DAGs, scratch buffers, the O(deg) [`EvalContext::swap_delta`]
+//!   kernel) and returns a single [`MapOutcome`] — mapping, Equation-7
+//!   cost, feasibility, and a work measure.
+//! * [`Mapper::name`] is the mapper's canonical `.dse` spelling (the
+//!   bare keyword for named configurations, `keyword[..]` otherwise);
+//!   the DSE spec format parses every emitted name back to an equal
+//!   configuration (round-trip property, tested).
+//! * [`Registry`] maps names to mapper factories. Factories take a seed
+//!   so stochastic mappers ([`SaMapper`]) derive their random stream
+//!   from the scenario that runs them — never from worker identity —
+//!   keeping parallel sweeps byte-identical. [`core_registry`] registers
+//!   the mappers of this crate; `noc_baselines::standard_registry()`
+//!   adds PMAP/GMAP/PBB on top.
+//!
+//! Two search strategies beyond the paper ride on the cheap swap-delta
+//! kernel, following the strategy axis explored by Marcon et al.
+//! (*Exploring NoC Mapping Strategies*): seeded simulated annealing
+//! ([`SaMapper`]) and deterministic tabu search ([`TabuMapper`]).
+
+mod sa;
+mod tabu;
+
+pub use sa::{SaMapper, SaOptions};
+pub use tabu::{TabuMapper, TabuOptions};
+
+use crate::{
+    initialize, map_single_path_with, map_with_splitting, EvalContext, Mapping, PathScope, Result,
+    SinglePathOptions, SplitOptions,
+};
+
+/// Unified result of any [`Mapper`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapOutcome {
+    /// The best placement found.
+    pub mapping: Mapping,
+    /// Equation-7 communication cost of `mapping` (hops × bandwidth,
+    /// independent of routing; comparable across mappers).
+    pub comm_cost: f64,
+    /// Whether the mapper's own evaluation regime found the placement
+    /// bandwidth-feasible (min-path routing for the swap searches and
+    /// constructive mappers, split MCF routing for NMAP-split).
+    pub feasible: bool,
+    /// Mapper-specific work measure: candidate placements examined for
+    /// the swap searches, LP solves for NMAP-split, node expansions for
+    /// PBB, 0 for the pure constructive mappers.
+    pub evaluations: usize,
+}
+
+/// A placement algorithm: consumes an evaluation context (problem +
+/// caches) and produces a complete [`MapOutcome`].
+pub trait Mapper {
+    /// Canonical `.dse` spelling of this configuration (`nmap`,
+    /// `sa[m1000t0.1c0.99]`, ...). Stable: used as the mapper column of
+    /// sweep records and round-trips through the spec parser.
+    fn name(&self) -> String;
+
+    /// Runs the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MapError::InvalidOptions`] when the mapper's options fail
+    /// their `check()`; otherwise only the error conditions of the
+    /// underlying evaluation (unroutable commodities, LP breakdown).
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome>;
+
+    /// The placement and work measure only, for engines that route and
+    /// score the result themselves (the DSE engine's map stage feeds a
+    /// separate route stage): same mapping and evaluations as
+    /// [`Mapper::map`], but implementations whose search does not already
+    /// compute feasibility (the constructive mappers) override this to
+    /// skip the outcome's routing-based feasibility check instead of
+    /// computing an answer the caller throws away.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mapper::map`].
+    fn place(&self, ctx: &mut EvalContext<'_>) -> Result<(Mapping, usize)> {
+        self.map(ctx).map(|out| (out.mapping, out.evaluations))
+    }
+}
+
+/// A boxed, thread-safe [`Mapper`] — the currency of the [`Registry`].
+pub type BoxedMapper = Box<dyn Mapper + Send + Sync>;
+
+/// One registry entry: a canonical name plus a seed-taking factory.
+struct RegistryEntry {
+    name: String,
+    build: Box<dyn Fn(u64) -> BoxedMapper + Send + Sync>,
+}
+
+/// Name-keyed mapper registry.
+///
+/// Entries are kept in registration order (the order tables and docs list
+/// them in). Factories receive a seed so stochastic mappers stay a pure
+/// function of `(name, seed)`; deterministic mappers ignore it.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("names", &self.names().collect::<Vec<_>>()).finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `build` under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name — two algorithms under one spelling is
+    /// always a bug.
+    pub fn register<F>(&mut self, name: impl Into<String>, build: F)
+    where
+        F: Fn(u64) -> BoxedMapper + Send + Sync + 'static,
+    {
+        let name = name.into();
+        assert!(
+            self.entries.iter().all(|e| e.name != name),
+            "mapper `{name}` is already registered"
+        );
+        self.entries.push(RegistryEntry { name, build: Box::new(build) });
+    }
+
+    /// Builds the mapper registered under `name`, threading `seed` into
+    /// its factory. `None` for unknown names.
+    pub fn build(&self, name: &str, seed: u64) -> Option<BoxedMapper> {
+        self.entries.iter().find(|e| e.name == name).map(|e| (e.build)(seed))
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> impl ExactSizeIterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Number of registered mappers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The registry of this crate's mappers: the NMAP family (`nmap-init`,
+/// `nmap`, `nmap-paper`, `nmap-split-quadrant`, `nmap-split-all`) plus
+/// the two kernel-powered search strategies (`sa`, `tabu`).
+pub fn core_registry() -> Registry {
+    let mut registry = Registry::new();
+    registry.register("nmap-init", |_| Box::new(InitMapper));
+    registry.register("nmap", |_| Box::new(SinglePathMapper::new(SinglePathOptions::default())));
+    registry.register("nmap-paper", |_| {
+        Box::new(SinglePathMapper::new(SinglePathOptions::paper_exact()))
+    });
+    registry.register("nmap-split-quadrant", |_| {
+        Box::new(SplitMapper::new(SplitOptions { scope: PathScope::Quadrant, passes: 1 }))
+    });
+    registry.register("nmap-split-all", |_| {
+        Box::new(SplitMapper::new(SplitOptions { scope: PathScope::AllPaths, passes: 1 }))
+    });
+    registry.register("sa", |seed| Box::new(SaMapper::new(SaOptions::default(), seed)));
+    registry.register("tabu", |_| Box::new(TabuMapper::new(TabuOptions::default())));
+    registry
+}
+
+/// Scores a complete placement the way the constructive mappers report
+/// it — Equation-7 cost plus min-path bandwidth feasibility — so
+/// [`Mapper`] wrappers around placement-only algorithms (here
+/// `initialize()`, in `noc-baselines` PMAP and GMAP) share one outcome
+/// assembly.
+///
+/// # Errors
+///
+/// Propagates [`crate::MapError::Unroutable`] from the router.
+pub fn constructive_outcome_of(
+    ctx: &mut EvalContext<'_>,
+    mapping: Mapping,
+    evaluations: usize,
+) -> Result<MapOutcome> {
+    let comm_cost = ctx.comm_cost(&mapping);
+    let topology = ctx.problem().topology();
+    let feasible = ctx.route_min_loads(&mapping)?.within_capacity(topology);
+    Ok(MapOutcome { mapping, comm_cost, feasible, evaluations })
+}
+
+/// NMAP's greedy constructive placement only (`initialize()`), no
+/// improvement loop — the cheapest member of the family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InitMapper;
+
+impl Mapper for InitMapper {
+    fn name(&self) -> String {
+        "nmap-init".to_string()
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        let mapping = initialize(ctx.problem());
+        constructive_outcome_of(ctx, mapping, 0)
+    }
+
+    fn place(&self, ctx: &mut EvalContext<'_>) -> Result<(Mapping, usize)> {
+        Ok((initialize(ctx.problem()), 0))
+    }
+}
+
+/// NMAP single-minimum-path mapping (Section 5) behind the trait.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinglePathMapper {
+    options: SinglePathOptions,
+}
+
+impl SinglePathMapper {
+    /// Wraps [`map_single_path_with`] with the given options.
+    pub fn new(options: SinglePathOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Mapper for SinglePathMapper {
+    fn name(&self) -> String {
+        if self.options == SinglePathOptions::paper_exact() {
+            "nmap-paper".to_string()
+        } else if self.options == SinglePathOptions::default() {
+            "nmap".to_string()
+        } else {
+            format!("nmap[p{}r{}]", self.options.passes, self.options.restarts)
+        }
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        let out = map_single_path_with(ctx, &self.options)?;
+        Ok(MapOutcome {
+            mapping: out.mapping,
+            comm_cost: out.comm_cost,
+            feasible: out.feasible,
+            evaluations: out.evaluations,
+        })
+    }
+}
+
+/// NMAP with split-traffic routing (Section 6) behind the trait:
+/// MCF-driven placement, `evaluations` counts LP solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitMapper {
+    options: SplitOptions,
+}
+
+impl SplitMapper {
+    /// Wraps [`map_with_splitting`] with the given options.
+    pub fn new(options: SplitOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Mapper for SplitMapper {
+    fn name(&self) -> String {
+        let base = match self.options.scope {
+            PathScope::Quadrant => "nmap-split-quadrant",
+            PathScope::AllPaths => "nmap-split-all",
+        };
+        if self.options.passes == 1 {
+            base.to_string()
+        } else {
+            format!("{base}[p{}]", self.options.passes)
+        }
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        let out = map_with_splitting(ctx.problem(), &self.options)?;
+        Ok(MapOutcome {
+            mapping: out.mapping,
+            comm_cost: out.comm_cost,
+            feasible: out.feasible,
+            evaluations: out.lp_solves,
+        })
+    }
+}
+
+/// Shared outcome assembly for the swap searches ([`SaMapper`],
+/// [`TabuMapper`]): prefer the best *feasible* placement (its evaluate()
+/// score is its exact cost); fall back to the best-cost placement seen
+/// when nothing feasible was found.
+fn search_outcome(
+    ctx: &mut EvalContext<'_>,
+    best_score: f64,
+    best: Mapping,
+    best_any: Mapping,
+    evaluations: usize,
+) -> MapOutcome {
+    if best_score.is_finite() {
+        MapOutcome { mapping: best, comm_cost: best_score, feasible: true, evaluations }
+    } else {
+        let comm_cost = ctx.comm_cost(&best_any);
+        MapOutcome { mapping: best_any, comm_cost, feasible: false, evaluations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MappingProblem;
+    use noc_graph::{RandomGraphConfig, Topology};
+
+    fn problem(seed: u64) -> MappingProblem {
+        let g = RandomGraphConfig { cores: 8, ..Default::default() }.generate(seed);
+        MappingProblem::new(g, Topology::mesh(3, 3, 2_000.0)).unwrap()
+    }
+
+    #[test]
+    fn registry_rejects_duplicates() {
+        let mut r = Registry::new();
+        r.register("x", |_| Box::new(InitMapper));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            r.register("x", |_| Box::new(InitMapper))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn core_registry_builds_every_entry_and_names_round_trip() {
+        let registry = core_registry();
+        assert_eq!(
+            registry.names().collect::<Vec<_>>(),
+            [
+                "nmap-init",
+                "nmap",
+                "nmap-paper",
+                "nmap-split-quadrant",
+                "nmap-split-all",
+                "sa",
+                "tabu"
+            ]
+        );
+        let p = problem(4);
+        for name in registry.names().collect::<Vec<_>>() {
+            let mapper = registry.build(name, 7).expect("registered");
+            assert_eq!(mapper.name(), name, "factory must build its own name");
+            let out = mapper.map(&mut EvalContext::new(&p)).expect("small mesh maps");
+            assert!(out.mapping.is_complete(p.cores()), "{name} left cores unplaced");
+            assert!(out.comm_cost.is_finite());
+            assert_eq!(out.comm_cost, p.comm_cost(&out.mapping), "{name} cost mismatch");
+        }
+        assert!(registry.build("nosuch", 0).is_none());
+    }
+
+    #[test]
+    fn trait_outcomes_match_the_legacy_entry_points() {
+        let p = problem(9);
+        // Single-path.
+        let legacy = crate::map_single_path(&p, &SinglePathOptions::default()).unwrap();
+        let out = SinglePathMapper::new(SinglePathOptions::default())
+            .map(&mut EvalContext::new(&p))
+            .unwrap();
+        assert_eq!(out.mapping, legacy.mapping);
+        assert_eq!(out.comm_cost, legacy.comm_cost);
+        assert_eq!(out.feasible, legacy.feasible);
+        assert_eq!(out.evaluations, legacy.evaluations);
+        // Init.
+        let out = InitMapper.map(&mut EvalContext::new(&p)).unwrap();
+        assert_eq!(out.mapping, initialize(&p));
+        assert_eq!(out.evaluations, 0);
+        // Split.
+        let opts = SplitOptions { scope: PathScope::Quadrant, passes: 1 };
+        let legacy = map_with_splitting(&p, &opts).unwrap();
+        let out = SplitMapper::new(opts).map(&mut EvalContext::new(&p)).unwrap();
+        assert_eq!(out.mapping, legacy.mapping);
+        assert_eq!(out.evaluations, legacy.lp_solves);
+        assert_eq!(out.feasible, legacy.feasible);
+    }
+
+    #[test]
+    fn names_cover_parameterized_forms() {
+        assert_eq!(SinglePathMapper::new(SinglePathOptions::default()).name(), "nmap");
+        assert_eq!(SinglePathMapper::new(SinglePathOptions::paper_exact()).name(), "nmap-paper");
+        assert_eq!(
+            SinglePathMapper::new(SinglePathOptions { passes: 4, restarts: 2 }).name(),
+            "nmap[p4r2]"
+        );
+        assert_eq!(
+            SplitMapper::new(SplitOptions { scope: PathScope::AllPaths, passes: 1 }).name(),
+            "nmap-split-all"
+        );
+        assert_eq!(
+            SplitMapper::new(SplitOptions { scope: PathScope::Quadrant, passes: 3 }).name(),
+            "nmap-split-quadrant[p3]"
+        );
+    }
+}

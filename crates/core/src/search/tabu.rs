@@ -1,0 +1,222 @@
+//! Deterministic tabu search over pairwise swaps.
+//!
+//! Each iteration scans every node pair with the O(deg)
+//! [`EvalContext::swap_delta`] kernel and applies the best admissible
+//! move — even an uphill one, which is how the search escapes the local
+//! minima the plain descent stops at. A move just taken is *tabu*
+//! (forbidden) for the next [`TabuOptions::tenure`] iterations unless it
+//! aspires: it would improve on the best cost seen so far. Ties break
+//! toward the first pair in scan order, so the whole search is a pure
+//! function of the problem — no seed needed.
+//!
+//! Feasibility follows the paper's regime: candidate incumbents are
+//! confirmed with the full lazy-feasibility [`EvalContext::evaluate`]
+//! (exact cost + bandwidth check); only confirmed-feasible placements
+//! can win.
+
+use noc_graph::NodeId;
+
+use super::{search_outcome, MapOutcome, Mapper};
+use crate::{initialize, EvalContext, MapError, Result};
+
+/// Tuning knobs for [`TabuMapper`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabuOptions {
+    /// Number of tabu iterations (one applied move each).
+    pub iterations: usize,
+    /// How many iterations a just-taken move stays forbidden.
+    pub tenure: usize,
+}
+
+impl Default for TabuOptions {
+    /// 64 iterations, tenure 8 — enough to cross the basins the plain
+    /// descent is trapped in on the bundled applications.
+    fn default() -> Self {
+        Self { iterations: 64, tenure: 8 }
+    }
+}
+
+impl TabuOptions {
+    /// Checks the options, returning the first violation as a message
+    /// (single source of the constraints; used by the `.dse` parser and
+    /// [`TabuMapper::map`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a knob is out of range.
+    pub fn check(&self) -> std::result::Result<(), String> {
+        if self.iterations == 0 {
+            return Err("tabu iterations must be at least 1".into());
+        }
+        if self.tenure == 0 {
+            return Err(
+                "tabu tenure must be at least 1 (0 is plain best-move hill climbing)".into()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Tabu-tenure pairwise-swap mapper (registry name `tabu`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TabuMapper {
+    options: TabuOptions,
+}
+
+impl TabuMapper {
+    /// Creates the mapper.
+    pub fn new(options: TabuOptions) -> Self {
+        Self { options }
+    }
+}
+
+impl Mapper for TabuMapper {
+    fn name(&self) -> String {
+        if self.options == TabuOptions::default() {
+            "tabu".to_string()
+        } else {
+            format!("tabu[i{}t{}]", self.options.iterations, self.options.tenure)
+        }
+    }
+
+    fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
+        self.options.check().map_err(MapError::InvalidOptions)?;
+        let problem = ctx.problem();
+        let n = problem.topology().node_count();
+        let mut current = initialize(problem);
+        let mut evaluations = 1usize;
+        let mut best_score = ctx.evaluate(&current, f64::INFINITY)?;
+        let mut best = current.clone();
+        let mut current_cost = ctx.comm_cost(&current);
+        let mut best_any_cost = current_cost;
+        let mut best_any = current.clone();
+        // `tabu_until[i * n + j]`: the move (i, j) is forbidden while
+        // `iter <= tabu_until`.
+        let mut tabu_until = vec![0usize; n * n];
+
+        for iter in 1..=self.options.iterations {
+            let mut chosen: Option<(NodeId, NodeId, f64)> = None;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let a = NodeId::new(i);
+                    let b = NodeId::new(j);
+                    if current.core_at(a).is_none() && current.core_at(b).is_none() {
+                        continue;
+                    }
+                    evaluations += 1;
+                    let delta = ctx.swap_delta(&current, a, b);
+                    let tabu = tabu_until[i * n + j] >= iter;
+                    let aspires = current_cost + delta < best_any_cost;
+                    if tabu && !aspires {
+                        continue;
+                    }
+                    if chosen.is_none_or(|(_, _, d)| delta < d) {
+                        chosen = Some((a, b, delta));
+                    }
+                }
+            }
+            // Every admissible pair was empty↔empty or tabu: stuck.
+            let Some((a, b, _)) = chosen else { break };
+            current.swap_nodes(a, b);
+            // Exact refresh (one O(E) scan per iteration) keeps the
+            // aspiration comparisons drift-free.
+            current_cost = ctx.comm_cost(&current);
+            tabu_until[a.index() * n + b.index()] = iter + self.options.tenure;
+            if current_cost < best_any_cost {
+                best_any_cost = current_cost;
+                best_any = current.clone();
+            }
+            if current_cost < best_score {
+                let score = ctx.evaluate(&current, best_score)?;
+                if score < best_score {
+                    best_score = score;
+                    best = current.clone();
+                }
+            }
+        }
+        Ok(search_outcome(ctx, best_score, best, best_any, evaluations))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MappingProblem;
+    use noc_graph::{CoreGraph, CoreId, RandomGraphConfig, Topology};
+
+    fn problem(seed: u64) -> MappingProblem {
+        let g = RandomGraphConfig { cores: 9, ..Default::default() }.generate(seed);
+        MappingProblem::new(g, Topology::mesh(3, 3, 2_000.0)).unwrap()
+    }
+
+    #[test]
+    fn tabu_is_deterministic_and_scores_consistently() {
+        let p = problem(2);
+        let run = || TabuMapper::new(TabuOptions::default()).map(&mut EvalContext::new(&p));
+        let a = run().unwrap();
+        assert_eq!(a, run().unwrap(), "tabu has no random state");
+        assert!(a.feasible);
+        assert_eq!(a.comm_cost, p.comm_cost(&a.mapping));
+    }
+
+    #[test]
+    fn tabu_does_not_lose_to_the_constructive_seed() {
+        for seed in 0..3 {
+            let p = problem(seed);
+            let init_cost = p.comm_cost(&crate::initialize(&p));
+            let out =
+                TabuMapper::new(TabuOptions::default()).map(&mut EvalContext::new(&p)).unwrap();
+            assert!(out.comm_cost <= init_cost + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uphill_moves_are_taken_when_tenure_blocks_the_reverse() {
+        // On a 2-node fabric with one core, the only move oscillates;
+        // tenure forbids the immediate reverse, so the search must stop
+        // (all moves tabu, nothing aspires) instead of looping forever.
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 10.0).unwrap();
+        let p = MappingProblem::new(g, Topology::mesh(2, 1, 1_000.0)).unwrap();
+        let out = TabuMapper::new(TabuOptions { iterations: 50, tenure: 10 })
+            .map(&mut EvalContext::new(&p))
+            .unwrap();
+        assert!(out.feasible);
+        assert_eq!(out.comm_cost, 10.0, "both placements cost one hop");
+    }
+
+    #[test]
+    fn infeasible_capacity_reported_not_hidden() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 500.0).unwrap();
+        let p = MappingProblem::new(g, Topology::mesh(2, 2, 100.0)).unwrap();
+        let out = TabuMapper::new(TabuOptions::default()).map(&mut EvalContext::new(&p)).unwrap();
+        assert!(!out.feasible);
+        assert!(out.mapping.node_of(CoreId::new(0)).is_some());
+    }
+
+    #[test]
+    fn invalid_options_error_instead_of_running() {
+        let p = problem(0);
+        for bad in
+            [TabuOptions { iterations: 0, tenure: 1 }, TabuOptions { iterations: 5, tenure: 0 }]
+        {
+            assert!(bad.check().is_err());
+            let got = TabuMapper::new(bad).map(&mut EvalContext::new(&p));
+            assert!(matches!(got, Err(MapError::InvalidOptions(_))), "{got:?}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_defaults_and_parameters() {
+        assert_eq!(TabuMapper::new(TabuOptions::default()).name(), "tabu");
+        assert_eq!(
+            TabuMapper::new(TabuOptions { iterations: 200, tenure: 5 }).name(),
+            "tabu[i200t5]"
+        );
+    }
+}

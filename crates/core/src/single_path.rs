@@ -14,18 +14,20 @@
 use noc_graph::NodeId;
 
 use crate::routing::{self, CommodityPath, LinkLoads, RoutingTables};
-use crate::{initialize, EvalContext, Mapping, MappingProblem, Result};
+use crate::{initialize, EvalContext, MapError, Mapping, MappingProblem, Result};
 
 /// Tuning knobs for [`map_single_path`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SinglePathOptions {
     /// Number of full pairwise-swap sweeps per restart. The paper performs
     /// one; additional passes squeeze out further gains at linear cost.
+    /// Must be at least 1 ([`SinglePathOptions::check`]).
     pub passes: usize,
     /// Number of deterministic restarts. Restart `r > 0` relocates the
     /// seed placement to a different anchor node before the swap loop, so
     /// the search explores several basins (an extension over the paper's
     /// single descent; `restarts: 1` reproduces the paper exactly).
+    /// Must be at least 1 ([`SinglePathOptions::check`]).
     pub restarts: usize,
 }
 
@@ -40,7 +42,56 @@ impl SinglePathOptions {
     pub fn paper_exact() -> Self {
         Self { passes: 1, restarts: 1 }
     }
+
+    /// Checks the options, returning the first violation as a message —
+    /// the single source of the option constraints (mirrors
+    /// [`noc_sim` `SimConfig::check`][simcheck]; the `.dse` spec parser
+    /// rejects invalid configurations up front with the same predicate,
+    /// and the mapping entry points return [`MapError::InvalidOptions`]
+    /// instead of silently clamping).
+    ///
+    /// [simcheck]: https://docs.rs/noc-sim
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `passes` or `restarts` is zero.
+    pub fn check(&self) -> std::result::Result<(), String> {
+        if self.passes == 0 {
+            return Err("passes must be at least 1 (the paper performs one sweep)".into());
+        }
+        if self.restarts == 0 {
+            return Err("restarts must be at least 1 (the paper runs one descent)".into());
+        }
+        Ok(())
+    }
 }
+
+/// Inner evaluation strategy of the pairwise-swap descent. Both kernels
+/// produce **bit-identical** outcomes — same mappings, costs, tie-breaks
+/// and evaluation counts (pinned by the `swap_delta_identity` integration
+/// suite); they differ only in how much work a *rejected* candidate
+/// costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapKernel {
+    /// Score every candidate with the full O(E) Equation-7 scan of
+    /// [`EvalContext::evaluate`] — the paper-literal reference path.
+    FullRecompute,
+    /// Prefilter each candidate with the O(deg) incremental
+    /// [`EvalContext::swap_delta`]; the full evaluation runs only when
+    /// the delta (minus a conservative floating-point margin) says the
+    /// candidate could beat the incumbent. Since rejected candidates
+    /// dominate a descent pass, this skips almost every O(E) scan.
+    #[default]
+    DeltaGated,
+}
+
+/// Relative width of the delta-gate safety margin: a candidate is skipped
+/// only when its estimated cost clears the incumbent by more than this
+/// fraction of the magnitudes involved. Summing a few hundred `bw × hops`
+/// terms keeps relative rounding error near 1e-13, so 1e-9 is orders of
+/// magnitude conservative — the gate can only *pass* extra candidates
+/// (harmless: the full evaluation re-rejects them), never skip a winner.
+const DELTA_GATE_MARGIN: f64 = 1e-9;
 
 /// Result of [`map_single_path`].
 #[derive(Debug, Clone, PartialEq)]
@@ -88,9 +139,28 @@ pub fn map_single_path_with(
     ctx: &mut EvalContext<'_>,
     options: &SinglePathOptions,
 ) -> Result<SinglePathOutcome> {
+    map_single_path_kernel(ctx, options, SwapKernel::default())
+}
+
+/// [`map_single_path_with`] with an explicit descent [`SwapKernel`].
+/// Outcomes are bit-identical across kernels; this entry point exists for
+/// the equivalence tests and the `swap_delta` criterion benchmarks that
+/// pin and measure exactly that.
+///
+/// # Errors
+///
+/// [`MapError::InvalidOptions`] when `options` fail
+/// [`SinglePathOptions::check`]; otherwise the same conditions as
+/// [`map_single_path`].
+pub fn map_single_path_kernel(
+    ctx: &mut EvalContext<'_>,
+    options: &SinglePathOptions,
+    kernel: SwapKernel,
+) -> Result<SinglePathOutcome> {
+    options.check().map_err(MapError::InvalidOptions)?;
     let problem = ctx.problem();
     let node_count = problem.topology().node_count();
-    let restarts = options.restarts.max(1);
+    let restarts = options.restarts;
     let mut evaluations = 0usize;
 
     let seed = initialize(problem);
@@ -107,7 +177,7 @@ pub fn map_single_path_with(
             let origin = seed.assignments().next().map(|(_, node)| node).unwrap_or(anchor);
             placed.swap_nodes(origin, anchor);
         }
-        let (cost, mapping) = swap_descent(ctx, placed, options.passes, &mut evaluations)?;
+        let (cost, mapping) = swap_descent(ctx, placed, options.passes, kernel, &mut evaluations)?;
         if cost < best_cost || best.is_none() {
             best_cost = cost;
             best = Some(mapping);
@@ -138,17 +208,31 @@ pub fn map_single_path_with(
 /// and the same lazy-feasibility shortcut as always: candidates whose
 /// placement-only Equation-7 cost cannot beat the incumbent skip the
 /// expensive routing-based capacity check.
+///
+/// Under [`SwapKernel::DeltaGated`] a second, cheaper gate runs first:
+/// the O(deg) [`EvalContext::swap_delta`] estimates the candidate cost as
+/// `cost(placed) + delta`, and candidates that cannot beat the incumbent
+/// even after a conservative rounding margin skip the candidate clone and
+/// the O(E) scan entirely. Every candidate still counts one evaluation —
+/// the gate changes what an evaluation *costs*, not which candidates are
+/// considered — and a gated-out candidate is exactly one `evaluate` would
+/// have scored `INFINITY` without routing, so outcomes are bit-identical.
 fn swap_descent(
     ctx: &mut EvalContext<'_>,
     mut placed: Mapping,
     passes: usize,
+    kernel: SwapKernel,
     evaluations: &mut usize,
 ) -> Result<(f64, Mapping)> {
     let node_count = ctx.problem().topology().node_count();
     *evaluations += 1;
     let mut best_cost = ctx.evaluate(&placed, f64::INFINITY)?;
     let mut best = placed.clone();
-    for _ in 0..passes.max(1) {
+    // Exact Equation-7 cost of `placed` — the base the delta gate adds to.
+    // Kept bit-exact: on commit it is the accepted candidate's evaluate()
+    // score, which *is* comm_cost for any finite (feasible) score.
+    let mut placed_cost = ctx.comm_cost(&placed);
+    for _ in 0..passes {
         for i in 0..node_count {
             for j in (i + 1)..node_count {
                 let a = NodeId::new(i);
@@ -157,9 +241,20 @@ fn swap_descent(
                 if placed.core_at(a).is_none() && placed.core_at(b).is_none() {
                     continue;
                 }
+                *evaluations += 1;
+                if kernel == SwapKernel::DeltaGated {
+                    let delta = ctx.swap_delta(&placed, a, b);
+                    let margin = DELTA_GATE_MARGIN * (1.0 + placed_cost.abs() + delta.abs());
+                    if placed_cost + delta - margin >= best_cost {
+                        // Even optimistically the candidate cannot beat the
+                        // incumbent: evaluate() would return INFINITY from
+                        // its threshold gate without routing. Skip the O(E)
+                        // confirmation scan.
+                        continue;
+                    }
+                }
                 let mut candidate = placed.clone();
                 candidate.swap_nodes(a, b);
-                *evaluations += 1;
                 let cost = ctx.evaluate(&candidate, best_cost)?;
                 if cost < best_cost {
                     best_cost = cost;
@@ -167,6 +262,9 @@ fn swap_descent(
                 }
             }
             placed = best.clone();
+            if best_cost.is_finite() {
+                placed_cost = best_cost;
+            }
         }
     }
     Ok((best_cost, best))
@@ -289,6 +387,57 @@ mod tests {
         let out = map_single_path(&p, &SinglePathOptions::default()).unwrap();
         assert!(out.feasible);
         assert_eq!(out.comm_cost, 500.0, "ring embedding should be perfect on a torus");
+    }
+
+    #[test]
+    fn zero_passes_or_restarts_are_rejected_not_clamped() {
+        use crate::MapError;
+        let p = MappingProblem::new(pipeline(4, 10.0), Topology::mesh(2, 2, 1e9)).unwrap();
+        for bad in [
+            SinglePathOptions { passes: 0, restarts: 1 },
+            SinglePathOptions { passes: 1, restarts: 0 },
+        ] {
+            assert!(bad.check().is_err());
+            match map_single_path(&p, &bad) {
+                Err(MapError::InvalidOptions(msg)) => {
+                    assert!(msg.contains("at least 1"), "message: {msg}")
+                }
+                other => panic!("expected InvalidOptions, got {other:?}"),
+            }
+        }
+        assert!(SinglePathOptions::default().check().is_ok());
+        assert!(SinglePathOptions::paper_exact().check().is_ok());
+    }
+
+    #[test]
+    fn delta_gated_kernel_matches_full_recompute_bit_for_bit() {
+        // The whole point of the gate: identical outcomes — mapping, cost
+        // bits, paths, loads AND evaluation counts — on feasible and
+        // capacity-constrained problems alike.
+        let problems = [
+            MappingProblem::new(pipeline(6, 50.0), Topology::mesh(3, 3, 1e9)).unwrap(),
+            MappingProblem::new(pipeline(6, 100.0), Topology::mesh(3, 2, 120.0)).unwrap(),
+            MappingProblem::new(pipeline(6, 100.0), Topology::torus(3, 3, 1e9)).unwrap(),
+        ];
+        for p in &problems {
+            for opts in [SinglePathOptions::paper_exact(), SinglePathOptions::default()] {
+                let full = map_single_path_kernel(
+                    &mut EvalContext::new(p),
+                    &opts,
+                    SwapKernel::FullRecompute,
+                )
+                .unwrap();
+                let gated =
+                    map_single_path_kernel(&mut EvalContext::new(p), &opts, SwapKernel::DeltaGated)
+                        .unwrap();
+                assert_eq!(full, gated);
+            }
+        }
+    }
+
+    #[test]
+    fn default_kernel_is_delta_gated() {
+        assert_eq!(SwapKernel::default(), SwapKernel::DeltaGated);
     }
 
     #[test]

@@ -39,6 +39,22 @@ impl Default for SplitOptions {
     }
 }
 
+impl SplitOptions {
+    /// Checks the options, returning the first violation as a message —
+    /// the single source of the option constraints, shared by
+    /// [`map_with_splitting`] and the `.dse` spec parser.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `passes` is zero.
+    pub fn check(&self) -> std::result::Result<(), String> {
+        if self.passes == 0 {
+            return Err("passes must be at least 1 (the paper performs one sweep)".into());
+        }
+        Ok(())
+    }
+}
+
 /// Result of [`map_with_splitting`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitOutcome {
@@ -69,12 +85,15 @@ pub struct SplitOutcome {
 ///
 /// # Errors
 ///
-/// Propagates LP failures as [`crate::MapError::Lp`] (iteration limits; MCF1 and
-/// the final extraction never report infeasibility).
+/// [`crate::MapError::InvalidOptions`] when `options` fail
+/// [`SplitOptions::check`]; otherwise propagates LP failures as
+/// [`crate::MapError::Lp`] (iteration limits; MCF1 and the final
+/// extraction never report infeasibility).
 pub fn map_with_splitting(
     problem: &MappingProblem,
     options: &SplitOptions,
 ) -> Result<SplitOutcome> {
+    options.check().map_err(crate::MapError::InvalidOptions)?;
     let node_count = problem.topology().node_count();
     let mut lp_solves = 0usize;
 

@@ -1,0 +1,96 @@
+//! The delta-gated swap descent's central guarantee: **bit-identical**
+//! outcomes to the retained full-recompute kernel — same mappings, same
+//! cost bits, same routed paths/loads, same evaluation counts and the
+//! same winners — on every bundled application and on seeded random
+//! graphs, under generous and tight link capacities alike.
+//!
+//! The gate may only skip candidates the full `evaluate()` would reject
+//! from its threshold comparison without routing; any divergence here
+//! means the floating-point safety margin is wrong.
+
+use nmap::{map_single_path_kernel, EvalContext, MappingProblem, SinglePathOptions, SwapKernel};
+use noc_apps::App;
+use noc_graph::{RandomGraphConfig, Topology};
+
+/// Runs both kernels on one problem/options pair and demands equality of
+/// the entire outcome struct (mapping, cost, feasibility, paths, loads,
+/// tables, evaluations).
+fn assert_kernels_identical(problem: &MappingProblem, options: &SinglePathOptions, label: &str) {
+    let full =
+        map_single_path_kernel(&mut EvalContext::new(problem), options, SwapKernel::FullRecompute)
+            .unwrap_or_else(|e| panic!("{label}: full kernel failed: {e}"));
+    let gated =
+        map_single_path_kernel(&mut EvalContext::new(problem), options, SwapKernel::DeltaGated)
+            .unwrap_or_else(|e| panic!("{label}: gated kernel failed: {e}"));
+    assert_eq!(full, gated, "{label}: kernels diverged");
+}
+
+#[test]
+fn kernels_agree_on_all_six_bundled_apps() {
+    for app in App::all() {
+        let graph = app.core_graph();
+        let (w, h) = app.mesh_dims();
+        // Generous capacity: the descent mostly compares costs.
+        let generous = MappingProblem::new(graph.clone(), Topology::mesh(w, h, 2_000.0)).unwrap();
+        // Tight capacity: infeasible candidates score INFINITY, exercising
+        // the incumbent-stays-infinite and feasibility-flip paths.
+        let tight = MappingProblem::new(graph, Topology::mesh(w, h, 400.0)).unwrap();
+        for (problem, regime) in [(&generous, "generous"), (&tight, "tight")] {
+            assert_kernels_identical(
+                problem,
+                &SinglePathOptions::paper_exact(),
+                &format!("{} {regime} paper", app.name()),
+            );
+        }
+        // The default multi-restart configuration on the generous fabric.
+        assert_kernels_identical(
+            &generous,
+            &SinglePathOptions::default(),
+            &format!("{} default", app.name()),
+        );
+    }
+}
+
+#[test]
+fn kernels_agree_on_seeded_random_graphs() {
+    // ≥ 4 seeded instances across sizes, mesh and torus, including a
+    // capacity tight enough that feasibility steers the search.
+    let cases = [
+        (12usize, 0u64, 900.0),
+        (16, 1, 2_000.0),
+        (20, 2, 600.0),
+        (25, 3, 2_000.0),
+        (14, 4, 450.0),
+    ];
+    for (cores, seed, capacity) in cases {
+        let graph = RandomGraphConfig { cores, ..Default::default() }.generate(seed);
+        let (w, h) = Topology::fit_mesh_dims(cores);
+        let mesh = MappingProblem::new(graph.clone(), Topology::mesh(w, h, capacity)).unwrap();
+        assert_kernels_identical(
+            &mesh,
+            &SinglePathOptions::paper_exact(),
+            &format!("rand{cores}#{seed} mesh"),
+        );
+        let torus = MappingProblem::new(graph, Topology::torus(w, h, capacity)).unwrap();
+        assert_kernels_identical(
+            &torus,
+            &SinglePathOptions { passes: 2, restarts: 2 },
+            &format!("rand{cores}#{seed} torus"),
+        );
+    }
+}
+
+#[test]
+fn gated_kernel_is_the_default_everywhere() {
+    // map_single_path / map_single_path_with must route through the gated
+    // kernel (the perf win is the default), staying equal to the explicit
+    // kernel calls.
+    let graph = RandomGraphConfig { cores: 12, ..Default::default() }.generate(9);
+    let problem = MappingProblem::new(graph, Topology::mesh(4, 3, 800.0)).unwrap();
+    let options = SinglePathOptions::default();
+    let implicit = nmap::map_single_path(&problem, &options).unwrap();
+    let explicit =
+        map_single_path_kernel(&mut EvalContext::new(&problem), &options, SwapKernel::DeltaGated)
+            .unwrap();
+    assert_eq!(implicit, explicit);
+}

@@ -15,10 +15,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use nmap::{
-    initialize, map_single_path, map_with_splitting, mcf::solve_mcf, routing, LinkLoads, MapError,
-    Mapping, MappingProblem, McfKind, PathScope, RoutingTables, SplitOptions,
+    mcf::solve_mcf, routing, EvalContext, LinkLoads, MapError, Mapping, MappingProblem, McfKind,
+    PathScope, RoutingTables,
 };
-use noc_baselines::{gmap, pbb, pmap};
 use noc_lp::SolveError;
 use noc_sim::{FlowSpec, SimReport, Simulator};
 
@@ -137,7 +136,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
     let build_us = StageTimes::us(build_start.elapsed());
 
     let map_start = Instant::now();
-    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper) {
+    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper, scenario.seed) {
         Ok(result) => result,
         Err(e) => {
             let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
@@ -253,27 +252,21 @@ fn sim_stats(report: &SimReport, link_count: usize, packet_bytes: usize) -> SimS
     }
 }
 
-/// Dispatches the mapper, returning the placement and a work measure
-/// (swap evaluations, LP solves or search expansions).
-fn run_mapper(problem: &MappingProblem, mapper: &MapperSpec) -> nmap::Result<(Mapping, usize)> {
-    match mapper {
-        MapperSpec::NmapInit => Ok((initialize(problem), 0)),
-        MapperSpec::Nmap(options) => {
-            let out = map_single_path(problem, options)?;
-            Ok((out.mapping, out.evaluations))
-        }
-        MapperSpec::NmapSplit { scope, passes } => {
-            let out =
-                map_with_splitting(problem, &SplitOptions { scope: *scope, passes: *passes })?;
-            Ok((out.mapping, out.lp_solves))
-        }
-        MapperSpec::Pmap => Ok((pmap(problem), 0)),
-        MapperSpec::Gmap => Ok((gmap(problem), 0)),
-        MapperSpec::Pbb(options) => {
-            let out = pbb(problem, options);
-            Ok((out.mapping, out.expansions))
-        }
-    }
+/// Dispatches the mapper through the [`nmap::search::Mapper`] trait,
+/// returning the placement and the mapper's work measure (swap
+/// evaluations, LP solves or search expansions). No per-algorithm arms
+/// here: [`MapperSpec::mapper`] materializes the trait object (threading
+/// the scenario seed into stochastic mappers) and every algorithm runs
+/// through the same call shape. The engine scores and routes the
+/// placement itself in the route stage, so it uses `place()` — the
+/// constructive mappers skip the feasibility routing `map()` would
+/// compute only to have this caller discard it.
+fn run_mapper(
+    problem: &MappingProblem,
+    mapper: &MapperSpec,
+    seed: u64,
+) -> nmap::Result<(Mapping, usize)> {
+    mapper.mapper(seed).place(&mut EvalContext::new(problem))
 }
 
 /// Routes `mapping` under the scenario's regime and returns the link

@@ -9,9 +9,13 @@
 //!   [`ScenarioSet::builder`] or from the plain-text spec format of
 //!   [`parse_spec`] (see [`spec`] for the grammar). Applications cover the
 //!   six bundled video apps, the DSP filter and seeded random graphs;
-//!   fabrics cover fitted/fixed meshes and tori; mappers cover NMAP
-//!   (init/single-path/split), PMAP, GMAP and PBB; routing regimes cover
-//!   load-balanced min-path, dimension-ordered XY and the MCF splits.
+//!   fabrics cover fitted/fixed meshes and tori; mappers cover every
+//!   entry of the workspace mapper registry — NMAP
+//!   (init/single-path/split), PMAP, GMAP, PBB, and the `sa`/`tabu`
+//!   searches built on the swap-delta kernel (the engine dispatches all
+//!   of them through the [`nmap::search::Mapper`] trait); routing
+//!   regimes cover load-balanced min-path, dimension-ordered XY and the
+//!   MCF splits.
 //! * [`run_sweep`] / [`run_scenarios`] — a deterministic `std::thread`
 //!   worker pool: scenarios carry their own seeds (derived from a root
 //!   seed at build time, never from worker identity) and records merge in

@@ -2,9 +2,13 @@
 //! as first-class data, plus the builder that expands cross products into a
 //! concrete, ordered [`ScenarioSet`].
 
-use nmap::{MappingProblem, PathScope, SinglePathOptions};
+use nmap::search::{
+    BoxedMapper, InitMapper, SaMapper, SaOptions, SinglePathMapper, SplitMapper, TabuMapper,
+    TabuOptions,
+};
+use nmap::{MappingProblem, PathScope, SinglePathOptions, SplitOptions};
 use noc_apps::App;
-use noc_baselines::PbbOptions;
+use noc_baselines::{GmapMapper, PbbMapper, PbbOptions, PmapMapper};
 use noc_graph::{CoreGraph, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind};
 use noc_sim::SimConfig;
 use rand::{RngCore, SeedableRng};
@@ -95,6 +99,12 @@ pub fn topology_label(topology: &Topology) -> String {
 }
 
 /// Which mapping algorithm places the cores.
+///
+/// Every variant resolves to a [`nmap::search::Mapper`] via
+/// [`MapperSpec::mapper`]; the engine and the display name both dispatch
+/// through that trait object, so adding a mapper means adding a variant
+/// here plus a registry entry — no display/dispatch `match` to keep in
+/// sync (the registry round-trip test pins this).
 #[derive(Debug, Clone, PartialEq)]
 pub enum MapperSpec {
     /// NMAP's greedy constructive placement only (`initialize()`), no
@@ -115,37 +125,42 @@ pub enum MapperSpec {
     Gmap,
     /// Truncated branch-and-bound (PBB).
     Pbb(PbbOptions),
+    /// Seeded simulated annealing on the swap-delta kernel; the random
+    /// stream derives from the scenario seed.
+    Sa(SaOptions),
+    /// Deterministic tabu-tenure pairwise search on the swap-delta kernel.
+    Tabu(TabuOptions),
 }
 
 impl MapperSpec {
+    /// Materializes the [`nmap::search::Mapper`] this spec describes. `seed` feeds the
+    /// stochastic mappers (the engine passes the scenario seed, keeping
+    /// sweep records a pure function of the scenario); deterministic
+    /// mappers ignore it.
+    pub fn mapper(&self, seed: u64) -> BoxedMapper {
+        match self {
+            MapperSpec::NmapInit => Box::new(InitMapper),
+            MapperSpec::Nmap(opts) => Box::new(SinglePathMapper::new(opts.clone())),
+            MapperSpec::NmapSplit { scope, passes } => {
+                Box::new(SplitMapper::new(SplitOptions { scope: *scope, passes: *passes }))
+            }
+            MapperSpec::Pmap => Box::new(PmapMapper),
+            MapperSpec::Gmap => Box::new(GmapMapper),
+            MapperSpec::Pbb(opts) => Box::new(PbbMapper::new(*opts)),
+            MapperSpec::Sa(opts) => Box::new(SaMapper::new(opts.clone(), seed)),
+            MapperSpec::Tabu(opts) => Box::new(TabuMapper::new(opts.clone())),
+        }
+    }
+
     /// Stable display name, aligned with the spec-format keywords: the
     /// bare keyword for the named configurations, the keyword plus a
-    /// `[..]` parameter suffix otherwise. Every form parses back to an
-    /// equal spec ([`crate::spec`] round-trip property, tested).
+    /// `[..]` parameter suffix otherwise. Delegates to
+    /// [`nmap::search::Mapper::name`], so spec strings cannot drift from
+    /// the mapper implementations. Every form parses back to an equal spec
+    /// ([`crate::spec`] round-trip property, tested).
     pub fn name(&self) -> String {
-        match self {
-            MapperSpec::NmapInit => "nmap-init".to_string(),
-            MapperSpec::Nmap(opts) if *opts == SinglePathOptions::paper_exact() => {
-                "nmap-paper".to_string()
-            }
-            MapperSpec::Nmap(opts) if *opts == SinglePathOptions::default() => "nmap".to_string(),
-            MapperSpec::Nmap(opts) => format!("nmap[p{}r{}]", opts.passes, opts.restarts),
-            MapperSpec::NmapSplit { scope, passes } => {
-                let base = match scope {
-                    PathScope::Quadrant => "nmap-split-quadrant",
-                    PathScope::AllPaths => "nmap-split-all",
-                };
-                if *passes == 1 {
-                    base.to_string()
-                } else {
-                    format!("{base}[p{passes}]")
-                }
-            }
-            MapperSpec::Pmap => "pmap".to_string(),
-            MapperSpec::Gmap => "gmap".to_string(),
-            MapperSpec::Pbb(opts) if *opts == PbbOptions::default() => "pbb".to_string(),
-            MapperSpec::Pbb(opts) => format!("pbb[q{}e{}]", opts.max_queue, opts.max_expansions),
-        }
+        // The seed never appears in the name, so 0 is as good as any.
+        self.mapper(0).name()
     }
 }
 
@@ -756,7 +771,52 @@ mod tests {
             "nmap-split-quadrant"
         );
         assert_eq!(MapperSpec::Pbb(PbbOptions::default()).name(), "pbb");
+        assert_eq!(MapperSpec::Sa(SaOptions::default()).name(), "sa");
+        assert_eq!(
+            MapperSpec::Sa(SaOptions { moves: 100, initial_temp: 0.5, cooling: 0.75 }).name(),
+            "sa[m100t0.5c0.75]"
+        );
+        assert_eq!(MapperSpec::Tabu(TabuOptions::default()).name(), "tabu");
+        assert_eq!(
+            MapperSpec::Tabu(TabuOptions { iterations: 12, tenure: 3 }).name(),
+            "tabu[i12t3]"
+        );
         assert_eq!(RoutingSpec::McfAllPaths.name(), "mcf-all");
         assert_eq!(AppSpec::Random(RandomGraphConfig::default()).family(), "rand25");
+    }
+
+    #[test]
+    fn mapper_materialization_threads_the_seed_into_sa_only() {
+        // SA is the one stochastic mapper: its trait object must differ
+        // by seed (different anneal streams), while the deterministic
+        // mappers ignore the seed entirely. 12 cores on a 4x4 mesh leave
+        // empty nodes, so different proposal streams visit different
+        // empty-pair skips — outcomes (at least their evaluation counts)
+        // genuinely depend on the seed.
+        let p = Scenario {
+            label: "rand12".into(),
+            app: AppSpec::Random(RandomGraphConfig { cores: 12, ..Default::default() }),
+            seed: 5,
+            topology: TopologySpec::Mesh { width: 4, height: 4 },
+            capacity: 2_000.0,
+            mapper: MapperSpec::Sa(SaOptions::default()),
+            routing: RoutingSpec::MinPath,
+            simulate: None,
+        }
+        .problem()
+        .unwrap();
+        let spec = MapperSpec::Sa(SaOptions::default());
+        let run = |seed: u64| spec.mapper(seed).map(&mut nmap::EvalContext::new(&p)).unwrap();
+        assert_eq!(run(3), run(3), "same seed, same outcome");
+        let baseline = run(0);
+        assert!(
+            (1..=8).any(|seed| run(seed) != baseline),
+            "every seed produced the same SA outcome — the scenario seed is not reaching the \
+mapper's random stream"
+        );
+        let deterministic = MapperSpec::Tabu(TabuOptions::default());
+        let a = deterministic.mapper(1).map(&mut nmap::EvalContext::new(&p)).unwrap();
+        let b = deterministic.mapper(2).map(&mut nmap::EvalContext::new(&p)).unwrap();
+        assert_eq!(a, b, "tabu ignores the seed");
     }
 }

@@ -11,7 +11,8 @@
 //! random 25 2                # cores instances [avg_degree [min_bw max_bw]]
 //! topology mesh 4x4          # fit | fit-torus | mesh WxH | torus WxH
 //! mapper nmap pbb            # nmap|nmap-paper|nmap-init|nmap-split-quadrant|
-//!                            #   nmap-split-all|pmap|gmap|pbb|all
+//!                            #   nmap-split-all|pmap|gmap|pbb|sa|tabu|
+//!                            #   all (= nmap pmap gmap pbb only)
 //! routing min-path xy        # min-path|xy|mcf-quadrant|mcf-all|all
 //! simulate {                 # optional wormhole-simulation stage
 //!   bandwidths 1100 1400     # link-bandwidth sweep points, MB/s
@@ -26,11 +27,20 @@
 //!
 //! `app`, `mapper` and `routing` accept several names per line and may
 //! repeat; `all` expands to the six bundled apps, the four mapper families
-//! (`nmap pmap gmap pbb`), or all four routing regimes. Axes left out
+//! (`nmap pmap gmap pbb` — deliberately *not* the whole registry: the
+//! paper's Figure 3 comparison set, cheap enough for wide cross
+//! products; name `sa`, `tabu` or the `nmap-split-*` mappers explicitly
+//! to sweep them), or all four routing regimes. Axes left out
 //! default to the fitted mesh, `nmap`, and `min-path`. Mapper
 //! configurations beyond the named defaults use a `[..]` parameter
 //! suffix: `nmap[p4r2]` (passes/restarts), `nmap-split-quadrant[p3]`
-//! (passes), `pbb[q5000e50000]` (queue/expansion budget). The `simulate`
+//! (passes), `pbb[q5000e50000]` (queue/expansion budget),
+//! `sa[m20000t0.05c0.9995]` (moves / initial-temperature fraction /
+//! cooling), `tabu[i64t8]` (iterations/tenure). Mapper options are
+//! validated at parse time with the same `check()` predicates the
+//! mappers themselves run — an out-of-range knob (e.g. `nmap[p0r1]`) is
+//! a syntax error naming the offending line, never a silent clamp. The
+//! `simulate`
 //! block (at most one; every field optional, defaulting to
 //! [`SimulateSpec::default`]) attaches a simulation stage to every
 //! scenario; named `bandwidths` become the innermost sweep axis, one
@@ -42,6 +52,7 @@
 use std::error::Error;
 use std::fmt;
 
+use nmap::search::{SaOptions, TabuOptions};
 use nmap::{PathScope, SinglePathOptions};
 use noc_apps::App;
 use noc_baselines::PbbOptions;
@@ -334,11 +345,8 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
                             MapperSpec::Pbb(PbbOptions::default()),
                         ]);
                     } else {
-                        spec.mappers.push(
-                            parse_mapper(name).ok_or_else(|| {
-                                syntax(line_no, format!("unknown mapper `{name}`"))
-                            })?,
-                        );
+                        spec.mappers
+                            .push(parse_mapper(name).map_err(|message| syntax(line_no, message))?);
                     }
                 }
             }
@@ -510,8 +518,12 @@ fn app_keyword(app: App) -> &'static str {
     }
 }
 
-fn parse_mapper(name: &str) -> Option<MapperSpec> {
-    Some(match name {
+/// Parses one mapper spelling, validating its options with the mapper's
+/// own `check()` predicate — the single source of the constraints, so
+/// `.dse` parsing can never accept a configuration the mapper would
+/// reject (or, worse than that, silently clamp) at run time.
+fn parse_mapper(name: &str) -> Result<MapperSpec, String> {
+    let spec = match name {
         "nmap" => MapperSpec::Nmap(SinglePathOptions::default()),
         "nmap-paper" => MapperSpec::Nmap(SinglePathOptions::paper_exact()),
         "nmap-init" => MapperSpec::NmapInit,
@@ -520,13 +532,33 @@ fn parse_mapper(name: &str) -> Option<MapperSpec> {
         "pmap" => MapperSpec::Pmap,
         "gmap" => MapperSpec::Gmap,
         "pbb" => MapperSpec::Pbb(PbbOptions::default()),
-        _ => return parse_parameterized_mapper(name),
-    })
+        "sa" => MapperSpec::Sa(SaOptions::default()),
+        "tabu" => MapperSpec::Tabu(TabuOptions::default()),
+        _ => parse_parameterized_mapper(name).ok_or_else(|| format!("unknown mapper `{name}`"))?,
+    };
+    check_mapper(&spec).map_err(|message| format!("mapper `{name}`: {message}"))?;
+    Ok(spec)
+}
+
+/// Option constraints of a parsed mapper, delegated to the option types'
+/// `check()` methods.
+fn check_mapper(spec: &MapperSpec) -> Result<(), String> {
+    match spec {
+        MapperSpec::Nmap(opts) => opts.check(),
+        MapperSpec::NmapSplit { scope, passes } => {
+            nmap::SplitOptions { scope: *scope, passes: *passes }.check()
+        }
+        MapperSpec::Pbb(opts) => opts.check(),
+        MapperSpec::Sa(opts) => opts.check(),
+        MapperSpec::Tabu(opts) => opts.check(),
+        MapperSpec::NmapInit | MapperSpec::Pmap | MapperSpec::Gmap => Ok(()),
+    }
 }
 
 /// The `keyword[..]` spellings [`MapperSpec::name`] emits for
 /// configurations beyond the named defaults: `nmap[p2r8]`,
-/// `nmap-split-quadrant[p3]`, `nmap-split-all[p2]`, `pbb[q5000e50000]`.
+/// `nmap-split-quadrant[p3]`, `nmap-split-all[p2]`, `pbb[q5000e50000]`,
+/// `sa[m20000t0.05c0.9995]`, `tabu[i64t8]`.
 fn parse_parameterized_mapper(name: &str) -> Option<MapperSpec> {
     let (base, rest) = name.split_once('[')?;
     let params = rest.strip_suffix(']')?;
@@ -553,6 +585,22 @@ fn parse_parameterized_mapper(name: &str) -> Option<MapperSpec> {
                 .split_once('e')
                 .and_then(|(q, e)| Some((q.parse().ok()?, e.parse().ok()?)))?;
             Some(MapperSpec::Pbb(PbbOptions { max_queue, max_expansions }))
+        }
+        "sa" => {
+            let (moves, rest) = params.strip_prefix('m')?.split_once('t')?;
+            let (initial_temp, cooling) = rest.split_once('c')?;
+            Some(MapperSpec::Sa(SaOptions {
+                moves: moves.parse().ok()?,
+                initial_temp: initial_temp.parse().ok()?,
+                cooling: cooling.parse().ok()?,
+            }))
+        }
+        "tabu" => {
+            let (iterations, tenure) = params.strip_prefix('i')?.split_once('t')?;
+            Some(MapperSpec::Tabu(TabuOptions {
+                iterations: iterations.parse().ok()?,
+                tenure: tenure.parse().ok()?,
+            }))
         }
         _ => None,
     }
@@ -650,6 +698,8 @@ simulate {
                 MapperSpec::NmapSplit { scope: PathScope::Quadrant, passes: 3 },
                 MapperSpec::NmapSplit { scope: PathScope::AllPaths, passes: 2 },
                 MapperSpec::Pbb(PbbOptions { max_queue: 123, max_expansions: 456 }),
+                MapperSpec::Sa(SaOptions { moves: 5_000, initial_temp: 0.125, cooling: 0.999 }),
+                MapperSpec::Tabu(TabuOptions { iterations: 96, tenure: 5 }),
             ],
             ..Default::default()
         };
@@ -657,18 +707,49 @@ simulate {
         assert_eq!(reparsed.mappers, spec.mappers);
         // And the inline forms parse directly.
         assert_eq!(
-            parse_spec("app pip\nmapper nmap[p4r2] pbb[q10e20]\n").unwrap().mappers,
+            parse_spec("app pip\nmapper nmap[p4r2] pbb[q10e20] sa[m100t0.2c0.9] tabu[i10t2]\n")
+                .unwrap()
+                .mappers,
             vec![
                 MapperSpec::Nmap(SinglePathOptions { passes: 4, restarts: 2 }),
                 MapperSpec::Pbb(PbbOptions { max_queue: 10, max_expansions: 20 }),
+                MapperSpec::Sa(SaOptions { moves: 100, initial_temp: 0.2, cooling: 0.9 }),
+                MapperSpec::Tabu(TabuOptions { iterations: 10, tenure: 2 }),
             ]
         );
         // Malformed parameter suffixes are rejected, not defaulted.
-        for bad in ["nmap[p4]", "pbb[q10]", "nmap-split-all[x2]", "gmap[p1]"] {
+        for bad in ["nmap[p4]", "pbb[q10]", "nmap-split-all[x2]", "gmap[p1]", "sa[m10]", "tabu[i5]"]
+        {
             assert!(
                 parse_spec(&format!("app pip\nmapper {bad}\n")).is_err(),
                 "`{bad}` should not parse"
             );
+        }
+    }
+
+    #[test]
+    fn mapper_options_are_validated_at_parse_time() {
+        // The check() predicates run during parsing — an out-of-range
+        // knob is a syntax error naming the line, never a silent clamp.
+        for (bad, needle) in [
+            ("nmap[p0r1]", "passes must be at least 1"),
+            ("nmap[p1r0]", "restarts must be at least 1"),
+            ("nmap-split-quadrant[p0]", "passes must be at least 1"),
+            ("nmap-split-all[p0]", "passes must be at least 1"),
+            ("pbb[q0e100]", "queue bound must be at least 1"),
+            ("pbb[q10e0]", "expansion budget must be at least 1"),
+            ("sa[m0t0.1c0.9]", "moves must be at least 1"),
+            ("sa[m10t0.1c1.5]", "cooling must be in (0, 1]"),
+            ("tabu[i0t3]", "iterations must be at least 1"),
+            ("tabu[i5t0]", "tenure must be at least 1"),
+        ] {
+            match parse_spec(&format!("app pip\nmapper {bad}\n")) {
+                Err(SpecError::Syntax { line, message }) => {
+                    assert_eq!(line, 2, "`{bad}`");
+                    assert!(message.contains(needle), "`{bad}`: {message}");
+                }
+                other => panic!("`{bad}` should fail validation, got {other:?}"),
+            }
         }
     }
 
@@ -719,7 +800,12 @@ simulate {
     fn all_keywords_expand() {
         let spec = parse_spec("app all\nmapper all\nrouting all\n").unwrap();
         assert_eq!(spec.apps.len(), 6);
-        assert_eq!(spec.mappers.len(), 4);
+        // `mapper all` is pinned to the Figure-3 comparison families, not
+        // the whole registry: the split mappers would make a casual
+        // `all` cross product explode in LP solves, and sa/tabu are
+        // opt-in search strategies. Documented in the module docs.
+        let names: Vec<_> = spec.mappers.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["nmap", "pmap", "gmap", "pbb"]);
         assert_eq!(spec.routings.len(), 4);
     }
 

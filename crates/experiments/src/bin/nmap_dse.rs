@@ -197,17 +197,19 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Mode::Smoke => {
-            let spec = parse_spec(SMOKE_SPEC).map_err(|e| format!("smoke spec: {e}"))?;
-            let report = sweep(&spec.scenarios(), args)?;
-            let failed: Vec<_> = report.records.iter().filter(|r| !r.is_ok()).collect();
-            if !failed.is_empty() {
-                return Err(format!(
-                    "{} smoke scenarios failed, first: {}",
-                    failed.len(),
-                    failed[0].error
-                ));
+            for (label, text) in [("smoke", SMOKE_SPEC), ("smoke-split", SMOKE_SPLIT_SPEC)] {
+                let spec = parse_spec(text).map_err(|e| format!("{label} spec: {e}"))?;
+                let report = sweep(&spec.scenarios(), args)?;
+                let failed: Vec<_> = report.records.iter().filter(|r| !r.is_ok()).collect();
+                if !failed.is_empty() {
+                    return Err(format!(
+                        "{} {label} scenarios failed, first: {}",
+                        failed.len(),
+                        failed[0].error
+                    ));
+                }
             }
-            println!("smoke sweep OK");
+            println!("smoke sweep OK (all registered mappers)");
             Ok(())
         }
         Mode::Spec => {
@@ -251,9 +253,12 @@ fn sweep(set: &noc_dse::ScenarioSet, args: &Args) -> Result<SweepReport, String>
 }
 
 /// The built-in CI health-check sweep: small apps, both grid families,
-/// three mapper families, both cheap routing regimes and a short
-/// wormhole-simulation stage — 36 sim-backed scenarios that finish in
-/// a couple of seconds.
+/// **every registered mapper** (the full registry — NMAP family, the
+/// sa/tabu searches, and the three baselines; asserted by a test below
+/// so a new registry entry cannot be forgotten here), both cheap routing
+/// regimes and a short wormhole-simulation stage. The split mappers are
+/// the expensive rows, so they run on the DSP app only; every other
+/// mapper crosses the whole app × topology × routing product.
 const SMOKE_SPEC: &str = "\
 # nmap_dse --smoke
 capacity 800
@@ -263,7 +268,7 @@ app dsp
 random 9 1
 topology fit
 topology fit-torus
-mapper nmap-paper nmap-init gmap
+mapper nmap nmap-paper nmap-init pmap gmap pbb sa tabu
 routing min-path xy
 simulate {
   warmup 1000
@@ -271,3 +276,43 @@ simulate {
   drain 2000
 }
 ";
+
+/// The split-mapper leg of the smoke sweep: `nmap-split-*` solve O(n²)
+/// LPs per run, so they smoke-test on the six-core DSP app alone.
+const SMOKE_SPLIT_SPEC: &str = "\
+# nmap_dse --smoke (split mappers)
+capacity 800
+seed 1
+app dsp
+topology fit
+mapper nmap-split-quadrant nmap-split-all
+routing min-path
+simulate {
+  warmup 1000
+  measure 5000
+  drain 2000
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::{SMOKE_SPEC, SMOKE_SPLIT_SPEC};
+
+    /// The CI smoke sweep must exercise every mapper in the workspace
+    /// registry: a registry entry missing from both smoke specs (or a
+    /// smoke mapper that fell out of the registry) fails here.
+    #[test]
+    fn smoke_specs_cover_the_whole_mapper_registry() {
+        let mut smoke_names: Vec<String> = Vec::new();
+        for text in [SMOKE_SPEC, SMOKE_SPLIT_SPEC] {
+            let spec = noc_dse::parse_spec(text).expect("smoke specs parse");
+            smoke_names.extend(spec.mappers.iter().map(|m| m.name()));
+        }
+        smoke_names.sort();
+        smoke_names.dedup();
+        let mut registry_names: Vec<String> =
+            noc_baselines::standard_registry().names().map(str::to_string).collect();
+        registry_names.sort();
+        assert_eq!(smoke_names, registry_names);
+    }
+}
