@@ -272,20 +272,25 @@ pub fn pbb(problem: &MappingProblem, options: &PbbOptions) -> PbbOutcome {
     PbbOutcome { comm_cost: problem.comm_cost(&mapping), mapping, feasible, expansions, truncated }
 }
 
-/// Candidate nodes for the first core: one octant of the mesh (x ≤ ⌈w/2⌉,
-/// y ≤ ⌈h/2⌉ and, on square meshes, y ≤ x), which breaks the dihedral
-/// symmetry group of the grid. On other topologies, all nodes.
+/// Candidate nodes for the first core: one orthant of the mesh — per axis
+/// `coord ≤ ⌈extent/2⌉`, and for adjacent equal-extent axis pairs
+/// additionally `coord[i+1] ≤ coord[i]` (on 2-D meshes: x ≤ ⌈w/2⌉,
+/// y ≤ ⌈h/2⌉ and, on square meshes, y ≤ x) — which breaks the grid's
+/// reflection/rotation symmetry group. On wrapping grids and custom
+/// topologies, all nodes.
 fn first_core_candidates(problem: &MappingProblem) -> Vec<NodeId> {
     let topology = problem.topology();
     match topology.kind() {
-        TopologyKind::Mesh { width, height } => topology
+        TopologyKind::Grid(grid) if grid.is_mesh() => topology
             .nodes()
             .filter(|&n| {
-                let (x, y) = topology.coords(n);
-                let half_x = x <= (width - 1) / 2;
-                let half_y = y <= (height - 1) / 2;
-                let octant = width != height || y <= x;
-                half_x && half_y && octant
+                let c = topology.grid_coords(n);
+                let axes = grid.axes();
+                let low_orthant =
+                    axes.iter().zip(c).all(|(axis, &coord)| coord <= (axis.extent - 1) / 2);
+                let symmetry_broken = (1..axes.len())
+                    .all(|i| axes[i - 1].extent != axes[i].extent || c[i] <= c[i - 1]);
+                low_orthant && symmetry_broken
             })
             .collect(),
         _ => topology.nodes().collect(),

@@ -1,0 +1,84 @@
+//! `grid_dims` — cost of the grid abstraction as the rank grows: routing
+//! and the swap-delta kernel at a **fixed node count** (64) factored as a
+//! 2-D `8x8`, a 3-D `4x4x4` and a 4-D `4x4x2x2` grid, mesh and torus.
+//!
+//! The closed-form hop distance is a per-axis sum, so higher ranks pay a
+//! few extra adds per query but route shorter paths (smaller diameter);
+//! this group keeps both effects visible so a regression in the generic
+//! code paths cannot hide behind the refactor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use nmap::{initialize, EvalContext, MappingProblem};
+use noc_graph::{NodeId, RandomGraphConfig, Topology};
+
+/// The factorizations of 64 nodes under test, labeled by their spelling.
+fn fabrics(torus: bool) -> Vec<(String, Topology)> {
+    [vec![8, 8], vec![4, 4, 4], vec![4, 4, 2, 2]]
+        .into_iter()
+        .map(|dims| {
+            let label: Vec<String> = dims.iter().map(usize::to_string).collect();
+            let kind = if torus { "torus" } else { "mesh" };
+            let topology = if torus {
+                Topology::torus_nd(&dims, 1e9).expect("valid dims")
+            } else {
+                Topology::mesh_nd(&dims, 1e9).expect("valid dims")
+            };
+            (format!("{kind}{}", label.join("x")), topology)
+        })
+        .collect()
+}
+
+/// A 48-core random instance on the given 64-node fabric.
+fn instance(topology: Topology) -> MappingProblem {
+    let graph = RandomGraphConfig { cores: 48, ..Default::default() }.generate(5);
+    MappingProblem::new(graph, topology).expect("48 cores fit 64 nodes")
+}
+
+/// Cached min-path routing (the evaluation hot path) per fabric rank.
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_dims_route");
+    for torus in [false, true] {
+        for (label, topology) in fabrics(torus) {
+            let problem = instance(topology);
+            let mapping = initialize(&problem);
+            let mut ctx = EvalContext::new(&problem);
+            // Warm the orthant-DAG cache so the steady state is measured.
+            ctx.route_min_loads(&mapping).unwrap();
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+                b.iter(|| black_box(ctx.route_min_loads(&mapping).unwrap().max()))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The O(deg) swap-delta kernel per fabric rank: a full sweep over all
+/// node pairs (the move set of one swap-descent pass).
+fn bench_swap_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_dims_swap_delta");
+    for torus in [false, true] {
+        for (label, topology) in fabrics(torus) {
+            let problem = instance(topology);
+            let mapping = initialize(&problem);
+            let ctx = EvalContext::new(&problem);
+            let n = problem.topology().node_count();
+            group.bench_with_input(BenchmarkId::from_parameter(&label), &label, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            acc += ctx.swap_delta(&mapping, NodeId::new(i), NodeId::new(j));
+                        }
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(grid_dims, bench_route, bench_swap_delta);
+criterion_main!(grid_dims);

@@ -3,13 +3,14 @@
 
 use std::fmt::Write as _;
 
-use noc_graph::TopologyKind;
+use noc_graph::{NodeId, TopologyKind};
 
 use crate::routing::LinkLoads;
 use crate::{Mapping, MappingProblem};
 
-/// Renders the mapping as a 2-D grid of core names (mesh/torus
-/// topologies) or an assignment list (custom topologies).
+/// Renders the mapping as a grid of core names (grid topologies; rank-3
+/// and higher grids print one `layer ...` block per 2-D slice) or an
+/// assignment list (custom topologies).
 ///
 /// # Example
 ///
@@ -34,24 +35,40 @@ pub fn render_mapping_grid(problem: &MappingProblem, mapping: &Mapping) -> Strin
     let topology = problem.topology();
     let cores = problem.cores();
     match topology.kind() {
-        TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
+        TopologyKind::Grid(grid) => {
             // Column width: longest name (or the `.` placeholder).
             let cell = cores.cores().map(|c| cores.name(c).len()).max().unwrap_or(1).max(1);
+            let width = grid.axis(0).extent;
+            let height = if grid.rank() > 1 { grid.axis(1).extent } else { 1 };
+            let layer_size = width * height;
+            let layers = topology.node_count() / layer_size;
             let mut out = String::new();
-            for y in 0..height {
-                for x in 0..width {
-                    let node = topology.node_at(x, y).expect("in range");
-                    let label = mapping.core_at(node).map(|c| cores.name(c)).unwrap_or(".");
-                    if x > 0 {
-                        out.push_str("  ");
+            for layer in 0..layers {
+                if grid.rank() > 2 {
+                    if layer > 0 {
+                        out.push('\n');
                     }
-                    let _ = write!(out, "{label:<cell$}");
+                    // Higher-axis coordinates of this slice, e.g. `layer 1`
+                    // for z=1 of a 3-D grid, `layer 1,0` at rank 4.
+                    let coords = topology.grid_coords(NodeId::new(layer * layer_size));
+                    let label: Vec<String> = coords[2..].iter().map(usize::to_string).collect();
+                    let _ = writeln!(out, "layer {}", label.join(","));
                 }
-                // Trailing spaces make diffs noisy; trim per row.
-                while out.ends_with(' ') {
-                    out.pop();
+                for y in 0..height {
+                    for x in 0..width {
+                        let node = NodeId::new(layer * layer_size + y * width + x);
+                        let label = mapping.core_at(node).map(|c| cores.name(c)).unwrap_or(".");
+                        if x > 0 {
+                            out.push_str("  ");
+                        }
+                        let _ = write!(out, "{label:<cell$}");
+                    }
+                    // Trailing spaces make diffs noisy; trim per row.
+                    while out.ends_with(' ') {
+                        out.pop();
+                    }
+                    out.push('\n');
                 }
-                out.push('\n');
             }
             out
         }
@@ -145,6 +162,23 @@ mod tests {
         m.place(b, NodeId::new(1));
         let (_, loads) = routing::route_min_paths(&p, &m).unwrap();
         assert!(summarize(&p, &m, &loads).contains("feasible: NO"));
+    }
+
+    #[test]
+    fn grid_3d_renders_layer_blocks() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("cpu");
+        let b = g.add_core("mem");
+        g.add_comm(a, b, 10.0).unwrap();
+        let t = Topology::mesh_nd(&[2, 2, 2], 100.0).unwrap();
+        let front = t.node_at_coords(&[0, 0, 0]).unwrap();
+        let back = t.node_at_coords(&[1, 1, 1]).unwrap();
+        let p = MappingProblem::new(g, t).unwrap();
+        let mut m = Mapping::new(8);
+        m.place(a, front);
+        m.place(b, back);
+        let grid = render_mapping_grid(&p, &m);
+        assert_eq!(grid, "layer 0\ncpu  .\n.    .\n\nlayer 1\n.    .\n.    mem\n");
     }
 
     #[test]

@@ -24,9 +24,15 @@ pub enum MapError {
         /// Index of the offending commodity (core-graph edge index).
         commodity: usize,
     },
-    /// The topology is not a mesh/torus, but a mesh-only routine
-    /// (e.g. dimension-ordered XY routing) was requested.
-    MeshRequired,
+    /// The topology is not a grid (mesh/torus of any rank), but a
+    /// grid-only routine (e.g. dimension-ordered routing) was requested.
+    /// Carries the offending topology kind's description (e.g. `custom`)
+    /// so the message can tell a custom fabric from a future unsupported
+    /// family. Replaces the old `MeshRequired` variant, which could not.
+    GridRequired {
+        /// [`noc_graph::TopologyKind::describe`] of the offending topology.
+        found: String,
+    },
     /// Mapper options failed their `check()` (e.g.
     /// [`crate::SinglePathOptions::check`]): the entry points validate
     /// instead of silently clamping.
@@ -45,8 +51,8 @@ impl fmt::Display for MapError {
             MapError::Unroutable { commodity } => {
                 write!(f, "commodity d{commodity} has no route in the topology")
             }
-            MapError::MeshRequired => {
-                write!(f, "this routine requires a mesh or torus topology")
+            MapError::GridRequired { found } => {
+                write!(f, "this routine requires a grid (mesh/torus) topology, got {found}")
             }
             MapError::InvalidOptions(message) => {
                 write!(f, "invalid mapper options: {message}")
@@ -80,6 +86,8 @@ mod tests {
         let e = MapError::TooManyCores { cores: 20, nodes: 16 };
         assert_eq!(e.to_string(), "application has 20 cores but the topology only has 16 nodes");
         assert!(MapError::Lp(SolveError::Infeasible).to_string().contains("infeasible"));
+        let e = MapError::GridRequired { found: "custom".into() };
+        assert_eq!(e.to_string(), "this routine requires a grid (mesh/torus) topology, got custom");
     }
 
     #[test]

@@ -5,14 +5,16 @@
 //!   bandwidth order and each is routed over the least-loaded minimal path
 //!   inside its quadrant graph (Dijkstra with load-dependent weights,
 //!   weights grow by `vl(d_k)` after each commodity is committed).
-//! * [`route_xy`] — deterministic dimension-ordered (X then Y) routing,
-//!   used for the DPMAP/DGMAP rows of the paper's Figure 4.
+//! * [`route_dor`] — deterministic dimension-ordered routing over the
+//!   grid's axes in stride order (X, then Y, then Z, ...), used for the
+//!   DPMAP/DGMAP rows of the paper's Figure 4; [`route_xy`] is its
+//!   historical 2-D spelling.
 //! * [`LinkLoads`] — aggregate per-link traffic, the left-hand side of the
 //!   bandwidth constraint (Inequality 3).
 //! * [`RoutingTables`] — per-commodity path sets with flow fractions; the
 //!   single-path and split-traffic flows share this representation.
 
-use noc_graph::{dijkstra, EdgeId, LinkId, NodeId, QuadrantDag, Topology, TopologyKind};
+use noc_graph::{dijkstra, Axis, EdgeId, LinkId, NodeId, QuadrantDag, Topology};
 
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
 
@@ -225,58 +227,51 @@ pub fn route_min_paths(
     Ok((paths.into_iter().map(|p| p.expect("all commodities routed")).collect(), loads))
 }
 
-/// Routes every commodity with deterministic dimension-ordered routing:
-/// first along X, then along Y (on tori, along the shorter wrap direction,
-/// ties toward increasing coordinate). This is the "dimension ordered
-/// routing" used by the DPMAP/DGMAP rows of Figure 4.
+/// Routes every commodity with deterministic **dimension-ordered routing**
+/// (DOR): the grid's axes are resolved one at a time in stride order —
+/// first along X, then Y, then Z, ... — each along the shorter wrap
+/// direction on wrapping axes (ties toward increasing coordinate). On 2-D
+/// grids this is exactly the "dimension ordered (XY) routing" used by the
+/// DPMAP/DGMAP rows of Figure 4; on a 3-D grid it becomes XYZ routing.
 ///
 /// # Errors
 ///
-/// [`MapError::MeshRequired`] for custom topologies.
+/// [`MapError::GridRequired`] for custom topologies (the error names the
+/// offending kind).
 ///
 /// # Panics
 ///
 /// Panics if `mapping` is incomplete.
-pub fn route_xy(
+pub fn route_dor(
     problem: &MappingProblem,
     mapping: &Mapping,
 ) -> Result<(Vec<CommodityPath>, LinkLoads)> {
     let topology = problem.topology();
-    let (width, height, wraps) = match topology.kind() {
-        TopologyKind::Mesh { width, height } => (width, height, false),
-        TopologyKind::Torus { width, height } => (width, height, true),
-        TopologyKind::Custom => return Err(MapError::MeshRequired),
-    };
+    let grid = topology
+        .grid_structure()
+        .ok_or_else(|| MapError::GridRequired { found: topology.kind().describe() })?;
 
     let commodities = problem.commodities(mapping);
     let mut loads = LinkLoads::zeros(topology.link_count());
     let mut paths = Vec::with_capacity(commodities.len());
 
     for c in &commodities {
-        let (mut x, mut y) = topology.coords(c.source);
-        let (tx, ty) = topology.coords(c.dest);
+        let mut coords = topology.grid_coords(c.source).to_vec();
+        let target = topology.grid_coords(c.dest);
         let mut nodes = vec![c.source];
         let mut links = Vec::new();
 
-        while x != tx {
-            let nx = step_toward(x, tx, width, wraps);
-            let next = topology.node_at(nx, y).expect("in range");
-            let link = topology
-                .find_link(*nodes.last().expect("non-empty"), next)
-                .expect("mesh neighbours are linked");
-            links.push(link);
-            nodes.push(next);
-            x = nx;
-        }
-        while y != ty {
-            let ny = step_toward(y, ty, height, wraps);
-            let next = topology.node_at(x, ny).expect("in range");
-            let link = topology
-                .find_link(*nodes.last().expect("non-empty"), next)
-                .expect("mesh neighbours are linked");
-            links.push(link);
-            nodes.push(next);
-            y = ny;
+        for (axis, &goal) in target.iter().enumerate() {
+            let ax = grid.axis(axis);
+            while coords[axis] != goal {
+                coords[axis] = step_toward(coords[axis], goal, ax);
+                let next = topology.node_at_coords(&coords).expect("in range");
+                let link = topology
+                    .find_link(*nodes.last().expect("non-empty"), next)
+                    .expect("grid neighbours are linked");
+                links.push(link);
+                nodes.push(next);
+            }
         }
 
         for &l in &links {
@@ -288,13 +283,32 @@ pub fn route_xy(
     Ok((paths, loads))
 }
 
-/// One dimension-ordered step from `from` toward `to` along a dimension of
-/// size `extent`; `wraps` enables the torus shortcut when strictly shorter.
-fn step_toward(from: usize, to: usize, extent: usize, wraps: bool) -> usize {
+/// Historical 2-D spelling of [`route_dor`] — X-then-Y on meshes and tori.
+/// Works on grids of any rank (it *is* the generic router).
+///
+/// # Errors
+///
+/// Same conditions as [`route_dor`].
+///
+/// # Panics
+///
+/// Panics if `mapping` is incomplete.
+pub fn route_xy(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+) -> Result<(Vec<CommodityPath>, LinkLoads)> {
+    route_dor(problem, mapping)
+}
+
+/// One dimension-ordered step from `from` toward `to` along `axis`; the
+/// torus shortcut is taken when the axis wraps and it is strictly shorter
+/// (ties toward increasing coordinate).
+fn step_toward(from: usize, to: usize, axis: Axis) -> usize {
     debug_assert_ne!(from, to);
+    let extent = axis.extent;
     let forward = (to + extent - from) % extent; // distance going +1 with wrap
     let backward = extent - forward;
-    let go_forward = if wraps && extent > 2 {
+    let go_forward = if axis.wraps() {
         forward <= backward // tie → increasing coordinate
     } else {
         to > from
@@ -409,9 +423,58 @@ mod tests {
         let mut m = Mapping::new(2);
         m.place(a, NodeId::new(0));
         m.place(b, NodeId::new(1));
-        assert_eq!(route_xy(&p, &m).unwrap_err(), MapError::MeshRequired);
+        assert_eq!(
+            route_xy(&p, &m).unwrap_err(),
+            MapError::GridRequired { found: "custom".into() }
+        );
         // ...but the min-path router works on custom topologies.
         assert!(route_min_paths(&p, &m).is_ok());
+    }
+
+    #[test]
+    fn dor_routing_resolves_axes_in_order_on_3d_grids() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 10.0).unwrap();
+        let t = Topology::mesh_nd(&[3, 3, 2], 1e9).unwrap();
+        let src = t.node_at_coords(&[0, 0, 0]).unwrap();
+        let dst = t.node_at_coords(&[2, 1, 1]).unwrap();
+        let p = MappingProblem::new(g, t).unwrap();
+        let mut m = Mapping::new(18);
+        m.place(a, src);
+        m.place(b, dst);
+        let (paths, _) = route_dor(&p, &m).unwrap();
+        let coords: Vec<Vec<usize>> =
+            paths[0].nodes.iter().map(|&n| p.topology().grid_coords(n).to_vec()).collect();
+        assert_eq!(
+            coords,
+            vec![
+                vec![0, 0, 0],
+                vec![1, 0, 0],
+                vec![2, 0, 0], // X resolved first...
+                vec![2, 1, 0], // ...then Y...
+                vec![2, 1, 1], // ...then Z.
+            ]
+        );
+        assert_eq!(paths[0].hops(), p.topology().hop_distance(src, dst));
+    }
+
+    #[test]
+    fn dor_routing_takes_wraps_per_axis_on_3d_tori() {
+        let mut g = CoreGraph::new();
+        let a = g.add_core("a");
+        let b = g.add_core("b");
+        g.add_comm(a, b, 10.0).unwrap();
+        let t = Topology::torus_nd(&[4, 4, 4], 1e9).unwrap();
+        let src = t.node_at_coords(&[0, 0, 0]).unwrap();
+        let dst = t.node_at_coords(&[3, 3, 3]).unwrap();
+        let p = MappingProblem::new(g, t).unwrap();
+        let mut m = Mapping::new(64);
+        m.place(a, src);
+        m.place(b, dst);
+        let (paths, _) = route_dor(&p, &m).unwrap();
+        assert_eq!(paths[0].hops(), 3, "every axis should use its wrap link");
     }
 
     #[test]
@@ -470,12 +533,16 @@ mod tests {
 
     #[test]
     fn step_toward_mesh_and_torus() {
-        assert_eq!(step_toward(0, 3, 5, false), 1);
-        assert_eq!(step_toward(3, 0, 5, false), 2);
+        let mesh5 = Axis { extent: 5, wrap: false };
+        let torus5 = Axis { extent: 5, wrap: true };
+        assert_eq!(step_toward(0, 3, mesh5), 1);
+        assert_eq!(step_toward(3, 0, mesh5), 2);
         // Torus: 0 -> 4 wraps backward (distance 1 vs 4).
-        assert_eq!(step_toward(0, 4, 5, true), 4);
+        assert_eq!(step_toward(0, 4, torus5), 4);
         // Equidistant (0 -> 2 in extent 4): tie goes forward.
-        assert_eq!(step_toward(0, 2, 4, true), 1);
+        assert_eq!(step_toward(0, 2, Axis { extent: 4, wrap: true }), 1);
+        // Declared wrap on a size-2 axis is not realized: steps stay mesh-like.
+        assert_eq!(step_toward(0, 1, Axis { extent: 2, wrap: true }), 1);
     }
 
     #[test]

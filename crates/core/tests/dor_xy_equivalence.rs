@@ -1,0 +1,139 @@
+//! 2-D equivalence pin: the dimension-generic DOR router must reproduce
+//! the legacy hand-written XY router **link for link** on every 2-D mesh
+//! and torus.
+//!
+//! The generic router replaced the 2-D-only implementation during the
+//! grid refactor; the old code lives on here as the test oracle. Any
+//! divergence — step order, wrap tie-breaking, link identity — fails this
+//! suite before it can perturb a pinned sweep output.
+
+use nmap::routing::{route_dor, route_xy, CommodityPath, LinkLoads};
+use nmap::{initialize, Mapping, MappingProblem};
+use noc_graph::{LinkId, NodeId, RandomGraphConfig, Topology};
+
+/// The pre-refactor `route_xy`: X then Y over `width`/`height` with the
+/// torus shortcut per dimension, verbatim from the 2-D implementation.
+fn legacy_route_xy(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    width: usize,
+    height: usize,
+    wraps: bool,
+) -> (Vec<CommodityPath>, LinkLoads) {
+    let topology = problem.topology();
+    let commodities = problem.commodities(mapping);
+    let mut loads = LinkLoads::zeros(topology.link_count());
+    let mut paths = Vec::with_capacity(commodities.len());
+
+    for c in &commodities {
+        let (mut x, mut y) = topology.coords(c.source);
+        let (tx, ty) = topology.coords(c.dest);
+        let mut nodes = vec![c.source];
+        let mut links = Vec::new();
+
+        while x != tx {
+            let nx = legacy_step_toward(x, tx, width, wraps);
+            let next = topology.node_at(nx, y).expect("in range");
+            let link = topology
+                .find_link(*nodes.last().expect("non-empty"), next)
+                .expect("mesh neighbours are linked");
+            links.push(link);
+            nodes.push(next);
+            x = nx;
+        }
+        while y != ty {
+            let ny = legacy_step_toward(y, ty, height, wraps);
+            let next = topology.node_at(x, ny).expect("in range");
+            let link = topology
+                .find_link(*nodes.last().expect("non-empty"), next)
+                .expect("mesh neighbours are linked");
+            links.push(link);
+            nodes.push(next);
+            y = ny;
+        }
+
+        for &l in &links {
+            loads.add(l, c.value);
+        }
+        paths.push(CommodityPath { edge: c.edge, links, nodes });
+    }
+
+    (paths, loads)
+}
+
+fn legacy_step_toward(from: usize, to: usize, extent: usize, wraps: bool) -> usize {
+    let forward = (to + extent - from) % extent;
+    let backward = extent - forward;
+    let go_forward = if wraps && extent > 2 { forward <= backward } else { to > from };
+    if go_forward {
+        (from + 1) % extent
+    } else {
+        (from + extent - 1) % extent
+    }
+}
+
+/// Deterministic placements on one problem: the constructive NMAP seed
+/// plus a few derived swaps, covering many (source, dest) geometries.
+fn placements(problem: &MappingProblem) -> Vec<Mapping> {
+    let base = initialize(problem);
+    let n = problem.topology().node_count();
+    let mut all = vec![base];
+    for k in 1..5 {
+        let mut m = all.last().unwrap().clone();
+        m.swap_nodes(NodeId::new((2 * k) % n), NodeId::new((5 * k + 1) % n));
+        all.push(m);
+    }
+    all
+}
+
+fn assert_equivalent(width: usize, height: usize, torus: bool, seed: u64) {
+    let topology = if torus {
+        Topology::torus(width, height, 1e9)
+    } else {
+        Topology::mesh(width, height, 1e9)
+    };
+    let nodes = topology.node_count();
+    let cores = (nodes * 3 / 4).max(2);
+    let graph = RandomGraphConfig { cores, ..Default::default() }.generate(seed);
+    let problem = MappingProblem::new(graph, topology).unwrap();
+
+    for mapping in placements(&problem) {
+        let (generic_paths, generic_loads) = route_dor(&problem, &mapping).unwrap();
+        let (legacy_paths, legacy_loads) =
+            legacy_route_xy(&problem, &mapping, width, height, torus);
+        // Link-for-link identity: same link ids in the same order per
+        // commodity, same node walks, bit-identical loads.
+        assert_eq!(generic_paths.len(), legacy_paths.len());
+        for (g, l) in generic_paths.iter().zip(&legacy_paths) {
+            assert_eq!(g.edge, l.edge);
+            let glinks: Vec<LinkId> = g.links.clone();
+            assert_eq!(glinks, l.links, "{width}x{height} torus={torus} seed={seed}");
+            assert_eq!(g.nodes, l.nodes);
+        }
+        assert_eq!(generic_loads.as_slice(), legacy_loads.as_slice());
+        // And route_xy is still exactly that router under its 2-D name.
+        let (alias_paths, alias_loads) = route_xy(&problem, &mapping).unwrap();
+        assert_eq!(alias_paths, generic_paths);
+        assert_eq!(alias_loads, generic_loads);
+    }
+}
+
+#[test]
+fn generic_dor_equals_legacy_xy_on_meshes() {
+    for (w, h) in [(2, 2), (3, 3), (4, 3), (4, 4), (5, 2), (1, 6), (6, 1)] {
+        for seed in 0..3 {
+            assert_equivalent(w, h, false, seed);
+        }
+    }
+}
+
+#[test]
+fn generic_dor_equals_legacy_xy_on_tori() {
+    // Includes extents of 1 and 2 (no realized wrap) and odd/even wraps
+    // (distinct tie-break geometries).
+    for (w, h) in [(3, 3), (4, 4), (5, 3), (2, 5), (5, 2), (4, 5)] {
+        for seed in 0..3 {
+            assert_equivalent(w, h, true, seed);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the dimension-generic grid machinery:
+//! dimension-ordered routing and orthant (quadrant) DAGs on random
+//! N-dimensional meshes and tori.
+
+use nmap::routing::route_dor;
+use nmap::{Mapping, MappingProblem};
+use noc_graph::{CoreGraph, NodeId, QuadrantDag, Topology};
+use proptest::prelude::*;
+
+/// Random grid dimensions: rank 1–4, extents 1–5, at most ~64 nodes so a
+/// case stays cheap.
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..=5, 1..=4)
+        .prop_filter("node count bounded", |dims| dims.iter().product::<usize>() <= 64)
+        .prop_filter("at least two nodes", |dims| dims.iter().product::<usize>() >= 2)
+}
+
+/// Independent per-axis distance oracle: wrap-aware only where the torus
+/// wrap is realized (declared and extent > 2) — written from the paper's
+/// definition, not via `Grid::distance`.
+fn oracle_distance(dims: &[usize], torus: bool, a: &[usize], b: &[usize]) -> usize {
+    dims.iter()
+        .zip(a.iter().zip(b))
+        .map(|(&extent, (&x, &y))| {
+            let d = x.abs_diff(y);
+            if torus && extent > 2 {
+                d.min(extent - d)
+            } else {
+                d
+            }
+        })
+        .sum()
+}
+
+/// A one-commodity problem between two distinct nodes of the grid.
+fn pair_problem(topology: Topology, src: NodeId, dst: NodeId) -> (MappingProblem, Mapping) {
+    let nodes = topology.node_count();
+    let mut graph = CoreGraph::new();
+    let a = graph.add_core("src");
+    let b = graph.add_core("dst");
+    graph.add_comm(a, b, 10.0).unwrap();
+    let problem = MappingProblem::new(graph, topology).unwrap();
+    let mut mapping = Mapping::new(nodes);
+    mapping.place(a, src);
+    mapping.place(b, dst);
+    (problem, mapping)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DOR route length equals the sum of per-axis wrap-aware
+    /// distances (= the closed-form hop distance), and the route is a
+    /// contiguous walk from source to destination.
+    #[test]
+    fn dor_route_length_is_the_sum_of_axis_distances(
+        dims in dims_strategy(),
+        torus in any::<bool>(),
+        picks in (0usize..4096, 0usize..4096),
+    ) {
+        let topology = if torus {
+            Topology::torus_nd(&dims, 1e9).unwrap()
+        } else {
+            Topology::mesh_nd(&dims, 1e9).unwrap()
+        };
+        let n = topology.node_count();
+        let src = NodeId::new(picks.0 % n);
+        let dst = NodeId::new(picks.1 % n);
+        prop_assume!(src != dst);
+
+        let want = oracle_distance(
+            &dims,
+            torus,
+            topology.grid_coords(src),
+            topology.grid_coords(dst),
+        );
+        prop_assert_eq!(topology.hop_distance(src, dst), want);
+
+        let (problem, mapping) = pair_problem(topology, src, dst);
+        let (paths, _) = route_dor(&problem, &mapping).unwrap();
+        prop_assert_eq!(paths[0].hops(), want, "dims {:?} torus {}", &dims, torus);
+        prop_assert_eq!(paths[0].nodes.first(), Some(&src));
+        prop_assert_eq!(paths[0].nodes.last(), Some(&dst));
+        // Contiguity: every step is a real directed link.
+        for pair in paths[0].nodes.windows(2) {
+            prop_assert!(problem.topology().find_link(pair[0], pair[1]).is_some());
+        }
+    }
+
+    /// Every walk over the orthant DAG from the source terminates at the
+    /// destination in exactly `dist` hops: each DAG link strictly reduces
+    /// the distance to the destination, and no non-destination node on a
+    /// minimal path is a dead end.
+    #[test]
+    fn orthant_dag_walks_terminate_at_dest(
+        dims in dims_strategy(),
+        torus in any::<bool>(),
+        picks in (0usize..4096, 0usize..4096),
+    ) {
+        let topology = if torus {
+            Topology::torus_nd(&dims, 1e9).unwrap()
+        } else {
+            Topology::mesh_nd(&dims, 1e9).unwrap()
+        };
+        let n = topology.node_count();
+        let src = NodeId::new(picks.0 % n);
+        let dst = NodeId::new(picks.1 % n);
+        prop_assume!(src != dst);
+
+        let dag = QuadrantDag::new(&topology, src, dst);
+        prop_assert!(!dag.links().is_empty());
+        let shortest = topology.hop_distance(src, dst);
+
+        // (a) Every DAG link is productive: one hop closer to dest.
+        for &l in dag.links() {
+            let link = topology.link(l);
+            prop_assert_eq!(
+                topology.hop_distance(link.src, dst),
+                topology.hop_distance(link.dst, dst) + 1,
+            );
+        }
+        // (b) No dead ends: every non-destination node on a minimal path
+        // has a productive out-link, so — with (a) — any maximal walk from
+        // the source must reach dest after exactly `shortest` hops.
+        for u in topology.nodes() {
+            let on_minimal =
+                topology.hop_distance(src, u) + topology.hop_distance(u, dst) == shortest;
+            if !on_minimal || u == dst {
+                continue;
+            }
+            prop_assert!(
+                topology.out_links(u).any(|(id, _)| dag.contains(id)),
+                "dead end at {} (dims {:?} torus {})", u, &dims, torus
+            );
+        }
+        // (c) One explicit greedy walk as a sanity check.
+        let mut at = src;
+        let mut hops = 0;
+        while at != dst {
+            let (_, link) = topology
+                .out_links(at)
+                .find(|(id, _)| dag.contains(*id))
+                .expect("no dead ends per (b)");
+            at = link.dst;
+            hops += 1;
+            prop_assert!(hops <= shortest, "walk exceeded the minimal hop count");
+        }
+        prop_assert_eq!(hops, shortest);
+    }
+}

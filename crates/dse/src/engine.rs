@@ -367,7 +367,7 @@ mod tests {
             label: "VOPD".into(),
             app: AppSpec::Bundled(App::Vopd),
             seed: 0,
-            topology: TopologySpec::Mesh { width: 2, height: 2 },
+            topology: TopologySpec::Mesh { dims: vec![2, 2] },
             capacity: 1_000.0,
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
@@ -385,7 +385,7 @@ mod tests {
             label: "DSP".into(),
             app: AppSpec::DspFilter,
             seed: 0,
-            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            topology: TopologySpec::Mesh { dims: vec![3, 2] },
             capacity: 1_000.0,
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::McfQuadrant,
@@ -433,7 +433,7 @@ mod tests {
             label: "DSP".into(),
             app: AppSpec::DspFilter,
             seed: 5,
-            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            topology: TopologySpec::Mesh { dims: vec![3, 2] },
             capacity: 1_400.0,
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::MinPath,
@@ -504,7 +504,7 @@ mod tests {
             label: "DSP".into(),
             app: AppSpec::DspFilter,
             seed: 1,
-            topology: TopologySpec::Mesh { width: 3, height: 2 },
+            topology: TopologySpec::Mesh { dims: vec![3, 2] },
             capacity: 1_400.0,
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::McfQuadrant,

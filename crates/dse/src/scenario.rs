@@ -9,7 +9,9 @@ use nmap::search::{
 use nmap::{MappingProblem, PathScope, SinglePathOptions, SplitOptions};
 use noc_apps::App;
 use noc_baselines::{GmapMapper, PbbMapper, PbbOptions, PmapMapper};
-use noc_graph::{CoreGraph, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind};
+use noc_graph::{
+    dims_label, CoreGraph, Grid, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind,
+};
 use noc_sim::SimConfig;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -47,53 +49,80 @@ impl AppSpec {
 }
 
 /// Which NoC fabric a scenario maps onto. `Fit*` variants resolve to the
-/// smallest square-ish grid holding the application when the scenario runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// smallest square-ish (cube-ish for the 3-D variants) grid holding the
+/// application when the scenario runs. Fixed grids carry their per-axis
+/// extents, so `dims: vec![4, 4]` is the paper's 2-D mesh and
+/// `vec![4, 4, 2]` a 3-D one — the topology-dimension axis of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopologySpec {
-    /// Smallest fitting mesh ([`Topology::fit_mesh_dims`]).
+    /// Smallest fitting 2-D mesh ([`Topology::fit_mesh_dims`]).
     FitMesh,
-    /// Smallest fitting torus (same dimensions as [`TopologySpec::FitMesh`]).
+    /// Smallest fitting 2-D torus (same dimensions as
+    /// [`TopologySpec::FitMesh`]).
     FitTorus,
-    /// A fixed `width × height` mesh.
+    /// Smallest fitting 3-D mesh ([`Grid::fit_dims`] at rank 3).
+    FitMesh3d,
+    /// Smallest fitting 3-D torus (same dimensions as
+    /// [`TopologySpec::FitMesh3d`]).
+    FitTorus3d,
+    /// A fixed mesh with the given per-axis extents (rank ≥ 2).
     Mesh {
-        /// Mesh width.
-        width: usize,
-        /// Mesh height.
-        height: usize,
+        /// Per-axis extents, axis 0 (width) first.
+        dims: Vec<usize>,
     },
-    /// A fixed `width × height` torus.
+    /// A fixed torus with the given per-axis extents (rank ≥ 2).
     Torus {
-        /// Torus width.
-        width: usize,
-        /// Torus height.
-        height: usize,
+        /// Per-axis extents, axis 0 (width) first.
+        dims: Vec<usize>,
     },
 }
 
 impl TopologySpec {
     /// Builds the topology for an application with `cores` cores and
     /// uniform link `capacity` (MB/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions or capacities (the spec parser and the
+    /// builder validate both up front; hand-built specs inherit the
+    /// constructor panics, as the 2-D-only spec did).
     pub fn build(&self, cores: usize, capacity: f64) -> Topology {
-        match *self {
+        let built = match self {
             TopologySpec::FitMesh => {
                 let (w, h) = Topology::fit_mesh_dims(cores);
-                Topology::mesh(w, h, capacity)
+                Topology::mesh_nd(&[w, h], capacity)
             }
             TopologySpec::FitTorus => {
                 let (w, h) = Topology::fit_mesh_dims(cores);
-                Topology::torus(w, h, capacity)
+                Topology::torus_nd(&[w, h], capacity)
             }
-            TopologySpec::Mesh { width, height } => Topology::mesh(width, height, capacity),
-            TopologySpec::Torus { width, height } => Topology::torus(width, height, capacity),
+            TopologySpec::FitMesh3d => Topology::mesh_nd(&Grid::fit_dims(cores, 3), capacity),
+            TopologySpec::FitTorus3d => Topology::torus_nd(&Grid::fit_dims(cores, 3), capacity),
+            TopologySpec::Mesh { dims } => Topology::mesh_nd(dims, capacity),
+            TopologySpec::Torus { dims } => Topology::torus_nd(dims, capacity),
+        };
+        built.unwrap_or_else(|e| panic!("invalid topology spec: {e}"))
+    }
+
+    /// Stable display name, aligned with the spec-format keywords:
+    /// `fit`, `fit-torus`, `fit3d`, `fit3d-torus`, `mesh 4x4x2`, ...
+    pub fn name(&self) -> String {
+        match self {
+            TopologySpec::FitMesh => "fit".to_string(),
+            TopologySpec::FitTorus => "fit-torus".to_string(),
+            TopologySpec::FitMesh3d => "fit3d".to_string(),
+            TopologySpec::FitTorus3d => "fit3d-torus".to_string(),
+            TopologySpec::Mesh { dims } => format!("mesh {}", dims_label(dims)),
+            TopologySpec::Torus { dims } => format!("torus {}", dims_label(dims)),
         }
     }
 }
 
-/// Resolved display label of a built topology, e.g. `mesh4x4` / `torus3x3`.
+/// Resolved display label of a built topology, e.g. `mesh4x4` /
+/// `torus3x3` / `mesh4x4x2`.
 pub fn topology_label(topology: &Topology) -> String {
     match topology.kind() {
-        TopologyKind::Mesh { width, height } => format!("mesh{width}x{height}"),
-        TopologyKind::Torus { width, height } => format!("torus{width}x{height}"),
+        TopologyKind::Grid(grid) => format!("{}{}", grid.kind_keyword(), grid.dims_label()),
         TopologyKind::Custom => format!("custom{}", topology.node_count()),
     }
 }
@@ -570,7 +599,7 @@ impl ScenarioSetBuilder {
                                 label: entry.label.clone(),
                                 app: entry.spec.clone(),
                                 seed,
-                                topology: *topology,
+                                topology: topology.clone(),
                                 capacity: *capacity,
                                 mapper: mapper.clone(),
                                 routing: *routing,
@@ -601,8 +630,11 @@ mod tests {
             .routing(RoutingSpec::Xy)
             .build();
         assert_eq!(set.len(), 8); // 2 apps x 2 topologies x 1 mapper x 2 routings
-        let labels: Vec<_> =
-            set.scenarios().iter().map(|s| (s.label.as_str(), s.topology, s.routing)).collect();
+        let labels: Vec<_> = set
+            .scenarios()
+            .iter()
+            .map(|s| (s.label.as_str(), s.topology.clone(), s.routing))
+            .collect();
         assert_eq!(labels[0], ("PIP", TopologySpec::FitMesh, RoutingSpec::MinPath));
         assert_eq!(labels[1], ("PIP", TopologySpec::FitMesh, RoutingSpec::Xy));
         assert_eq!(labels[2], ("PIP", TopologySpec::FitTorus, RoutingSpec::MinPath));
@@ -676,8 +708,39 @@ mod tests {
         assert_eq!(p.topology().node_count(), 16);
         assert_eq!(topology_label(p.topology()), "mesh4x4");
 
-        let tight = Scenario { topology: TopologySpec::Mesh { width: 2, height: 2 }, ..fit };
+        let tight = Scenario { topology: TopologySpec::Mesh { dims: vec![2, 2] }, ..fit };
         assert!(tight.problem().is_err(), "16 cores cannot fit 4 nodes");
+    }
+
+    #[test]
+    fn three_d_topology_specs_build_and_label() {
+        let base = Scenario {
+            label: "VOPD".into(),
+            app: AppSpec::Bundled(App::Vopd),
+            seed: 0,
+            topology: TopologySpec::Mesh { dims: vec![4, 4, 2] },
+            capacity: 500.0,
+            mapper: MapperSpec::Pmap,
+            routing: RoutingSpec::MinPath,
+            simulate: None,
+        };
+        let p = base.problem().unwrap();
+        assert_eq!(p.topology().node_count(), 32);
+        assert_eq!(topology_label(p.topology()), "mesh4x4x2");
+
+        // VOPD has 16 cores: the fitted 3-D mesh is the 3x3x2 block.
+        let fit3d = Scenario { topology: TopologySpec::FitMesh3d, ..base.clone() };
+        let p = fit3d.problem().unwrap();
+        assert_eq!(p.topology().node_count(), 18);
+        assert_eq!(topology_label(p.topology()), "mesh3x3x2");
+
+        let torus3d = Scenario { topology: TopologySpec::FitTorus3d, ..base };
+        assert_eq!(topology_label(torus3d.problem().unwrap().topology()), "torus3x3x2");
+
+        // Spec-keyword names (the `.dse` spellings).
+        assert_eq!(TopologySpec::FitMesh3d.name(), "fit3d");
+        assert_eq!(TopologySpec::FitTorus3d.name(), "fit3d-torus");
+        assert_eq!(TopologySpec::Torus { dims: vec![4, 4, 2] }.name(), "torus 4x4x2");
     }
 
     #[test]
@@ -797,7 +860,7 @@ mod tests {
             label: "rand12".into(),
             app: AppSpec::Random(RandomGraphConfig { cores: 12, ..Default::default() }),
             seed: 5,
-            topology: TopologySpec::Mesh { width: 4, height: 4 },
+            topology: TopologySpec::Mesh { dims: vec![4, 4] },
             capacity: 2_000.0,
             mapper: MapperSpec::Sa(SaOptions::default()),
             routing: RoutingSpec::MinPath,

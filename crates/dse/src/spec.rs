@@ -9,7 +9,8 @@
 //! seed 42                    # root seed for derived scenario seeds
 //! app vopd mpeg4             # mpeg4|vopd|pip|mwa|mwag|dsd|dsp|all
 //! random 25 2                # cores instances [avg_degree [min_bw max_bw]]
-//! topology mesh 4x4          # fit | fit-torus | mesh WxH | torus WxH
+//! topology mesh 4x4          # fit | fit-torus | fit3d | fit3d-torus |
+//! topology mesh 4x4x2        #   mesh WxH[xD...] | torus WxH[xD...]
 //! mapper nmap pbb            # nmap|nmap-paper|nmap-init|nmap-split-quadrant|
 //!                            #   nmap-split-all|pmap|gmap|pbb|sa|tabu|
 //!                            #   all (= nmap pmap gmap pbb only)
@@ -125,7 +126,7 @@ impl SweepSpec {
             };
         }
         for t in &self.topologies {
-            builder = builder.topology(*t);
+            builder = builder.topology(t.clone());
         }
         for m in &self.mappers {
             builder = builder.mapper(m.clone());
@@ -161,16 +162,7 @@ impl fmt::Display for SweepSpec {
             }
         }
         for t in &self.topologies {
-            match *t {
-                TopologySpec::FitMesh => writeln!(f, "topology fit")?,
-                TopologySpec::FitTorus => writeln!(f, "topology fit-torus")?,
-                TopologySpec::Mesh { width, height } => {
-                    writeln!(f, "topology mesh {width}x{height}")?
-                }
-                TopologySpec::Torus { width, height } => {
-                    writeln!(f, "topology torus {width}x{height}")?
-                }
-            }
+            writeln!(f, "topology {}", t.name())?;
         }
         for m in &self.mappers {
             writeln!(f, "mapper {}", m.name())?;
@@ -315,18 +307,22 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
                 let t = match rest.as_slice() {
                     ["fit"] => TopologySpec::FitMesh,
                     ["fit-torus"] => TopologySpec::FitTorus,
+                    ["fit3d"] => TopologySpec::FitMesh3d,
+                    ["fit3d-torus"] => TopologySpec::FitTorus3d,
                     [kind @ ("mesh" | "torus"), dims] => {
-                        let (width, height) = parse_dims(dims, line_no)?;
+                        let dims = parse_dims(dims, line_no)?;
                         if *kind == "mesh" {
-                            TopologySpec::Mesh { width, height }
+                            TopologySpec::Mesh { dims }
                         } else {
-                            TopologySpec::Torus { width, height }
+                            TopologySpec::Torus { dims }
                         }
                     }
                     _ => {
                         return Err(syntax(
                             line_no,
-                            "`topology` takes: fit | fit-torus | mesh WxH | torus WxH".into(),
+                            "`topology` takes: fit | fit-torus | fit3d | fit3d-torus | \
+mesh WxH[xD] | torus WxH[xD]"
+                                .into(),
                         ))
                     }
                 };
@@ -482,16 +478,35 @@ fn parse_field<T: std::str::FromStr>(text: &str, line: usize, what: &str) -> Res
     text.parse().map_err(|_| syntax(line, format!("invalid {what} `{text}`")))
 }
 
-fn parse_dims(text: &str, line: usize) -> Result<(usize, usize), SpecError> {
-    let (w, h) = text
-        .split_once('x')
-        .ok_or_else(|| syntax(line, format!("bad dimensions `{text}`, want WxH")))?;
-    let width: usize = parse_field(w, line, "width")?;
-    let height: usize = parse_field(h, line, "height")?;
-    if width == 0 || height == 0 {
-        return Err(syntax(line, "dimensions must be non-zero".into()));
+fn parse_dims(text: &str, line: usize) -> Result<Vec<usize>, SpecError> {
+    let parts: Vec<&str> = text.split('x').collect();
+    if parts.len() < 2 || parts.len() > noc_graph::parse::MAX_GRID_RANK {
+        return Err(syntax(
+            line,
+            format!(
+                "bad dimensions `{text}`, want 2 to {} `x`-separated extents",
+                noc_graph::parse::MAX_GRID_RANK
+            ),
+        ));
     }
-    Ok((width, height))
+    let mut dims = Vec::with_capacity(parts.len());
+    for part in parts {
+        let extent: usize = parse_field(part, line, "extent")?;
+        if extent == 0 {
+            return Err(syntax(line, "dimensions must be non-zero".into()));
+        }
+        if extent > noc_graph::parse::MAX_GRID_EXTENT {
+            return Err(syntax(
+                line,
+                format!(
+                    "extent {extent} exceeds the maximum {}",
+                    noc_graph::parse::MAX_GRID_EXTENT
+                ),
+            ));
+        }
+        dims.push(extent);
+    }
+    Ok(dims)
 }
 
 fn parse_app(name: &str) -> Option<App> {
@@ -631,6 +646,8 @@ topology fit
 topology mesh 4x4
 topology torus 3x3
 topology fit-torus
+topology mesh 4x4x2
+topology fit3d
 mapper nmap nmap-paper nmap-init pmap gmap pbb nmap-split-quadrant nmap-split-all
 routing min-path xy mcf-quadrant mcf-all
 simulate {
@@ -661,7 +678,9 @@ simulate {
                 instances: 2,
             }
         );
-        assert_eq!(spec.topologies.len(), 4);
+        assert_eq!(spec.topologies.len(), 6);
+        assert_eq!(spec.topologies[4], TopologySpec::Mesh { dims: vec![4, 4, 2] });
+        assert_eq!(spec.topologies[5], TopologySpec::FitMesh3d);
         assert_eq!(spec.mappers.len(), 8);
         assert_eq!(spec.routings.len(), 4);
         assert_eq!(
@@ -678,7 +697,7 @@ simulate {
         );
         // 4 app entries + 1 extra random instance = 5 app axis entries;
         // the two simulate bandwidths double the cross product.
-        assert_eq!(spec.scenarios().len(), 5 * 4 * 8 * 4 * 2);
+        assert_eq!(spec.scenarios().len(), 5 * 6 * 8 * 4 * 2);
     }
 
     #[test]
@@ -846,6 +865,23 @@ simulate {
         ));
         assert!(matches!(
             parse_spec("topology mesh 0x4\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("topology mesh 4x4x0\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("topology mesh 4\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        // Rank and extent caps (shared with the `.noc` parser).
+        assert!(matches!(
+            parse_spec("topology mesh 2x2x2x2x2\napp pip\n").unwrap_err(),
+            SpecError::Syntax { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_spec("topology mesh 4x4x1000\napp pip\n").unwrap_err(),
             SpecError::Syntax { line: 1, .. }
         ));
         assert!(matches!(

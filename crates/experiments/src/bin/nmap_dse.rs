@@ -6,6 +6,8 @@
 //! nmap_dse --torus-vs-mesh         torus wrap-link gain over meshes
 //! nmap_dse --fig5c [--smoke]        Figure 5(c) latency sweep through the
 //!                                   engine pool (--smoke: reduced cycles)
+//! nmap_dse --mesh3d [--smoke]       2-D vs 3-D mapping cost/latency on the
+//!                                   bundled apps (--smoke: reduced cycles)
 //! nmap_dse --spec <file>            run a .dse sweep specification
 //! options:  --threads N             worker threads (default: all cores)
 //!           --jsonl <path>          write records as JSON lines
@@ -29,11 +31,13 @@ use noc_experiments::dse_bridge::{
     torus_vs_mesh_rows_from_records, torus_vs_mesh_set,
 };
 use noc_experiments::fig5c::Fig5cConfig;
+use noc_experiments::mesh3d::{mesh3d_rows_from_records, mesh3d_set};
 use noc_experiments::report::{fmt, TextTable};
 use noc_experiments::table2::Table2Config;
 
 const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --fig5c [--smoke] \
-| --spec <file>) [--threads N] [--jsonl <path>] [--csv <path>] [--timing] [--allow-failures]";
+| --mesh3d [--smoke] | --spec <file>) [--threads N] [--jsonl <path>] [--csv <path>] [--timing] \
+[--allow-failures]";
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
@@ -41,14 +45,15 @@ enum Mode {
     Table2,
     TorusVsMesh,
     Fig5c,
+    Mesh3d,
     Spec,
 }
 
 #[derive(Debug)]
 struct Args {
     mode: Mode,
-    /// `--fig5c --smoke`: run the reduced-cycle-count configuration.
-    fig5c_smoke: bool,
+    /// `--fig5c --smoke` / `--mesh3d --smoke`: reduced cycle counts.
+    reduced: bool,
     spec_path: Option<String>,
     threads: usize,
     jsonl: Option<String>,
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--table2" => modes.push(Mode::Table2),
             "--torus-vs-mesh" => modes.push(Mode::TorusVsMesh),
             "--fig5c" => modes.push(Mode::Fig5c),
+            "--mesh3d" => modes.push(Mode::Mesh3d),
             "--spec" => {
                 modes.push(Mode::Spec);
                 spec_path = Some(raw.next().ok_or("--spec needs a file path")?);
@@ -90,18 +96,19 @@ fn parse_args() -> Result<Option<Args>, String> {
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
-    // `--smoke` doubles as the reduced-cycle-count modifier of `--fig5c`;
-    // every other combination of mode flags is ambiguous.
-    let (mode, fig5c_smoke) = match modes.as_slice() {
-        [] => return Err(USAGE.to_string()),
-        [m] => (*m, false),
-        [Mode::Fig5c, Mode::Smoke] | [Mode::Smoke, Mode::Fig5c] => (Mode::Fig5c, true),
-        _ => {
-            return Err(
-                "choose exactly one of --smoke/--table2/--torus-vs-mesh/--fig5c/--spec".into()
-            )
-        }
-    };
+    // `--smoke` doubles as the reduced-cycle-count modifier of `--fig5c`
+    // and `--mesh3d`; every other combination of mode flags is ambiguous.
+    let (mode, reduced) =
+        match modes.as_slice() {
+            [] => return Err(USAGE.to_string()),
+            [m] => (*m, false),
+            [Mode::Fig5c, Mode::Smoke] | [Mode::Smoke, Mode::Fig5c] => (Mode::Fig5c, true),
+            [Mode::Mesh3d, Mode::Smoke] | [Mode::Smoke, Mode::Mesh3d] => (Mode::Mesh3d, true),
+            _ => return Err(
+                "choose exactly one of --smoke/--table2/--torus-vs-mesh/--fig5c/--mesh3d/--spec"
+                    .into(),
+            ),
+        };
     if allow_failures && mode != Mode::Spec {
         // The built-in sweeps treat failed scenarios as bugs; only
         // user-authored specs can legitimately contain infeasible points.
@@ -111,7 +118,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         // The fig5c sweep reports latency points, not scenario records.
         return Err("--jsonl/--csv/--timing are not supported with --fig5c".into());
     }
-    Ok(Some(Args { mode, fig5c_smoke, spec_path, threads, jsonl, csv, timing, allow_failures }))
+    Ok(Some(Args { mode, reduced, spec_path, threads, jsonl, csv, timing, allow_failures }))
 }
 
 fn main() -> ExitCode {
@@ -171,9 +178,34 @@ fn run(args: &Args) -> Result<(), String> {
             print!("{}", table.render());
             Ok(())
         }
+        Mode::Mesh3d => {
+            println!("2-D vs 3-D — NMAP cost and simulated latency, fitted mesh vs mesh 4x4x2");
+            if args.reduced {
+                println!("(reduced simulation windows)");
+            }
+            println!();
+            let report = sweep(&mesh3d_set(args.reduced), args)?;
+            let rows = mesh3d_rows_from_records(&report.records);
+            let mut table = TextTable::new([
+                "app", "cores", "cost 2D", "cost 3D", "2D/3D", "lat 2D", "lat 3D", "notes",
+            ]);
+            for row in rows {
+                table.row([
+                    row.app,
+                    row.cores.to_string(),
+                    fmt(row.cost_2d, 0),
+                    fmt(row.cost_3d, 0),
+                    fmt(row.cost_gain, 2),
+                    fmt(row.latency_2d, 1),
+                    fmt(row.latency_3d, 1),
+                    if row.saturated { "saturated".to_string() } else { String::new() },
+                ]);
+            }
+            print!("{}", table.render());
+            Ok(())
+        }
         Mode::Fig5c => {
-            let config =
-                if args.fig5c_smoke { fig5c_smoke_config() } else { Fig5cConfig::default() };
+            let config = if args.reduced { fig5c_smoke_config() } else { Fig5cConfig::default() };
             println!("Figure 5(c) via noc-dse — avg packet latency vs link bandwidth, DSP NoC");
             println!("(values identical to the sequential fig5c_latency harness)\n");
             let points = fig5c_via_engine(&config, args.threads);

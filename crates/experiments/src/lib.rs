@@ -25,6 +25,7 @@ pub mod dse_bridge;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5c;
+pub mod mesh3d;
 pub mod report;
 pub mod routing_ablation;
 pub mod search_ablation;

@@ -14,7 +14,7 @@ use nmap::{
     map_single_path, mcf::solve_mcf, MappingProblem, McfKind, PathScope, SinglePathOptions,
 };
 use noc_apps::App;
-use noc_graph::{Topology, TopologyKind};
+use noc_graph::Topology;
 
 use crate::UNLIMITED_CAPACITY;
 
@@ -88,11 +88,7 @@ pub fn explore(app: App) -> Vec<CandidateResult> {
 }
 
 fn describe(topology: &Topology) -> String {
-    match topology.kind() {
-        TopologyKind::Mesh { width, height } => format!("mesh {width}x{height}"),
-        TopologyKind::Torus { width, height } => format!("torus {width}x{height}"),
-        TopologyKind::Custom => "custom".to_string(),
-    }
+    topology.kind().describe()
 }
 
 /// The candidate minimizing communication cost (ties: fewer links, then

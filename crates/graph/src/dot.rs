@@ -43,7 +43,7 @@ pub fn core_graph_dot(graph: &CoreGraph) -> String {
 pub fn topology_dot(topology: &Topology) -> String {
     let mut out = String::from("digraph topology {\n  node [shape=circle];\n");
     for node in topology.nodes() {
-        let (x, y) = topology.coords(node);
+        let (x, y) = layout_pos(topology, node);
         let _ = writeln!(out, "  \"{node}\" [pos=\"{x},{y}!\"];");
     }
     for (_, link) in topology.links() {
@@ -69,7 +69,7 @@ pub fn mapping_dot(
     }
     let mut out = String::from("digraph mapping {\n  node [shape=box];\n");
     for node in topology.nodes() {
-        let (x, y) = topology.coords(node);
+        let (x, y) = layout_pos(topology, node);
         let text = if label[node.index()].is_empty() {
             format!("{node}")
         } else {
@@ -88,6 +88,21 @@ pub fn mapping_dot(
 
 fn escape(s: &str) -> String {
     s.replace('"', "\\\"")
+}
+
+/// 2-D drawing position of a node: grid coordinates for rank-≤2 grids and
+/// custom topologies; higher-rank grids unfold layer by layer along the x
+/// axis (layer `z` shifts right by `z * (width + 1)`), so a 3-D grid
+/// renders as a row of its 2-D slices.
+fn layout_pos(topology: &Topology, node: NodeId) -> (usize, usize) {
+    match topology.grid_structure() {
+        Some(grid) if grid.rank() > 2 => {
+            let c = topology.grid_coords(node);
+            let layer = node.index() / (grid.axis(0).extent * grid.axis(1).extent);
+            (c[0] + layer * (grid.axis(0).extent + 1), c[1])
+        }
+        _ => topology.coords(node),
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ pub enum GraphError {
     UnknownNode(NodeId),
     /// A communication edge was given a non-finite or negative bandwidth.
     InvalidBandwidth(f64),
-    /// A link was given a non-finite or negative capacity.
+    /// A link was given a non-finite or non-positive capacity.
     InvalidCapacity(f64),
     /// A self-loop `(v, v)` was requested; the core graph forbids them
     /// because a core does not communicate with itself over the NoC.
@@ -22,8 +22,13 @@ pub enum GraphError {
     /// A duplicate directed edge `(src, dst)` was inserted; bandwidths of
     /// parallel requests must be accumulated by the caller instead.
     DuplicateEdge(CoreId, CoreId),
-    /// A topology was requested with a zero dimension.
+    /// A topology was requested with no nodes (or a grid with no axes).
     EmptyTopology,
+    /// A grid axis was declared with extent 0.
+    ZeroExtent {
+        /// Index of the offending axis.
+        axis: usize,
+    },
     /// No link connects the two nodes in the topology graph.
     NoSuchLink(NodeId, NodeId),
     /// Source and destination of a path query are disconnected.
@@ -39,13 +44,18 @@ impl fmt::Display for GraphError {
                 write!(f, "communication bandwidth {bw} is not a finite non-negative value")
             }
             GraphError::InvalidCapacity(cap) => {
-                write!(f, "link capacity {cap} is not a finite non-negative value")
+                write!(f, "link capacity {cap} is not a finite positive value")
             }
             GraphError::SelfLoop(id) => write!(f, "self-loop on core {id} is not allowed"),
             GraphError::DuplicateEdge(s, d) => {
                 write!(f, "duplicate communication edge ({s}, {d})")
             }
-            GraphError::EmptyTopology => write!(f, "topology dimensions must be non-zero"),
+            GraphError::EmptyTopology => {
+                write!(f, "topology must have at least one node (and a grid at least one axis)")
+            }
+            GraphError::ZeroExtent { axis } => {
+                write!(f, "grid axis {axis} has zero extent")
+            }
             GraphError::NoSuchLink(s, d) => write!(f, "no link between {s} and {d}"),
             GraphError::Disconnected(s, d) => {
                 write!(f, "no path between {s} and {d} in the topology")

@@ -12,12 +12,14 @@
 //!   are link capacities ([`Topology`]).
 //!
 //! On top of the data model it implements the graph machinery the mapping
-//! algorithms need: mesh/torus constructors, hop-distance metrics, the
-//! *quadrant graph* of a commodity (the DAG of minimal-path links used by
-//! both the single-path router and the jitter-constrained split router),
-//! Dijkstra shortest paths with caller-supplied link weights, and a seeded
-//! random core-graph generator standing in for the LEDA graphs of the
-//! paper's Table 2.
+//! algorithms need: dimension-generic grid constructors ([`Grid`]: 2-D
+//! and 3-D meshes/tori are the `dims = [w, h]` / `[w, h, d]` special
+//! cases), hop-distance metrics, the *quadrant graph* of a commodity (the
+//! DAG of minimal-path links — an orthant DAG on higher-rank grids — used
+//! by both the single-path router and the jitter-constrained split
+//! router), Dijkstra shortest paths with caller-supplied link weights, and
+//! a seeded random core-graph generator standing in for the LEDA graphs of
+//! the paper's Table 2.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ mod algo;
 mod core_graph;
 mod dot;
 mod error;
+mod grid;
 mod ids;
 pub mod parse;
 mod quadrant;
@@ -51,6 +54,7 @@ pub use algo::{bfs_hops, dijkstra, DijkstraOutcome, PathCost};
 pub use core_graph::{CoreEdge, CoreGraph};
 pub use dot::{core_graph_dot, mapping_dot, topology_dot};
 pub use error::GraphError;
+pub use grid::{dims_label, Axis, Grid};
 pub use ids::{CoreId, EdgeId, LinkId, NodeId};
 pub use parse::{parse_core_graph, parse_topology, write_core_graph, ParseError};
 pub use quadrant::{quadrant_links, QuadrantDag};

@@ -19,13 +19,17 @@
 //! # Topology format (`.noc`)
 //!
 //! ```text
-//! mesh 4 4 1000        # width height link-bandwidth-MB/s
+//! mesh 4 4 1000        # per-axis extents..., link-bandwidth-MB/s
 //! torus 3 3 500
+//! mesh 4 4 2 1000      # three or more extents declare a 3-D (N-D) grid
 //! custom 4             # node count, followed by `link` records
 //! link 0 1 250         # src dst capacity (directed)
 //! ```
 //!
-//! Exactly one of `mesh`/`torus`/`custom` must appear.
+//! Exactly one of `mesh`/`torus`/`custom` must appear. `mesh`/`torus`
+//! take two to four extents (the final number is always the uniform
+//! link bandwidth); the rank cap keeps a stray trailing number on a
+//! legacy 2-D line from silently declaring a huge higher-rank grid.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -163,6 +167,18 @@ pub fn write_core_graph(graph: &CoreGraph) -> String {
     out
 }
 
+/// Most grid axes a `mesh`/`torus` declaration may spell out. The `Grid`
+/// type itself is rank-agnostic; the cap is parser policy so malformed
+/// legacy 2-D lines fail loudly instead of becoming huge N-D grids.
+pub const MAX_GRID_RANK: usize = 4;
+
+/// Largest per-axis extent a declaration may spell out — far beyond any
+/// realistic NoC radix, but well below bandwidth-scale numbers, so a
+/// legacy `mesh W H BW <junk>` line (where the old parser ignored
+/// trailing tokens) errors on `BW` being read as an extent instead of
+/// silently building a grid with a bandwidth-sized axis.
+pub const MAX_GRID_EXTENT: usize = 512;
+
 /// Parses the topology format described in the [module docs](self).
 ///
 /// # Errors
@@ -172,8 +188,8 @@ pub fn write_core_graph(graph: &CoreGraph) -> String {
 pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
     #[derive(Debug)]
     enum Decl {
-        Mesh(usize, usize, f64),
-        Torus(usize, usize, f64),
+        Mesh(Vec<usize>, f64),
+        Torus(Vec<usize>, f64),
         Custom(usize),
     }
     let mut decl: Option<(usize, Decl)> = None;
@@ -195,23 +211,57 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
                         message: "topology already declared".into(),
                     });
                 }
-                let w = parse_num::<usize>(&mut parts, line_no, "width")?;
-                let h = parse_num::<usize>(&mut parts, line_no, "height")?;
-                let bw = parse_num::<f64>(&mut parts, line_no, "link bandwidth")?;
-                if w == 0 || h == 0 {
+                // At least two extents followed by the bandwidth: the last
+                // numeric token is always the bandwidth, everything before
+                // it a per-axis extent. Rank is capped so a stray trailing
+                // number on a legacy `mesh W H BW` line is a loud error,
+                // never a silently reinterpreted (and possibly enormous)
+                // higher-rank grid.
+                let numbers: Vec<&str> = parts.collect();
+                if numbers.len() < 3 || numbers.len() > MAX_GRID_RANK + 1 {
                     return Err(ParseError::Syntax {
                         line: line_no,
-                        message: "dimensions must be non-zero".into(),
+                        message: format!(
+                            "`{keyword}` takes 2 to {MAX_GRID_RANK} extents and a link bandwidth"
+                        ),
                     });
                 }
-                if !(bw.is_finite() && bw >= 0.0) {
+                let mut dims = Vec::with_capacity(numbers.len() - 1);
+                for text in &numbers[..numbers.len() - 1] {
+                    let extent: usize = text.parse().map_err(|_| ParseError::Syntax {
+                        line: line_no,
+                        message: format!("invalid extent `{text}`"),
+                    })?;
+                    if extent == 0 {
+                        return Err(ParseError::Syntax {
+                            line: line_no,
+                            message: "dimensions must be non-zero".into(),
+                        });
+                    }
+                    if extent > MAX_GRID_EXTENT {
+                        return Err(ParseError::Syntax {
+                            line: line_no,
+                            message: format!(
+                                "extent {extent} exceeds the maximum {MAX_GRID_EXTENT} \
+(is it a stray bandwidth?)"
+                            ),
+                        });
+                    }
+                    dims.push(extent);
+                }
+                let bw_text = numbers[numbers.len() - 1];
+                let bw: f64 = bw_text.parse().map_err(|_| ParseError::Syntax {
+                    line: line_no,
+                    message: format!("invalid link bandwidth `{bw_text}`"),
+                })?;
+                if !(bw.is_finite() && bw > 0.0) {
                     return Err(ParseError::Syntax {
                         line: line_no,
                         message: format!("invalid link bandwidth {bw}"),
                     });
                 }
                 let d =
-                    if keyword == "mesh" { Decl::Mesh(w, h, bw) } else { Decl::Torus(w, h, bw) };
+                    if keyword == "mesh" { Decl::Mesh(dims, bw) } else { Decl::Torus(dims, bw) };
                 decl = Some((line_no, d));
             }
             "custom" => {
@@ -243,13 +293,15 @@ pub fn parse_topology(text: &str) -> Result<Topology, ParseError> {
         return Err(ParseError::Empty);
     };
     match decl {
-        Decl::Mesh(w, h, bw) => {
+        Decl::Mesh(dims, bw) => {
             reject_links(&links, "mesh")?;
-            Ok(Topology::mesh(w, h, bw))
+            Topology::mesh_nd(&dims, bw)
+                .map_err(|source| ParseError::Graph { line: decl_line, source })
         }
-        Decl::Torus(w, h, bw) => {
+        Decl::Torus(dims, bw) => {
             reject_links(&links, "torus")?;
-            Ok(Topology::torus(w, h, bw))
+            Topology::torus_nd(&dims, bw)
+                .map_err(|source| ParseError::Graph { line: decl_line, source })
         }
         Decl::Custom(n) => {
             Topology::custom(n, links.iter().map(|&(_, s, d, c)| (s, d, c))).map_err(|source| {
@@ -364,7 +416,7 @@ mod tests {
     fn parses_mesh_topology() {
         let t = parse_topology("mesh 4 3 1000\n").unwrap();
         assert_eq!(t.node_count(), 12);
-        assert_eq!(t.kind(), crate::TopologyKind::Mesh { width: 4, height: 3 });
+        assert_eq!(t.kind(), &crate::TopologyKind::Grid(crate::Grid::mesh(&[4, 3]).unwrap()));
         let (_, link) = t.links().next().unwrap();
         assert_eq!(link.capacity, 1000.0);
     }
@@ -372,7 +424,48 @@ mod tests {
     #[test]
     fn parses_torus_topology() {
         let t = parse_topology("# fabric\ntorus 3 3 500\n").unwrap();
-        assert_eq!(t.kind(), crate::TopologyKind::Torus { width: 3, height: 3 });
+        assert_eq!(t.kind(), &crate::TopologyKind::Grid(crate::Grid::torus(&[3, 3]).unwrap()));
+    }
+
+    #[test]
+    fn parses_3d_grid_topologies() {
+        let t = parse_topology("mesh 4 4 2 1000\n").unwrap();
+        assert_eq!(t.node_count(), 32);
+        assert_eq!(t.kind().describe(), "mesh 4x4x2");
+        let t = parse_topology("torus 3 3 3 500\n").unwrap();
+        assert_eq!(t.node_count(), 27);
+        assert_eq!(t.kind().describe(), "torus 3x3x3");
+    }
+
+    #[test]
+    fn grid_topology_validation_errors() {
+        // Too few numbers: extents + bandwidth are both mandatory.
+        assert!(parse_topology("mesh 4 1000\n").unwrap_err().to_string().contains("2 to 4"));
+        // A stray trailing number on a legacy 2-D line must fail loudly,
+        // not silently declare a rank-4 grid with bandwidth 500...
+        assert!(parse_topology("mesh 4 4 1000 500 2 2\n")
+            .unwrap_err()
+            .to_string()
+            .contains("2 to 4"));
+        // ...and a bandwidth read as an extent trips the extent cap
+        // instead of building a 16,000-node `mesh 4x4x1000` at 500 MB/s.
+        assert!(parse_topology("mesh 4 4 1000 500\n")
+            .unwrap_err()
+            .to_string()
+            .contains("stray bandwidth"));
+        // Zero extents and non-positive bandwidths are rejected.
+        assert!(parse_topology("mesh 0 4 100\n")
+            .unwrap_err()
+            .to_string()
+            .contains("dimensions must be non-zero"));
+        assert!(parse_topology("mesh 4 4 0\n")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid link bandwidth"));
+        assert!(parse_topology("mesh 4 4 -2\n")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid link bandwidth"));
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! requires — and restricting the split-traffic MCF to these links yields
 //! the equal-hop-delay (low-jitter) NMAPTM variant of Equation 10.
 //!
-//! The definition via distances generalizes beyond meshes: on a torus the
-//! quadrant follows the shorter wrap direction, and on custom topologies it
+//! The definition via distances generalizes beyond 2-D meshes: on a torus
+//! the quadrant follows the shorter wrap direction, on an N-dimensional
+//! grid the "quadrant" is really the **orthant** spanned by the per-axis
+//! productive directions (the same DAG-of-productive-links construction,
+//! with distances summed axis by axis), and on custom topologies it
 //! degenerates to the union of all BFS-minimal paths.
 
 use crate::{bfs_hops, LinkId, NodeId, Topology, TopologyKind};
@@ -74,7 +77,7 @@ impl QuadrantDag {
 /// custom topology.
 pub fn quadrant_links(topology: &Topology, source: NodeId, dest: NodeId) -> Vec<LinkId> {
     let (dist_to_dest, dist_from_source): (Vec<usize>, Vec<usize>) = match topology.kind() {
-        TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } => (
+        TopologyKind::Grid(_) => (
             topology.nodes().map(|n| topology.hop_distance(n, dest)).collect(),
             topology.nodes().map(|n| topology.hop_distance(source, n)).collect(),
         ),
@@ -177,6 +180,43 @@ mod tests {
             assert!(found, "dead end inside quadrant at {node}");
         }
         dfs(&m, &q, s, t, 0, want);
+    }
+
+    /// On a 3-D grid the construction yields the orthant (axis-aligned
+    /// box) spanned by the endpoints, and every walk stays minimal.
+    #[test]
+    fn orthant_on_3d_mesh_is_bounding_box_and_minimal() {
+        let m = Topology::mesh_nd(&[4, 3, 2], 1.0).unwrap();
+        let s = m.node_at_coords(&[0, 2, 1]).unwrap();
+        let t = m.node_at_coords(&[2, 0, 0]).unwrap();
+        let q = QuadrantDag::new(&m, s, t);
+        assert!(!q.links().is_empty());
+        for &l in q.links() {
+            let link = m.link(l);
+            for node in [link.src, link.dst] {
+                let c = m.grid_coords(node);
+                assert!((0..=2).contains(&c[0]), "x {} outside orthant", c[0]);
+                assert!((0..=2).contains(&c[1]), "y {} outside orthant", c[1]);
+                assert!((0..=1).contains(&c[2]), "z {} outside orthant", c[2]);
+            }
+        }
+        // Every maximal walk from s terminates at t in exactly dist hops.
+        fn dfs(m: &Topology, q: &QuadrantDag, node: crate::NodeId, t: crate::NodeId, left: usize) {
+            if node == t {
+                assert_eq!(left, 0, "non-minimal orthant path");
+                return;
+            }
+            assert!(left > 0, "walk overshot the hop budget at {node}");
+            let mut found = false;
+            for (id, l) in m.out_links(node) {
+                if q.contains(id) {
+                    found = true;
+                    dfs(m, q, l.dst, t, left - 1);
+                }
+            }
+            assert!(found, "dead end inside orthant at {node}");
+        }
+        dfs(&m, &q, s, t, m.hop_distance(s, t));
     }
 
     #[test]

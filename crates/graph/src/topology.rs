@@ -3,35 +3,38 @@
 //! Vertices are network nodes (router + network-interface cross-points);
 //! a directed edge `(u_i, u_j)` with weight `bw_{i,j}` is a physical link
 //! with that much bandwidth capacity. The paper restricts itself to 2-D
-//! meshes and tori; this module supports both plus arbitrary custom
-//! topologies (the "future work" extension of Section 8).
+//! meshes and tori; this module supports dimension-generic grids (2-D and
+//! 3-D meshes/tori are the `dims = [w, h]` / `[w, h, d]` special cases of
+//! one [`Grid`] abstraction) plus arbitrary custom topologies (the
+//! "future work" extension of Section 8).
 
 use std::collections::HashMap;
 
-use crate::{GraphError, LinkId, NodeId, Result};
+use crate::{GraphError, Grid, LinkId, NodeId, Result};
 
 /// The family a [`Topology`] was constructed from.
 ///
-/// Mesh and torus carry their dimensions so hop distances and quadrant
-/// graphs can use closed forms; [`TopologyKind::Custom`] falls back to BFS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Grid topologies carry their [`Grid`] so hop distances, orthant DAGs
+/// and dimension-ordered routing can use per-axis closed forms;
+/// [`TopologyKind::Custom`] falls back to BFS.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
-    /// `width × height` 2-D mesh.
-    Mesh {
-        /// Number of columns.
-        width: usize,
-        /// Number of rows.
-        height: usize,
-    },
-    /// `width × height` 2-D torus (mesh plus wrap-around links).
-    Torus {
-        /// Number of columns.
-        width: usize,
-        /// Number of rows.
-        height: usize,
-    },
+    /// A dimension-generic grid (mesh, torus, or mixed-wrap).
+    Grid(Grid),
     /// Arbitrary directed graph built with [`Topology::custom`].
     Custom,
+}
+
+impl TopologyKind {
+    /// Human-readable description: `mesh 4x4`, `torus 4x4x2`, `custom`.
+    pub fn describe(&self) -> String {
+        match self {
+            TopologyKind::Grid(grid) => {
+                format!("{} {}", grid.kind_keyword(), grid.dims_label())
+            }
+            TopologyKind::Custom => "custom".to_string(),
+        }
+    }
 }
 
 /// A directed physical link of the NoC.
@@ -57,6 +60,11 @@ pub struct Link {
 /// // A 4x4 mesh has 24 bidirectional channels = 48 directed links.
 /// assert_eq!(mesh.link_count(), 48);
 /// assert_eq!(mesh.hop_distance(NodeId::new(0), NodeId::new(15)), 6);
+///
+/// // 3-D grids fall out of the same machinery.
+/// let cube = Topology::mesh_nd(&[4, 4, 2], 1_000.0).unwrap();
+/// assert_eq!(cube.node_count(), 32);
+/// assert_eq!(cube.hop_distance(NodeId::new(0), NodeId::new(31)), 7);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
@@ -66,50 +74,32 @@ pub struct Topology {
     out_links: Vec<Vec<LinkId>>,
     in_links: Vec<Vec<LinkId>>,
     link_lookup: HashMap<(NodeId, NodeId), LinkId>,
-    /// Node coordinates; synthesized (i, 0) for custom topologies.
-    coords: Vec<(usize, usize)>,
+    /// Number of coordinates per node (the grid rank; 2 for custom).
+    rank: usize,
+    /// Flattened node coordinates, `rank` entries per node; synthesized
+    /// `(i, 0)` for custom topologies.
+    coords: Vec<usize>,
 }
 
 impl Topology {
     /// Builds a `width × height` mesh whose links all have capacity
     /// `link_capacity` MB/s. Nodes are numbered row-major: node `(x, y)` is
-    /// `y * width + x`.
+    /// `y * width + x`. The 2-D spelling of [`Topology::mesh_nd`].
     ///
     /// # Panics
     ///
     /// Panics if `width == 0 || height == 0` or if `link_capacity` is not a
-    /// finite non-negative number. Use [`Topology::custom`] for fallible
+    /// finite positive number. Use [`Topology::mesh_nd`] for fallible
     /// construction.
     pub fn mesh(width: usize, height: usize, link_capacity: f64) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
-        assert!(
-            link_capacity.is_finite() && link_capacity >= 0.0,
-            "link capacity must be finite and non-negative"
-        );
-        let mut t = Self::empty(TopologyKind::Mesh { width, height }, width * height);
-        for y in 0..height {
-            for x in 0..width {
-                t.coords[y * width + x] = (x, y);
-            }
-        }
-        for y in 0..height {
-            for x in 0..width {
-                let here = NodeId::new(y * width + x);
-                if x + 1 < width {
-                    let right = NodeId::new(y * width + x + 1);
-                    t.push_bidirectional(here, right, link_capacity);
-                }
-                if y + 1 < height {
-                    let down = NodeId::new((y + 1) * width + x);
-                    t.push_bidirectional(here, down, link_capacity);
-                }
-            }
-        }
-        t
+        Self::mesh_nd(&[width, height], link_capacity)
+            .unwrap_or_else(|e| panic!("link capacity invalid: {e}"))
     }
 
     /// Builds a `width × height` torus (mesh plus wrap-around links), all
-    /// links with capacity `link_capacity` MB/s.
+    /// links with capacity `link_capacity` MB/s. The 2-D spelling of
+    /// [`Topology::torus_nd`].
     ///
     /// Dimensions of size 1 or 2 get no wrap link in that dimension (it
     /// would duplicate an existing channel).
@@ -118,23 +108,90 @@ impl Topology {
     ///
     /// Same conditions as [`Topology::mesh`].
     pub fn torus(width: usize, height: usize, link_capacity: f64) -> Self {
-        let mut t = Self::mesh(width, height, link_capacity);
-        t.kind = TopologyKind::Torus { width, height };
-        if width > 2 {
-            for y in 0..height {
-                let left = NodeId::new(y * width);
-                let right = NodeId::new(y * width + width - 1);
-                t.push_bidirectional(right, left, link_capacity);
+        assert!(width > 0 && height > 0, "torus dimensions must be non-zero");
+        Self::torus_nd(&[width, height], link_capacity)
+            .unwrap_or_else(|e| panic!("link capacity invalid: {e}"))
+    }
+
+    /// Builds an N-dimensional mesh with the given per-axis extents, all
+    /// links at `link_capacity` MB/s. Axis 0 varies fastest in the node
+    /// numbering (see [`Grid`]); `dims = [w, h]` reproduces
+    /// [`Topology::mesh`] exactly, link ids included.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyTopology`] / [`GraphError::ZeroExtent`] for
+    ///   empty or zero-extent dimension lists.
+    /// * [`GraphError::InvalidCapacity`] for non-finite or non-positive
+    ///   capacities.
+    pub fn mesh_nd(dims: &[usize], link_capacity: f64) -> Result<Self> {
+        Self::grid(Grid::mesh(dims)?, link_capacity)
+    }
+
+    /// Builds an N-dimensional torus (every axis wraps; wraps on axes of
+    /// extent ≤ 2 are skipped as in [`Topology::torus`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Topology::mesh_nd`].
+    pub fn torus_nd(dims: &[usize], link_capacity: f64) -> Result<Self> {
+        Self::grid(Grid::torus(dims)?, link_capacity)
+    }
+
+    /// Builds the topology of an arbitrary [`Grid`] (per-axis extents and
+    /// wrap flags), all links at `link_capacity` MB/s.
+    ///
+    /// Links are created in a fixed order: first the mesh channels, node
+    /// by node in index order (per node: axis 0 neighbour first), then the
+    /// wrap channels axis by axis. For 2-D grids this reproduces the
+    /// historical [`Topology::mesh`]/[`Topology::torus`] link ids exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidCapacity`] for non-finite or non-positive
+    /// capacities.
+    pub fn grid(grid: Grid, link_capacity: f64) -> Result<Self> {
+        if !(link_capacity.is_finite() && link_capacity > 0.0) {
+            return Err(GraphError::InvalidCapacity(link_capacity));
+        }
+        let node_count = grid.node_count();
+        let rank = grid.rank();
+        // Build with a placeholder kind so `grid` stays borrowable for the
+        // link loops; it moves into the kind at the end.
+        let mut t = Self::empty(TopologyKind::Custom, node_count, rank);
+        let mut scratch = Vec::with_capacity(rank);
+        for index in 0..node_count {
+            grid.coords_into(index, &mut scratch);
+            t.coords[index * rank..(index + 1) * rank].copy_from_slice(&scratch);
+        }
+        // Mesh channels: node-index order, axis 0 first within each node.
+        for index in 0..node_count {
+            grid.coords_into(index, &mut scratch);
+            for (axis, &coord) in scratch.iter().enumerate() {
+                if coord + 1 < grid.axis(axis).extent {
+                    let here = NodeId::new(index);
+                    let next = NodeId::new(index + grid.stride(axis));
+                    t.push_bidirectional(here, next, link_capacity);
+                }
             }
         }
-        if height > 2 {
-            for x in 0..width {
-                let top = NodeId::new(x);
-                let bottom = NodeId::new((height - 1) * width + x);
-                t.push_bidirectional(bottom, top, link_capacity);
+        // Wrap channels: axis by axis, last-coordinate nodes in index order.
+        for axis in 0..rank {
+            let ax = grid.axis(axis);
+            if !ax.wraps() {
+                continue;
+            }
+            let span = (ax.extent - 1) * grid.stride(axis);
+            for index in 0..node_count {
+                if t.coords[index * rank + axis] == ax.extent - 1 {
+                    let here = NodeId::new(index);
+                    let first = NodeId::new(index - span);
+                    t.push_bidirectional(here, first, link_capacity);
+                }
             }
         }
-        t
+        t.kind = TopologyKind::Grid(grid);
+        Ok(t)
     }
 
     /// Builds an arbitrary topology from `node_count` nodes and directed
@@ -144,7 +201,8 @@ impl Topology {
     ///
     /// * [`GraphError::EmptyTopology`] if `node_count == 0`.
     /// * [`GraphError::UnknownNode`] for out-of-range endpoints.
-    /// * [`GraphError::InvalidCapacity`] for negative/non-finite capacities.
+    /// * [`GraphError::InvalidCapacity`] for non-finite or non-positive
+    ///   capacities.
     pub fn custom(
         node_count: usize,
         links: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
@@ -152,9 +210,9 @@ impl Topology {
         if node_count == 0 {
             return Err(GraphError::EmptyTopology);
         }
-        let mut t = Self::empty(TopologyKind::Custom, node_count);
+        let mut t = Self::empty(TopologyKind::Custom, node_count, 2);
         for i in 0..node_count {
-            t.coords[i] = (i, 0);
+            t.coords[i * 2] = i;
         }
         for (src, dst, cap) in links {
             if src.index() >= node_count {
@@ -163,7 +221,7 @@ impl Topology {
             if dst.index() >= node_count {
                 return Err(GraphError::UnknownNode(dst));
             }
-            if !cap.is_finite() || cap < 0.0 {
+            if !cap.is_finite() || cap <= 0.0 {
                 return Err(GraphError::InvalidCapacity(cap));
             }
             t.push_link(src, dst, cap);
@@ -171,7 +229,7 @@ impl Topology {
         Ok(t)
     }
 
-    fn empty(kind: TopologyKind, node_count: usize) -> Self {
+    fn empty(kind: TopologyKind, node_count: usize, rank: usize) -> Self {
         Self {
             kind,
             node_count,
@@ -179,7 +237,8 @@ impl Topology {
             out_links: vec![Vec::new(); node_count],
             in_links: vec![Vec::new(); node_count],
             link_lookup: HashMap::new(),
-            coords: vec![(0, 0); node_count],
+            rank,
+            coords: vec![0; node_count * rank],
         }
     }
 
@@ -197,9 +256,17 @@ impl Topology {
         self.push_link(b, a, capacity);
     }
 
-    /// The topology family (mesh/torus dimensions or custom).
-    pub fn kind(&self) -> TopologyKind {
-        self.kind
+    /// The topology family (grid or custom).
+    pub fn kind(&self) -> &TopologyKind {
+        &self.kind
+    }
+
+    /// The grid structure of a grid topology, `None` for custom ones.
+    pub fn grid_structure(&self) -> Option<&Grid> {
+        match &self.kind {
+            TopologyKind::Grid(g) => Some(g),
+            TopologyKind::Custom => None,
+        }
     }
 
     /// Number of nodes `|U|`.
@@ -251,27 +318,51 @@ impl Topology {
         self.out_links[node.index()].len()
     }
 
-    /// The mesh coordinates `(x, y)` of `node` (synthetic `(index, 0)` for
-    /// custom topologies).
+    /// The first two grid coordinates `(x, y)` of `node` — the historical
+    /// 2-D accessor (`y` is 0 on rank-1 grids; synthetic `(index, 0)` for
+    /// custom topologies). Use [`Topology::grid_coords`] for the full
+    /// coordinate vector of higher-rank grids.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
-        self.coords[node.index()]
+        let c = self.grid_coords(node);
+        (c[0], c.get(1).copied().unwrap_or(0))
     }
 
-    /// The node at mesh coordinates `(x, y)`.
+    /// All grid coordinates of `node`, one entry per axis (synthetic
+    /// `[index, 0]` for custom topologies).
     ///
-    /// Returns `None` if out of range or if the topology is custom.
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn grid_coords(&self, node: NodeId) -> &[usize] {
+        &self.coords[node.index() * self.rank..(node.index() + 1) * self.rank]
+    }
+
+    /// The node at 2-D grid coordinates `(x, y)`.
+    ///
+    /// Returns `None` if out of range, if the topology is custom, or if
+    /// the grid's rank is not 2 (use [`Topology::node_at_coords`] then).
     pub fn node_at(&self, x: usize, y: usize) -> Option<NodeId> {
-        match self.kind {
-            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
-                (x < width && y < height).then(|| NodeId::new(y * width + x))
-            }
+        match &self.kind {
+            TopologyKind::Grid(grid) if grid.rank() == 2 => grid.index_of(&[x, y]).map(NodeId::new),
+            _ => None,
+        }
+    }
+
+    /// The node at the given grid coordinates (one entry per axis).
+    ///
+    /// Returns `None` if the rank or a coordinate is out of range, or if
+    /// the topology is custom.
+    pub fn node_at_coords(&self, coords: &[usize]) -> Option<NodeId> {
+        match &self.kind {
+            TopologyKind::Grid(grid) => grid.index_of(coords).map(NodeId::new),
             TopologyKind::Custom => None,
         }
     }
 
     /// Minimum hop count `dist(a, b)` between two nodes (Equation 7's
-    /// distance). Closed-form Manhattan / torus distance for mesh and torus;
-    /// BFS for custom topologies.
+    /// distance). Closed-form per-axis wrap-aware distance for grids
+    /// (Manhattan on meshes, torus shortcuts where wraps exist); BFS for
+    /// custom topologies.
     ///
     /// # Panics
     ///
@@ -280,21 +371,15 @@ impl Topology {
     pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
         assert!(a.index() < self.node_count, "node {a} out of range");
         assert!(b.index() < self.node_count, "node {b} out of range");
-        match self.kind {
-            TopologyKind::Mesh { .. } => {
-                let (ax, ay) = self.coords(a);
-                let (bx, by) = self.coords(b);
-                ax.abs_diff(bx) + ay.abs_diff(by)
-            }
-            TopologyKind::Torus { width, height } => {
-                let (ax, ay) = self.coords(a);
-                let (bx, by) = self.coords(b);
-                let dx = ax.abs_diff(bx);
-                let dy = ay.abs_diff(by);
-                // Wrap links only exist for dimensions > 2.
-                let dx = if width > 2 { dx.min(width - dx) } else { dx };
-                let dy = if height > 2 { dy.min(height - dy) } else { dy };
-                dx + dy
+        match &self.kind {
+            TopologyKind::Grid(grid) => {
+                let ca = self.grid_coords(a);
+                let cb = self.grid_coords(b);
+                grid.axes()
+                    .iter()
+                    .zip(ca.iter().zip(cb))
+                    .map(|(axis, (&x, &y))| axis.distance(x, y))
+                    .sum()
             }
             TopologyKind::Custom => crate::algo::bfs_hops(self, a)[b.index()]
                 .unwrap_or_else(|| panic!("{}", GraphError::Disconnected(a, b))),
@@ -303,7 +388,7 @@ impl Topology {
 
     /// The node with the largest number of neighbours — `max_t` in
     /// `initialize()`. Ties break toward the node closest to the geometric
-    /// center of the mesh, then toward the lowest id, so results are
+    /// center of the grid, then toward the lowest id, so results are
     /// deterministic and centered (a central seed is what the paper's cost
     /// function rewards).
     pub fn max_degree_node(&self) -> NodeId {
@@ -313,26 +398,26 @@ impl Topology {
                 self.degree(b)
                     .cmp(&self.degree(a))
                     .then_with(|| {
-                        self.center_distance(a, center).cmp(&self.center_distance(b, center))
+                        self.center_distance(a, &center).cmp(&self.center_distance(b, &center))
                     })
                     .then(a.cmp(&b))
             })
             .expect("topology has at least one node")
     }
 
-    fn center_coords(&self) -> (f64, f64) {
-        match self.kind {
-            TopologyKind::Mesh { width, height } | TopologyKind::Torus { width, height } => {
-                ((width as f64 - 1.0) / 2.0, (height as f64 - 1.0) / 2.0)
+    fn center_coords(&self) -> Vec<f64> {
+        match &self.kind {
+            TopologyKind::Grid(grid) => {
+                grid.axes().iter().map(|a| (a.extent as f64 - 1.0) / 2.0).collect()
             }
-            TopologyKind::Custom => (0.0, 0.0),
+            TopologyKind::Custom => vec![0.0; self.rank],
         }
     }
 
-    fn center_distance(&self, node: NodeId, center: (f64, f64)) -> u64 {
-        let (x, y) = self.coords(node);
+    fn center_distance(&self, node: NodeId, center: &[f64]) -> u64 {
         // Scaled L1 distance to the center, kept integral for total ordering.
-        let d = (x as f64 - center.0).abs() + (y as f64 - center.1).abs();
+        let d: f64 =
+            self.grid_coords(node).iter().zip(center).map(|(&c, &m)| (c as f64 - m).abs()).sum();
         (d * 2.0).round() as u64
     }
 
@@ -365,6 +450,7 @@ impl Topology {
     /// Smallest square-ish mesh `(w, h)` with at least `cores` nodes,
     /// preferring squares then wider-by-one rectangles — the sizing rule the
     /// experiments use when the paper does not state mesh dimensions.
+    /// [`Grid::fit_dims`] generalizes this rule to any rank.
     pub fn fit_mesh_dims(cores: usize) -> (usize, usize) {
         assert!(cores > 0, "need at least one core");
         let mut w = 1usize;
@@ -383,6 +469,7 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Axis;
 
     #[test]
     fn mesh_counts() {
@@ -395,6 +482,60 @@ mod tests {
         assert_eq!(m.link_count(), 14);
         let m = Topology::mesh(1, 1, 100.0);
         assert_eq!(m.link_count(), 0);
+    }
+
+    #[test]
+    fn mesh_3d_counts() {
+        // 4x4x2: x-channels 3*4*2, y-channels 4*3*2, z-channels 4*4*1
+        // = 24 + 24 + 16 = 64 bidirectional = 128 directed links.
+        let m = Topology::mesh_nd(&[4, 4, 2], 100.0).unwrap();
+        assert_eq!(m.node_count(), 32);
+        assert_eq!(m.link_count(), 128);
+        // 4x4x4 torus: mesh 3*16*3*2 = 288 directed + wraps 16*3 channels
+        // * 2 = 96 directed => 384. Every node has degree 6.
+        let t = Topology::torus_nd(&[4, 4, 4], 100.0).unwrap();
+        assert_eq!(t.link_count(), 384);
+        for n in t.nodes() {
+            assert_eq!(t.degree(n), 6);
+        }
+    }
+
+    #[test]
+    fn grid_construction_keeps_historical_2d_link_order() {
+        // The pre-grid constructors pushed, per node in row-major order,
+        // the rightward channel then the downward one; torus wraps came
+        // after, all x-wraps (by row) then all y-wraps (by column). Link
+        // ids are load-bearing (routing tables, loads, sim layouts), so
+        // pin the exact sequence.
+        let endpoints = |t: &Topology| -> Vec<(usize, usize)> {
+            t.links().map(|(_, l)| (l.src.index(), l.dst.index())).collect()
+        };
+        let m = Topology::mesh(2, 2, 7.0);
+        assert_eq!(
+            endpoints(&m),
+            vec![(0, 1), (1, 0), (0, 2), (2, 0), (1, 3), (3, 1), (2, 3), (3, 2)]
+        );
+        let t = Topology::torus(3, 3, 7.0);
+        let wraps: Vec<(usize, usize)> = endpoints(&t)[24..].to_vec();
+        assert_eq!(
+            wraps,
+            vec![
+                // x-wraps, rows top to bottom (right end first)...
+                (2, 0),
+                (0, 2),
+                (5, 3),
+                (3, 5),
+                (8, 6),
+                (6, 8),
+                // ...then y-wraps, columns left to right (bottom end first).
+                (6, 0),
+                (0, 6),
+                (7, 1),
+                (1, 7),
+                (8, 2),
+                (2, 8)
+            ]
+        );
     }
 
     #[test]
@@ -415,6 +556,18 @@ mod tests {
         assert_eq!(m.hop_distance(a, b), 6);
         assert_eq!(m.hop_distance(b, a), 6);
         assert_eq!(m.hop_distance(a, a), 0);
+    }
+
+    #[test]
+    fn grid_3d_hop_distance_sums_axes() {
+        let m = Topology::mesh_nd(&[4, 4, 2], 1.0).unwrap();
+        let a = m.node_at_coords(&[0, 0, 0]).unwrap();
+        let b = m.node_at_coords(&[3, 3, 1]).unwrap();
+        assert_eq!(m.hop_distance(a, b), 7);
+        let t = Topology::torus_nd(&[4, 4, 4], 1.0).unwrap();
+        let a = t.node_at_coords(&[0, 0, 0]).unwrap();
+        let b = t.node_at_coords(&[3, 3, 3]).unwrap();
+        assert_eq!(t.hop_distance(a, b), 3, "every axis wraps");
     }
 
     #[test]
@@ -445,6 +598,9 @@ mod tests {
         // Four interior nodes tie on degree 4; closest-to-center tie-break
         // keeps one of (1,1),(2,1),(1,2),(2,2); lowest id wins among equals.
         assert_eq!(m.max_degree_node(), m.node_at(1, 1).unwrap());
+        // 3x3x3 mesh: the body center has degree 6 and wins outright.
+        let m = Topology::mesh_nd(&[3, 3, 3], 1.0).unwrap();
+        assert_eq!(m.max_degree_node(), m.node_at_coords(&[1, 1, 1]).unwrap());
     }
 
     #[test]
@@ -483,12 +639,45 @@ mod tests {
         assert_eq!(bad, Err(GraphError::UnknownNode(NodeId::new(5))));
         let bad = Topology::custom(2, [(NodeId::new(0), NodeId::new(1), -3.0)]);
         assert_eq!(bad, Err(GraphError::InvalidCapacity(-3.0)));
+        // Hardened: zero and non-finite capacities are rejected too.
+        let bad = Topology::custom(2, [(NodeId::new(0), NodeId::new(1), 0.0)]);
+        assert_eq!(bad, Err(GraphError::InvalidCapacity(0.0)));
+        let bad = Topology::custom(2, [(NodeId::new(0), NodeId::new(1), f64::NAN)]);
+        assert!(matches!(bad, Err(GraphError::InvalidCapacity(_))));
+    }
+
+    #[test]
+    fn grid_constructors_validate() {
+        assert_eq!(Topology::mesh_nd(&[], 1.0), Err(GraphError::EmptyTopology));
+        assert_eq!(Topology::mesh_nd(&[4, 0], 1.0), Err(GraphError::ZeroExtent { axis: 1 }));
+        assert_eq!(Topology::torus_nd(&[0], 1.0), Err(GraphError::ZeroExtent { axis: 0 }));
+        assert_eq!(Topology::mesh_nd(&[2, 2], 0.0), Err(GraphError::InvalidCapacity(0.0)));
+        assert_eq!(Topology::mesh_nd(&[2, 2], -1.0), Err(GraphError::InvalidCapacity(-1.0)));
+        assert!(matches!(
+            Topology::mesh_nd(&[2, 2], f64::INFINITY),
+            Err(GraphError::InvalidCapacity(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_wrap_grid_is_supported() {
+        // Wrap only along x: a cylinder.
+        let grid = Grid::new(vec![Axis { extent: 4, wrap: true }, Axis { extent: 3, wrap: false }])
+            .unwrap();
+        let t = Topology::grid(grid, 100.0).unwrap();
+        assert_eq!(t.kind().describe(), "grid 4x3");
+        let a = t.node_at(0, 0).unwrap();
+        let b = t.node_at(3, 0).unwrap();
+        assert_eq!(t.hop_distance(a, b), 1, "x wraps");
+        let c = t.node_at(0, 2).unwrap();
+        assert_eq!(t.hop_distance(a, c), 2, "y does not wrap");
     }
 
     #[test]
     fn meshes_are_strongly_connected() {
         assert!(Topology::mesh(5, 3, 1.0).is_strongly_connected());
         assert!(Topology::torus(3, 3, 1.0).is_strongly_connected());
+        assert!(Topology::mesh_nd(&[3, 2, 2], 1.0).unwrap().is_strongly_connected());
         let lonely = Topology::custom(2, []).unwrap();
         assert!(!lonely.is_strongly_connected());
     }
@@ -513,6 +702,20 @@ mod tests {
             assert_eq!(m.node_at(x, y), Some(n));
         }
         assert_eq!(m.node_at(5, 0), None);
+        // node_at is the rank-2 spelling; higher ranks use node_at_coords.
+        let cube = Topology::mesh_nd(&[2, 2, 2], 1.0).unwrap();
+        assert_eq!(cube.node_at(0, 0), None);
+        for n in cube.nodes() {
+            let c = cube.grid_coords(n).to_vec();
+            assert_eq!(cube.node_at_coords(&c), Some(n));
+        }
+    }
+
+    #[test]
+    fn kind_describe_names_family_and_dims() {
+        assert_eq!(Topology::mesh(4, 3, 1.0).kind().describe(), "mesh 4x3");
+        assert_eq!(Topology::torus_nd(&[4, 4, 2], 1.0).unwrap().kind().describe(), "torus 4x4x2");
+        assert_eq!(Topology::custom(1, []).unwrap().kind().describe(), "custom");
     }
 
     #[test]
