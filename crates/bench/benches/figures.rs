@@ -35,6 +35,7 @@ fn bench_figures(c: &mut Criterion) {
                 drain_cycles: 3_000,
                 ..SimConfig::default()
             },
+            ..Fig5cConfig::default()
         };
         b.iter(|| black_box(fig5c::run(&config)))
     });

@@ -201,7 +201,9 @@ fn simulate(
     let flows = flows_from_tables(problem, mapping, tables);
     let config = spec.sim_config(scenario_seed);
     let packet_bytes = config.packet_bytes;
-    let report = Simulator::new(problem.topology(), flows, config).run();
+    let mut sim = Simulator::new(problem.topology(), flows, config);
+    sim.set_loop_kind(spec.loop_kind);
+    let report = sim.run();
     sim_stats(&report, problem.topology().link_count(), packet_bytes)
 }
 

@@ -54,6 +54,7 @@ pub mod spec;
 pub use engine::{
     flows_from_tables, pool_map, run_scenario, run_scenarios, run_sweep, EngineOptions,
 };
+pub use noc_sim::LoopKind;
 pub use report::{RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};
 pub use scenario::{
     topology_label, AppSpec, MapperSpec, RoutingSpec, Scenario, ScenarioSet, ScenarioSetBuilder,

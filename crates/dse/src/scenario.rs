@@ -12,7 +12,7 @@ use noc_baselines::{GmapMapper, PbbMapper, PbbOptions, PmapMapper};
 use noc_graph::{
     dims_label, CoreGraph, Grid, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind,
 };
-use noc_sim::SimConfig;
+use noc_sim::{LoopKind, SimConfig};
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -222,6 +222,11 @@ pub struct SimulateSpec {
     /// Simulation seed component; the per-scenario traffic seed mixes this
     /// with the scenario seed (see [`SimulateSpec::sim_seed`]).
     pub seed: u64,
+    /// Which simulator main loop the engine runs. All loop kinds produce
+    /// bit-identical reports (pinned by the sim crate's identity suites);
+    /// selecting the cycle-stepped oracle here lets sweeps cross-check the
+    /// default event-queue loop end to end.
+    pub loop_kind: LoopKind,
 }
 
 impl Default for SimulateSpec {
@@ -237,6 +242,7 @@ impl Default for SimulateSpec {
             burst_packets: sim.burst_packets,
             burst_intensity: sim.burst_intensity,
             seed: 0,
+            loop_kind: LoopKind::default(),
         }
     }
 }

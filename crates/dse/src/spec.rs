@@ -23,6 +23,7 @@
 //!   drain 30000              # drain window after measurement
 //!   burst 8 3                # mean burst packets, peak-to-mean ratio
 //!   seed 0                   # traffic-seed component
+//!   loop event-queue         # event-queue|active-set|full-scan
 //! }
 //! ```
 //!
@@ -58,6 +59,7 @@ use nmap::{PathScope, SinglePathOptions};
 use noc_apps::App;
 use noc_baselines::PbbOptions;
 use noc_graph::RandomGraphConfig;
+use noc_sim::LoopKind;
 
 use crate::scenario::{MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec, TopologySpec};
 
@@ -184,6 +186,7 @@ impl fmt::Display for SweepSpec {
             writeln!(f, "  drain {}", sim.drain_cycles)?;
             writeln!(f, "  burst {} {}", sim.burst_packets, sim.burst_intensity)?;
             writeln!(f, "  seed {}", sim.seed)?;
+            writeln!(f, "  loop {}", loop_kind_keyword(sim.loop_kind))?;
             writeln!(f, "}}")?;
         }
         Ok(())
@@ -450,12 +453,26 @@ fn parse_simulate_field(
             block.burst_intensity = intensity;
         }
         "seed" => block.seed = parse_one(rest, line_no, "seed")?,
+        "loop" => {
+            let name = match rest {
+                [one] => *one,
+                _ => return Err(syntax(line_no, "`loop` takes exactly one value".into())),
+            };
+            block.loop_kind = parse_loop_kind(name).ok_or_else(|| {
+                syntax(
+                    line_no,
+                    format!(
+                        "unknown loop kind `{name}` (expected event-queue/active-set/full-scan)"
+                    ),
+                )
+            })?;
+        }
         other => {
             return Err(syntax(
                 line_no,
                 format!(
                     "unknown simulate field `{other}` (expected bandwidths/warmup/measure/\
-drain/burst/seed or `}}`)"
+drain/burst/seed/loop or `}}`)"
                 ),
             ));
         }
@@ -621,6 +638,24 @@ fn parse_parameterized_mapper(name: &str) -> Option<MapperSpec> {
     }
 }
 
+fn parse_loop_kind(name: &str) -> Option<LoopKind> {
+    Some(match name {
+        "event-queue" => LoopKind::EventQueue,
+        "active-set" => LoopKind::ActiveSet,
+        "full-scan" => LoopKind::FullScan,
+        _ => return None,
+    })
+}
+
+/// Spec keyword of a simulator loop kind (inverse of [`parse_loop_kind`]).
+fn loop_kind_keyword(kind: LoopKind) -> &'static str {
+    match kind {
+        LoopKind::EventQueue => "event-queue",
+        LoopKind::ActiveSet => "active-set",
+        LoopKind::FullScan => "full-scan",
+    }
+}
+
 fn parse_routing(name: &str) -> Option<RoutingSpec> {
     Some(match name {
         "min-path" => RoutingSpec::MinPath,
@@ -657,6 +692,7 @@ simulate {
   drain 2000
   burst 4 2.5
   seed 3
+  loop active-set
 }
 ";
 
@@ -693,6 +729,7 @@ simulate {
                 burst_packets: 4,
                 burst_intensity: 2.5,
                 seed: 3,
+                loop_kind: LoopKind::ActiveSet,
             })
         );
         // 4 app entries + 1 extra random instance = 5 app axis entries;
@@ -795,6 +832,8 @@ simulate {
             ("app pip\nsimulate {\nbandwidths\n}\n", 3),
             ("app pip\nsimulate {\nburst 0 2\n}\n", 3),
             ("app pip\nsimulate {\nburst 4 0.5\n}\n", 3),
+            ("app pip\nsimulate {\nloop warp-drive\n}\n", 3),
+            ("app pip\nsimulate {\nloop\n}\n", 3),
             ("app pip\nsimulate {\nfrobnicate 1\n}\n", 3),
             ("app pip\nsimulate {\n} trailing\n", 3),
             ("app pip\nsimulate {\n}\nsimulate {\n}\n", 4), // duplicate
@@ -805,6 +844,22 @@ simulate {
                 }
                 other => panic!("{bad:?} should fail with a syntax error, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn loop_kinds_parse_and_default_to_event_queue() {
+        let default = parse_spec("app pip\nsimulate {\n}\n").unwrap();
+        assert_eq!(default.simulate.unwrap().loop_kind, LoopKind::EventQueue);
+        for (name, kind) in [
+            ("event-queue", LoopKind::EventQueue),
+            ("active-set", LoopKind::ActiveSet),
+            ("full-scan", LoopKind::FullScan),
+        ] {
+            let spec = parse_spec(&format!("app pip\nsimulate {{\nloop {name}\n}}\n")).unwrap();
+            assert_eq!(spec.simulate.as_ref().unwrap().loop_kind, kind, "{name}");
+            // Every kind survives the canonical Display -> parse round trip.
+            assert_eq!(parse_spec(&spec.to_string()).unwrap(), spec);
         }
     }
 

@@ -5,8 +5,8 @@
 //! writers must produce the same bytes for `threads = 1, 2, 8`.
 
 use noc_dse::{
-    parse_spec, run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec, SweepReport,
-    TopologySpec,
+    parse_spec, run_scenarios, LoopKind, MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec,
+    SweepReport, TopologySpec,
 };
 use noc_graph::RandomGraphConfig;
 
@@ -51,6 +51,12 @@ fn sweep_output_is_byte_identical_across_thread_counts() {
 /// 2 apps × 2 mappers × 2 routings × 3 bandwidths = 24 sim-backed
 /// scenarios — enough for 8 workers to interleave the heavier records.
 fn sim_set() -> ScenarioSet {
+    sim_set_with(LoopKind::default())
+}
+
+/// [`sim_set`] with an explicit simulator loop kind (the loop choice is
+/// the only difference — same seeds, same windows, same bandwidths).
+fn sim_set_with(loop_kind: LoopKind) -> ScenarioSet {
     ScenarioSet::builder()
         .root_seed(99)
         .app(noc_apps::App::Pip)
@@ -64,6 +70,7 @@ fn sim_set() -> ScenarioSet {
             warmup_cycles: 500,
             measure_cycles: 4_000,
             drain_cycles: 2_000,
+            loop_kind,
             ..Default::default()
         })
         .build()
@@ -94,6 +101,35 @@ fn sim_enabled_sweep_is_byte_identical_across_thread_counts() {
     // the sim seed is a pure function of the scenario.
     let again = SweepReport::new(run_scenarios(set.scenarios(), 1));
     assert_eq!(again.write_jsonl(false), jsonl);
+}
+
+/// The event-queue loop through the whole engine pipeline: sim-backed
+/// sweeps under the default event-queue loop stay byte-identical across
+/// thread counts, and every loop kind produces the *same bytes* as the
+/// cycle-stepped oracles — the sim crate's bit-identity guarantee
+/// surviving map → route → simulate → serialize end to end.
+#[test]
+fn sim_sweep_is_loop_kind_invariant_at_every_thread_count() {
+    let oracle = SweepReport::new(run_scenarios(sim_set_with(LoopKind::FullScan).scenarios(), 1));
+    let jsonl = oracle.write_jsonl(false);
+    let csv = oracle.write_csv(false);
+
+    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+        let set = sim_set_with(kind);
+        for threads in [1usize, 2, 8] {
+            let report = SweepReport::new(run_scenarios(set.scenarios(), threads));
+            assert_eq!(
+                report.write_jsonl(false),
+                jsonl,
+                "JSONL diverged from the full-scan oracle at {kind:?}, threads={threads}"
+            );
+            assert_eq!(
+                report.write_csv(false),
+                csv,
+                "CSV diverged from the full-scan oracle at {kind:?}, threads={threads}"
+            );
+        }
+    }
 }
 
 /// The acceptance bar for the stochastic search mappers: `sa` and `tabu`

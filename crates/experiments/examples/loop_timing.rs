@@ -1,0 +1,108 @@
+//! Interleaved wall-time comparison of the simulator main loops on the
+//! Figure 5(c) and `--mesh3d` workloads — the measurement behind the
+//! loop-kind rows in EXPERIMENTS.md.
+//!
+//! Criterion benches each loop kind in a separate serial block, so slow
+//! drift in machine load lands on one kind and not the other; this
+//! harness instead alternates kinds round-robin within a single process
+//! and reports per-kind minima, which drift cannot bias. Usage:
+//!
+//! ```text
+//! cargo run --release -p noc-experiments --example loop_timing [rounds]
+//! ```
+
+use std::time::Instant;
+
+use noc_dse::{run_scenarios, RunRecord};
+use noc_experiments::fig5c::{design_dsp, flows_from_tables};
+use noc_experiments::mesh3d::mesh3d_spec;
+use noc_graph::Topology;
+use noc_sim::{LoopKind, SimConfig, SimReport, Simulator};
+
+const KINDS: [(&str, LoopKind); 3] = [
+    ("full-scan", LoopKind::FullScan),
+    ("active-set", LoopKind::ActiveSet),
+    ("event-queue", LoopKind::EventQueue),
+];
+
+fn main() {
+    let rounds: usize =
+        std::env::args().nth(1).map(|a| a.parse().expect("rounds: integer")).unwrap_or(10);
+    let design = design_dsp();
+    // The full Figure 5(c) windows (not the criterion bench's reduced
+    // ones): the drain tail is where idle-time skipping pays.
+    let config = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 100_000,
+        drain_cycles: 40_000,
+        ..SimConfig::default()
+    };
+
+    // The sweep's near-saturation left edge and low-load right edge.
+    for bandwidth in [1_100.0, 1_800.0] {
+        let topology = Topology::mesh(3, 2, bandwidth);
+        let mut nanos: [Vec<u64>; KINDS.len()] = Default::default();
+        let mut reports: Vec<Option<SimReport>> = vec![None; KINDS.len()];
+        for _ in 0..rounds {
+            for (i, &(_, kind)) in KINDS.iter().enumerate() {
+                let flows =
+                    flows_from_tables(&design.problem, &design.mapping, &design.split_tables);
+                let mut sim = Simulator::new(&topology, flows, config.clone());
+                sim.set_loop_kind(kind);
+                let start = Instant::now();
+                let report = sim.run();
+                nanos[i].push(start.elapsed().as_nanos() as u64);
+                match &reports[i] {
+                    None => reports[i] = Some(report),
+                    Some(prev) => assert_eq!(prev, &report, "{kind:?} not deterministic"),
+                }
+            }
+        }
+        assert_eq!(reports[0], reports[1], "active-set diverged from full-scan");
+        assert_eq!(reports[0], reports[2], "event-queue diverged from full-scan");
+
+        report(&format!("split workload @ {bandwidth} MB/s links"), rounds, &mut nanos);
+    }
+
+    // The full 2-D vs 3-D study (`nmap_dse --mesh3d`): six applications
+    // on fitted 2-D meshes and a 4x4x2 grid, full simulation windows.
+    // Single-threaded so the numbers time the simulator, not the pool.
+    let mut nanos: [Vec<u64>; KINDS.len()] = Default::default();
+    let mut records: Vec<Option<Vec<RunRecord>>> = vec![None; KINDS.len()];
+    for _ in 0..rounds {
+        for (i, &(_, kind)) in KINDS.iter().enumerate() {
+            let mut spec = mesh3d_spec(false);
+            spec.simulate.as_mut().expect("mesh3d simulates").loop_kind = kind;
+            let set = spec.scenarios();
+            let start = Instant::now();
+            let mut recs = run_scenarios(set.scenarios(), 1);
+            nanos[i].push(start.elapsed().as_nanos() as u64);
+            // Records embed wall-clock stage times; zero them so the
+            // determinism and cross-kind comparisons see results only.
+            for r in &mut recs {
+                r.times = Default::default();
+            }
+            match &records[i] {
+                None => records[i] = Some(recs),
+                Some(prev) => assert_eq!(prev, &recs, "{kind:?} not deterministic"),
+            }
+        }
+    }
+    assert_eq!(records[0], records[1], "active-set diverged from full-scan");
+    assert_eq!(records[0], records[2], "event-queue diverged from full-scan");
+    report("mesh3d study (12 scenarios, engine single-threaded)", rounds, &mut nanos);
+}
+
+fn report(label: &str, rounds: usize, nanos: &mut [Vec<u64>; KINDS.len()]) {
+    println!("{label} ({rounds} interleaved rounds):");
+    for (i, &(name, _)) in KINDS.iter().enumerate() {
+        nanos[i].sort_unstable();
+        let min = nanos[i][0];
+        let median = nanos[i][nanos[i].len() / 2];
+        println!("  {name:<12} min {:>7.3} ms   median {:>7.3} ms", ms(min), ms(median));
+    }
+}
+
+fn ms(nanos: u64) -> f64 {
+    nanos as f64 / 1e6
+}

@@ -9,7 +9,9 @@
 //! nmap_dse --mesh3d [--smoke]       2-D vs 3-D mapping cost/latency on the
 //!                                   bundled apps (--smoke: reduced cycles)
 //! nmap_dse --spec <file>            run a .dse sweep specification
-//! options:  --threads N             worker threads (default: all cores)
+//! options:  --loop <kind>           simulator loop for --fig5c/--mesh3d:
+//!                                   event-queue (default) | active-set | full-scan
+//!           --threads N             worker threads (default: all cores)
 //!           --jsonl <path>          write records as JSON lines
 //!           --csv <path>            write records as CSV
 //!           --timing                include per-stage wall times in output
@@ -25,19 +27,19 @@
 
 use std::process::ExitCode;
 
-use noc_dse::{parse_spec, run_sweep, EngineOptions, SweepReport};
+use noc_dse::{parse_spec, run_sweep, EngineOptions, LoopKind, SweepReport};
 use noc_experiments::dse_bridge::{
     fig5c_smoke_config, fig5c_via_engine, table2_rows_from_records, table2_scenario_set,
     torus_vs_mesh_rows_from_records, torus_vs_mesh_set,
 };
 use noc_experiments::fig5c::Fig5cConfig;
-use noc_experiments::mesh3d::{mesh3d_rows_from_records, mesh3d_set};
+use noc_experiments::mesh3d::{mesh3d_rows_from_records, mesh3d_spec};
 use noc_experiments::report::{fmt, TextTable};
 use noc_experiments::table2::Table2Config;
 
 const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --fig5c [--smoke] \
-| --mesh3d [--smoke] | --spec <file>) [--threads N] [--jsonl <path>] [--csv <path>] [--timing] \
-[--allow-failures]";
+| --mesh3d [--smoke] | --spec <file>) [--loop <kind>] [--threads N] [--jsonl <path>] \
+[--csv <path>] [--timing] [--allow-failures]";
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
@@ -54,6 +56,9 @@ struct Args {
     mode: Mode,
     /// `--fig5c --smoke` / `--mesh3d --smoke`: reduced cycle counts.
     reduced: bool,
+    /// `--loop`: simulator main loop for the simulation-backed studies
+    /// (`None` keeps each study's default, the event-queue loop).
+    loop_kind: Option<LoopKind>,
     spec_path: Option<String>,
     threads: usize,
     jsonl: Option<String>,
@@ -66,6 +71,7 @@ struct Args {
 fn parse_args() -> Result<Option<Args>, String> {
     let mut raw = std::env::args().skip(1);
     let mut modes = Vec::new();
+    let mut loop_kind = None;
     let mut spec_path = None;
     let mut threads = 0usize;
     let mut jsonl = None;
@@ -83,6 +89,19 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--spec" => {
                 modes.push(Mode::Spec);
                 spec_path = Some(raw.next().ok_or("--spec needs a file path")?);
+            }
+            "--loop" => {
+                let text = raw.next().ok_or("--loop needs a kind")?;
+                loop_kind = Some(match text.as_str() {
+                    "event-queue" => LoopKind::EventQueue,
+                    "active-set" => LoopKind::ActiveSet,
+                    "full-scan" => LoopKind::FullScan,
+                    other => {
+                        return Err(format!(
+                        "unknown loop kind `{other}` (expected event-queue/active-set/full-scan)"
+                    ))
+                    }
+                });
             }
             "--threads" => {
                 let text = raw.next().ok_or("--threads needs a count")?;
@@ -109,6 +128,10 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .into(),
             ),
         };
+    if loop_kind.is_some() && !matches!(mode, Mode::Fig5c | Mode::Mesh3d) {
+        // Only the simulation-backed studies run a wormhole loop to pick.
+        return Err("--loop is only valid with --fig5c/--mesh3d".into());
+    }
     if allow_failures && mode != Mode::Spec {
         // The built-in sweeps treat failed scenarios as bugs; only
         // user-authored specs can legitimately contain infeasible points.
@@ -118,7 +141,17 @@ fn parse_args() -> Result<Option<Args>, String> {
         // The fig5c sweep reports latency points, not scenario records.
         return Err("--jsonl/--csv/--timing are not supported with --fig5c".into());
     }
-    Ok(Some(Args { mode, reduced, spec_path, threads, jsonl, csv, timing, allow_failures }))
+    Ok(Some(Args {
+        mode,
+        reduced,
+        loop_kind,
+        spec_path,
+        threads,
+        jsonl,
+        csv,
+        timing,
+        allow_failures,
+    }))
 }
 
 fn main() -> ExitCode {
@@ -184,7 +217,11 @@ fn run(args: &Args) -> Result<(), String> {
                 println!("(reduced simulation windows)");
             }
             println!();
-            let report = sweep(&mesh3d_set(args.reduced), args)?;
+            let mut spec = mesh3d_spec(args.reduced);
+            if let Some(kind) = args.loop_kind {
+                spec.simulate.as_mut().expect("mesh3d spec simulates").loop_kind = kind;
+            }
+            let report = sweep(&spec.scenarios(), args)?;
             let rows = mesh3d_rows_from_records(&report.records);
             let mut table = TextTable::new([
                 "app", "cores", "cost 2D", "cost 3D", "2D/3D", "lat 2D", "lat 3D", "notes",
@@ -205,7 +242,11 @@ fn run(args: &Args) -> Result<(), String> {
             Ok(())
         }
         Mode::Fig5c => {
-            let config = if args.reduced { fig5c_smoke_config() } else { Fig5cConfig::default() };
+            let mut config =
+                if args.reduced { fig5c_smoke_config() } else { Fig5cConfig::default() };
+            if let Some(kind) = args.loop_kind {
+                config.loop_kind = kind;
+            }
             println!("Figure 5(c) via noc-dse — avg packet latency vs link bandwidth, DSP NoC");
             println!("(values identical to the sequential fig5c_latency harness)\n");
             let points = fig5c_via_engine(&config, args.threads);

@@ -106,7 +106,9 @@ pub fn fig5c_via_engine(config: &Fig5cConfig, threads: usize) -> Vec<Fig5cPoint>
         let tables = if i % 2 == 0 { &design.minpath_tables } else { &design.split_tables };
         let topology = Topology::mesh(3, 2, bw);
         let flows = flows_from_tables(&design.problem, &design.mapping, tables);
-        let report = Simulator::new(&topology, flows, config.sim.clone()).run();
+        let mut sim = Simulator::new(&topology, flows, config.sim.clone());
+        sim.set_loop_kind(config.loop_kind);
+        let report = sim.run();
         (report.avg_latency_cycles(), report.avg_network_latency_cycles(), report.saturated())
     });
     runs.chunks_exact(2)
@@ -138,6 +140,7 @@ pub fn fig5c_smoke_config() -> Fig5cConfig {
             drain_cycles: 8_000,
             ..Default::default()
         },
+        ..Fig5cConfig::default()
     }
 }
 

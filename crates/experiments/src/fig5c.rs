@@ -27,7 +27,7 @@ use nmap::{
 };
 use noc_apps::dsp_filter;
 use noc_graph::{NodeId, Topology};
-use noc_sim::{FlowSpec, SimConfig, Simulator};
+use noc_sim::{FlowSpec, LoopKind, SimConfig, Simulator};
 
 use crate::GENEROUS_CAPACITY;
 
@@ -60,6 +60,11 @@ pub struct Fig5cConfig {
     pub bandwidths_mbps: Vec<f64>,
     /// Simulator settings.
     pub sim: SimConfig,
+    /// Which simulator main loop runs the sweep. All kinds are
+    /// bit-identical (pinned by the sim crate's identity suites); the
+    /// choice only affects wall time, which is what the EXPERIMENTS.md
+    /// timing rows compare.
+    pub loop_kind: LoopKind,
 }
 
 impl Default for Fig5cConfig {
@@ -67,6 +72,7 @@ impl Default for Fig5cConfig {
         Self {
             bandwidths_mbps: (11..=18).map(|b| b as f64 * 100.0).collect(),
             sim: SimConfig::default(),
+            loop_kind: LoopKind::default(),
         }
     }
 }
@@ -206,6 +212,7 @@ pub fn run(config: &Fig5cConfig) -> Vec<Fig5cPoint> {
             let run_one = |tables: &RoutingTables| {
                 let flows = flows_from_tables(&design.problem, &design.mapping, tables);
                 let mut sim = Simulator::new(&topology, flows, config.sim.clone());
+                sim.set_loop_kind(config.loop_kind);
                 let report = sim.run();
                 (
                     report.avg_latency_cycles(),
@@ -297,6 +304,7 @@ mod tests {
                 drain_cycles: 10_000,
                 ..SimConfig::default()
             },
+            ..Fig5cConfig::default()
         };
         let points = run(&config);
         assert_eq!(points.len(), 1);

@@ -1,10 +1,13 @@
 //! The engine-backed Figure 5(c) sweep must reproduce the sequential
 //! harness exactly: same DSP design, same simulator seeds, same points —
 //! at any worker count. This is the simulation counterpart of the
-//! `dse_table2` mutual check.
+//! `dse_table2` mutual check. Since PR 6 the sweep also cross-checks the
+//! simulator loops: the event-queue default and the cycle-stepped oracle
+//! must produce identical Figure 5(c) points.
 
 use noc_experiments::dse_bridge::{fig5c_smoke_config, fig5c_via_engine};
-use noc_experiments::fig5c;
+use noc_experiments::fig5c::{self, Fig5cConfig};
+use noc_sim::LoopKind;
 
 #[test]
 fn engine_fig5c_matches_sequential_harness_at_1_and_4_threads() {
@@ -17,5 +20,19 @@ fn engine_fig5c_matches_sequential_harness_at_1_and_4_threads() {
     for threads in [1usize, 4] {
         let engine = fig5c_via_engine(&config, threads);
         assert_eq!(engine, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn fig5c_points_are_identical_under_every_loop_kind() {
+    // The figure the paper plots must not depend on which simulator main
+    // loop produced it: diff the whole sweep (sequential harness *and*
+    // engine pool) across the event-queue loop and both retained oracles.
+    let with_kind = |loop_kind| Fig5cConfig { loop_kind, ..fig5c_smoke_config() };
+    let oracle = fig5c::run(&with_kind(LoopKind::FullScan));
+    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+        let config = with_kind(kind);
+        assert_eq!(fig5c::run(&config), oracle, "sequential {kind:?} diverged");
+        assert_eq!(fig5c_via_engine(&config, 4), oracle, "engine {kind:?} diverged");
     }
 }

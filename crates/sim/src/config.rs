@@ -84,6 +84,21 @@ impl SimConfig {
         if !(self.burst_intensity >= 1.0 && self.burst_intensity.is_finite()) {
             return Err("burst intensity must be >= 1".into());
         }
+        // The loops compute `warmup + measure + drain` (and offsets a few
+        // pipeline delays past it); reject configs where that arithmetic
+        // would wrap rather than letting a release build run a "short"
+        // wrapped horizon. The headroom term covers the stall threshold
+        // and per-flit offsets added beyond the nominal end.
+        if self
+            .warmup_cycles
+            .checked_add(self.measure_cycles)
+            .and_then(|c| c.checked_add(self.drain_cycles))
+            .and_then(|c| c.checked_add(self.router_pipeline_cycles))
+            .and_then(|c| c.checked_add(1 << 16))
+            .is_none()
+        {
+            return Err("simulation horizon (warmup + measure + drain) overflows".into());
+        }
         Ok(())
     }
 
@@ -133,5 +148,41 @@ mod tests {
     #[should_panic(expected = "buffers must hold")]
     fn tiny_buffer_rejected() {
         SimConfig { buffer_flits: 1, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn overflowing_horizon_rejected() {
+        SimConfig { warmup_cycles: u64::MAX - 1, measure_cycles: 2, ..Default::default() }
+            .validate();
+    }
+
+    #[test]
+    fn check_reports_overflow_not_panic() {
+        let c = SimConfig {
+            drain_cycles: u64::MAX / 2,
+            warmup_cycles: u64::MAX / 2 + 10,
+            ..Default::default()
+        };
+        let err = c.check().unwrap_err();
+        assert!(err.contains("overflows"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn non_finite_burst_intensity_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, 0.5] {
+            let c = SimConfig { burst_intensity: bad, ..Default::default() };
+            assert!(c.check().is_err(), "intensity {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn zero_warmup_is_a_valid_window() {
+        // Zero-length warm-up is legitimate (measure from cycle 0); only
+        // the measurement window itself must be non-empty.
+        let c = SimConfig { warmup_cycles: 0, ..Default::default() };
+        assert!(c.check().is_ok());
+        let c = SimConfig { warmup_cycles: 0, measure_cycles: 0, ..Default::default() };
+        assert!(c.check().is_err());
     }
 }

@@ -1,0 +1,286 @@
+//! The tick queue behind [`LoopKind::EventQueue`](crate::LoopKind): a
+//! priority queue of per-component next-active cycles.
+//!
+//! The event-driven loop executes only the cycles at which some component
+//! (a traffic source, a router's ejection port, a link, or the deadlock
+//! watchdog) can change state; every executed cycle then runs the exact
+//! active-set scan of the cycle-stepped loop, so the two produce
+//! bit-identical reports (pinned by the `event_queue_identity` suite).
+//! The queue's job is purely to prove which cycles *cannot* matter and
+//! skip them.
+//!
+//! Scheduling is conservative: waking a component at a cycle where it
+//! turns out nothing moves is a harmless no-op (the scan is identical to
+//! what the cycle-stepped loop would have done), but *failing* to wake at
+//! a cycle where the oracle would move a flit breaks bit-identity. The
+//! simulator therefore schedules every time-triggered enabling it can see
+//! under frozen state — source fire cycles, flit-eligibility expiries,
+//! serialization-token threshold crossings, the watchdog deadline — and
+//! wakes every *state*-triggered enabling at the movement that causes it:
+//! a pop frees buffer space and wakes the link it back-pressured, exposes
+//! a new front and wakes that front's desired output, a tail release
+//! wakes the channel's remaining candidates, a packet entering an empty
+//! injection queue wakes its first link. Only a watchdog purge, which
+//! rewrites state wholesale, schedules a blanket next-cycle rescan.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One schedulable simulator component. The ordering only disambiguates
+/// heap entries at equal ticks; every executed cycle rescans all active
+/// components, so pop order within a cycle is immaterial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Component {
+    /// A traffic source's next injection cycle.
+    Source(usize),
+    /// A router's ejection port (flit-eligibility expiry at a node).
+    Node(usize),
+    /// A link (eligibility expiry upstream or a token-threshold crossing).
+    Link(usize),
+    /// The deadlock watchdog's next possible trigger.
+    Watchdog,
+}
+
+/// Two-level priority queue of `(cycle, component)` wake-ups with
+/// per-component dedup: at most one *earliest* pending tick is tracked
+/// per component, and requests at or after an already-pending tick are
+/// dropped — safe because executing the earlier tick rescans the
+/// component and re-derives any later wake-up still needed.
+///
+/// Almost every wake-up lands within a few cycles of the present (a pop
+/// chaining to the next buffered flit, a serialization-token crossing,
+/// a pipeline-delay expiry), so near ticks live in a 64-bit mask — one
+/// OR to schedule, one trailing-zeros to pop — and only far ticks
+/// (source inter-arrivals, the watchdog deadline, conservative replay
+/// bounds) pay for a binary-heap entry. The mask holds no component
+/// identity: an executed cycle rescans every active component anyway,
+/// and the per-component slots alone carry the dedup state.
+#[derive(Debug)]
+pub(crate) struct TickQueue {
+    /// Bit `k` set = some component wants tick `next_allowed + k`
+    /// (`k < 64`).
+    near: u64,
+    /// Wake-ups at `next_allowed + 64` or later.
+    heap: BinaryHeap<Reverse<(u64, Component)>>,
+    /// Earliest pending tick per node / link / source (`u64::MAX` = none).
+    node_at: Vec<u64>,
+    link_at: Vec<u64>,
+    source_at: Vec<u64>,
+    watchdog_at: u64,
+    /// First cycle not yet executed: ticks below this are stale, and
+    /// scheduling below it would mean waking a component in the past.
+    next_allowed: u64,
+}
+
+impl TickQueue {
+    pub fn new(nodes: usize, links: usize, sources: usize) -> Self {
+        Self {
+            near: 0,
+            heap: BinaryHeap::new(),
+            node_at: vec![u64::MAX; nodes],
+            link_at: vec![u64::MAX; links],
+            source_at: vec![u64::MAX; sources],
+            watchdog_at: u64::MAX,
+            next_allowed: 0,
+        }
+    }
+
+    fn slot_mut(&mut self, component: Component) -> &mut u64 {
+        match component {
+            Component::Source(i) => &mut self.source_at[i],
+            Component::Node(i) => &mut self.node_at[i],
+            Component::Link(i) => &mut self.link_at[i],
+            Component::Watchdog => &mut self.watchdog_at,
+        }
+    }
+
+    /// Whether a wake-up for `component` is still pending (scheduled and
+    /// not yet executed). While one is, re-deriving the component's
+    /// wake-up is redundant: state changes install earlier wake-ups at
+    /// their own mutation sites, and a fired wake-up clears the slot so
+    /// the still-blocked component re-derives from fresh state.
+    pub fn has_pending(&self, component: Component) -> bool {
+        let slot = match component {
+            Component::Source(i) => self.source_at[i],
+            Component::Node(i) => self.node_at[i],
+            Component::Link(i) => self.link_at[i],
+            Component::Watchdog => self.watchdog_at,
+        };
+        slot != u64::MAX && slot >= self.next_allowed
+    }
+
+    /// Requests a wake-up for `component` at `tick`. Dropped when an
+    /// earlier (or equal) wake-up for it is already pending.
+    pub fn schedule(&mut self, tick: u64, component: Component) {
+        debug_assert!(
+            tick >= self.next_allowed,
+            "{component:?} scheduled at {tick}, in the past of {}",
+            self.next_allowed
+        );
+        let next_allowed = self.next_allowed;
+        let slot = self.slot_mut(component);
+        // Drop only against a *genuinely pending* earlier-or-equal tick: a
+        // slot at or beyond a tick that has already executed is stale (its
+        // queue entry was superseded by the executed cycle, not by a
+        // wake-up still to come) and must not mask the new request.
+        if *slot >= next_allowed && *slot <= tick {
+            return;
+        }
+        *slot = tick;
+        let delta = tick - next_allowed;
+        if delta < 64 {
+            self.near |= 1 << delta;
+        } else {
+            self.heap.push(Reverse((tick, component)));
+        }
+    }
+
+    /// Pops the earliest pending tick before `horizon`, discarding stale
+    /// heap entries (superseded duplicates of already-executed cycles).
+    /// Returns `None` when nothing schedulable remains before the horizon.
+    pub fn pop_due(&mut self, horizon: u64) -> Option<u64> {
+        loop {
+            let near_tick =
+                (self.near != 0).then(|| self.next_allowed + u64::from(self.near.trailing_zeros()));
+            // A heap entry can be *earlier* than the mask's first bit: it
+            // was far-future when pushed and the present has caught up.
+            if let Some(&Reverse((h, _))) = self.heap.peek() {
+                if near_tick.is_none_or(|n| h < n) {
+                    let Some(Reverse((tick, component))) = self.heap.pop() else {
+                        unreachable!("peeked entry vanished")
+                    };
+                    let slot = self.slot_mut(component);
+                    if *slot == tick {
+                        *slot = u64::MAX;
+                    }
+                    if tick < self.next_allowed {
+                        continue; // stale: that cycle already executed
+                    }
+                    if tick >= horizon {
+                        return None; // everything else pending is later
+                    }
+                    self.advance_to(tick);
+                    return Some(tick);
+                }
+            }
+            let tick = near_tick?;
+            if tick >= horizon {
+                return None;
+            }
+            self.advance_to(tick);
+            return Some(tick);
+        }
+    }
+
+    /// Marks `tick` as the cycle being executed: shifts the near mask so
+    /// bit 0 lands on `tick + 1` and bumps `next_allowed`, making every
+    /// slot at or before `tick` stale.
+    fn advance_to(&mut self, tick: u64) {
+        let shift = tick + 1 - self.next_allowed;
+        self.near = if shift >= 64 { 0 } else { self.near >> shift };
+        self.next_allowed = tick + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_tick_order_and_dedups_per_component() {
+        let mut q = TickQueue::new(2, 2, 1);
+        q.schedule(7, Component::Node(0));
+        q.schedule(3, Component::Link(1));
+        q.schedule(5, Component::Node(0)); // earlier than 7: replaces it
+        q.schedule(9, Component::Node(0)); // later than 5: dropped
+        q.schedule(3, Component::Watchdog);
+        assert_eq!(q.pop_due(100), Some(3));
+        assert_eq!(q.pop_due(100), Some(5));
+        // The superseded tick-7 heap entry survives as a harmless no-op
+        // wake-up (an executed cycle where nothing moves).
+        assert_eq!(q.pop_due(100), Some(7));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn equal_ticks_coalesce_into_one_executed_cycle() {
+        let mut q = TickQueue::new(1, 1, 2);
+        q.schedule(4, Component::Source(0));
+        q.schedule(4, Component::Source(1));
+        q.schedule(4, Component::Watchdog);
+        assert_eq!(q.pop_due(100), Some(4));
+        // The remaining tick-4 entries are below `next_allowed` now.
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn stale_slot_does_not_mask_new_schedules() {
+        // Regression: two components pending at the same tick. Executing
+        // that tick pops only one entry, leaving the other component's
+        // slot pointing at the now-executed cycle; a follow-up schedule
+        // for it must not be deduped against that stale value.
+        let mut q = TickQueue::new(0, 1, 0);
+        q.schedule(8, Component::Link(0));
+        q.schedule(8, Component::Watchdog);
+        assert_eq!(q.pop_due(100), Some(8));
+        q.schedule(9, Component::Watchdog);
+        assert_eq!(q.pop_due(100), Some(9));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn far_heap_entries_interleave_with_the_near_mask() {
+        // Ticks beyond the 64-bit near window go to the heap; once the
+        // present catches up they must still pop in global tick order.
+        let mut q = TickQueue::new(1, 1, 0);
+        q.schedule(100, Component::Watchdog); // far: heap
+        q.schedule(3, Component::Node(0)); // near: mask
+        assert_eq!(q.pop_due(1000), Some(3));
+        q.schedule(70, Component::Link(0)); // near of tick 4: mask
+        assert_eq!(q.pop_due(1000), Some(70));
+        assert_eq!(q.pop_due(1000), Some(100));
+        assert_eq!(q.pop_due(1000), None);
+    }
+
+    #[test]
+    fn pending_wakeups_are_visible_until_executed() {
+        // `has_pending` drives the blocked-link gate in the simulator: a
+        // pending wake-up suppresses re-deriving the retry, and executing
+        // the wake-up's cycle (or any later one) makes it stale again.
+        let mut q = TickQueue::new(0, 1, 0);
+        assert!(!q.has_pending(Component::Link(0)));
+        q.schedule(5, Component::Link(0));
+        assert!(q.has_pending(Component::Link(0)));
+        assert_eq!(q.pop_due(100), Some(5));
+        assert!(!q.has_pending(Component::Link(0)));
+        // A next-cycle wake-up (the commonest kind) is pending too, and
+        // supersedes a later pending tick for the same component.
+        q.schedule(9, Component::Link(0));
+        q.schedule(6, Component::Link(0));
+        assert!(q.has_pending(Component::Link(0)));
+        assert_eq!(q.pop_due(100), Some(6));
+        assert!(!q.has_pending(Component::Link(0)));
+        // The superseded tick-9 mask bit still fires a harmless rescan.
+        assert_eq!(q.pop_due(100), Some(9));
+        assert_eq!(q.pop_due(100), None);
+    }
+
+    #[test]
+    fn horizon_cuts_off_the_tail() {
+        let mut q = TickQueue::new(1, 0, 0);
+        q.schedule(2, Component::Watchdog);
+        q.schedule(50, Component::Node(0));
+        assert_eq!(q.pop_due(10), Some(2));
+        assert_eq!(q.pop_due(10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = TickQueue::new(1, 0, 0);
+        q.schedule(5, Component::Node(0));
+        assert_eq!(q.pop_due(100), Some(5));
+        q.schedule(4, Component::Watchdog);
+    }
+}

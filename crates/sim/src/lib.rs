@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod event;
 mod network;
 mod packet;
 mod router;

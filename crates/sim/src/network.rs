@@ -1,4 +1,4 @@
-//! The cycle-driven network simulator.
+//! The network simulator: one flit-level model, three main loops.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -6,6 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use noc_graph::{LinkId, NodeId, Topology};
 
 use crate::config::SimConfig;
+use crate::event::{Component, TickQueue};
 use crate::packet::Packet;
 use crate::router::{Buffer, ChannelState, FlitRef, InputId};
 use crate::stats::LatencyStats;
@@ -15,20 +16,45 @@ use crate::traffic::{BurstSource, FlowSpec};
 /// which the oldest in-network packet is dropped to break a deadlock.
 const STALL_THRESHOLD: u64 = 5_000;
 
-/// Which cycle-loop implementation [`Simulator::run`] uses. Both produce
-/// bit-identical [`SimReport`]s (pinned by test); they differ only in how
-/// much per-cycle work they skip.
+/// Iteration bound of the frozen-state serialization-token replay that
+/// predicts a blocked link's wake-up cycle. Crossing the one-flit
+/// threshold takes `⌈flit_bytes / rate⌉` accrual cycles (~40 for the
+/// slowest realistic links); if a degenerate rate has not crossed within
+/// the bound, the link is conservatively woken at the bound to re-predict
+/// from advanced state — progress is guaranteed either way.
+const TOKEN_REPLAY_BOUND: u64 = 10_000;
+
+/// `link_token_ready` cache sentinel: no valid prediction, recompute.
+const TOKEN_READY_UNKNOWN: u64 = u64::MAX;
+
+/// `link_token_ready` cache sentinel: the balance can never cross the
+/// threshold ([`Simulator::token_ready_cycle`] returned `None`).
+const TOKEN_READY_NEVER: u64 = u64::MAX - 1;
+
+/// Which main-loop implementation [`Simulator::run`] uses. All variants
+/// produce bit-identical [`SimReport`]s (pinned by the loop-agreement
+/// unit tests and the `event_queue_identity` differential suite); they
+/// differ only in how much idle work they skip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LoopKind {
     /// Visit every router and link every cycle (the original loop) —
     /// kept as the reference implementation and benchmark baseline.
     FullScan,
-    /// Skip routers with no buffered flits and links whose upstream
-    /// router is empty, replaying the skipped cycles' serialization-token
-    /// accrual lazily when a link next becomes active. At realistic loads
-    /// most of the fabric idles most cycles, so this is the default.
-    #[default]
+    /// Cycle-stepped, but skip routers with no buffered flits and links
+    /// whose upstream router is empty, replaying the skipped cycles'
+    /// serialization-token accrual lazily when a link next becomes
+    /// active. Retained as the cycle-stepped oracle the event-queue loop
+    /// is differentially tested against.
     ActiveSet,
+    /// Event-driven: a tick queue (`crate::event`, private) of
+    /// per-component (source, router, link, watchdog) next-active
+    /// cycles skips idle
+    /// *time* rather than merely idle routers within a cycle. Executed
+    /// cycles run the exact [`LoopKind::ActiveSet`] scan, so reports stay
+    /// bit-identical while mostly-idle stretches — low-load sweeps, long
+    /// drain windows — collapse to their handful of active cycles.
+    #[default]
+    EventQueue,
 }
 
 /// Measurement report returned by [`Simulator::run`].
@@ -127,6 +153,13 @@ pub struct Simulator {
     /// Next cycle whose serialization-token accrual has *not* yet been
     /// applied to `link_tokens` (lazy replay for skipped idle links).
     link_token_due: Vec<u64>,
+    /// Memoized [`Self::token_ready_cycle`] per link: the absolute cycle
+    /// the balance next crosses the one-flit threshold, or a sentinel
+    /// ([`TOKEN_READY_UNKNOWN`], [`TOKEN_READY_NEVER`]). Accrual is
+    /// deterministic, so a prediction stays valid until a send perturbs
+    /// the balance; without the cache a token-blocked link would re-run
+    /// the fp-exact replay on every executed cycle of its wait.
+    link_token_ready: Vec<u64>,
     link_channel: Vec<ChannelState>,
     /// Flits currently buffered at each node's inputs (link buffers at the
     /// link's downstream node plus local injection queues) — the active-set
@@ -212,6 +245,7 @@ impl Simulator {
             link_buffers: (0..link_count).map(|_| Buffer::new(config.buffer_flits)).collect(),
             link_tokens: vec![0.0; link_count],
             link_token_due: vec![0; link_count],
+            link_token_ready: vec![TOKEN_READY_UNKNOWN; link_count],
             link_channel: vec![ChannelState::default(); link_count],
             node_flits: vec![0; node_count],
             inject_queues,
@@ -232,10 +266,11 @@ impl Simulator {
         }
     }
 
-    /// Selects the cycle-loop implementation (default
-    /// [`LoopKind::ActiveSet`]). Both loops produce bit-identical reports;
-    /// [`LoopKind::FullScan`] exists as the reference baseline and for the
-    /// `simulator` benchmark comparison.
+    /// Selects the main-loop implementation (default
+    /// [`LoopKind::EventQueue`]). All loops produce bit-identical reports;
+    /// [`LoopKind::FullScan`] exists as the reference baseline and
+    /// [`LoopKind::ActiveSet`] as the cycle-stepped oracle the identity
+    /// suites diff the event-queue loop against.
     pub fn set_loop_kind(&mut self, kind: LoopKind) {
         self.loop_kind = kind;
     }
@@ -245,8 +280,12 @@ impl Simulator {
         let total =
             self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let generation_end = self.config.warmup_cycles + self.config.measure_cycles;
-        while self.cycle < total {
-            self.step(self.cycle < generation_end);
+        if self.loop_kind == LoopKind::EventQueue {
+            self.run_event_queue(total, generation_end);
+        } else {
+            while self.cycle < total {
+                self.step(self.cycle < generation_end);
+            }
         }
         SimReport {
             cycles: self.cycle,
@@ -263,16 +302,63 @@ impl Simulator {
         }
     }
 
-    /// Advances the simulation by one cycle. `generate` gates the traffic
-    /// sources (off during the drain window).
+    /// Advances the cycle-stepped simulation by one cycle. `generate`
+    /// gates the traffic sources (off during the drain window).
     fn step(&mut self, generate: bool) {
         if generate {
-            self.generate_traffic();
+            self.generate_traffic(None);
         }
-        self.eject();
-        self.traverse_links();
+        self.eject(None);
+        self.traverse_links(None);
         self.watchdog();
         self.cycle += 1;
+    }
+
+    /// The event-driven main loop: executes only the cycles the tick
+    /// queue proves *could* matter, running the exact active-set scan at
+    /// each. Between executed cycles the state is frozen — no source is
+    /// due, no flit's pipeline delay expires into an enabled move, no
+    /// serialization-token threshold is crossed and the watchdog deadline
+    /// is not reached — so skipping them is observationally identical to
+    /// stepping through them. The scan passes collect the time-triggered
+    /// wake-ups; every *state* change that can enable a move elsewhere
+    /// (a pop freeing buffer space, a buffer gaining a new front, a tail
+    /// releasing its channel, a packet entering an empty injection queue)
+    /// schedules a targeted wake-up at its own mutation site. Only a
+    /// watchdog purge — which rewrites fronts, channels and occupancy all
+    /// over the network at once — falls back to rescanning the next cycle
+    /// wholesale.
+    fn run_event_queue(&mut self, total: u64, generation_end: u64) {
+        let mut queue =
+            TickQueue::new(self.node_count, self.link_buffers.len(), self.sources.len());
+        for i in 0..self.sources.len() {
+            if let Some(fire) = self.sources[i].next_fire_cycle() {
+                if fire < generation_end {
+                    queue.schedule(fire, Component::Source(i));
+                }
+            }
+        }
+        queue.schedule(self.last_progress + STALL_THRESHOLD, Component::Watchdog);
+        let mut next = queue.pop_due(total);
+        while let Some(tick) = next {
+            self.cycle = tick;
+            if tick < generation_end {
+                self.generate_traffic(Some(&mut queue));
+            }
+            self.eject(Some(&mut queue));
+            self.traverse_links(Some(&mut queue));
+            let purged = self.watchdog();
+            // The watchdog must fire at exactly `last_progress +
+            // STALL_THRESHOLD` like the per-cycle check would; it also
+            // bounds how far the loop can skip ahead, keeping every
+            // conservative wake-up within one stall window.
+            queue.schedule(self.last_progress + STALL_THRESHOLD, Component::Watchdog);
+            if purged {
+                queue.schedule(self.cycle + 1, Component::Watchdog);
+            }
+            next = queue.pop_due(total);
+        }
+        self.cycle = total;
     }
 
     fn in_measurement_window(&self) -> bool {
@@ -280,7 +366,12 @@ impl Simulator {
             && self.cycle < self.config.warmup_cycles + self.config.measure_cycles
     }
 
-    fn generate_traffic(&mut self) {
+    /// Polls every source for a packet due this cycle. With a tick queue
+    /// attached, each fired source's next injection cycle is scheduled
+    /// (non-due sources keep their already-pending wake-up and draw no
+    /// randomness, so the RNG stream matches the poll-every-cycle loops).
+    fn generate_traffic(&mut self, mut sched: Option<&mut TickQueue>) {
+        let generation_end = self.config.warmup_cycles + self.config.measure_cycles;
         for i in 0..self.sources.len() {
             let spec = &self.flows[i];
             if let Some(path_idx) = self.sources[i].poll(self.cycle, spec, &mut self.rng) {
@@ -304,6 +395,7 @@ impl Simulator {
                 let slot = self.alloc_packet(packet);
                 let flits = self.packets[slot].as_ref().expect("just placed").flits;
                 let queue = self.inject_queue_of[i][path_idx];
+                let was_empty = self.inject_queues[queue].is_empty();
                 for f in 0..flits {
                     self.inject_queues[queue].push(FlitRef {
                         packet: slot,
@@ -313,6 +405,18 @@ impl Simulator {
                     });
                 }
                 self.node_flits[source.index()] += flits as u32;
+                if let Some(q) = sched.as_deref_mut() {
+                    if was_empty {
+                        // The queue gained a front (the packet's head):
+                        // it is now a forwarding/ejection candidate.
+                        self.schedule_front_wake(q, source.index(), InputId::Inject(queue));
+                    }
+                    if let Some(fire) = self.sources[i].next_fire_cycle() {
+                        if fire < generation_end {
+                            q.schedule(fire, Component::Source(i));
+                        }
+                    }
+                }
             }
         }
     }
@@ -327,11 +431,21 @@ impl Simulator {
         }
     }
 
-    /// A flit may leave its buffer once its per-hop delay has elapsed:
-    /// head flits pay the router pipeline, body/tail flits stream.
+    /// Per-hop delay of a buffered flit: head flits pay the router
+    /// pipeline, body/tail flits stream.
+    fn flit_delay(&self, flit: &FlitRef) -> u64 {
+        if flit.flit == 0 {
+            self.config.router_pipeline_cycles
+        } else {
+            1
+        }
+    }
+
+    /// A flit may leave its buffer once its per-hop delay has elapsed.
+    /// `arrived + delay` is also the flit's *eligibility cycle* — the
+    /// event-queue loop's wake-up for moves blocked purely on this delay.
     fn eligible(&self, flit: &FlitRef) -> bool {
-        let delay = if flit.flit == 0 { self.config.router_pipeline_cycles } else { 1 };
-        flit.arrived + delay <= self.cycle
+        flit.arrived + self.flit_delay(flit) <= self.cycle
     }
 
     fn buffer(&self, input: InputId, _node: usize) -> &Buffer {
@@ -354,8 +468,16 @@ impl Simulator {
         packet.path.get(flit.hop as usize).copied()
     }
 
-    fn eject(&mut self) {
-        let skip_idle = self.loop_kind == LoopKind::ActiveSet;
+    /// Ejection pass. With a tick queue attached, every move blocked
+    /// *purely on time* — an ejectable front whose per-hop delay has not
+    /// elapsed — schedules the node at its eligibility cycle; moves
+    /// blocked on state (channel held by another packet, front mid-packet
+    /// elsewhere) need no wake-up of their own, since the enabling state
+    /// change is itself a movement and every movement wakes exactly what
+    /// it could have enabled ([`Self::wake_after_pop`], the tail-release
+    /// wake below).
+    fn eject(&mut self, mut sched: Option<&mut TickQueue>) {
+        let skip_idle = self.loop_kind != LoopKind::FullScan;
         for node in 0..self.node_count {
             // A node with no buffered flits has no fronts: neither the
             // allocation scan nor the owner branch below could act, so the
@@ -363,44 +485,70 @@ impl Simulator {
             if skip_idle && self.node_flits[node] == 0 {
                 continue;
             }
-            // Allocate the ejection channel if free.
-            if self.eject_channel[node].owner.is_none() {
-                let count = self.node_inputs[node].len();
-                let start = self.eject_channel[node].rr_next;
-                let mut winner = None;
-                for off in 0..count {
-                    let input = self.node_inputs[node][(start + off) % count];
-                    let Some(front) = self.buffer(input, node).front().copied() else {
-                        continue;
-                    };
-                    if front.flit == 0 && self.next_link(&front).is_none() && self.eligible(&front)
-                    {
-                        winner = Some((input, front.packet, off));
-                        break;
+            // Earliest future cycle a currently-blocked ejection at this
+            // node becomes eligible (`u64::MAX` = nothing time-blocked).
+            let mut retry = u64::MAX;
+            'node: {
+                // Allocate the ejection channel if free.
+                if self.eject_channel[node].owner.is_none() {
+                    let count = self.node_inputs[node].len();
+                    let start = self.eject_channel[node].rr_next;
+                    let mut winner = None;
+                    for off in 0..count {
+                        let input = self.node_inputs[node][(start + off) % count];
+                        let Some(front) = self.buffer(input, node).front().copied() else {
+                            continue;
+                        };
+                        if front.flit == 0 && self.next_link(&front).is_none() {
+                            if self.eligible(&front) {
+                                winner = Some((input, front.packet, off));
+                                break;
+                            }
+                            retry = retry.min(front.arrived + self.flit_delay(&front));
+                        }
+                    }
+                    if let Some((input, packet, off)) = winner {
+                        self.eject_channel[node].allocate(input, packet);
+                        self.eject_channel[node].rr_next = (start + off + 1) % count;
                     }
                 }
-                if let Some((input, packet, off)) = winner {
-                    self.eject_channel[node].allocate(input, packet);
-                    self.eject_channel[node].rr_next = (start + off + 1) % count;
+                // Move one flit through the allocated ejection channel.
+                let Some((input, packet)) = self.eject_channel[node].owner else {
+                    break 'node;
+                };
+                let Some(front) = self.buffer(input, node).front().copied() else {
+                    break 'node;
+                };
+                if front.packet != packet {
+                    break 'node;
+                }
+                if !self.eligible(&front) {
+                    retry = retry.min(front.arrived + self.flit_delay(&front));
+                    break 'node;
+                }
+                let was_full = !self.buffer(input, node).has_space();
+                let flit = self.buffer_mut(input, node).pop().expect("front exists");
+                self.node_flits[node] -= 1;
+                self.last_progress = self.cycle;
+                let total_flits = self.packets[packet].as_ref().expect("live").flits;
+                let is_tail = flit.flit as usize + 1 == total_flits;
+                if is_tail {
+                    self.eject_channel[node].release();
+                    self.complete_packet(packet);
+                }
+                if let Some(q) = sched.as_deref_mut() {
+                    self.wake_after_pop(q, node, input, was_full);
+                    if is_tail && self.node_flits[node] > 0 {
+                        // Ejection channel released: any other buffered
+                        // flit at this node may now be allocatable.
+                        q.schedule(self.cycle + 1, Component::Node(node));
+                    }
                 }
             }
-            // Move one flit through the allocated ejection channel.
-            let Some((input, packet)) = self.eject_channel[node].owner else {
-                continue;
-            };
-            let Some(front) = self.buffer(input, node).front().copied() else {
-                continue;
-            };
-            if front.packet != packet || !self.eligible(&front) {
-                continue;
-            }
-            let flit = self.buffer_mut(input, node).pop().expect("front exists");
-            self.node_flits[node] -= 1;
-            self.last_progress = self.cycle;
-            let total_flits = self.packets[packet].as_ref().expect("live").flits;
-            if flit.flit as usize + 1 == total_flits {
-                self.eject_channel[node].release();
-                self.complete_packet(packet);
+            if let Some(q) = sched.as_deref_mut() {
+                if retry != u64::MAX {
+                    q.schedule(retry, Component::Node(node));
+                }
             }
         }
     }
@@ -438,8 +586,15 @@ impl Simulator {
         }
     }
 
-    fn traverse_links(&mut self) {
-        let skip_idle = self.loop_kind == LoopKind::ActiveSet;
+    /// Link pass. With a tick queue attached, every forward blocked purely
+    /// on *time* — a candidate flit's per-hop delay or the link's
+    /// serialization-token threshold — schedules the link at the cycle the
+    /// blockage expires; forwards blocked on state (full downstream
+    /// buffer, channel held, front mid-packet elsewhere) are woken by the
+    /// enabling movement itself ([`Self::wake_after_pop`] and the
+    /// tail-release / new-downstream-front wakes in the forward below).
+    fn traverse_links(&mut self, mut sched: Option<&mut TickQueue>) {
+        let skip_idle = self.loop_kind != LoopKind::FullScan;
         let flit_bytes = self.config.flit_bytes as f64;
         for link in 0..self.link_buffers.len() {
             let upstream = self.link_src[link].index();
@@ -456,85 +611,288 @@ impl Simulator {
             // cycle would quantize to the same 3-cycle serialization);
             // two flits' worth bounds idle bursts to a single extra flit.
             self.sync_link_tokens(link);
-            if self.link_tokens[link] < flit_bytes {
-                continue;
-            }
-            if !self.link_buffers[link].has_space() {
-                continue;
-            }
+            let has_tokens = self.link_tokens[link] >= flit_bytes;
+            let has_space = self.link_buffers[link].has_space();
             let link_id = LinkId::new(link);
+            // Earliest future cycle a candidate flit's per-hop delay
+            // expires (`u64::MAX` = no candidate is time-blocked).
+            let mut elig_retry = u64::MAX;
+            'link: {
+                if !has_tokens || !has_space {
+                    // Token-starved with room downstream: find when the
+                    // current candidate (if any) could go, so the token
+                    // wake-up below can wait for *both* conditions. Only
+                    // worth deriving when no wake-up is already pending —
+                    // the pending one either fires into an enabled forward
+                    // or clears its slot for a fresh derivation here. A
+                    // full buffer, by contrast, frees only via a
+                    // downstream pop, and that pop wakes this link itself.
+                    if !has_tokens && has_space {
+                        if let Some(q) = sched.as_deref_mut() {
+                            if !q.has_pending(Component::Link(link)) {
+                                elig_retry = self.link_candidate_ready(link_id, upstream);
+                            }
+                        }
+                    }
+                    break 'link;
+                }
 
-            // Allocate the channel to a head flit if free.
-            if self.link_channel[link].owner.is_none() {
-                let count = self.node_inputs[upstream].len();
-                let start = self.link_channel[link].rr_next;
-                let mut winner = None;
-                for off in 0..count {
-                    let input = self.node_inputs[upstream][(start + off) % count];
-                    let Some(front) = self.buffer(input, upstream).front().copied() else {
-                        continue;
-                    };
-                    if front.flit == 0
-                        && self.next_link(&front) == Some(link_id)
-                        && self.eligible(&front)
-                    {
-                        winner = Some((input, front.packet, off));
-                        break;
+                // Allocate the channel to a head flit if free.
+                if self.link_channel[link].owner.is_none() {
+                    let count = self.node_inputs[upstream].len();
+                    let start = self.link_channel[link].rr_next;
+                    let mut winner = None;
+                    for off in 0..count {
+                        let input = self.node_inputs[upstream][(start + off) % count];
+                        let Some(front) = self.buffer(input, upstream).front().copied() else {
+                            continue;
+                        };
+                        if front.flit == 0 && self.next_link(&front) == Some(link_id) {
+                            if self.eligible(&front) {
+                                winner = Some((input, front.packet, off));
+                                break;
+                            }
+                            elig_retry = elig_retry.min(front.arrived + self.flit_delay(&front));
+                        }
+                    }
+                    if let Some((input, packet, off)) = winner {
+                        self.link_channel[link].allocate(input, packet);
+                        self.link_channel[link].rr_next = (start + off + 1) % count;
                     }
                 }
-                if let Some((input, packet, off)) = winner {
-                    self.link_channel[link].allocate(input, packet);
-                    self.link_channel[link].rr_next = (start + off + 1) % count;
+
+                // Forward one flit of the owning packet.
+                let Some((input, packet)) = self.link_channel[link].owner else {
+                    break 'link;
+                };
+                let Some(front) = self.buffer(input, upstream).front().copied() else {
+                    break 'link;
+                };
+                if front.packet != packet {
+                    break 'link;
+                }
+                if !self.eligible(&front) {
+                    elig_retry = elig_retry.min(front.arrived + self.flit_delay(&front));
+                    break 'link;
+                }
+                let was_full = !self.buffer(input, upstream).has_space();
+                let flit = self.buffer_mut(input, upstream).pop().expect("front exists");
+                self.node_flits[upstream] -= 1;
+                if matches!(input, InputId::Inject(_)) && flit.flit == 0 {
+                    let p = self.packets[flit.packet].as_mut().expect("live packet");
+                    p.injected_at = Some(self.cycle);
+                }
+                self.link_tokens[link] -= flit_bytes;
+                self.link_token_ready[link] = TOKEN_READY_UNKNOWN;
+                self.last_progress = self.cycle;
+                if self.in_measurement_window() {
+                    self.link_flits[link] += 1;
+                }
+                let total_flits = self.packets[packet].as_ref().expect("live").flits;
+                let is_tail = flit.flit as usize + 1 == total_flits;
+                if is_tail {
+                    self.link_channel[link].release();
+                }
+                let dst_was_empty = self.link_buffers[link].is_empty();
+                self.link_buffers[link].push(FlitRef {
+                    packet: flit.packet,
+                    flit: flit.flit,
+                    hop: flit.hop + 1,
+                    arrived: self.cycle,
+                });
+                self.node_flits[self.link_dst[link].index()] += 1;
+                if let Some(q) = sched.as_deref_mut() {
+                    if was_full {
+                        if let InputId::Link(f) = input {
+                            q.schedule(self.cycle + 1, Component::Link(f.index()));
+                        }
+                    }
+                    match self.buffer(input, upstream).front() {
+                        // Streaming continuation (the hot path): the new
+                        // front is the owning packet's next flit, bound
+                        // for this same link — whose tokens are already
+                        // synced, with the send's spend applied.
+                        Some(&nf) if !is_tail && nf.packet == packet => {
+                            let elig = (nf.arrived + self.flit_delay(&nf)).max(self.cycle + 1);
+                            if self.link_tokens[link] >= flit_bytes {
+                                q.schedule(elig, Component::Link(link));
+                            } else if let Some(t) = self.cached_token_ready(link, flit_bytes) {
+                                q.schedule(t.max(elig), Component::Link(link));
+                            }
+                        }
+                        Some(_) => self.schedule_front_wake(q, upstream, input),
+                        None => {}
+                    }
+                    if is_tail && self.node_flits[upstream] > 0 {
+                        // Channel released: another packet's head flit at
+                        // this node may now be allocatable onto the link.
+                        q.schedule(self.cycle + 1, Component::Link(link));
+                    }
+                    if dst_was_empty {
+                        // The forwarded flit is the new front downstream.
+                        let dst = self.link_dst[link].index();
+                        self.schedule_front_wake(q, dst, InputId::Link(link_id));
+                    }
                 }
             }
-
-            // Forward one flit of the owning packet.
-            let Some((input, packet)) = self.link_channel[link].owner else {
-                continue;
-            };
-            let Some(front) = self.buffer(input, upstream).front().copied() else {
-                continue;
-            };
-            if front.packet != packet || !self.eligible(&front) {
-                continue;
+            if let Some(q) = sched.as_deref_mut() {
+                // A token-starved link must wait for the later of the
+                // token crossing and the candidate's eligibility; with no
+                // time-blocked candidate at all there is nothing to wake
+                // for (a candidate appearing is a movement → cascade).
+                let retry = if has_tokens {
+                    elig_retry
+                } else if elig_retry == u64::MAX {
+                    u64::MAX
+                } else {
+                    match self.cached_token_ready(link, flit_bytes) {
+                        Some(t) => t.max(elig_retry),
+                        None => u64::MAX,
+                    }
+                };
+                if retry != u64::MAX {
+                    q.schedule(retry, Component::Link(link));
+                }
             }
-            let flit = self.buffer_mut(input, upstream).pop().expect("front exists");
-            self.node_flits[upstream] -= 1;
-            if matches!(input, InputId::Inject(_)) && flit.flit == 0 {
-                let p = self.packets[flit.packet].as_mut().expect("live packet");
-                p.injected_at = Some(self.cycle);
-            }
-            self.link_tokens[link] -= flit_bytes;
-            self.last_progress = self.cycle;
-            if self.in_measurement_window() {
-                self.link_flits[link] += 1;
-            }
-            let total_flits = self.packets[packet].as_ref().expect("live").flits;
-            if flit.flit as usize + 1 == total_flits {
-                self.link_channel[link].release();
-            }
-            self.link_buffers[link].push(FlitRef {
-                packet: flit.packet,
-                flit: flit.flit,
-                hop: flit.hop + 1,
-                arrived: self.cycle,
-            });
-            self.node_flits[self.link_dst[link].index()] += 1;
         }
+    }
+
+    /// Wakes whatever a pop from the buffer `input` at `node` could have
+    /// enabled: the link feeding that buffer, if the pop freed its only
+    /// space (a space-blocked link frees *only* through such a pop), and
+    /// the buffer's new front, which just became a forwarding/ejection
+    /// candidate.
+    fn wake_after_pop(&mut self, q: &mut TickQueue, node: usize, input: InputId, was_full: bool) {
+        if was_full {
+            if let InputId::Link(f) = input {
+                q.schedule(self.cycle + 1, Component::Link(f.index()));
+            }
+        }
+        self.schedule_front_wake(q, node, input);
+    }
+
+    /// Schedules the wake-up for the front of the buffer `input` at
+    /// `node`, at the earliest future cycle it could move: its pipeline
+    /// eligibility, pushed past the serialization-token crossing of the
+    /// link it wants (a flit bound for a starved link cannot move at
+    /// eligibility anyway). Conservative — channel or buffer-space
+    /// conflicts at that cycle re-arm through the scan's own retry logic
+    /// or the movement that resolves them. No wake is scheduled for an
+    /// empty buffer (a push will wake the new front) or when the tokens
+    /// can never cross (the oracle never moves that flit either; the
+    /// watchdog eventually purges it in both loops).
+    fn schedule_front_wake(&mut self, q: &mut TickQueue, node: usize, input: InputId) {
+        let Some(front) = self.buffer(input, node).front().copied() else {
+            return;
+        };
+        let elig = (front.arrived + self.flit_delay(&front)).max(self.cycle + 1);
+        match self.next_link(&front) {
+            None => q.schedule(elig, Component::Node(node)),
+            Some(l) => {
+                let link = l.index();
+                let flit_bytes = self.config.flit_bytes as f64;
+                self.sync_link_tokens(link);
+                let wake = if self.link_tokens[link] >= flit_bytes {
+                    elig
+                } else {
+                    match self.cached_token_ready(link, flit_bytes) {
+                        Some(t) => t.max(elig),
+                        None => return,
+                    }
+                };
+                q.schedule(wake, Component::Link(link));
+            }
+        }
+    }
+
+    /// Earliest cycle the link's current forwarding candidate — its
+    /// channel owner's front, or any allocatable head flit if the channel
+    /// is free — has its per-hop delay elapsed (`u64::MAX` = no candidate,
+    /// or the owner's flit is not at a buffer front yet). Pure frozen-state
+    /// prediction for the token-starved case; may be in the past when the
+    /// candidate is already eligible and only tokens are missing.
+    fn link_candidate_ready(&self, link_id: LinkId, upstream: usize) -> u64 {
+        match self.link_channel[link_id.index()].owner {
+            Some((input, packet)) => match self.buffer(input, upstream).front() {
+                Some(front) if front.packet == packet => front.arrived + self.flit_delay(front),
+                _ => u64::MAX,
+            },
+            None => {
+                let mut best = u64::MAX;
+                for &input in &self.node_inputs[upstream] {
+                    if let Some(front) = self.buffer(input, upstream).front() {
+                        if front.flit == 0 && self.next_link(front) == Some(link_id) {
+                            best = best.min(front.arrived + self.flit_delay(front));
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// First cycle after the current one at which `link`'s token balance
+    /// reaches one flit, replaying the *exact* capped additions
+    /// [`sync_link_tokens`] will perform (fp-identical — a closed-form
+    /// `k * rate` is not) on a local copy. `None` means the balance can
+    /// never cross: zero rate, or an fp fixed point below the threshold
+    /// (the cycle-stepped oracle would never cross either).
+    /// [`Self::token_ready_cycle`] through the per-link memo. A cached
+    /// prediction at or before the current cycle is recomputed: it came
+    /// from the conservative replay bound, and its wake-up has now
+    /// arrived with the threshold still uncrossed.
+    fn cached_token_ready(&mut self, link: usize, flit_bytes: f64) -> Option<u64> {
+        match self.link_token_ready[link] {
+            TOKEN_READY_NEVER => None,
+            t if t != TOKEN_READY_UNKNOWN && t > self.cycle => Some(t),
+            _ => {
+                // The prediction replays from the current balance, which
+                // must first absorb any accrual the link has not yet seen.
+                self.sync_link_tokens(link);
+                let computed = self.token_ready_cycle(link, flit_bytes);
+                self.link_token_ready[link] = computed.unwrap_or(TOKEN_READY_NEVER);
+                computed
+            }
+        }
+    }
+
+    fn token_ready_cycle(&self, link: usize, flit_bytes: f64) -> Option<u64> {
+        let cap = 2.0 * flit_bytes;
+        let rate = self.link_rate[link];
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut tokens = self.link_tokens[link];
+        let mut t = self.cycle;
+        for _ in 0..TOKEN_REPLAY_BOUND {
+            t += 1;
+            let next = (tokens + rate).min(cap);
+            if next >= flit_bytes {
+                return Some(t);
+            }
+            if next == tokens {
+                return None; // fixed point below the threshold
+            }
+            tokens = next;
+        }
+        Some(t) // conservative wake-up; re-predict from advanced state
     }
 
     /// Deadlock recovery: if nothing has moved for [`STALL_THRESHOLD`]
     /// cycles while flits wait in *network* buffers, drop the oldest
     /// in-network packet. Source-queue-only stalls are legitimate idle
-    /// periods and are ignored.
-    fn watchdog(&mut self) {
+    /// periods and are ignored. Returns whether a packet was purged — a
+    /// purge rewrites buffer fronts, channel owners and occupancy across
+    /// the whole network, so the event-queue loop rescans the next cycle
+    /// wholesale instead of enumerating what it could have enabled.
+    fn watchdog(&mut self) -> bool {
         if self.cycle - self.last_progress < STALL_THRESHOLD {
-            return;
+            return false;
         }
         let network_busy = self.link_buffers.iter().any(|b| !b.is_empty());
         if !network_busy {
             self.last_progress = self.cycle;
-            return;
+            return false;
         }
         // Oldest packet with flits inside the network.
         let mut victim: Option<(u64, usize)> = None;
@@ -548,7 +906,7 @@ impl Simulator {
         }
         let Some((_, slot)) = victim else {
             self.last_progress = self.cycle;
-            return;
+            return false;
         };
         for link in 0..self.link_buffers.len() {
             let purged = self.link_buffers[link].purge_packet(slot);
@@ -575,6 +933,7 @@ impl Simulator {
             self.measured_outstanding -= 1;
         }
         self.last_progress = self.cycle;
+        true
     }
 }
 
@@ -766,15 +1125,17 @@ mod tests {
         let _ = Simulator::new(&t, vec![flow], quick_config());
     }
 
-    /// Runs the same flow set under both cycle loops and asserts the
+    /// Runs the same flow set under all three main loops and asserts the
     /// reports are bit-identical (PartialEq compares every f64 exactly).
     fn assert_loops_agree(t: &Topology, flows: Vec<FlowSpec>, config: SimConfig) -> SimReport {
         let mut full = Simulator::new(t, flows.clone(), config.clone());
         full.set_loop_kind(LoopKind::FullScan);
         let full_report = full.run();
-        let mut active = Simulator::new(t, flows, config);
-        active.set_loop_kind(LoopKind::ActiveSet);
-        assert_eq!(active.run(), full_report, "active-set loop diverged from full scan");
+        for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+            let mut sim = Simulator::new(t, flows.clone(), config.clone());
+            sim.set_loop_kind(kind);
+            assert_eq!(sim.run(), full_report, "{kind:?} loop diverged from full scan");
+        }
         full_report
     }
 

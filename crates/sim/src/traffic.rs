@@ -163,6 +163,18 @@ impl BurstSource {
         self.next_at += gap.max(1.0);
         Some(self.pick_path(spec))
     }
+
+    /// First cycle at which [`BurstSource::poll`] will return a packet
+    /// (`None` for silent zero-rate sources): the event-queue loop wakes
+    /// the source exactly then instead of polling it every cycle. The
+    /// cycle-stepped loops ignore this. `poll` fires at the first integer
+    /// cycle `c` with `c ≥ next_at`, hence the ceiling.
+    pub fn next_fire_cycle(&self) -> Option<u64> {
+        if !self.next_at.is_finite() {
+            return None;
+        }
+        Some(self.next_at.max(0.0).ceil() as u64)
+    }
 }
 
 #[cfg(test)]
@@ -307,8 +319,31 @@ mod tests {
         let spec = spec(0.0, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut src = BurstSource::new(&spec, &config, &mut rng);
+        assert_eq!(src.next_fire_cycle(), None);
         for cycle in 0..10_000u64 {
             assert!(src.poll(cycle, &spec, &mut rng).is_none());
         }
+    }
+
+    #[test]
+    fn next_fire_cycle_predicts_poll_exactly() {
+        // The event-queue loop relies on this equivalence: polling every
+        // cycle fires at exactly the predicted cycle, never earlier or
+        // later, and non-due polls draw no randomness.
+        let config = SimConfig::default();
+        let spec = spec(300.0, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut src = BurstSource::new(&spec, &config, &mut rng);
+        let mut fires = 0u64;
+        for cycle in 0..200_000u64 {
+            let predicted = src.next_fire_cycle().expect("finite-rate source");
+            let fired = src.poll(cycle, &spec, &mut rng).is_some();
+            assert_eq!(fired, cycle == predicted, "cycle {cycle}, predicted {predicted}");
+            if fired {
+                assert!(src.next_fire_cycle().expect("still finite") > cycle);
+                fires += 1;
+            }
+        }
+        assert!(fires > 100, "only {fires} packets fired");
     }
 }

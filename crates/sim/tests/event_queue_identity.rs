@@ -1,0 +1,207 @@
+//! Differential oracle harness for the event-driven simulator loop.
+//!
+//! The event/tick-queue loop ([`LoopKind::EventQueue`], the default) must
+//! be **bit-identical** to the cycle-stepped oracle loops retained for
+//! exactly this purpose ([`LoopKind::FullScan`], [`LoopKind::ActiveSet`]):
+//! every field of the [`SimReport`] — including every `f64`, compared
+//! exactly, never with a tolerance — has to match on every workload. This
+//! suite drives all three loops over the paper's six benchmark
+//! applications plus the DSP filter design, and over seeded random
+//! traffic, across warm-up/measure/drain window shapes from degenerate
+//! (zero warm-up, zero drain) to contended (saturating bandwidth).
+//!
+//! Style follows the repo's oracle-retention convention (`nmap`'s
+//! `swap_delta_identity` and `dor_xy_equivalence` suites): the old
+//! implementation is kept alive as the spec of the new one.
+
+use noc_apps::{dsp_filter, App};
+use noc_graph::{CoreGraph, NodeId, Topology};
+use noc_sim::{FlowSpec, LoopKind, SimConfig, SimReport, Simulator};
+
+/// Builds an XY path between two nodes of a mesh (always valid).
+fn xy_path(t: &Topology, from: NodeId, to: NodeId) -> Vec<noc_graph::LinkId> {
+    let (mut x, mut y) = t.coords(from);
+    let (tx, ty) = t.coords(to);
+    let mut links = Vec::new();
+    let mut at = from;
+    while x != tx {
+        let nx = if tx > x { x + 1 } else { x - 1 };
+        let next = t.node_at(nx, y).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        x = nx;
+    }
+    while y != ty {
+        let ny = if ty > y { y + 1 } else { y - 1 };
+        let next = t.node_at(x, ny).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        y = ny;
+    }
+    links
+}
+
+/// Identity placement (core `i` on node `i`) of an application graph onto
+/// a mesh, XY-routed: one simulator flow per core-graph edge at the
+/// edge's average bandwidth. The placement is deliberately naive — the
+/// identity suite tests the simulator, not the mapper, and a naive
+/// placement produces *more* link contention, which is exactly where the
+/// wake-up logic of the event loop can go wrong.
+fn app_flows(t: &Topology, graph: &CoreGraph) -> Vec<FlowSpec> {
+    assert!(graph.core_count() <= t.node_count(), "app must fit the mesh");
+    graph
+        .edges()
+        .map(|(_, e)| {
+            let from = NodeId::new(e.src.index());
+            let to = NodeId::new(e.dst.index());
+            FlowSpec::single_path(from, to, e.bandwidth, xy_path(t, from, to))
+        })
+        .collect()
+}
+
+/// Runs `flows` on `t` under all three loop kinds and asserts the reports
+/// are bit-identical, returning the oracle report.
+fn assert_identical(
+    t: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+    label: &str,
+) -> SimReport {
+    let run = |kind: LoopKind| {
+        let mut sim = Simulator::new(t, flows.to_vec(), config.clone());
+        sim.set_loop_kind(kind);
+        sim.run()
+    };
+    let oracle = run(LoopKind::FullScan);
+    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+        let report = run(kind);
+        assert_eq!(report, oracle, "{label}: {kind:?} diverged from the full-scan oracle");
+    }
+    oracle
+}
+
+/// Window shapes the loops must agree on: the steady-state default-style
+/// window, a zero-warm-up window (statistics from cycle 0), and a
+/// zero-drain window (in-flight measured packets left unfinished — the
+/// report's `unfinished_measured_packets` path).
+fn window_configs(seed: u64) -> [SimConfig; 3] {
+    let base = SimConfig { seed, ..SimConfig::default() };
+    [
+        SimConfig {
+            warmup_cycles: 1_000,
+            measure_cycles: 8_000,
+            drain_cycles: 4_000,
+            ..base.clone()
+        },
+        SimConfig { warmup_cycles: 0, measure_cycles: 6_000, drain_cycles: 3_000, ..base.clone() },
+        SimConfig { warmup_cycles: 800, measure_cycles: 5_000, drain_cycles: 0, ..base },
+    ]
+}
+
+#[test]
+fn six_paper_apps_are_bit_identical_across_loops() {
+    for app in App::all() {
+        let graph = app.core_graph();
+        let (w, h) = app.mesh_dims();
+        // Two bandwidth regimes per app: comfortable (light contention)
+        // and tight (heavy blocking, the hard case for wake-up
+        // completeness). The tight capacity still clears each flow's own
+        // rate so the sources are not trivially saturated at injection.
+        let max_rate = graph.edges().map(|(_, e)| e.bandwidth).fold(0.0, f64::max);
+        for capacity in [max_rate * 4.0, max_rate * 1.25] {
+            let t = Topology::mesh(w, h, capacity);
+            let flows = app_flows(&t, &graph);
+            for config in window_configs(0xA0C0_FFEE ^ capacity.to_bits()) {
+                let report = assert_identical(
+                    &t,
+                    &flows,
+                    &config,
+                    &format!("{} @ {capacity} MB/s", app.name()),
+                );
+                assert!(report.generated_packets > 0, "{}: silent run proves nothing", app.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn dsp_filter_design_is_bit_identical_across_loops() {
+    // The DSP filter is the paper's simulation workload (Figure 5); sweep
+    // it across the Figure 5(c) bandwidth range endpoints plus a
+    // saturating point below Table 3's 600 MB/s min-path requirement.
+    let graph = dsp_filter();
+    let t_dims = Topology::fit_mesh_dims(graph.core_count());
+    for bw in [550.0, 1_100.0, 1_800.0] {
+        let t = Topology::mesh(t_dims.0, t_dims.1, bw);
+        let flows = app_flows(&t, &graph);
+        for config in window_configs(7) {
+            assert_identical(&t, &flows, &config, &format!("dsp @ {bw} MB/s"));
+        }
+    }
+}
+
+/// Tiny deterministic generator for the random-traffic leg (no RNG crate
+/// in the test: the identity property must not depend on rand internals).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn seeded_random_traffic_is_bit_identical_across_loops() {
+    for seed in 0u64..6 {
+        let mut state = 0xDEAD_BEEF ^ seed;
+        let w = 2 + (splitmix64(&mut state) % 3) as usize; // 2..=4
+        let h = 2 + (splitmix64(&mut state) % 3) as usize;
+        let t = Topology::mesh(w, h, 900.0);
+        let n = t.node_count();
+        let flow_count = 2 + (splitmix64(&mut state) % 5) as usize;
+        let mut flows = Vec::new();
+        while flows.len() < flow_count {
+            let from = NodeId::new((splitmix64(&mut state) as usize) % n);
+            let to = NodeId::new((splitmix64(&mut state) as usize) % n);
+            if from == to {
+                continue;
+            }
+            let rate = 40.0 + (splitmix64(&mut state) % 400) as f64;
+            flows.push(FlowSpec::single_path(from, to, rate, xy_path(&t, from, to)));
+        }
+        // Vary the traffic-process shape too: burstier sources stress the
+        // source-fire scheduling, longer bursts the back-to-back case.
+        let burst_packets = 1 + (splitmix64(&mut state) % 16) as u32;
+        let burst_intensity = 1.0 + (splitmix64(&mut state) % 50) as f64 / 10.0;
+        for mut config in window_configs(seed.wrapping_mul(0x51_7C_C1)) {
+            config.burst_packets = burst_packets;
+            config.burst_intensity = burst_intensity;
+            assert_identical(&t, &flows, &config, &format!("random traffic seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn split_flows_are_bit_identical_across_loops() {
+    // Split routing multiplexes one source over several paths — the
+    // Figure 5(c) split design's traffic shape.
+    let t = Topology::mesh(3, 2, 700.0);
+    let from = NodeId::new(0);
+    let to = NodeId::new(5);
+    let p1 = xy_path(&t, from, to);
+    let mid = NodeId::new(3);
+    let mut p2 = xy_path(&t, from, mid);
+    p2.extend(xy_path(&t, mid, to));
+    let flows = vec![
+        FlowSpec::split(from, to, 600.0, vec![(p1, 2.0), (p2, 1.0)]),
+        FlowSpec::single_path(
+            NodeId::new(4),
+            NodeId::new(1),
+            150.0,
+            xy_path(&t, NodeId::new(4), NodeId::new(1)),
+        ),
+    ];
+    for config in window_configs(42) {
+        assert_identical(&t, &flows, &config, "split flow");
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based differential tests for the event-queue loop: random
+//! topologies, burst configurations and bandwidth points must all produce
+//! reports bit-identical to the cycle-stepped oracle, and the loop must
+//! terminate at exactly the configured horizon.
+//!
+//! No-past-scheduling is enforced structurally: `TickQueue::schedule`
+//! carries a `debug_assert` that a component is never scheduled before
+//! the first unexecuted cycle, and these tests run unoptimized — any
+//! wake-up computed in the past panics the property rather than silently
+//! re-executing history.
+
+use noc_graph::{NodeId, Topology};
+use noc_sim::{FlowSpec, LoopKind, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// Builds an XY path between two nodes of a mesh (always valid).
+fn xy_path(t: &Topology, from: NodeId, to: NodeId) -> Vec<noc_graph::LinkId> {
+    let (mut x, mut y) = t.coords(from);
+    let (tx, ty) = t.coords(to);
+    let mut links = Vec::new();
+    let mut at = from;
+    while x != tx {
+        let nx = if tx > x { x + 1 } else { x - 1 };
+        let next = t.node_at(nx, y).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        x = nx;
+    }
+    while y != ty {
+        let ny = if ty > y { y + 1 } else { y - 1 };
+        let next = t.node_at(x, ny).expect("in range");
+        links.push(t.find_link(at, next).expect("mesh link"));
+        at = next;
+        y = ny;
+    }
+    links
+}
+
+fn run_kind(
+    t: &Topology,
+    flows: &[FlowSpec],
+    config: &SimConfig,
+    kind: LoopKind,
+) -> noc_sim::SimReport {
+    let mut sim = Simulator::new(t, flows.to_vec(), config.clone());
+    sim.set_loop_kind(kind);
+    sim.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mesh + random flows + random burst shape + random link
+    /// bandwidth: the event-queue report equals the cycle-stepped oracle
+    /// field for field (delivered, latency sums, saturation, per-link
+    /// flit counts — everything `SimReport` carries), and both loops
+    /// terminate at the same configured horizon.
+    #[test]
+    fn event_queue_matches_oracle_on_random_workloads(
+        (w, h) in (2usize..=4, 2usize..=4),
+        pairs in prop::collection::vec((0usize..16, 0usize..16, 20.0..400.0f64), 1..6),
+        bandwidth in 150.0..1_500.0f64,
+        burst_packets in 1u32..=16,
+        burst_intensity in 1.0..6.0f64,
+        (warmup, measure, drain) in (0u64..1_500, 1_000u64..6_000, 0u64..4_000),
+        seed in 0u64..100,
+    ) {
+        let t = Topology::mesh(w, h, bandwidth);
+        let n = t.node_count();
+        let flows: Vec<FlowSpec> = pairs
+            .into_iter()
+            .filter_map(|(a, b, rate)| {
+                let from = NodeId::new(a % n);
+                let to = NodeId::new(b % n);
+                (from != to).then(|| {
+                    FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))
+                })
+            })
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let config = SimConfig {
+            warmup_cycles: warmup,
+            measure_cycles: measure,
+            drain_cycles: drain,
+            burst_packets,
+            burst_intensity,
+            seed,
+            ..SimConfig::default()
+        };
+        let oracle = run_kind(&t, &flows, &config, LoopKind::FullScan);
+        let event = run_kind(&t, &flows, &config, LoopKind::EventQueue);
+        // Termination at the exact horizon, not merely "eventually".
+        prop_assert_eq!(oracle.cycles, warmup + measure + drain);
+        prop_assert_eq!(event.cycles, oracle.cycles);
+        // The headline statistics the paper plots...
+        prop_assert_eq!(event.delivered_packets, oracle.delivered_packets);
+        prop_assert!(event.avg_latency_cycles() == oracle.avg_latency_cycles());
+        prop_assert_eq!(event.saturated(), oracle.saturated());
+        // ...and then every other field, exactly.
+        prop_assert_eq!(event, oracle);
+    }
+
+    /// An idle network (all sources silent) is the degenerate case for an
+    /// event loop: nothing is ever scheduled beyond the watchdog, and the
+    /// run must still cover the full horizon with an all-zero report
+    /// identical to the oracle's.
+    #[test]
+    fn silent_network_terminates_and_matches(
+        (w, h) in (2usize..=3, 2usize..=3),
+        (warmup, measure, drain) in (0u64..500, 100u64..2_000, 0u64..500),
+        seed in 0u64..20,
+    ) {
+        let t = Topology::mesh(w, h, 500.0);
+        let to = NodeId::new(t.node_count() - 1);
+        let flows = vec![FlowSpec::single_path(
+            NodeId::new(0), to, 0.0, xy_path(&t, NodeId::new(0), to),
+        )];
+        let config = SimConfig {
+            warmup_cycles: warmup,
+            measure_cycles: measure,
+            drain_cycles: drain,
+            seed,
+            ..SimConfig::default()
+        };
+        let oracle = run_kind(&t, &flows, &config, LoopKind::FullScan);
+        let event = run_kind(&t, &flows, &config, LoopKind::EventQueue);
+        prop_assert_eq!(event.generated_packets, 0);
+        prop_assert_eq!(event.cycles, warmup + measure + drain);
+        prop_assert_eq!(event, oracle);
+    }
+
+    /// Deep saturation (offered load far above capacity) exercises the
+    /// watchdog-recovery path and long blocking chains; the loops must
+    /// still agree bit for bit.
+    #[test]
+    fn saturated_network_matches_oracle(
+        rate in 500.0..2_000.0f64,
+        bandwidth in 100.0..300.0f64,
+        seed in 0u64..30,
+    ) {
+        let t = Topology::mesh(2, 2, bandwidth);
+        let flows = vec![
+            FlowSpec::single_path(
+                NodeId::new(0), NodeId::new(3), rate,
+                xy_path(&t, NodeId::new(0), NodeId::new(3)),
+            ),
+            FlowSpec::single_path(
+                NodeId::new(1), NodeId::new(2), rate,
+                xy_path(&t, NodeId::new(1), NodeId::new(2)),
+            ),
+        ];
+        let config = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 4_000,
+            drain_cycles: 1_000,
+            seed,
+            ..SimConfig::default()
+        };
+        let oracle = run_kind(&t, &flows, &config, LoopKind::FullScan);
+        let event = run_kind(&t, &flows, &config, LoopKind::EventQueue);
+        prop_assert!(oracle.saturated(), "workload chosen to saturate");
+        prop_assert_eq!(event, oracle);
+    }
+}
