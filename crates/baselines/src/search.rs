@@ -78,6 +78,7 @@ impl Mapper for PbbMapper {
     fn map(&self, ctx: &mut EvalContext<'_>) -> Result<MapOutcome> {
         self.options.check().map_err(nmap::MapError::InvalidOptions)?;
         let out = pbb(ctx.problem(), &self.options);
+        ctx.probe().counter("search.pbb_expansions").add(out.expansions as u64);
         Ok(MapOutcome {
             mapping: out.mapping,
             comm_cost: out.comm_cost,

@@ -23,9 +23,38 @@
 //! suite).
 
 use noc_graph::{dijkstra, NodeId, QuadrantDag};
+use noc_probe::{Counter, Probe};
 
 use crate::routing::LinkLoads;
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
+
+/// Telemetry handles for the search layer (see `crates/probe`): no-ops
+/// unless [`EvalContext::set_probe`] attached a live probe, and strictly
+/// out-of-band — nothing in the search reads them, so every mapper
+/// result is byte-identical with probes on, off, or compiled out.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SearchCounters {
+    /// Full candidate evaluations ([`EvalContext::evaluate`] calls).
+    pub evaluations: Counter,
+    /// O(deg) swap-delta prefilter computations.
+    pub swap_deltas: Counter,
+    /// Delta-gated descent: candidates the gate let through to a full
+    /// evaluation.
+    pub gate_accepts: Counter,
+    /// Delta-gated descent: candidates pruned by the gate.
+    pub gate_rejects: Counter,
+}
+
+impl SearchCounters {
+    fn new(probe: &Probe) -> Self {
+        Self {
+            evaluations: probe.counter("search.evaluations"),
+            swap_deltas: probe.counter("search.swap_deltas"),
+            gate_accepts: probe.counter("search.gate_accepts"),
+            gate_rejects: probe.counter("search.gate_rejects"),
+        }
+    }
+}
 
 /// Cached state for repeatedly evaluating placements of one
 /// [`MappingProblem`].
@@ -46,6 +75,9 @@ pub struct EvalContext<'p> {
     loads: LinkLoads,
     /// Quadrant cache misses (diagnostics: DAGs actually built).
     built_quadrants: usize,
+    /// Telemetry (no-op handles unless a probe was attached).
+    probe: Probe,
+    pub(crate) counters: SearchCounters,
 }
 
 impl<'p> EvalContext<'p> {
@@ -59,7 +91,23 @@ impl<'p> EvalContext<'p> {
             commodities: Vec::with_capacity(problem.cores().edge_count()),
             loads: LinkLoads::zeros(problem.topology().link_count()),
             built_quadrants: 0,
+            probe: Probe::default(),
+            counters: SearchCounters::default(),
         }
+    }
+
+    /// Attaches a telemetry probe (see `crates/probe`). The search layer
+    /// only ever *writes* to it, so attaching one cannot change any
+    /// mapper's result — pinned by the probe-identity differential suite.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.probe = probe.clone();
+        self.counters = SearchCounters::new(&self.probe);
+    }
+
+    /// The attached probe (disabled unless [`Self::set_probe`] was
+    /// called), for mappers that emit their own events through it.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// The problem this context evaluates against.
@@ -106,6 +154,7 @@ impl<'p> EvalContext<'p> {
     /// Panics if `mapping` does not place every core whose commodities
     /// touch `a` or `b`, or if a node is out of range.
     pub fn swap_delta(&self, mapping: &Mapping, a: NodeId, b: NodeId) -> f64 {
+        self.counters.swap_deltas.inc();
         if a == b {
             return 0.0;
         }
@@ -224,6 +273,7 @@ impl<'p> EvalContext<'p> {
     ///
     /// Panics if `mapping` is incomplete.
     pub fn evaluate(&mut self, mapping: &Mapping, threshold: f64) -> Result<f64> {
+        self.counters.evaluations.inc();
         let cost = self.comm_cost(mapping);
         if cost >= threshold {
             return Ok(f64::INFINITY);

@@ -13,11 +13,16 @@
 //! constructor's seed — in DSE sweeps that is the *scenario* seed, never
 //! worker identity, so parallel sweep output stays byte-identical.
 
+use noc_probe::Value;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use super::{search_outcome, MapOutcome, Mapper};
 use crate::{initialize, EvalContext, MapError, Result};
+
+/// Proposed-move interval between `sa.sample` trajectory events when a
+/// live probe is attached (~20 samples over the default budget).
+const SA_SAMPLE_EVERY: usize = 1_000;
 
 /// Tuning knobs for [`SaMapper`].
 #[derive(Debug, Clone, PartialEq)]
@@ -115,7 +120,19 @@ impl Mapper for SaMapper {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut temp = (self.options.initial_temp * current_cost).max(f64::MIN_POSITIVE);
         let mut accepted = 0usize;
-        for _ in 0..self.options.moves {
+        for proposed in 0..self.options.moves {
+            if proposed % SA_SAMPLE_EVERY == 0 && ctx.probe().is_enabled() {
+                ctx.probe().emit(
+                    "sa.sample",
+                    &[
+                        ("move", Value::from(proposed)),
+                        ("temp", Value::from(temp)),
+                        ("current_cost", Value::from(current_cost)),
+                        ("best_cost", Value::from(best_any_cost)),
+                        ("accepted", Value::from(accepted)),
+                    ],
+                );
+            }
             let a = (rng.next_u64() % n as u64) as usize;
             let mut b = (rng.next_u64() % (n as u64 - 1)) as usize;
             if b >= a {

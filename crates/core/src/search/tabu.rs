@@ -15,9 +15,14 @@
 //! can win.
 
 use noc_graph::NodeId;
+use noc_probe::Value;
 
 use super::{search_outcome, MapOutcome, Mapper};
 use crate::{initialize, EvalContext, MapError, Result};
+
+/// Iteration interval between `tabu.sample` trajectory events when a
+/// live probe is attached (~16 samples over the default budget).
+const TABU_SAMPLE_EVERY: usize = 4;
 
 /// Tuning knobs for [`TabuMapper`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +100,16 @@ impl Mapper for TabuMapper {
         let mut tabu_until = vec![0usize; n * n];
 
         for iter in 1..=self.options.iterations {
+            if (iter - 1) % TABU_SAMPLE_EVERY == 0 && ctx.probe().is_enabled() {
+                ctx.probe().emit(
+                    "tabu.sample",
+                    &[
+                        ("iter", Value::from(iter)),
+                        ("current_cost", Value::from(current_cost)),
+                        ("best_cost", Value::from(best_any_cost)),
+                    ],
+                );
+            }
             let mut chosen: Option<(NodeId, NodeId, f64)> = None;
             for i in 0..n {
                 for j in (i + 1)..n {

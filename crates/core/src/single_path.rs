@@ -250,8 +250,10 @@ fn swap_descent(
                         // incumbent: evaluate() would return INFINITY from
                         // its threshold gate without routing. Skip the O(E)
                         // confirmation scan.
+                        ctx.counters.gate_rejects.inc();
                         continue;
                     }
+                    ctx.counters.gate_accepts.inc();
                 }
                 let mut candidate = placed.clone();
                 candidate.swap_nodes(a, b);

@@ -19,6 +19,7 @@ use nmap::{
     PathScope, RoutingTables,
 };
 use noc_lp::SolveError;
+use noc_probe::{Probe, Value};
 use noc_sim::{FlowSpec, SimReport, Simulator};
 
 use crate::report::{RunRecord, SimStats, StageTimes, SweepReport};
@@ -37,7 +38,29 @@ pub struct EngineOptions {
 /// Runs every scenario of `set` and aggregates the records into a
 /// [`SweepReport`] (records in scenario order).
 pub fn run_sweep(set: &ScenarioSet, options: &EngineOptions) -> SweepReport {
-    SweepReport::new(run_scenarios(set.scenarios(), options.threads))
+    run_sweep_probed(set, options, &Probe::default())
+}
+
+/// [`run_sweep`] with instrumentation attached: stage-time histograms,
+/// worker utilization, per-scenario run-log events and a sweep-level
+/// `dse.sweep` summary event land in `probe`. The probe observes only —
+/// the returned report is byte-identical to an unprobed run.
+pub fn run_sweep_probed(set: &ScenarioSet, options: &EngineOptions, probe: &Probe) -> SweepReport {
+    let records = run_scenarios_probed(set.scenarios(), options.threads, probe);
+    if probe.is_enabled() {
+        let failed = records.iter().filter(|r| !r.is_ok()).count();
+        let feasible = records.iter().filter(|r| r.feasible).count();
+        probe.emit(
+            "dse.sweep",
+            &[
+                ("scenarios", Value::from(records.len())),
+                ("failed", Value::from(failed)),
+                ("feasible", Value::from(feasible)),
+                ("threads", Value::from(options.threads)),
+            ],
+        );
+    }
+    SweepReport::new(records)
 }
 
 /// Runs `scenarios` on `threads` workers (`0` = available parallelism),
@@ -45,7 +68,17 @@ pub fn run_sweep(set: &ScenarioSet, options: &EngineOptions) -> SweepReport {
 /// not fit, unroutable, LP breakdown) become records with a non-empty
 /// `error` field; they never abort the sweep.
 pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<RunRecord> {
-    pool_map(scenarios.len(), threads, |i| run_scenario(&scenarios[i]))
+    run_scenarios_probed(scenarios, threads, &Probe::default())
+}
+
+/// [`run_scenarios`] with instrumentation attached (see
+/// [`run_sweep_probed`] for what the probe collects).
+pub fn run_scenarios_probed(
+    scenarios: &[Scenario],
+    threads: usize,
+    probe: &Probe,
+) -> Vec<RunRecord> {
+    pool_map_probed(scenarios.len(), threads, probe, |i| run_scenario_probed(&scenarios[i], probe))
 }
 
 /// The engine's deterministic worker pool, exposed for harnesses that fan
@@ -63,25 +96,87 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    pool_map_probed(count, threads, &Probe::default(), task)
+}
+
+/// [`pool_map`] with per-worker utilization accounting attached: when
+/// `probe` is live, each worker's busy time (inside `task`) and wait
+/// time (claim overhead plus tail idle) land in the
+/// `dse.worker_busy_us` / `dse.worker_wait_us` histograms, completed
+/// tasks in the `dse.tasks` counter, and one `dse.worker` event per
+/// worker records its share of the pool. The accounting is entirely
+/// out-of-band — results are identical to an unprobed run.
+pub fn pool_map_probed<T, F>(count: usize, threads: usize, probe: &Probe, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if count == 0 {
         return Vec::new();
     }
     let workers = effective_threads(threads, count);
+    let instrumented = probe.is_enabled();
+    // Busy time accumulates per worker and is reported once at worker
+    // exit, so the hot claim loop touches no shared probe state.
+    let run_one = |i: usize, busy_us: &mut u64, tasks: &mut u64| -> T {
+        if !instrumented {
+            return task(i);
+        }
+        let start = Instant::now();
+        let result = task(i);
+        *busy_us = busy_us.saturating_add(StageTimes::us(start.elapsed()));
+        *tasks += 1;
+        result
+    };
+    let report_worker = |worker: usize, busy_us: u64, tasks: u64, wall_us: u64| {
+        if !instrumented {
+            return;
+        }
+        let wait_us = wall_us.saturating_sub(busy_us);
+        probe.counter("dse.tasks").add(tasks);
+        probe.histogram("dse.worker_busy_us").record(busy_us);
+        probe.histogram("dse.worker_wait_us").record(wait_us);
+        probe.emit(
+            "dse.worker",
+            &[
+                ("worker", Value::from(worker)),
+                ("tasks", Value::from(tasks)),
+                ("busy_us", Value::from(busy_us)),
+                ("wait_us", Value::from(wait_us)),
+            ],
+        );
+    };
+
     if workers <= 1 {
-        return (0..count).map(task).collect();
+        let pool_start = Instant::now();
+        let mut busy_us = 0u64;
+        let mut tasks = 0u64;
+        let out: Vec<T> = (0..count).map(|i| run_one(i, &mut busy_us, &mut tasks)).collect();
+        report_worker(0, busy_us, tasks, StageTimes::us(pool_start.elapsed()));
+        return out;
     }
 
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
+        let run_one = &run_one;
+        let report_worker = &report_worker;
+        let cursor = &cursor;
+        let slots = &slots;
+        for worker in 0..workers {
+            scope.spawn(move || {
+                let worker_start = Instant::now();
+                let mut busy_us = 0u64;
+                let mut tasks = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = run_one(i, &mut busy_us, &mut tasks);
+                    *slots[i].lock().expect("no poisoned slots") = Some(result);
                 }
-                let result = task(i);
-                *slots[i].lock().expect("no poisoned slots") = Some(result);
+                report_worker(worker, busy_us, tasks, StageTimes::us(worker_start.elapsed()));
             });
         }
     });
@@ -106,6 +201,42 @@ fn effective_threads(threads: usize, scenarios: usize) -> usize {
 /// optional wormhole-simulation stage (the scenario's routing tables are
 /// loaded into the simulator as source routes).
 pub fn run_scenario(scenario: &Scenario) -> RunRecord {
+    run_scenario_probed(scenario, &Probe::default())
+}
+
+/// [`run_scenario`] with instrumentation attached: the probe is threaded
+/// into the mapper's [`EvalContext`] (evaluation/delta-gate counters,
+/// search trajectory events) and the simulator (cycle and wake-up
+/// counters), the per-stage wall times land in the `dse.stage.*_us`
+/// histograms, and one `dse.scenario` event records the run. The record
+/// itself is byte-identical to an unprobed run.
+pub fn run_scenario_probed(scenario: &Scenario, probe: &Probe) -> RunRecord {
+    let record = run_scenario_inner(scenario, probe);
+    probe.histogram("dse.stage.build_us").record(record.times.build_us);
+    probe.histogram("dse.stage.map_us").record(record.times.map_us);
+    probe.histogram("dse.stage.route_us").record(record.times.route_us);
+    if record.sim.is_some() {
+        probe.histogram("dse.stage.sim_us").record(record.times.sim_us);
+    }
+    if probe.is_enabled() {
+        probe.emit(
+            "dse.scenario",
+            &[
+                ("scenario", Value::from(record.scenario.as_str())),
+                ("mapper", Value::from(record.mapper.as_str())),
+                ("routing", Value::from(record.routing.as_str())),
+                ("seed", Value::from(record.seed)),
+                ("ok", Value::from(record.is_ok())),
+                ("feasible", Value::from(record.feasible)),
+                ("evaluations", Value::from(record.evaluations)),
+                ("total_us", Value::from(record.times.total_us())),
+            ],
+        );
+    }
+    record
+}
+
+fn run_scenario_inner(scenario: &Scenario, probe: &Probe) -> RunRecord {
     let build_start = Instant::now();
     let (graph, topology) = scenario.parts();
     let cores = graph.core_count();
@@ -136,7 +267,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
     let build_us = StageTimes::us(build_start.elapsed());
 
     let map_start = Instant::now();
-    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper, scenario.seed) {
+    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper, scenario.seed, probe)
+    {
         Ok(result) => result,
         Err(e) => {
             let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
@@ -163,7 +295,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
     let sim_start = Instant::now();
     let sim = scenario.simulate.as_ref().map(|spec| {
         let tables = tables.as_ref().expect("tables built when simulate is present");
-        simulate(&problem, &mapping, tables, spec, scenario.seed)
+        simulate(&problem, &mapping, tables, spec, scenario.seed, probe)
     });
     let sim_us = if sim.is_some() { StageTimes::us(sim_start.elapsed()) } else { 0 };
 
@@ -197,12 +329,14 @@ fn simulate(
     tables: &RoutingTables,
     spec: &SimulateSpec,
     scenario_seed: u64,
+    probe: &Probe,
 ) -> SimStats {
     let flows = flows_from_tables(problem, mapping, tables);
     let config = spec.sim_config(scenario_seed);
     let packet_bytes = config.packet_bytes;
     let mut sim = Simulator::new(problem.topology(), flows, config);
     sim.set_loop_kind(spec.loop_kind);
+    sim.set_probe(probe);
     let report = sim.run();
     sim_stats(&report, problem.topology().link_count(), packet_bytes)
 }
@@ -267,8 +401,11 @@ fn run_mapper(
     problem: &MappingProblem,
     mapper: &MapperSpec,
     seed: u64,
+    probe: &Probe,
 ) -> nmap::Result<(Mapping, usize)> {
-    mapper.mapper(seed).place(&mut EvalContext::new(problem))
+    let mut ctx = EvalContext::new(problem);
+    ctx.set_probe(probe);
+    mapper.mapper(seed).place(&mut ctx)
 }
 
 /// Routes `mapping` under the scenario's regime and returns the link

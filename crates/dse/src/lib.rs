@@ -23,6 +23,12 @@
 //! * [`RunRecord`] / [`SweepReport`] — the aggregation layer: JSON-lines
 //!   and CSV writers plus summary statistics (feasibility rate, cost
 //!   quantiles, per-stage wall time).
+//! * [`run_sweep_probed`] / [`run_scenarios_probed`] /
+//!   [`run_scenario_probed`] / [`pool_map_probed`] — the same engine
+//!   with a [`noc_probe::Probe`] attached: stage-time histograms,
+//!   per-worker utilization, search/simulator counters and a structured
+//!   per-scenario run log, all strictly out-of-band (records stay
+//!   byte-identical; see `DESIGN.md` §16).
 //!
 //! # Example
 //!
@@ -52,7 +58,8 @@ mod scenario;
 pub mod spec;
 
 pub use engine::{
-    flows_from_tables, pool_map, run_scenario, run_scenarios, run_sweep, EngineOptions,
+    flows_from_tables, pool_map, pool_map_probed, run_scenario, run_scenario_probed, run_scenarios,
+    run_scenarios_probed, run_sweep, run_sweep_probed, EngineOptions,
 };
 pub use noc_sim::LoopKind;
 pub use report::{RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};

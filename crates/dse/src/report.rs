@@ -28,14 +28,31 @@ pub struct StageTimes {
 }
 
 impl StageTimes {
-    /// Total microseconds across all stages.
+    /// Total microseconds across all stages, saturating at `u64::MAX`
+    /// (individual stage fields are `pub`, so hand-built records can
+    /// legitimately hold values whose sum would overflow).
     pub fn total_us(&self) -> u64 {
-        self.build_us + self.map_us + self.route_us + self.sim_us
+        self.build_us
+            .saturating_add(self.map_us)
+            .saturating_add(self.route_us)
+            .saturating_add(self.sim_us)
     }
 
-    /// Converts a [`Duration`] to saturating microseconds.
+    /// Converts a [`Duration`] to saturating microseconds (durations
+    /// beyond ~584 000 years clamp to `u64::MAX` instead of truncating).
     pub fn us(d: Duration) -> u64 {
         u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Field-wise saturating sum of two stage-time records (used by the
+    /// sweep summary; keeps aggregate wall time overflow-safe).
+    pub fn saturating_sum(&self, other: &StageTimes) -> StageTimes {
+        StageTimes {
+            build_us: self.build_us.saturating_add(other.build_us),
+            map_us: self.map_us.saturating_add(other.map_us),
+            route_us: self.route_us.saturating_add(other.route_us),
+            sim_us: self.sim_us.saturating_add(other.sim_us),
+        }
     }
 }
 
@@ -305,12 +322,8 @@ impl SweepReport {
         costs.sort_by(f64::total_cmp);
         let completed = costs.len();
         let feasible = self.records.iter().filter(|r| r.feasible).count();
-        let times = self.records.iter().fold(StageTimes::default(), |acc, r| StageTimes {
-            build_us: acc.build_us + r.times.build_us,
-            map_us: acc.map_us + r.times.map_us,
-            route_us: acc.route_us + r.times.route_us,
-            sim_us: acc.sim_us + r.times.sim_us,
-        });
+        let times =
+            self.records.iter().fold(StageTimes::default(), |acc, r| acc.saturating_sum(&r.times));
         let sims: Vec<&SimStats> = self.records.iter().filter_map(|r| r.sim.as_ref()).collect();
         let mut sim_latencies: Vec<f64> = sims.iter().map(|s| s.avg_latency_cycles).collect();
         sim_latencies.sort_by(f64::total_cmp);
@@ -620,6 +633,29 @@ mod tests {
         assert!(json.contains("\"max_link_load\":null"));
         assert!(!json.contains("inf") && !json.contains("NaN"));
         assert!(r.to_csv(false).contains("null"));
+    }
+
+    #[test]
+    fn stage_times_saturate_instead_of_overflowing() {
+        // `us` clamps durations whose microsecond count exceeds u64.
+        assert_eq!(StageTimes::us(Duration::from_micros(123)), 123);
+        assert_eq!(StageTimes::us(Duration::MAX), u64::MAX);
+
+        // `total_us` saturates when the per-stage fields sum past u64.
+        let near_max = StageTimes { build_us: u64::MAX - 10, map_us: 20, route_us: 5, sim_us: 5 };
+        assert_eq!(near_max.total_us(), u64::MAX);
+        let plain = StageTimes { build_us: 1, map_us: 2, route_us: 3, sim_us: 4 };
+        assert_eq!(plain.total_us(), 10);
+
+        // The sweep summary's fold saturates instead of panicking.
+        let mut a = record(1.0, true);
+        a.times = StageTimes { build_us: u64::MAX - 5, map_us: u64::MAX, route_us: 0, sim_us: 1 };
+        let b = record(2.0, true);
+        let s = SweepReport::new(vec![a, b]).summary();
+        assert_eq!(s.times.build_us, u64::MAX);
+        assert_eq!(s.times.map_us, u64::MAX);
+        assert_eq!(s.times.route_us, 30);
+        assert_eq!(s.times.sim_us, 1);
     }
 
     #[test]

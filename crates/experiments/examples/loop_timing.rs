@@ -5,18 +5,21 @@
 //! Criterion benches each loop kind in a separate serial block, so slow
 //! drift in machine load lands on one kind and not the other; this
 //! harness instead alternates kinds round-robin within a single process
-//! and reports per-kind minima, which drift cannot bias. Usage:
+//! and reports per-kind minima, which drift cannot bias. Timing runs
+//! through the `noc-probe` layer: one [`Probe::timer`] scope per run
+//! feeds a per-(workload, kind) histogram, and the report reads min/p50
+//! straight off the profile snapshot. Usage:
 //!
 //! ```text
-//! cargo run --release -p noc-experiments --example loop_timing [rounds]
+//! cargo run --release -p noc-experiments --features probe \
+//!     --example loop_timing [rounds]
 //! ```
-
-use std::time::Instant;
 
 use noc_dse::{run_scenarios, RunRecord};
 use noc_experiments::fig5c::{design_dsp, flows_from_tables};
 use noc_experiments::mesh3d::mesh3d_spec;
 use noc_graph::Topology;
+use noc_probe::Probe;
 use noc_sim::{LoopKind, SimConfig, SimReport, Simulator};
 
 const KINDS: [(&str, LoopKind); 3] = [
@@ -25,9 +28,15 @@ const KINDS: [(&str, LoopKind); 3] = [
     ("event-queue", LoopKind::EventQueue),
 ];
 
+/// Histogram name for one (workload, loop-kind) timing series.
+fn timer_name(workload: &str, kind: &str) -> String {
+    format!("loop_timing.{workload}.{kind}_us")
+}
+
 fn main() {
     let rounds: usize =
         std::env::args().nth(1).map(|a| a.parse().expect("rounds: integer")).unwrap_or(10);
+    let probe = Probe::new();
     let design = design_dsp();
     // The full Figure 5(c) windows (not the criterion bench's reduced
     // ones): the drain tail is where idle-time skipping pays.
@@ -40,18 +49,19 @@ fn main() {
 
     // The sweep's near-saturation left edge and low-load right edge.
     for bandwidth in [1_100.0, 1_800.0] {
+        let workload = format!("split{bandwidth}");
         let topology = Topology::mesh(3, 2, bandwidth);
-        let mut nanos: [Vec<u64>; KINDS.len()] = Default::default();
         let mut reports: Vec<Option<SimReport>> = vec![None; KINDS.len()];
         for _ in 0..rounds {
-            for (i, &(_, kind)) in KINDS.iter().enumerate() {
+            for (i, &(name, kind)) in KINDS.iter().enumerate() {
                 let flows =
                     flows_from_tables(&design.problem, &design.mapping, &design.split_tables);
                 let mut sim = Simulator::new(&topology, flows, config.clone());
                 sim.set_loop_kind(kind);
-                let start = Instant::now();
-                let report = sim.run();
-                nanos[i].push(start.elapsed().as_nanos() as u64);
+                let report = {
+                    let _timer = probe.timer(&timer_name(&workload, name));
+                    sim.run()
+                };
                 match &reports[i] {
                     None => reports[i] = Some(report),
                     Some(prev) => assert_eq!(prev, &report, "{kind:?} not deterministic"),
@@ -61,22 +71,22 @@ fn main() {
         assert_eq!(reports[0], reports[1], "active-set diverged from full-scan");
         assert_eq!(reports[0], reports[2], "event-queue diverged from full-scan");
 
-        report(&format!("split workload @ {bandwidth} MB/s links"), rounds, &mut nanos);
+        report(&probe, &format!("split workload @ {bandwidth} MB/s links"), rounds, &workload);
     }
 
     // The full 2-D vs 3-D study (`nmap_dse --mesh3d`): six applications
     // on fitted 2-D meshes and a 4x4x2 grid, full simulation windows.
     // Single-threaded so the numbers time the simulator, not the pool.
-    let mut nanos: [Vec<u64>; KINDS.len()] = Default::default();
     let mut records: Vec<Option<Vec<RunRecord>>> = vec![None; KINDS.len()];
     for _ in 0..rounds {
-        for (i, &(_, kind)) in KINDS.iter().enumerate() {
+        for (i, &(name, kind)) in KINDS.iter().enumerate() {
             let mut spec = mesh3d_spec(false);
             spec.simulate.as_mut().expect("mesh3d simulates").loop_kind = kind;
             let set = spec.scenarios();
-            let start = Instant::now();
-            let mut recs = run_scenarios(set.scenarios(), 1);
-            nanos[i].push(start.elapsed().as_nanos() as u64);
+            let mut recs = {
+                let _timer = probe.timer(&timer_name("mesh3d", name));
+                run_scenarios(set.scenarios(), 1)
+            };
             // Records embed wall-clock stage times; zero them so the
             // determinism and cross-kind comparisons see results only.
             for r in &mut recs {
@@ -90,19 +100,18 @@ fn main() {
     }
     assert_eq!(records[0], records[1], "active-set diverged from full-scan");
     assert_eq!(records[0], records[2], "event-queue diverged from full-scan");
-    report("mesh3d study (12 scenarios, engine single-threaded)", rounds, &mut nanos);
+    report(&probe, "mesh3d study (12 scenarios, engine single-threaded)", rounds, "mesh3d");
 }
 
-fn report(label: &str, rounds: usize, nanos: &mut [Vec<u64>; KINDS.len()]) {
+fn report(probe: &Probe, label: &str, rounds: usize, workload: &str) {
+    let profile = probe.snapshot();
     println!("{label} ({rounds} interleaved rounds):");
-    for (i, &(name, _)) in KINDS.iter().enumerate() {
-        nanos[i].sort_unstable();
-        let min = nanos[i][0];
-        let median = nanos[i][nanos[i].len() / 2];
-        println!("  {name:<12} min {:>7.3} ms   median {:>7.3} ms", ms(min), ms(median));
+    for &(name, _) in KINDS.iter() {
+        let h = profile.histogram(&timer_name(workload, name)).expect("timer recorded");
+        println!("  {name:<12} min {:>7.3} ms   median {:>7.3} ms", ms(h.min), ms(h.p50));
     }
 }
 
-fn ms(nanos: u64) -> f64 {
-    nanos as f64 / 1e6
+fn ms(us: u64) -> f64 {
+    us as f64 / 1e3
 }

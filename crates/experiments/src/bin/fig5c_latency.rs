@@ -1,13 +1,27 @@
 //! Regenerates Figure 5(c): average packet latency vs link bandwidth for
 //! the DSP filter NoC, single-path vs split-traffic routing.
+//!
+//! `--profile <path>` dumps the instrumentation profile (simulator cycle
+//! and wake-up counters) as JSON lines; needs the `probe` cargo feature
+//! for non-empty output.
 
-use noc_experiments::fig5c::{run, Fig5cConfig};
+use std::process::ExitCode;
+
+use noc_experiments::fig5c::{run_probed, Fig5cConfig};
+use noc_experiments::profile_cli::ProfileFlag;
 use noc_experiments::report::{fmt, TextTable};
 
-fn main() {
+fn main() -> ExitCode {
+    let flag = match ProfileFlag::from_env("usage: fig5c_latency [--profile <path>]") {
+        Ok(flag) => flag,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
     println!("Figure 5(c) — avg packet latency (cycles) vs link bandwidth, DSP NoC");
     println!("(wormhole simulator, 64 B packets, 7-cycle switch delay, bursty sources)\n");
-    let points = run(&Fig5cConfig::default());
+    let points = run_probed(&Fig5cConfig::default(), &flag.probe);
     let mut table = TextTable::new([
         "BW (GB/s)",
         "Minp (cy)",
@@ -34,4 +48,9 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    if let Err(msg) = flag.write() {
+        eprintln!("error: {msg}");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

@@ -15,6 +15,10 @@
 //!           --jsonl <path>          write records as JSON lines
 //!           --csv <path>            write records as CSV
 //!           --timing                include per-stage wall times in output
+//!           --profile <path>        write the instrumentation profile as JSON
+//!                                   lines (counters, histograms, run-log
+//!                                   events; needs the `probe` cargo feature
+//!                                   for non-empty output)
 //!           --allow-failures        (--spec only) exit 0 even when scenarios fail
 //! ```
 //!
@@ -27,19 +31,20 @@
 
 use std::process::ExitCode;
 
-use noc_dse::{parse_spec, run_sweep, EngineOptions, LoopKind, SweepReport};
+use noc_dse::{parse_spec, run_sweep_probed, EngineOptions, LoopKind, SweepReport};
 use noc_experiments::dse_bridge::{
-    fig5c_smoke_config, fig5c_via_engine, table2_rows_from_records, table2_scenario_set,
+    fig5c_smoke_config, fig5c_via_engine_probed, table2_rows_from_records, table2_scenario_set,
     torus_vs_mesh_rows_from_records, torus_vs_mesh_set,
 };
 use noc_experiments::fig5c::Fig5cConfig;
 use noc_experiments::mesh3d::{mesh3d_rows_from_records, mesh3d_spec};
 use noc_experiments::report::{fmt, TextTable};
 use noc_experiments::table2::Table2Config;
+use noc_probe::Probe;
 
 const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --fig5c [--smoke] \
 | --mesh3d [--smoke] | --spec <file>) [--loop <kind>] [--threads N] [--jsonl <path>] \
-[--csv <path>] [--timing] [--allow-failures]";
+[--csv <path>] [--timing] [--profile <path>] [--allow-failures]";
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
@@ -64,6 +69,8 @@ struct Args {
     jsonl: Option<String>,
     csv: Option<String>,
     timing: bool,
+    /// `--profile`: dump the instrumentation profile as JSON lines.
+    profile: Option<String>,
     allow_failures: bool,
 }
 
@@ -77,6 +84,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut jsonl = None;
     let mut csv = None;
     let mut timing = false;
+    let mut profile = None;
     let mut allow_failures = false;
 
     while let Some(arg) = raw.next() {
@@ -110,6 +118,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--jsonl" => jsonl = Some(raw.next().ok_or("--jsonl needs a path")?),
             "--csv" => csv = Some(raw.next().ok_or("--csv needs a path")?),
             "--timing" => timing = true,
+            "--profile" => profile = Some(raw.next().ok_or("--profile needs a path")?),
             "--allow-failures" => allow_failures = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
@@ -139,6 +148,8 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     if mode == Mode::Fig5c && (jsonl.is_some() || csv.is_some() || timing) {
         // The fig5c sweep reports latency points, not scenario records.
+        // (`--profile` stays valid: the instrumentation profile is
+        // mode-independent.)
         return Err("--jsonl/--csv/--timing are not supported with --fig5c".into());
     }
     Ok(Some(Args {
@@ -150,6 +161,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         jsonl,
         csv,
         timing,
+        profile,
         allow_failures,
     }))
 }
@@ -166,8 +178,17 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+    // A live probe only when a profile was requested — otherwise the
+    // disabled handle, whose hooks are no-ops.
+    let probe = if args.profile.is_some() { Probe::new() } else { Probe::disabled() };
+    match run(&args, &probe) {
+        Ok(()) => match write_profile(&args, &probe) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(1)
+            }
+        },
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(1)
@@ -175,13 +196,30 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+/// Writes the accumulated instrumentation profile when `--profile` was
+/// given. Without the `probe` cargo feature the hooks compile to no-ops:
+/// the file is still written (empty) and a warning explains why.
+fn write_profile(args: &Args, probe: &Probe) -> Result<(), String> {
+    let Some(path) = &args.profile else { return Ok(()) };
+    if !Probe::compiled() {
+        eprintln!(
+            "warning: built without the `probe` feature — the profile is empty \
+(rebuild with --features probe)"
+        );
+    }
+    std::fs::write(path, probe.snapshot().to_jsonl())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+fn run(args: &Args, probe: &Probe) -> Result<(), String> {
     match args.mode {
         Mode::Table2 => {
             println!("Table 2 via noc-dse — PBB vs NMAP on random graphs (engine sweep)");
             println!("(values identical to the sequential table2_scaling harness)\n");
             let config = Table2Config::default();
-            let report = sweep(&table2_scenario_set(&config), args)?;
+            let report = sweep(&table2_scenario_set(&config), args, probe)?;
             let rows = table2_rows_from_records(&config, &report.records);
             let mut table = TextTable::new(["cores", "PBB", "NMAP", "ratio"]);
             for row in rows {
@@ -197,7 +235,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
         Mode::TorusVsMesh => {
             println!("Torus vs mesh — NMAP cost with and without wrap links\n");
-            let report = sweep(&torus_vs_mesh_set(), args)?;
+            let report = sweep(&torus_vs_mesh_set(), args, probe)?;
             let rows = torus_vs_mesh_rows_from_records(&report.records);
             let mut table = TextTable::new(["app", "mesh", "torus", "mesh/torus"]);
             for row in rows {
@@ -221,7 +259,7 @@ fn run(args: &Args) -> Result<(), String> {
             if let Some(kind) = args.loop_kind {
                 spec.simulate.as_mut().expect("mesh3d spec simulates").loop_kind = kind;
             }
-            let report = sweep(&spec.scenarios(), args)?;
+            let report = sweep(&spec.scenarios(), args, probe)?;
             let rows = mesh3d_rows_from_records(&report.records);
             let mut table = TextTable::new([
                 "app", "cores", "cost 2D", "cost 3D", "2D/3D", "lat 2D", "lat 3D", "notes",
@@ -249,7 +287,7 @@ fn run(args: &Args) -> Result<(), String> {
             }
             println!("Figure 5(c) via noc-dse — avg packet latency vs link bandwidth, DSP NoC");
             println!("(values identical to the sequential fig5c_latency harness)\n");
-            let points = fig5c_via_engine(&config, args.threads);
+            let points = fig5c_via_engine_probed(&config, args.threads, probe);
             let mut table = TextTable::new(["BW (GB/s)", "Minp (cy)", "Split (cy)", "notes"]);
             for p in &points {
                 let mut notes = String::new();
@@ -272,7 +310,7 @@ fn run(args: &Args) -> Result<(), String> {
         Mode::Smoke => {
             for (label, text) in [("smoke", SMOKE_SPEC), ("smoke-split", SMOKE_SPLIT_SPEC)] {
                 let spec = parse_spec(text).map_err(|e| format!("{label} spec: {e}"))?;
-                let report = sweep(&spec.scenarios(), args)?;
+                let report = sweep(&spec.scenarios(), args, probe)?;
                 let failed: Vec<_> = report.records.iter().filter(|r| !r.is_ok()).collect();
                 if !failed.is_empty() {
                     return Err(format!(
@@ -293,7 +331,7 @@ fn run(args: &Args) -> Result<(), String> {
             // A successfully parsed spec always expands to at least one
             // scenario: parse_spec requires an app directive and the
             // builder default-fills every other axis.
-            let report = sweep(&spec.scenarios(), args)?;
+            let report = sweep(&spec.scenarios(), args, probe)?;
             let failed = report.records.iter().filter(|r| !r.is_ok()).count();
             if failed > 0 && !args.allow_failures {
                 return Err(format!(
@@ -308,9 +346,9 @@ that is expected)",
 }
 
 /// Runs the sweep, writes requested outputs, prints the summary.
-fn sweep(set: &noc_dse::ScenarioSet, args: &Args) -> Result<SweepReport, String> {
+fn sweep(set: &noc_dse::ScenarioSet, args: &Args, probe: &Probe) -> Result<SweepReport, String> {
     println!("running {} scenarios...", set.len());
-    let report = run_sweep(set, &EngineOptions { threads: args.threads });
+    let report = run_sweep_probed(set, &EngineOptions { threads: args.threads }, probe);
     if let Some(path) = &args.jsonl {
         std::fs::write(path, report.write_jsonl(args.timing))
             .map_err(|e| format!("cannot write {path}: {e}"))?;

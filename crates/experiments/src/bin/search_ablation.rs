@@ -2,14 +2,28 @@
 //! across the six video applications, plus the search-strategy
 //! comparison (descent vs simulated annealing vs tabu) through the
 //! `nmap::search` registry.
+//!
+//! `--profile <path>` dumps the instrumentation profile (search
+//! counters, `sa.sample`/`tabu.sample` trajectory events) as JSON lines;
+//! needs the `probe` cargo feature for non-empty output.
 
+use std::process::ExitCode;
+
+use noc_experiments::profile_cli::ProfileFlag;
 use noc_experiments::report::{fmt, TextTable};
-use noc_experiments::search_ablation::{run_all, run_strategies};
+use noc_experiments::search_ablation::{run_all_probed, run_strategies_probed};
 
-fn main() {
+fn main() -> ExitCode {
+    let flag = match ProfileFlag::from_env("usage: search_ablation [--profile <path>]") {
+        Ok(flag) => flag,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
     println!("NMAP search ablation — cost / evaluations / time per configuration\n");
     let mut table = TextTable::new(["app", "configuration", "cost", "evals", "time"]);
-    for point in run_all() {
+    for point in run_all_probed(&flag.probe) {
         table.row([
             point.app.name().to_string(),
             point.config.to_string(),
@@ -24,7 +38,7 @@ fn main() {
 
     println!("\nSearch strategies via the mapper registry — same swap-delta kernel\n");
     let mut table = TextTable::new(["app", "mapper", "cost", "evals", "time"]);
-    for point in run_strategies() {
+    for point in run_strategies_probed(&flag.probe) {
         table.row([
             point.app.name().to_string(),
             point.mapper.to_string(),
@@ -36,4 +50,9 @@ fn main() {
     print!("{}", table.render());
     println!("\nsa/tabu are seeded and deterministic; all strategies score Equation-7 cost");
     println!("with min-path feasibility, so rows are directly comparable.");
+    if let Err(msg) = flag.write() {
+        eprintln!("error: {msg}");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }

@@ -8,16 +8,17 @@
 //! paths are mutually checking (asserted by the `dse_table2` integration
 //! test). [`fig5c_via_engine`] does the same for the Figure 5(c)
 //! simulation sweep: the per-point wormhole runs fan out over the
-//! engine's deterministic [`pool_map`] and are asserted equal to the
+//! engine's deterministic [`noc_dse::pool_map`] and are asserted equal to the
 //! sequential [`crate::fig5c::run`] (the `dse_fig5c` integration test).
 //! [`torus_vs_mesh`] is a new engine-only study: how much of each
 //! application's communication cost the wrap-around links of a torus
 //! recover over a mesh of the same radix.
 
 use noc_dse::{
-    pool_map, run_scenarios, MapperSpec, RoutingSpec, RunRecord, ScenarioSet, TopologySpec,
+    pool_map_probed, run_scenarios, MapperSpec, RoutingSpec, RunRecord, ScenarioSet, TopologySpec,
 };
 use noc_graph::{RandomGraphConfig, Topology};
+use noc_probe::Probe;
 use noc_sim::Simulator;
 
 use crate::fig5c::{design_dsp, flows_from_tables, Fig5cConfig, Fig5cPoint};
@@ -98,16 +99,29 @@ pub fn table2_via_engine(config: &Table2Config, threads: usize) -> Vec<Table2Row
 /// identical to the sequential harness at every thread count (asserted by
 /// the `dse_fig5c` integration test).
 pub fn fig5c_via_engine(config: &Fig5cConfig, threads: usize) -> Vec<Fig5cPoint> {
+    fig5c_via_engine_probed(config, threads, &Probe::default())
+}
+
+/// [`fig5c_via_engine`] with instrumentation attached: the probe is
+/// threaded into each point's simulator (cycle and wake-up counters) and
+/// into the worker pool (per-worker utilization). The probe observes
+/// only — the points are byte-identical to an unprobed run.
+pub fn fig5c_via_engine_probed(
+    config: &Fig5cConfig,
+    threads: usize,
+    probe: &Probe,
+) -> Vec<Fig5cPoint> {
     let design = design_dsp();
     // Task order: [minpath(bw0), split(bw0), minpath(bw1), split(bw1), …].
     let tasks = config.bandwidths_mbps.len() * 2;
-    let runs = pool_map(tasks, threads, |i| {
+    let runs = pool_map_probed(tasks, threads, probe, |i| {
         let bw = config.bandwidths_mbps[i / 2];
         let tables = if i % 2 == 0 { &design.minpath_tables } else { &design.split_tables };
         let topology = Topology::mesh(3, 2, bw);
         let flows = flows_from_tables(&design.problem, &design.mapping, tables);
         let mut sim = Simulator::new(&topology, flows, config.sim.clone());
         sim.set_loop_kind(config.loop_kind);
+        sim.set_probe(probe);
         let report = sim.run();
         (report.avg_latency_cycles(), report.avg_network_latency_cycles(), report.saturated())
     });

@@ -203,6 +203,13 @@ pub fn flows_from_tables(
 
 /// Runs the full sweep.
 pub fn run(config: &Fig5cConfig) -> Vec<Fig5cPoint> {
+    run_probed(config, &noc_probe::Probe::default())
+}
+
+/// [`run`] with instrumentation attached: every point's simulator gets
+/// the probe (cycle and wake-up counters). The probe observes only — the
+/// points are byte-identical to an unprobed run.
+pub fn run_probed(config: &Fig5cConfig, probe: &noc_probe::Probe) -> Vec<Fig5cPoint> {
     let design = design_dsp();
     config
         .bandwidths_mbps
@@ -213,6 +220,7 @@ pub fn run(config: &Fig5cConfig) -> Vec<Fig5cPoint> {
                 let flows = flows_from_tables(&design.problem, &design.mapping, tables);
                 let mut sim = Simulator::new(&topology, flows, config.sim.clone());
                 sim.set_loop_kind(config.loop_kind);
+                sim.set_probe(probe);
                 let report = sim.run();
                 (
                     report.avg_latency_cycles(),

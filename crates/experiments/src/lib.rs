@@ -26,6 +26,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5c;
 pub mod mesh3d;
+pub mod profile_cli;
 pub mod report;
 pub mod routing_ablation;
 pub mod search_ablation;

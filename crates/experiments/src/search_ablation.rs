@@ -11,9 +11,10 @@
 
 use std::time::{Duration, Instant};
 
-use nmap::{map_single_path, EvalContext, SinglePathOptions};
+use nmap::{map_single_path_with, EvalContext, SinglePathOptions};
 use noc_apps::App;
 use noc_baselines::standard_registry;
+use noc_probe::Probe;
 
 use crate::{app_problem, GENEROUS_CAPACITY};
 
@@ -45,12 +46,22 @@ pub fn configurations() -> Vec<(&'static str, SinglePathOptions)> {
 
 /// Runs every configuration on every video application.
 pub fn run_all() -> Vec<AblationPoint> {
+    run_all_probed(&Probe::default())
+}
+
+/// [`run_all`] with instrumentation attached: each configuration runs
+/// through a probed [`EvalContext`] (evaluation and delta-gate
+/// counters). Outcomes are identical to an unprobed run — a fresh
+/// context per configuration, exactly like [`nmap::map_single_path`].
+pub fn run_all_probed(probe: &Probe) -> Vec<AblationPoint> {
     let mut out = Vec::new();
     for app in App::all() {
         let problem = app_problem(app, GENEROUS_CAPACITY);
         for (config, options) in configurations() {
+            let mut ctx = EvalContext::new(&problem);
+            ctx.set_probe(probe);
             let start = Instant::now();
-            let result = map_single_path(&problem, &options).expect("mesh routing succeeds");
+            let result = map_single_path_with(&mut ctx, &options).expect("mesh routing succeeds");
             out.push(AblationPoint {
                 config,
                 app,
@@ -94,6 +105,14 @@ pub const STRATEGIES: [&str; 4] = ["nmap-paper", "nmap", "sa", "tabu"];
 /// quadrant-DAG cache builds — the time column compares strategies, not
 /// cache-warming order (outcomes are context-independent either way).
 pub fn run_strategies() -> Vec<StrategyPoint> {
+    run_strategies_probed(&Probe::default())
+}
+
+/// [`run_strategies`] with instrumentation attached: each strategy runs
+/// through a probed [`EvalContext`], so the search counters and the
+/// `sa.sample`/`tabu.sample` trajectory events land in the profile.
+/// Outcomes are identical to an unprobed run.
+pub fn run_strategies_probed(probe: &Probe) -> Vec<StrategyPoint> {
     let registry = standard_registry();
     let mut out = Vec::new();
     for app in App::all() {
@@ -101,6 +120,7 @@ pub fn run_strategies() -> Vec<StrategyPoint> {
         for name in STRATEGIES {
             let mapper = registry.build(name, STRATEGY_SEED).expect("registered strategy");
             let mut ctx = EvalContext::new(&problem);
+            ctx.set_probe(probe);
             let start = Instant::now();
             let outcome = mapper.map(&mut ctx).expect("mesh mapping succeeds");
             out.push(StrategyPoint {
@@ -119,6 +139,7 @@ pub fn run_strategies() -> Vec<StrategyPoint> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nmap::map_single_path;
 
     #[test]
     fn richer_configurations_never_lose_on_pip() {

@@ -1,0 +1,100 @@
+//! Zero-cost-when-off instrumentation for the NMAP suite: counters,
+//! gauges, histograms, scoped stage timers and a JSONL event sink.
+//!
+//! # Two switches, one API
+//!
+//! Telemetry is controlled at two levels:
+//!
+//! * **Compile time** — the `probe` cargo feature. Without it (the
+//!   default) every handle in this crate is a zero-sized type and every
+//!   method an inlined empty body: instrumented call sites compile to
+//!   nothing, not even a branch. Consumer crates therefore depend on
+//!   `noc-probe` unconditionally and forward a `probe` feature of their
+//!   own — no `#[cfg]` at call sites.
+//! * **Run time** — the [`Probe`] handle. [`Probe::new`] creates a live
+//!   collector (when the feature is on); [`Probe::disabled`] (also the
+//!   [`Default`]) is inert in every build, so a library can thread a
+//!   probe through unconditionally and let the binary decide.
+//!
+//! # Out-of-band by construction
+//!
+//! Probes only *observe*: no method returns anything an instrumented
+//! algorithm could branch on (reads like [`Counter::get`] exist for tests
+//! and reporting, not for control flow). The workspace's differential
+//! suite pins the stronger property that all primary outputs are
+//! byte-identical with probes on, off, and compiled out.
+//!
+//! # Usage
+//!
+//! ```
+//! use noc_probe::{Probe, Value};
+//!
+//! let probe = Probe::new(); // live when built with `--features probe`
+//! let evals = probe.counter("search.evaluations");
+//! evals.inc();
+//! {
+//!     let _t = probe.timer("stage.route_us"); // records µs on drop
+//! }
+//! if probe.is_enabled() {
+//!     probe.emit("sa.sample", &[("iter", Value::from(10u64))]);
+//! }
+//! let jsonl = probe.to_jsonl(); // one JSON object per line
+//! # let _ = jsonl;
+//! ```
+//!
+//! Metric names are free-form; the workspace convention is
+//! `<subsystem>.<metric>[_<unit>]` (see DESIGN.md §16 for the catalog).
+
+mod profile;
+
+#[cfg(not(feature = "probe"))]
+mod off;
+#[cfg(feature = "probe")]
+mod on;
+
+#[cfg(feature = "probe")]
+pub use on::{Counter, Gauge, Histogram, Probe, StageTimer};
+
+#[cfg(not(feature = "probe"))]
+pub use off::{Counter, Gauge, Histogram, Probe, StageTimer};
+
+pub use profile::{CounterSnapshot, Event, GaugeSnapshot, HistogramSnapshot, Profile, Value};
+
+#[cfg(test)]
+mod api_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_is_inert_in_every_build() {
+        let probe = Probe::disabled();
+        assert!(!probe.is_enabled());
+        let c = probe.counter("x");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 0);
+        let g = probe.gauge("y");
+        g.set(1.5);
+        assert_eq!(g.get(), 0.0);
+        probe.histogram("z").record(7);
+        let _timer_scope = probe.timer("t");
+        probe.emit("e", &[("k", Value::from(1u64))]);
+        assert!(probe.snapshot().is_empty());
+        assert_eq!(probe.to_jsonl(), "");
+    }
+
+    #[test]
+    fn default_handles_are_disabled() {
+        // Instrumented structs hold `Counter::default()` etc. until a
+        // probe is attached; those must be no-ops, not panics.
+        Counter::default().inc();
+        Gauge::default().set(2.0);
+        Histogram::default().record(3);
+        assert!(!Probe::default().is_enabled());
+    }
+
+    #[test]
+    fn compiled_reflects_the_feature() {
+        assert_eq!(Probe::compiled(), cfg!(feature = "probe"));
+        assert_eq!(Probe::new().is_enabled(), cfg!(feature = "probe"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Feature-off twins: every handle is a zero-sized type and every method
+//! an inlined empty body, so instrumented call sites compile to nothing.
+//! The API mirrors [`crate::on`] exactly — keep the two in lockstep.
+
+use crate::profile::{Profile, Value};
+
+/// Inert stand-in for the live probe; see the crate docs.
+#[derive(Debug, Clone, Default)]
+pub struct Probe(());
+
+impl Probe {
+    /// Would be a live collector with the `probe` feature; inert here.
+    #[inline]
+    pub fn new() -> Self {
+        Probe(())
+    }
+
+    /// An inert probe (identical to [`Probe::new`] in this build).
+    #[inline]
+    pub fn disabled() -> Self {
+        Probe(())
+    }
+
+    /// Whether the crate was built with the `probe` feature.
+    #[inline]
+    pub const fn compiled() -> bool {
+        false
+    }
+
+    /// Always false: nothing is ever recorded in this build.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Returns a no-op counter handle.
+    #[inline]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter(())
+    }
+
+    /// Returns a no-op gauge handle.
+    #[inline]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge(())
+    }
+
+    /// Returns a no-op histogram handle.
+    #[inline]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram(())
+    }
+
+    /// Returns a timer that records nothing on drop.
+    #[inline]
+    pub fn timer(&self, _name: &str) -> StageTimer {
+        StageTimer
+    }
+
+    /// Discards the event.
+    #[inline]
+    pub fn emit(&self, _name: &str, _fields: &[(&str, Value)]) {}
+
+    /// Always the empty profile.
+    #[inline]
+    pub fn snapshot(&self) -> Profile {
+        Profile::default()
+    }
+
+    /// Always the empty string.
+    #[inline]
+    pub fn to_jsonl(&self) -> String {
+        String::new()
+    }
+}
+
+/// No-op counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(());
+
+impl Counter {
+    /// Does nothing.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always zero.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(());
+
+impl Gauge {
+    /// Does nothing.
+    #[inline]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(());
+
+impl Histogram {
+    /// Does nothing.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+}
+
+/// Timer that records nothing when dropped.
+#[derive(Debug, Default)]
+pub struct StageTimer;

@@ -26,6 +26,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use noc_probe::Counter;
+
 /// One schedulable simulator component. The ordering only disambiguates
 /// heap entries at equal ticks; every executed cycle rescans all active
 /// components, so pop order within a cycle is immaterial.
@@ -70,6 +72,10 @@ pub(crate) struct TickQueue {
     /// First cycle not yet executed: ticks below this are stale, and
     /// scheduling below it would mean waking a component in the past.
     next_allowed: u64,
+    /// Telemetry: accepted schedules landing in the near mask / the heap
+    /// (no-op handles unless the simulator attached a live probe).
+    near_hits: Counter,
+    heap_hits: Counter,
 }
 
 impl TickQueue {
@@ -82,7 +88,15 @@ impl TickQueue {
             source_at: vec![u64::MAX; sources],
             watchdog_at: u64::MAX,
             next_allowed: 0,
+            near_hits: Counter::default(),
+            heap_hits: Counter::default(),
         }
+    }
+
+    /// Attaches the near-mask / heap insertion counters.
+    pub fn set_counters(&mut self, near_hits: Counter, heap_hits: Counter) {
+        self.near_hits = near_hits;
+        self.heap_hits = heap_hits;
     }
 
     fn slot_mut(&mut self, component: Component) -> &mut u64 {
@@ -130,8 +144,10 @@ impl TickQueue {
         let delta = tick - next_allowed;
         if delta < 64 {
             self.near |= 1 << delta;
+            self.near_hits.inc();
         } else {
             self.heap.push(Reverse((tick, component)));
+            self.heap_hits.inc();
         }
     }
 

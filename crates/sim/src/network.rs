@@ -4,6 +4,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use noc_graph::{LinkId, NodeId, Topology};
+use noc_probe::{Counter, Probe};
 
 use crate::config::SimConfig;
 use crate::event::{Component, TickQueue};
@@ -125,6 +126,45 @@ impl SimReport {
     }
 }
 
+/// Telemetry handles for the simulator (see `crates/probe`): no-ops
+/// unless [`Simulator::set_probe`] attached a live probe, and strictly
+/// out-of-band either way — nothing in the simulation reads them, so
+/// reports stay byte-identical with probes on, off, or compiled out.
+///
+/// Wake-up counters tally scheduling *requests* by reason, before the
+/// tick queue's dedup (the interesting signal is how often each
+/// mechanism fires, not how many queue slots survive coalescing).
+#[derive(Debug, Clone, Default)]
+struct SimCounters {
+    cycles_executed: Counter,
+    cycles_skipped: Counter,
+    wake_source: Counter,
+    wake_eligibility: Counter,
+    wake_token_ready: Counter,
+    wake_backpressure: Counter,
+    wake_tail_release: Counter,
+    wake_watchdog: Counter,
+    sched_near: Counter,
+    sched_heap: Counter,
+}
+
+impl SimCounters {
+    fn new(probe: &Probe) -> Self {
+        Self {
+            cycles_executed: probe.counter("sim.cycles_executed"),
+            cycles_skipped: probe.counter("sim.cycles_skipped"),
+            wake_source: probe.counter("sim.wake_source"),
+            wake_eligibility: probe.counter("sim.wake_eligibility"),
+            wake_token_ready: probe.counter("sim.wake_token_ready"),
+            wake_backpressure: probe.counter("sim.wake_backpressure"),
+            wake_tail_release: probe.counter("sim.wake_tail_release"),
+            wake_watchdog: probe.counter("sim.wake_watchdog"),
+            sched_near: probe.counter("sim.sched_near"),
+            sched_heap: probe.counter("sim.sched_heap"),
+        }
+    }
+}
+
 /// Flit-level wormhole simulator over a [`Topology`] and a set of
 /// [`FlowSpec`]s. See the [crate-level docs](crate) for the model.
 #[derive(Debug)]
@@ -174,6 +214,13 @@ pub struct Simulator {
     last_progress: u64,
 
     // Accounting.
+    /// Cycles the main loop actually ran the scan passes for — equal to
+    /// `cycle` under the cycle-stepped loops, typically far smaller under
+    /// [`LoopKind::EventQueue`]. Maintained unconditionally (it is one
+    /// add per executed cycle) so [`Self::executed_cycle_fraction`] works
+    /// without the `probe` feature.
+    executed_cycles: u64,
+    counters: SimCounters,
     next_packet_id: u64,
     generated: u64,
     delivered: u64,
@@ -252,6 +299,8 @@ impl Simulator {
             inject_queue_of,
             eject_channel: vec![ChannelState::default(); node_count],
             last_progress: 0,
+            executed_cycles: 0,
+            counters: SimCounters::default(),
             next_packet_id: 0,
             generated: 0,
             delivered: 0,
@@ -275,11 +324,38 @@ impl Simulator {
         self.loop_kind = kind;
     }
 
+    /// Attaches a telemetry probe (see `crates/probe`). The simulator
+    /// only ever *writes* to it, so attaching one cannot change any
+    /// report — pinned by the probe-identity differential suite.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.counters = SimCounters::new(probe);
+    }
+
+    /// Cycles whose scan passes actually ran (all of them under the
+    /// cycle-stepped loops; only provably-relevant ones under
+    /// [`LoopKind::EventQueue`]).
+    pub fn executed_cycles(&self) -> u64 {
+        self.executed_cycles
+    }
+
+    /// Fraction of simulated cycles actually executed so far — the
+    /// workload-density signal a hybrid loop would switch on: near 1.0
+    /// the event queue is pure overhead, near 0.0 it is the whole win.
+    /// Returns 0.0 before any cycle has been simulated.
+    pub fn executed_cycle_fraction(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        self.executed_cycles as f64 / self.cycle as f64
+    }
+
     /// Runs warm-up, measurement and drain, returning the report.
     pub fn run(&mut self) -> SimReport {
         let total =
             self.config.warmup_cycles + self.config.measure_cycles + self.config.drain_cycles;
         let generation_end = self.config.warmup_cycles + self.config.measure_cycles;
+        let cycle_before = self.cycle;
+        let executed_before = self.executed_cycles;
         if self.loop_kind == LoopKind::EventQueue {
             self.run_event_queue(total, generation_end);
         } else {
@@ -287,6 +363,10 @@ impl Simulator {
                 self.step(self.cycle < generation_end);
             }
         }
+        let executed = self.executed_cycles - executed_before;
+        let window = self.cycle - cycle_before;
+        self.counters.cycles_executed.add(executed);
+        self.counters.cycles_skipped.add(window - executed);
         SimReport {
             cycles: self.cycle,
             generated_packets: self.generated,
@@ -312,6 +392,7 @@ impl Simulator {
         self.traverse_links(None);
         self.watchdog();
         self.cycle += 1;
+        self.executed_cycles += 1;
     }
 
     /// The event-driven main loop: executes only the cycles the tick
@@ -331,17 +412,21 @@ impl Simulator {
     fn run_event_queue(&mut self, total: u64, generation_end: u64) {
         let mut queue =
             TickQueue::new(self.node_count, self.link_buffers.len(), self.sources.len());
+        queue.set_counters(self.counters.sched_near.clone(), self.counters.sched_heap.clone());
         for i in 0..self.sources.len() {
             if let Some(fire) = self.sources[i].next_fire_cycle() {
                 if fire < generation_end {
+                    self.counters.wake_source.inc();
                     queue.schedule(fire, Component::Source(i));
                 }
             }
         }
+        self.counters.wake_watchdog.inc();
         queue.schedule(self.last_progress + STALL_THRESHOLD, Component::Watchdog);
         let mut next = queue.pop_due(total);
         while let Some(tick) = next {
             self.cycle = tick;
+            self.executed_cycles += 1;
             if tick < generation_end {
                 self.generate_traffic(Some(&mut queue));
             }
@@ -352,8 +437,10 @@ impl Simulator {
             // STALL_THRESHOLD` like the per-cycle check would; it also
             // bounds how far the loop can skip ahead, keeping every
             // conservative wake-up within one stall window.
+            self.counters.wake_watchdog.inc();
             queue.schedule(self.last_progress + STALL_THRESHOLD, Component::Watchdog);
             if purged {
+                self.counters.wake_watchdog.inc();
                 queue.schedule(self.cycle + 1, Component::Watchdog);
             }
             next = queue.pop_due(total);
@@ -413,6 +500,7 @@ impl Simulator {
                     }
                     if let Some(fire) = self.sources[i].next_fire_cycle() {
                         if fire < generation_end {
+                            self.counters.wake_source.inc();
                             q.schedule(fire, Component::Source(i));
                         }
                     }
@@ -541,12 +629,14 @@ impl Simulator {
                     if is_tail && self.node_flits[node] > 0 {
                         // Ejection channel released: any other buffered
                         // flit at this node may now be allocatable.
+                        self.counters.wake_tail_release.inc();
                         q.schedule(self.cycle + 1, Component::Node(node));
                     }
                 }
             }
             if let Some(q) = sched.as_deref_mut() {
                 if retry != u64::MAX {
+                    self.counters.wake_eligibility.inc();
                     q.schedule(retry, Component::Node(node));
                 }
             }
@@ -704,6 +794,7 @@ impl Simulator {
                 if let Some(q) = sched.as_deref_mut() {
                     if was_full {
                         if let InputId::Link(f) = input {
+                            self.counters.wake_backpressure.inc();
                             q.schedule(self.cycle + 1, Component::Link(f.index()));
                         }
                     }
@@ -715,8 +806,10 @@ impl Simulator {
                         Some(&nf) if !is_tail && nf.packet == packet => {
                             let elig = (nf.arrived + self.flit_delay(&nf)).max(self.cycle + 1);
                             if self.link_tokens[link] >= flit_bytes {
+                                self.counters.wake_eligibility.inc();
                                 q.schedule(elig, Component::Link(link));
                             } else if let Some(t) = self.cached_token_ready(link, flit_bytes) {
+                                self.counters.wake_token_ready.inc();
                                 q.schedule(t.max(elig), Component::Link(link));
                             }
                         }
@@ -726,6 +819,7 @@ impl Simulator {
                     if is_tail && self.node_flits[upstream] > 0 {
                         // Channel released: another packet's head flit at
                         // this node may now be allocatable onto the link.
+                        self.counters.wake_tail_release.inc();
                         q.schedule(self.cycle + 1, Component::Link(link));
                     }
                     if dst_was_empty {
@@ -751,6 +845,11 @@ impl Simulator {
                     }
                 };
                 if retry != u64::MAX {
+                    if has_tokens {
+                        self.counters.wake_eligibility.inc();
+                    } else {
+                        self.counters.wake_token_ready.inc();
+                    }
                     q.schedule(retry, Component::Link(link));
                 }
             }
@@ -765,6 +864,7 @@ impl Simulator {
     fn wake_after_pop(&mut self, q: &mut TickQueue, node: usize, input: InputId, was_full: bool) {
         if was_full {
             if let InputId::Link(f) = input {
+                self.counters.wake_backpressure.inc();
                 q.schedule(self.cycle + 1, Component::Link(f.index()));
             }
         }
@@ -787,16 +887,23 @@ impl Simulator {
         };
         let elig = (front.arrived + self.flit_delay(&front)).max(self.cycle + 1);
         match self.next_link(&front) {
-            None => q.schedule(elig, Component::Node(node)),
+            None => {
+                self.counters.wake_eligibility.inc();
+                q.schedule(elig, Component::Node(node));
+            }
             Some(l) => {
                 let link = l.index();
                 let flit_bytes = self.config.flit_bytes as f64;
                 self.sync_link_tokens(link);
                 let wake = if self.link_tokens[link] >= flit_bytes {
+                    self.counters.wake_eligibility.inc();
                     elig
                 } else {
                     match self.cached_token_ready(link, flit_bytes) {
-                        Some(t) => t.max(elig),
+                        Some(t) => {
+                            self.counters.wake_token_ready.inc();
+                            t.max(elig)
+                        }
                         None => return,
                     }
                 };
