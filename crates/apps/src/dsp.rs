@@ -53,7 +53,7 @@ mod tests {
         let g = dsp_filter();
         assert_eq!(g.core_count(), 6);
         assert_eq!(g.edge_count(), 8);
-        let mut weights: Vec<f64> = g.edges().map(|(_, e)| e.bandwidth).collect();
+        let mut weights: Vec<f64> = g.edges().map(|(_, e)| e.bandwidth.to_f64()).collect();
         weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(weights, vec![200.0, 200.0, 200.0, 200.0, 200.0, 200.0, 600.0, 600.0]);
     }
@@ -62,7 +62,7 @@ mod tests {
     fn hot_edges_form_the_fft_filter_pair() {
         let g = dsp_filter();
         let mut endpoints = Vec::new();
-        for (_, e) in g.edges().filter(|(_, e)| e.bandwidth == 600.0) {
+        for (_, e) in g.edges().filter(|(_, e)| e.bandwidth.to_f64() == 600.0) {
             endpoints.push((g.name(e.src).to_string(), g.name(e.dst).to_string()));
         }
         endpoints.sort();

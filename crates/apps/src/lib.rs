@@ -150,7 +150,7 @@ mod tests {
         for app in App::all() {
             let total = app.core_graph().total_bandwidth();
             assert!(
-                (500.0..10_000.0).contains(&total),
+                (500.0..10_000.0).contains(&total.to_f64()),
                 "{app} aggregate {total} MB/s out of the plausible range"
             );
         }

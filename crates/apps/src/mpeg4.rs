@@ -88,6 +88,6 @@ mod tests {
     #[test]
     fn aggregate_demand_is_gigabyte_scale() {
         let total = mpeg4().total_bandwidth();
-        assert!((3_000.0..5_000.0).contains(&total), "total {total}");
+        assert!((3_000.0..5_000.0).contains(&total.to_f64()), "total {total}");
     }
 }

@@ -100,8 +100,8 @@ mod tests {
         let ext = mwag();
         assert!(ext.total_bandwidth() > base.total_bandwidth());
         // Every MWA edge weight multiset entry survives in MWAG.
-        let mut base_w: Vec<f64> = base.edges().map(|(_, e)| e.bandwidth).collect();
-        let mut ext_w: Vec<f64> = ext.edges().map(|(_, e)| e.bandwidth).collect();
+        let mut base_w: Vec<f64> = base.edges().map(|(_, e)| e.bandwidth.to_f64()).collect();
+        let mut ext_w: Vec<f64> = ext.edges().map(|(_, e)| e.bandwidth.to_f64()).collect();
         base_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
         ext_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for w in base_w {

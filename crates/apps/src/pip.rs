@@ -51,7 +51,7 @@ mod tests {
 
     #[test]
     fn pip_is_the_lightest_app() {
-        assert!(pip().total_bandwidth() < 1_000.0);
+        assert!(pip().total_bandwidth() < noc_units::mbps(1_000.0));
     }
 
     #[test]

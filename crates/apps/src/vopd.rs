@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn weight_multiset_matches_figure() {
         let g = vopd();
-        let mut weights: Vec<f64> = g.edges().map(|(_, e)| e.bandwidth).collect();
+        let mut weights: Vec<f64> = g.edges().map(|(_, e)| e.bandwidth.to_f64()).collect();
         weights.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut expected = vec![
             16.0, 16.0, 16.0, 16.0, 16.0, 16.0, 27.0, 49.0, 70.0, 94.0, 157.0, 300.0, 313.0, 313.0,
@@ -99,7 +99,7 @@ mod tests {
             g.edges().max_by(|a, b| a.1.bandwidth.partial_cmp(&b.1.bandwidth).unwrap()).unwrap();
         assert_eq!(g.name(max.1.src), "ref_mem");
         assert_eq!(g.name(max.1.dst), "up_samp");
-        assert_eq!(max.1.bandwidth, 500.0);
+        assert_eq!(max.1.bandwidth.to_f64(), 500.0);
     }
 
     #[test]
@@ -117,7 +117,7 @@ mod tests {
             let src = g.cores().find(|&c| g.name(c) == a).unwrap();
             let dst = g.cores().find(|&c| g.name(c) == b).unwrap();
             let e = g.find_edge(src, dst).expect("chain edge exists");
-            assert_eq!(g.edge(e).bandwidth, bw);
+            assert_eq!(g.edge(e).bandwidth.to_f64(), bw);
         }
     }
 }

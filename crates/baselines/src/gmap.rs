@@ -18,13 +18,7 @@ pub fn gmap(problem: &MappingProblem) -> Mapping {
 
     // Static order: decreasing total communication demand.
     let mut order: Vec<CoreId> = cores.cores().collect();
-    order.sort_by(|&a, &b| {
-        cores
-            .total_comm(b)
-            .partial_cmp(&cores.total_comm(a))
-            .expect("bandwidths are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| cores.total_comm(b).cmp(&cores.total_comm(a)).then(a.cmp(&b)));
 
     let mut placed: Vec<CoreId> = Vec::with_capacity(order.len());
     for core in order {
@@ -37,9 +31,9 @@ pub fn gmap(problem: &MappingProblem) -> Mapping {
             let mut cost = 0.0;
             for &w in &placed {
                 let comm = cores.comm_between(core, w);
-                if comm > 0.0 {
+                if comm > noc_units::Mbps::ZERO {
                     let host = mapping.node_of(w).expect("placed");
-                    cost += comm * topology.hop_distance(node, host) as f64;
+                    cost += comm.to_f64() * topology.hop_distance(node, host) as f64;
                 }
             }
             // First core: bias toward the centre like the other mappers, so
@@ -111,6 +105,6 @@ mod tests {
         // Cost can never be below total bandwidth (every edge >= 1 hop).
         let p = problem(&[(0, 1, 100.0), (1, 2, 100.0), (0, 2, 100.0)], 3, 2, 2);
         let m = gmap(&p);
-        assert!(p.comm_cost(&m) >= p.cores().total_bandwidth());
+        assert!(p.comm_cost(&m).to_f64() >= p.cores().total_bandwidth().to_f64());
     }
 }

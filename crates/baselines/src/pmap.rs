@@ -35,9 +35,9 @@ pub fn pmap(problem: &MappingProblem) -> Mapping {
         let next = *unmapped
             .iter()
             .max_by(|&&a, &&b| {
-                let ca: f64 = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
-                let cb: f64 = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
-                ca.partial_cmp(&cb).expect("finite").then(b.cmp(&a))
+                let ca: noc_units::Mbps = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
+                let cb: noc_units::Mbps = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
+                ca.cmp(&cb).then(b.cmp(&a))
             })
             .expect("non-empty");
 
@@ -64,9 +64,9 @@ pub fn pmap(problem: &MappingProblem) -> Mapping {
                         .iter()
                         .map(|&w| {
                             let comm = cores.comm_between(next, w);
-                            if comm > 0.0 {
+                            if comm > noc_units::Mbps::ZERO {
                                 let host = mapping.node_of(w).expect("placed");
-                                comm * topology.hop_distance(n, host) as f64
+                                comm.to_f64() * topology.hop_distance(n, host) as f64
                             } else {
                                 0.0
                             }

@@ -69,7 +69,8 @@ fn bench_swap_delta(c: &mut Criterion) {
                     let mut acc = 0.0;
                     for i in 0..n {
                         for j in (i + 1)..n {
-                            acc += ctx.swap_delta(&mapping, NodeId::new(i), NodeId::new(j));
+                            acc +=
+                                ctx.swap_delta(&mapping, NodeId::new(i), NodeId::new(j)).to_f64();
                         }
                     }
                     black_box(acc)

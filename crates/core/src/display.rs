@@ -94,7 +94,7 @@ pub fn summarize(problem: &MappingProblem, mapping: &Mapping, loads: &LinkLoads)
         .max_by(|a, b| loads.get(a.0).partial_cmp(&loads.get(b.0)).expect("loads are finite"));
     let mut out = format!(
         "comm cost {cost:.0} hops*MB/s ({:.2}x the 1-hop lower bound)\n",
-        cost / lower_bound
+        cost.to_f64() / lower_bound.to_f64()
     );
     if let Some((id, link)) = worst {
         let _ = writeln!(

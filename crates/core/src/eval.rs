@@ -24,6 +24,7 @@
 
 use noc_graph::{dijkstra, NodeId, QuadrantDag};
 use noc_probe::{Counter, Probe};
+use noc_units::{CostDelta, HopMbps, Score};
 
 use crate::routing::LinkLoads;
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
@@ -126,7 +127,7 @@ impl<'p> EvalContext<'p> {
     /// # Panics
     ///
     /// Panics if `mapping` is incomplete.
-    pub fn comm_cost(&self, mapping: &Mapping) -> f64 {
+    pub fn comm_cost(&self, mapping: &Mapping) -> HopMbps {
         self.problem.comm_cost(mapping)
     }
 
@@ -139,7 +140,7 @@ impl<'p> EvalContext<'p> {
     /// call is O(deg); custom topologies answer each query with a BFS
     /// (see [`noc_graph::Topology::hop_distance`]), which the full scan
     /// pays per edge too. Either node may be empty (a core→free-slot
-    /// move); `a == b` or two empty nodes give `0.0`.
+    /// move); `a == b` or two empty nodes give [`CostDelta::ZERO`].
     ///
     /// The returned delta equals `comm_cost(swapped) - comm_cost(mapping)`
     /// up to floating-point rounding of the different summation orders —
@@ -153,34 +154,36 @@ impl<'p> EvalContext<'p> {
     ///
     /// Panics if `mapping` does not place every core whose commodities
     /// touch `a` or `b`, or if a node is out of range.
-    pub fn swap_delta(&self, mapping: &Mapping, a: NodeId, b: NodeId) -> f64 {
+    pub fn swap_delta(&self, mapping: &Mapping, a: NodeId, b: NodeId) -> CostDelta {
         self.counters.swap_deltas.inc();
         if a == b {
-            return 0.0;
+            return CostDelta::ZERO;
         }
         let topology = self.problem.topology();
         let cores = self.problem.cores();
         let ca = mapping.core_at(a);
         let cb = mapping.core_at(b);
+        // Accumulate in raw f64 — the exact op sequence of the pre-typed
+        // kernel — and stamp the unit once at the exit.
         let mut delta = 0.0;
         let hop = |x: NodeId, y: NodeId| topology.hop_distance(x, y) as f64;
         if let Some(ca) = ca {
             for (_, e) in cores.out_edges(ca) {
                 if Some(e.dst) == cb {
                     // ca→cb rides the swap on both ends: a→b becomes b→a.
-                    delta += e.bandwidth * (hop(b, a) - hop(a, b));
+                    delta += e.bandwidth.to_f64() * (hop(b, a) - hop(a, b));
                     continue;
                 }
                 let other = mapping.node_of(e.dst).expect("complete mapping");
-                delta += e.bandwidth * (hop(b, other) - hop(a, other));
+                delta += e.bandwidth.to_f64() * (hop(b, other) - hop(a, other));
             }
             for (_, e) in cores.in_edges(ca) {
                 if Some(e.src) == cb {
-                    delta += e.bandwidth * (hop(a, b) - hop(b, a));
+                    delta += e.bandwidth.to_f64() * (hop(a, b) - hop(b, a));
                     continue;
                 }
                 let other = mapping.node_of(e.src).expect("complete mapping");
-                delta += e.bandwidth * (hop(other, b) - hop(other, a));
+                delta += e.bandwidth.to_f64() * (hop(other, b) - hop(other, a));
             }
         }
         if let Some(cb) = cb {
@@ -189,17 +192,17 @@ impl<'p> EvalContext<'p> {
                     continue; // counted once via ca's incoming loop
                 }
                 let other = mapping.node_of(e.dst).expect("complete mapping");
-                delta += e.bandwidth * (hop(a, other) - hop(b, other));
+                delta += e.bandwidth.to_f64() * (hop(a, other) - hop(b, other));
             }
             for (_, e) in cores.in_edges(cb) {
                 if Some(e.src) == ca {
                     continue; // counted once via ca's outgoing loop
                 }
                 let other = mapping.node_of(e.src).expect("complete mapping");
-                delta += e.bandwidth * (hop(other, a) - hop(other, b));
+                delta += e.bandwidth.to_f64() * (hop(other, a) - hop(other, b));
             }
         }
-        delta
+        CostDelta::raw(delta)
     }
 
     /// Routes every commodity over a single minimal path exactly like
@@ -244,7 +247,7 @@ impl<'p> EvalContext<'p> {
             )
             .ok_or(MapError::Unroutable { commodity: edge.index() })?;
             for &l in &outcome.links {
-                self.loads.add(l, c.value);
+                self.loads.add(l, c.value.to_f64());
             }
         }
         Ok(&self.loads)
@@ -252,7 +255,7 @@ impl<'p> EvalContext<'p> {
 
     /// The paper's `shortestpath()` score of `mapping`: its Equation-7
     /// communication cost if the routed loads satisfy every link capacity,
-    /// `f64::INFINITY` otherwise.
+    /// [`Score::INFEASIBLE`] otherwise.
     ///
     /// Lazy feasibility as in the swap descent: when the (cheap,
     /// placement-only) cost already fails to beat `threshold`, the
@@ -260,10 +263,10 @@ impl<'p> EvalContext<'p> {
     /// candidates would be rejected either way.
     ///
     /// The threshold comparison is **inclusive**: `cost == threshold`
-    /// returns `f64::INFINITY` too, because the descent only commits
+    /// returns [`Score::INFEASIBLE`] too, because the descent only commits
     /// *strict* improvements (`cost < incumbent`) — an equal-cost
     /// candidate can never win, so routing it would be wasted work. Pass
-    /// `f64::INFINITY` as the threshold to force a full evaluation.
+    /// [`Score::INFEASIBLE`] as the threshold to force a full evaluation.
     ///
     /// # Errors
     ///
@@ -272,15 +275,15 @@ impl<'p> EvalContext<'p> {
     /// # Panics
     ///
     /// Panics if `mapping` is incomplete.
-    pub fn evaluate(&mut self, mapping: &Mapping, threshold: f64) -> Result<f64> {
+    pub fn evaluate(&mut self, mapping: &Mapping, threshold: Score) -> Result<Score> {
         self.counters.evaluations.inc();
         let cost = self.comm_cost(mapping);
-        if cost >= threshold {
-            return Ok(f64::INFINITY);
+        if cost.to_f64() >= threshold.to_f64() {
+            return Ok(Score::INFEASIBLE);
         }
         let topology = self.problem.topology();
         let feasible = self.route_min_loads(mapping)?.within_capacity(topology);
-        Ok(if feasible { cost } else { f64::INFINITY })
+        Ok(if feasible { Score::feasible(cost) } else { Score::INFEASIBLE })
     }
 }
 
@@ -327,6 +330,7 @@ mod tests {
         let ctx = EvalContext::new(&p);
         for m in placements(&p) {
             assert_eq!(ctx.comm_cost(&m), p.comm_cost(&m));
+            assert!(ctx.comm_cost(&m).to_f64().is_finite());
         }
     }
 
@@ -349,13 +353,13 @@ mod tests {
         let m = crate::initialize(&p);
         let cost = ctx.comm_cost(&m);
         // Below-threshold candidates are rejected without routing.
-        assert_eq!(ctx.evaluate(&m, cost).unwrap(), f64::INFINITY);
+        assert!(!ctx.evaluate(&m, Score::feasible(cost)).unwrap().is_feasible());
         // Otherwise the score is the cost (feasible) or infinity.
-        let score = ctx.evaluate(&m, f64::INFINITY).unwrap();
+        let score = ctx.evaluate(&m, Score::INFEASIBLE).unwrap();
         let feasible = ctx.route_min_loads(&m).unwrap().within_capacity(p.topology());
-        assert_eq!(score.is_finite(), feasible);
+        assert_eq!(score.is_feasible(), feasible);
         if feasible {
-            assert_eq!(score, cost);
+            assert_eq!(score.cost(), Some(cost));
         }
     }
 
@@ -367,12 +371,13 @@ mod tests {
         let mut ctx = EvalContext::new(&p);
         let m = crate::initialize(&p);
         let cost = ctx.comm_cost(&m);
-        assert!(cost.is_finite() && cost > 0.0);
-        assert_eq!(ctx.evaluate(&m, cost).unwrap(), f64::INFINITY);
+        assert!(cost > HopMbps::ZERO);
+        assert!(!ctx.evaluate(&m, Score::feasible(cost)).unwrap().is_feasible());
         assert_eq!(ctx.built_quadrants(), 0, "equality must not trigger routing");
         // Nudging the threshold just above the cost re-enables evaluation.
-        let score = ctx.evaluate(&m, cost * (1.0 + 1e-12)).unwrap();
-        assert!(score == cost || score == f64::INFINITY);
+        let threshold = Score::raw(cost.to_f64() * (1.0 + 1e-12));
+        let score = ctx.evaluate(&m, threshold).unwrap();
+        assert!(score.cost() == Some(cost) || !score.is_feasible());
     }
 
     /// `swap_delta` against ground truth: `comm_cost(after) - comm_cost(before)`.
@@ -385,9 +390,9 @@ mod tests {
                 let (a, b) = (NodeId::new(i), NodeId::new(j));
                 let mut swapped = m.clone();
                 swapped.swap_nodes(a, b);
-                let want = ctx.comm_cost(&swapped) - base;
-                let got = ctx.swap_delta(m, a, b);
-                let tol = 1e-9 * (1.0 + base.abs());
+                let want = (ctx.comm_cost(&swapped) - base).to_f64();
+                let got = ctx.swap_delta(m, a, b).to_f64();
+                let tol = 1e-9 * (1.0 + base.to_f64());
                 assert!(
                     (got - want).abs() <= tol,
                     "swap ({i},{j}): delta {got} but full recompute says {want}"
@@ -451,7 +456,7 @@ mod tests {
         let p = random_problem(1);
         let ctx = EvalContext::new(&p);
         let m = crate::initialize(&p);
-        assert_eq!(ctx.swap_delta(&m, NodeId::new(2), NodeId::new(2)), 0.0);
+        assert_eq!(ctx.swap_delta(&m, NodeId::new(2), NodeId::new(2)), CostDelta::ZERO);
     }
 
     #[test]

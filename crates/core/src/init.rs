@@ -10,6 +10,7 @@
 //! All ties break toward lower ids, making the routine deterministic.
 
 use noc_graph::CoreId;
+use noc_units::Mbps;
 
 use crate::{Mapping, MappingProblem};
 
@@ -44,9 +45,9 @@ pub fn initialize(problem: &MappingProblem) -> Mapping {
             let mut cost = 0.0;
             for &w in &mapped {
                 let comm = cores.comm_between(next, w);
-                if comm > 0.0 {
+                if comm > Mbps::ZERO {
                     let host = mapping.node_of(w).expect("mapped core has a node");
-                    cost += comm * topology.hop_distance(node, host) as f64;
+                    cost += comm.to_f64() * topology.hop_distance(node, host) as f64;
                 }
             }
             if cost < best_cost {
@@ -74,9 +75,11 @@ fn select_next_core(
 ) -> Option<CoreId> {
     let cores = problem.cores();
     unmapped.iter().copied().max_by(|&a, &b| {
-        let comm_a: f64 = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
-        let comm_b: f64 = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
-        comm_a.partial_cmp(&comm_b).expect("bandwidths are finite").then(b.cmp(&a))
+        let comm_a: Mbps = mapped.iter().map(|&w| cores.comm_between(a, w)).sum();
+        let comm_b: Mbps = mapped.iter().map(|&w| cores.comm_between(b, w)).sum();
+        // `Mbps` orders totally (NaN unrepresentable), and `total_cmp`
+        // agrees with `partial_cmp` on the finite values both admit.
+        comm_a.cmp(&comm_b).then(b.cmp(&a))
         // prefer lower id on ties
     })
 }
@@ -147,7 +150,7 @@ mod tests {
         let p = problem(&[(0, 1, 100.0), (1, 2, 100.0), (2, 3, 100.0)], 4, 2, 2);
         let m = initialize(&p);
         let cost = p.comm_cost(&m);
-        assert!(cost <= 400.0, "cost {cost} too high for a 2x2 pipeline");
+        assert!(cost.to_f64() <= 400.0, "cost {cost} too high for a 2x2 pipeline");
     }
 
     #[test]

@@ -51,7 +51,7 @@
 //! let outcome = map_single_path(&problem, &SinglePathOptions::default())?;
 //! assert!(outcome.feasible);
 //! // A pipeline embeds perfectly: every hot edge spans exactly one link.
-//! assert_eq!(outcome.comm_cost, 400.0 + 300.0 + 200.0);
+//! assert_eq!(outcome.comm_cost.to_f64(), 400.0 + 300.0 + 200.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

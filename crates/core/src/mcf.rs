@@ -18,7 +18,7 @@
 //! ([`PathScope::Quadrant`]) yields the equal-hop-delay NMAPTM variant of
 //! Equation 10; [`PathScope::AllPaths`] is the unrestricted NMAPTA.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use noc_graph::{LinkId, NodeId, QuadrantDag, Topology};
 use noc_lp::{LinearProgram, Sense, SolveError, VarId};
@@ -55,6 +55,9 @@ pub struct McfSolution {
     pub kind: McfKind,
     /// Optimal objective value: total slack (MCF1), total flow (MCF2) or
     /// minimal uniform capacity (min-max load).
+    // lint: allow(f64-api) — the objective's unit depends on `kind`
+    // (slack/flow/capacity), and MCF1 slack is legitimately negative when
+    // the instance is infeasible; no single quantity type fits.
     pub objective: f64,
     /// Aggregate link loads of the optimal flow.
     pub link_loads: LinkLoads,
@@ -110,7 +113,7 @@ pub fn solve_mcf_for(
     let solution = model.lp.solve().map_err(MapError::from)?;
 
     let mut link_loads = LinkLoads::zeros(topology.link_count());
-    let mut flows: Vec<HashMap<LinkId, f64>> = vec![HashMap::new(); commodities.len()];
+    let mut flows: Vec<BTreeMap<LinkId, f64>> = vec![BTreeMap::new(); commodities.len()];
     for (k, vars) in model.flow_vars.iter().enumerate() {
         for &(link, var) in vars {
             let v = solution.value(var);
@@ -127,6 +130,8 @@ pub fn solve_mcf_for(
 
 /// Checks whether a mapping admits a feasible split-traffic routing:
 /// convenience wrapper returning the MCF1 slack (0 = feasible).
+// lint: allow(f64-api) — slack is signed (negative = infeasible), outside
+// the non-negative quantity range.
 pub fn mcf1_slack(problem: &MappingProblem, mapping: &Mapping, scope: PathScope) -> Result<f64> {
     Ok(solve_mcf(problem, mapping, McfKind::SlackMin, scope)?.objective)
 }
@@ -155,7 +160,7 @@ impl McfModel {
         let mut flow_vars: Vec<Vec<(LinkId, VarId)>> = Vec::with_capacity(commodities.len());
         for (k, c) in commodities.iter().enumerate() {
             let mut vars = Vec::new();
-            if c.value > 0.0 && c.source != c.dest {
+            if !c.value.is_zero() && c.source != c.dest {
                 let links: Vec<LinkId> = match scope {
                     PathScope::AllPaths => topology.links().map(|(id, _)| id).collect(),
                     PathScope::Quadrant => {
@@ -189,7 +194,7 @@ impl McfModel {
                     let slack = lp.add_variable(format!("s_{id}"), 1.0);
                     let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
                     terms.push((slack, -1.0));
-                    lp.add_le(&terms, link.capacity);
+                    lp.add_le(&terms, link.capacity.to_f64());
                 }
             }
             McfKind::FlowMin => {
@@ -199,7 +204,7 @@ impl McfModel {
                         continue;
                     }
                     let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
-                    lp.add_le(&terms, link.capacity);
+                    lp.add_le(&terms, link.capacity.to_f64());
                 }
             }
             McfKind::MinMaxLoad => {
@@ -224,7 +229,7 @@ impl McfModel {
                 continue;
             }
             // node -> terms
-            let mut incident: HashMap<NodeId, Vec<(VarId, f64)>> = HashMap::new();
+            let mut incident: BTreeMap<NodeId, Vec<(VarId, f64)>> = BTreeMap::new();
             for &(link, var) in &flow_vars[k] {
                 let l = topology.link(link);
                 incident.entry(l.src).or_default().push((var, 1.0));
@@ -234,7 +239,7 @@ impl McfModel {
                 if node == c.dest {
                     continue;
                 }
-                let rhs = if node == c.source { c.value } else { 0.0 };
+                let rhs = if node == c.source { c.value.to_f64() } else { 0.0 };
                 match incident.get(&node) {
                     Some(terms) => lp.add_eq(terms, rhs),
                     None => {
@@ -256,14 +261,14 @@ impl McfModel {
 fn decompose_flows(
     topology: &Topology,
     commodities: &[Commodity],
-    mut flows: Vec<HashMap<LinkId, f64>>,
+    mut flows: Vec<BTreeMap<LinkId, f64>>,
 ) -> RoutingTables {
     // Tables are indexed by core-graph edge id, not by position in the
     // (possibly subset) commodity list.
     let table_len = commodities.iter().map(|c| c.edge.index() + 1).max().unwrap_or(0);
     let mut routes: Vec<Vec<SplitRoute>> = vec![Vec::new(); table_len];
     for (k, c) in commodities.iter().enumerate() {
-        if c.value <= 0.0 || c.source == c.dest {
+        if c.value.is_zero() || c.source == c.dest {
             continue;
         }
         let slot = c.edge.index();
@@ -283,7 +288,7 @@ fn decompose_flows(
                     residual.remove(l);
                 }
             }
-            routes[slot].push(SplitRoute { links: path, fraction: bottleneck / c.value });
+            routes[slot].push(SplitRoute { links: path, fraction: bottleneck / c.value.to_f64() });
         }
         // Normalize round-off so fractions sum to exactly 1 when they are
         // already within tolerance of it.
@@ -301,7 +306,7 @@ fn decompose_flows(
 /// (BFS, deterministic by link order). Returns the link list.
 fn positive_path(
     topology: &Topology,
-    residual: &HashMap<LinkId, f64>,
+    residual: &BTreeMap<LinkId, f64>,
     source: NodeId,
     dest: NodeId,
 ) -> Option<Vec<LinkId>> {
@@ -518,6 +523,34 @@ mod tests {
         let sol = solve_mcf(&p, &m, McfKind::FlowMin, PathScope::AllPaths).unwrap();
         assert!(sol.link_loads.within_capacity(p.topology()));
         assert!((sol.objective - 200.0).abs() < 1e-4);
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use noc_graph::{RandomGraphConfig, Topology};
+
+    use super::*;
+
+    /// Repeated solves of the same MCF instance must produce identical
+    /// solutions — objective, link loads *and* decomposed routing tables.
+    /// This is what the `BTreeMap` flow/incidence containers buy: with
+    /// hash maps the flow decomposition would visit links in unspecified
+    /// order and could emit the same flow split as differently-ordered
+    /// (or differently-tie-broken) route lists between runs.
+    #[test]
+    fn repeated_solves_are_identical() {
+        let graph = RandomGraphConfig { cores: 12, ..Default::default() }.generate(5);
+        let problem =
+            MappingProblem::new(graph, Topology::mesh(4, 3, 5_000.0)).expect("12 cores fit 4x3");
+        let mapping = crate::initialize(&problem);
+        for kind in [McfKind::FlowMin, McfKind::SlackMin, McfKind::MinMaxLoad] {
+            let first = solve_mcf(&problem, &mapping, kind, PathScope::AllPaths).unwrap();
+            for run in 1..4 {
+                let again = solve_mcf(&problem, &mapping, kind, PathScope::AllPaths).unwrap();
+                assert_eq!(again, first, "{kind:?} diverged on run {run}");
+            }
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! The mapping problem instance and its commodity view.
 
 use noc_graph::{CoreGraph, EdgeId, NodeId, Topology};
+use noc_units::{HopMbps, Hops, Mbps};
 
 use crate::{MapError, Mapping, Result};
 
@@ -11,7 +12,7 @@ pub struct Commodity {
     /// The core-graph edge this commodity carries.
     pub edge: EdgeId,
     /// Commodity value `vl(d_k)` in MB/s.
-    pub value: f64,
+    pub value: Mbps,
     /// `source(d_k) = map(v_i)`.
     pub source: NodeId,
     /// `dest(d_k) = map(v_j)`.
@@ -113,7 +114,7 @@ impl MappingProblem {
     /// # Panics
     ///
     /// Panics if `mapping` is incomplete.
-    pub fn comm_cost(&self, mapping: &Mapping) -> f64 {
+    pub fn comm_cost(&self, mapping: &Mapping) -> HopMbps {
         assert!(
             mapping.is_complete(&self.cores),
             "mapping must place every core before commodities can be formed"
@@ -123,7 +124,7 @@ impl MappingProblem {
             .map(|(_, e)| {
                 let src = mapping.node_of(e.src).expect("complete mapping");
                 let dst = mapping.node_of(e.dst).expect("complete mapping");
-                e.bandwidth * self.topology.hop_distance(src, dst) as f64
+                e.bandwidth * Hops::new(self.topology.hop_distance(src, dst))
             })
             .sum()
     }
@@ -164,7 +165,7 @@ mod tests {
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].source, NodeId::new(0));
         assert_eq!(cs[0].dest, NodeId::new(3));
-        assert_eq!(cs[0].value, 100.0);
+        assert_eq!(cs[0].value.to_f64(), 100.0);
     }
 
     #[test]
@@ -174,11 +175,11 @@ mod tests {
         let mut m = Mapping::new(4);
         m.place(noc_graph::CoreId::new(0), NodeId::new(0));
         m.place(noc_graph::CoreId::new(1), NodeId::new(3));
-        assert_eq!(problem.comm_cost(&m), 200.0); // 100 MB/s * 2 hops
+        assert_eq!(problem.comm_cost(&m).to_f64(), 200.0); // 100 MB/s * 2 hops
         let mut m2 = Mapping::new(4);
         m2.place(noc_graph::CoreId::new(0), NodeId::new(0));
         m2.place(noc_graph::CoreId::new(1), NodeId::new(1));
-        assert_eq!(problem.comm_cost(&m2), 100.0);
+        assert_eq!(problem.comm_cost(&m2).to_f64(), 100.0);
     }
 
     #[test]

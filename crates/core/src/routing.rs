@@ -18,6 +18,13 @@ use noc_graph::{dijkstra, Axis, EdgeId, LinkId, NodeId, QuadrantDag, Topology};
 
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
 
+// lint: allow-file(f64-api) — this module is the routing hot path: link
+// loads are a dense per-link `Vec<f64>` accumulator driven inside the
+// Dijkstra weight closure, and `SplitRoute::fraction` is dimensionless.
+// Values are MB/s by construction (they enter from typed `Mbps`
+// commodity values via `to_f64()`), and they re-enter the typed world at
+// the report/record seams.
+
 /// Absolute slack (MB/s) tolerated when comparing loads to capacities,
 /// compensating LP and floating-point round-off.
 pub const CAPACITY_TOLERANCE: f64 = 1e-6;
@@ -103,7 +110,7 @@ impl RoutingTables {
         for c in commodities {
             for route in self.routes_of(c.edge) {
                 for &l in &route.links {
-                    loads.add(l, c.value * route.fraction);
+                    loads.add(l, (c.value * route.fraction).to_f64());
                 }
             }
         }
@@ -156,13 +163,16 @@ impl LinkLoads {
     pub fn within_capacity(&self, topology: &Topology) -> bool {
         topology
             .links()
-            .all(|(id, link)| self.loads[id.index()] <= link.capacity + CAPACITY_TOLERANCE)
+            .all(|(id, link)| self.loads[id.index()] <= link.capacity.to_f64() + CAPACITY_TOLERANCE)
     }
 
     /// Total capacity violation `Σ max(0, load - capacity)` — comparable
     /// to the MCF1 slack objective (Equation 8).
     pub fn violation(&self, topology: &Topology) -> f64 {
-        topology.links().map(|(id, link)| (self.loads[id.index()] - link.capacity).max(0.0)).sum()
+        topology
+            .links()
+            .map(|(id, link)| (self.loads[id.index()] - link.capacity.to_f64()).max(0.0))
+            .sum()
     }
 
     /// Read-only view of the raw per-link loads.
@@ -218,7 +228,7 @@ pub fn route_min_paths(
             dijkstra(topology, c.source, c.dest, |l| 1.0 + loads.get(l), |l| quadrant.contains(l))
                 .ok_or(MapError::Unroutable { commodity: edge.index() })?;
         for &l in &outcome.links {
-            loads.add(l, c.value);
+            loads.add(l, c.value.to_f64());
         }
         paths[edge.index()] =
             Some(CommodityPath { edge, links: outcome.links, nodes: outcome.nodes });
@@ -275,7 +285,7 @@ pub fn route_dor(
         }
 
         for &l in &links {
-            loads.add(l, c.value);
+            loads.add(l, c.value.to_f64());
         }
         paths.push(CommodityPath { edge: c.edge, links, nodes });
     }

@@ -34,6 +34,8 @@ mod tabu;
 pub use sa::{SaMapper, SaOptions};
 pub use tabu::{TabuMapper, TabuOptions};
 
+use noc_units::{HopMbps, Score};
+
 use crate::{
     initialize, map_single_path_with, map_with_splitting, EvalContext, Mapping, PathScope, Result,
     SinglePathOptions, SplitOptions,
@@ -46,7 +48,7 @@ pub struct MapOutcome {
     pub mapping: Mapping,
     /// Equation-7 communication cost of `mapping` (hops × bandwidth,
     /// independent of routing; comparable across mappers).
-    pub comm_cost: f64,
+    pub comm_cost: HopMbps,
     /// Whether the mapper's own evaluation regime found the placement
     /// bandwidth-feasible (min-path routing for the swap searches and
     /// constructive mappers, split MCF routing for NMAP-split).
@@ -301,13 +303,13 @@ impl Mapper for SplitMapper {
 /// when nothing feasible was found.
 fn search_outcome(
     ctx: &mut EvalContext<'_>,
-    best_score: f64,
+    best_score: Score,
     best: Mapping,
     best_any: Mapping,
     evaluations: usize,
 ) -> MapOutcome {
-    if best_score.is_finite() {
-        MapOutcome { mapping: best, comm_cost: best_score, feasible: true, evaluations }
+    if let Some(comm_cost) = best_score.cost() {
+        MapOutcome { mapping: best, comm_cost, feasible: true, evaluations }
     } else {
         let comm_cost = ctx.comm_cost(&best_any);
         MapOutcome { mapping: best_any, comm_cost, feasible: false, evaluations }
@@ -356,7 +358,6 @@ mod tests {
             assert_eq!(mapper.name(), name, "factory must build its own name");
             let out = mapper.map(&mut EvalContext::new(&p)).expect("small mesh maps");
             assert!(out.mapping.is_complete(p.cores()), "{name} left cores unplaced");
-            assert!(out.comm_cost.is_finite());
             assert_eq!(out.comm_cost, p.comm_cost(&out.mapping), "{name} cost mismatch");
         }
         assert!(registry.build("nosuch", 0).is_none());

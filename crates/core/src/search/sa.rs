@@ -14,6 +14,7 @@
 //! worker identity, so parallel sweep output stays byte-identical.
 
 use noc_probe::Value;
+use noc_units::Score;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -31,9 +32,11 @@ pub struct SaOptions {
     pub moves: usize,
     /// Initial temperature as a *fraction of the seed placement's cost*,
     /// so the schedule adapts to the problem's cost scale.
+    // lint: allow(f64-api) — dimensionless fraction of the seed cost.
     pub initial_temp: f64,
     /// Geometric cooling factor applied after every proposed move, in
     /// `(0, 1]`.
+    // lint: allow(f64-api) — dimensionless geometric factor.
     pub cooling: f64,
 }
 
@@ -108,9 +111,12 @@ impl Mapper for SaMapper {
         let n = problem.topology().node_count();
         let mut current = initialize(problem);
         let mut evaluations = 1usize;
-        let mut best_score = ctx.evaluate(&current, f64::INFINITY)?;
+        let mut best_score = ctx.evaluate(&current, Score::INFEASIBLE)?;
         let mut best = current.clone();
-        let mut current_cost = ctx.comm_cost(&current);
+        // The walk tracks its cost in raw f64 (incremental `+= delta`
+        // drifts by rounding, re-anchored below) — same arithmetic as the
+        // pre-typed kernel; the typed seams are evaluate()/swap_delta().
+        let mut current_cost = ctx.comm_cost(&current).to_f64();
         let mut best_any_cost = current_cost;
         let mut best_any = current.clone();
         if n < 2 {
@@ -144,7 +150,7 @@ impl Mapper for SaMapper {
                 continue;
             }
             evaluations += 1;
-            let delta = ctx.swap_delta(&current, a, b);
+            let delta = ctx.swap_delta(&current, a, b).to_f64();
             let accept = delta <= 0.0 || unit(&mut rng) < (-delta / temp).exp();
             if !accept {
                 continue;
@@ -155,13 +161,13 @@ impl Mapper for SaMapper {
             if accepted % 1024 == 0 {
                 // The incrementally tracked cost drifts by one rounding
                 // error per accepted move; periodically re-anchor it.
-                current_cost = ctx.comm_cost(&current);
+                current_cost = ctx.comm_cost(&current).to_f64();
             }
             if current_cost < best_any_cost {
                 best_any_cost = current_cost;
                 best_any = current.clone();
             }
-            if current_cost < best_score {
+            if current_cost < best_score.to_f64() {
                 // Candidate incumbent: confirm with the exact cost and
                 // the bandwidth-feasibility check.
                 let score = ctx.evaluate(&current, best_score)?;
@@ -205,7 +211,7 @@ mod tests {
             let out =
                 SaMapper::new(SaOptions::default(), seed).map(&mut EvalContext::new(&p)).unwrap();
             assert!(
-                out.comm_cost <= init_cost + 1e-9,
+                out.comm_cost.to_f64() <= init_cost.to_f64() + 1e-9,
                 "seed {seed}: SA {} worse than init {init_cost}",
                 out.comm_cost
             );
@@ -247,7 +253,7 @@ mod tests {
         g.add_core("only");
         let p = MappingProblem::new(g, Topology::mesh(1, 1, 100.0)).unwrap();
         let out = SaMapper::new(SaOptions::default(), 0).map(&mut EvalContext::new(&p)).unwrap();
-        assert_eq!(out.comm_cost, 0.0);
+        assert_eq!(out.comm_cost, noc_units::HopMbps::ZERO);
         assert!(out.feasible);
     }
 

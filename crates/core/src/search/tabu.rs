@@ -16,6 +16,7 @@
 
 use noc_graph::NodeId;
 use noc_probe::Value;
+use noc_units::Score;
 
 use super::{search_outcome, MapOutcome, Mapper};
 use crate::{initialize, EvalContext, MapError, Result};
@@ -90,9 +91,11 @@ impl Mapper for TabuMapper {
         let n = problem.topology().node_count();
         let mut current = initialize(problem);
         let mut evaluations = 1usize;
-        let mut best_score = ctx.evaluate(&current, f64::INFINITY)?;
+        let mut best_score = ctx.evaluate(&current, Score::INFEASIBLE)?;
         let mut best = current.clone();
-        let mut current_cost = ctx.comm_cost(&current);
+        // Raw f64 cost tracking, exactly refreshed each iteration — the
+        // typed seams are evaluate()/swap_delta().
+        let mut current_cost = ctx.comm_cost(&current).to_f64();
         let mut best_any_cost = current_cost;
         let mut best_any = current.clone();
         // `tabu_until[i * n + j]`: the move (i, j) is forbidden while
@@ -119,7 +122,7 @@ impl Mapper for TabuMapper {
                         continue;
                     }
                     evaluations += 1;
-                    let delta = ctx.swap_delta(&current, a, b);
+                    let delta = ctx.swap_delta(&current, a, b).to_f64();
                     let tabu = tabu_until[i * n + j] >= iter;
                     let aspires = current_cost + delta < best_any_cost;
                     if tabu && !aspires {
@@ -135,13 +138,13 @@ impl Mapper for TabuMapper {
             current.swap_nodes(a, b);
             // Exact refresh (one O(E) scan per iteration) keeps the
             // aspiration comparisons drift-free.
-            current_cost = ctx.comm_cost(&current);
+            current_cost = ctx.comm_cost(&current).to_f64();
             tabu_until[a.index() * n + b.index()] = iter + self.options.tenure;
             if current_cost < best_any_cost {
                 best_any_cost = current_cost;
                 best_any = current.clone();
             }
-            if current_cost < best_score {
+            if current_cost < best_score.to_f64() {
                 let score = ctx.evaluate(&current, best_score)?;
                 if score < best_score {
                     best_score = score;
@@ -181,7 +184,7 @@ mod tests {
             let init_cost = p.comm_cost(&crate::initialize(&p));
             let out =
                 TabuMapper::new(TabuOptions::default()).map(&mut EvalContext::new(&p)).unwrap();
-            assert!(out.comm_cost <= init_cost + 1e-9, "seed {seed}");
+            assert!(out.comm_cost.to_f64() <= init_cost.to_f64() + 1e-9, "seed {seed}");
         }
     }
 
@@ -199,7 +202,7 @@ mod tests {
             .map(&mut EvalContext::new(&p))
             .unwrap();
         assert!(out.feasible);
-        assert_eq!(out.comm_cost, 10.0, "both placements cost one hop");
+        assert_eq!(out.comm_cost, noc_units::hop_mbps(10.0), "both placements cost one hop");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!    each inner scan, exactly as in the paper's pseudocode.
 
 use noc_graph::NodeId;
+use noc_units::{HopMbps, Score};
 
 use crate::routing::{self, CommodityPath, LinkLoads, RoutingTables};
 use crate::{initialize, EvalContext, MapError, Mapping, MappingProblem, Result};
@@ -99,7 +100,7 @@ pub struct SinglePathOutcome {
     /// The best placement found.
     pub mapping: Mapping,
     /// Equation-7 communication cost of `mapping` (hops × bandwidth).
-    pub comm_cost: f64,
+    pub comm_cost: HopMbps,
     /// Whether the routed traffic satisfies every link capacity.
     pub feasible: bool,
     /// The single-path route of each commodity (commodity order).
@@ -164,7 +165,7 @@ pub fn map_single_path_kernel(
     let mut evaluations = 0usize;
 
     let seed = initialize(problem);
-    let mut best_cost = f64::INFINITY;
+    let mut best_cost = Score::INFEASIBLE;
     let mut best: Option<Mapping> = None;
 
     for restart in 0..restarts {
@@ -223,15 +224,16 @@ fn swap_descent(
     passes: usize,
     kernel: SwapKernel,
     evaluations: &mut usize,
-) -> Result<(f64, Mapping)> {
+) -> Result<(Score, Mapping)> {
     let node_count = ctx.problem().topology().node_count();
     *evaluations += 1;
-    let mut best_cost = ctx.evaluate(&placed, f64::INFINITY)?;
+    let mut best_cost = ctx.evaluate(&placed, Score::INFEASIBLE)?;
     let mut best = placed.clone();
     // Exact Equation-7 cost of `placed` — the base the delta gate adds to.
     // Kept bit-exact: on commit it is the accepted candidate's evaluate()
-    // score, which *is* comm_cost for any finite (feasible) score.
-    let mut placed_cost = ctx.comm_cost(&placed);
+    // score, which *is* comm_cost for any feasible score. Raw f64 here so
+    // the gate arithmetic is the exact op sequence of the pre-typed code.
+    let mut placed_cost = ctx.comm_cost(&placed).to_f64();
     for _ in 0..passes {
         for i in 0..node_count {
             for j in (i + 1)..node_count {
@@ -243,9 +245,9 @@ fn swap_descent(
                 }
                 *evaluations += 1;
                 if kernel == SwapKernel::DeltaGated {
-                    let delta = ctx.swap_delta(&placed, a, b);
+                    let delta = ctx.swap_delta(&placed, a, b).to_f64();
                     let margin = DELTA_GATE_MARGIN * (1.0 + placed_cost.abs() + delta.abs());
-                    if placed_cost + delta - margin >= best_cost {
+                    if placed_cost + delta - margin >= best_cost.to_f64() {
                         // Even optimistically the candidate cannot beat the
                         // incumbent: evaluate() would return INFINITY from
                         // its threshold gate without routing. Skip the O(E)
@@ -264,8 +266,8 @@ fn swap_descent(
                 }
             }
             placed = best.clone();
-            if best_cost.is_finite() {
-                placed_cost = best_cost;
+            if let Some(cost) = best_cost.cost() {
+                placed_cost = cost.to_f64();
             }
         }
     }
@@ -291,7 +293,7 @@ mod tests {
         // 4-stage pipeline on 2x2: optimal cost = every edge on one hop.
         let p = MappingProblem::new(pipeline(4, 100.0), Topology::mesh(2, 2, 1e9)).unwrap();
         let out = map_single_path(&p, &SinglePathOptions::default()).unwrap();
-        assert_eq!(out.comm_cost, 300.0);
+        assert_eq!(out.comm_cost.to_f64(), 300.0);
         assert!(out.feasible);
     }
 
@@ -300,7 +302,7 @@ mod tests {
         let p = MappingProblem::new(pipeline(6, 50.0), Topology::mesh(3, 2, 1e9)).unwrap();
         let out = map_single_path(&p, &SinglePathOptions::default()).unwrap();
         // Snake embedding gives every edge 1 hop: cost 250.
-        assert_eq!(out.comm_cost, 250.0, "expected snake embedding");
+        assert_eq!(out.comm_cost.to_f64(), 250.0, "expected snake embedding");
     }
 
     #[test]
@@ -375,12 +377,12 @@ mod tests {
             assert!((out.link_loads.get(id) - recomputed.get(id)).abs() < 1e-9);
         }
         // Routed cost equals Eq-7 cost because all paths are minimal.
-        let routed_cost: f64 = out
+        let routed_cost: HopMbps = out
             .paths
             .iter()
-            .map(|path| commodities[path.edge.index()].value * path.hops() as f64)
+            .map(|path| commodities[path.edge.index()].value * noc_units::Hops::new(path.hops()))
             .sum();
-        assert!((routed_cost - out.comm_cost).abs() < 1e-9);
+        assert!((routed_cost - out.comm_cost).to_f64().abs() < 1e-9);
     }
 
     #[test]
@@ -388,7 +390,7 @@ mod tests {
         let p = MappingProblem::new(pipeline(6, 100.0), Topology::torus(3, 3, 1e9)).unwrap();
         let out = map_single_path(&p, &SinglePathOptions::default()).unwrap();
         assert!(out.feasible);
-        assert_eq!(out.comm_cost, 500.0, "ring embedding should be perfect on a torus");
+        assert_eq!(out.comm_cost.to_f64(), 500.0, "ring embedding should be perfect on a torus");
     }
 
     #[test]

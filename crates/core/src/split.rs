@@ -18,6 +18,7 @@
 //! also evaluates below it).
 
 use noc_graph::NodeId;
+use noc_units::HopMbps;
 
 use crate::mcf::{solve_mcf, McfKind, McfSolution, PathScope};
 use crate::routing::{LinkLoads, RoutingTables};
@@ -62,12 +63,16 @@ pub struct SplitOutcome {
     pub mapping: Mapping,
     /// Equation-7 communication cost of `mapping` (hops × bandwidth,
     /// independent of routing; for cross-algorithm comparison).
-    pub comm_cost: f64,
+    pub comm_cost: HopMbps,
     /// MCF2 objective of the final flow (total flow over all links), when
     /// feasible.
+    // lint: allow(f64-api) — `f64::INFINITY` is the documented
+    // not-feasible sentinel, which no non-negative quantity type admits.
     pub total_flow: f64,
     /// Final MCF1 slack: 0 when `feasible`, otherwise the smallest total
     /// capacity violation the search could reach.
+    // lint: allow(f64-api) — LP objective; simplex round-off can dip a
+    // mathematically-zero slack below 0, outside `Mbps`'s invariant.
     pub slack: f64,
     /// Whether the bandwidth constraints are satisfiable by split routing
     /// under this placement.
@@ -216,7 +221,7 @@ mod tests {
         assert_eq!(out.slack, 0.0);
         // Ample capacity: optimal flow puts every edge on 1 hop.
         assert!((out.total_flow - 300.0).abs() < 1e-4, "flow {}", out.total_flow);
-        assert!((out.comm_cost - 300.0).abs() < 1e-9);
+        assert!((out.comm_cost.to_f64() - 300.0).abs() < 1e-9);
     }
 
     #[test]
@@ -272,7 +277,7 @@ mod tests {
         let split = map_with_splitting(&p, &SplitOptions::default()).unwrap();
         // With ample capacity both should find minimal embeddings; the MCF
         // total flow equals the Eq-7 cost at the optimum.
-        assert!(split.total_flow <= single.comm_cost + 1e-6);
+        assert!(split.total_flow <= single.comm_cost.to_f64() + 1e-6);
     }
 
     #[test]

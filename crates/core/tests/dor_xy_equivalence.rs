@@ -53,7 +53,7 @@ fn legacy_route_xy(
         }
 
         for &l in &links {
-            loads.add(l, c.value);
+            loads.add(l, c.value.to_f64());
         }
         paths.push(CommodityPath { edge: c.edge, links, nodes });
     }

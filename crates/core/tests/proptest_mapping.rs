@@ -10,9 +10,13 @@ use proptest::prelude::*;
 
 /// A random problem: `cores` cores on the smallest fitting mesh.
 fn random_problem(cores: usize, seed: u64, capacity: f64) -> MappingProblem {
-    let graph =
-        RandomGraphConfig { cores, avg_degree: 2.0, min_bandwidth: 10.0, max_bandwidth: 300.0 }
-            .generate(seed);
+    let graph = RandomGraphConfig {
+        cores,
+        avg_degree: 2.0,
+        min_bandwidth: noc_units::Mbps::raw(10.0),
+        max_bandwidth: noc_units::Mbps::raw(300.0),
+    }
+    .generate(seed);
     let (w, h) = Topology::fit_mesh_dims(cores);
     MappingProblem::new(graph, Topology::mesh(w, h, capacity)).expect("fits")
 }
@@ -56,7 +60,7 @@ proptest! {
             for (i, &l) in path.links.iter().enumerate() {
                 prop_assert_eq!(problem.topology().link(l).src, path.nodes[i]);
                 prop_assert_eq!(problem.topology().link(l).dst, path.nodes[i + 1]);
-                recount[l.index()] += c.value;
+                recount[l.index()] += c.value.to_f64();
             }
         }
         for (id, _) in problem.topology().links() {
@@ -92,9 +96,9 @@ proptest! {
         let problem = random_problem(cores, seed, 1e9);
         let init_cost = problem.comm_cost(&initialize(&problem));
         let out = map_single_path(&problem, &SinglePathOptions::paper_exact()).expect("maps");
-        prop_assert!(out.comm_cost <= init_cost + 1e-9);
+        prop_assert!(out.comm_cost.to_f64() <= init_cost.to_f64() + 1e-9);
         prop_assert_eq!(out.comm_cost, problem.comm_cost(&out.mapping));
-        prop_assert!(out.comm_cost >= problem.cores().total_bandwidth() - 1e-9);
+        prop_assert!(out.comm_cost.to_f64() >= problem.cores().total_bandwidth().to_f64() - 1e-9);
     }
 
     /// The min-max-load LP (fractional optimum) is a lower bound on the
@@ -125,7 +129,7 @@ proptest! {
         let mapping = initialize(&problem);
         let sol = solve_mcf(&problem, &mapping, McfKind::FlowMin, PathScope::AllPaths)
             .expect("uncapacitated MCF2 is feasible");
-        let cost = problem.comm_cost(&mapping);
+        let cost = problem.comm_cost(&mapping).to_f64();
         prop_assert!(
             (sol.objective - cost).abs() < 1e-4 * (1.0 + cost),
             "MCF2 {} vs Eq7 {}",
@@ -144,7 +148,7 @@ proptest! {
             .expect("lp");
         let commodities = problem.commodities(&mapping);
         for c in &commodities {
-            if c.value > 0.0 {
+            if !c.value.is_zero() {
                 let total: f64 =
                     sol.tables.routes_of(c.edge).iter().map(|r| r.fraction).sum();
                 prop_assert!((total - 1.0).abs() < 1e-4, "fractions sum to {total}");

@@ -1,6 +1,10 @@
 //! The sweep engine: runs every [`Scenario`] of a set, optionally on a
 //! deterministic `std::thread` worker pool.
 //!
+// lint: allow-file(wall-clock) — the engine is the repo's sanctioned
+// timing seam: every `Instant::now` here feeds `StageTimes`, which the
+// report writers exclude from deterministic output by default.
+//!
 //! Determinism contract: a scenario's record depends only on the scenario
 //! itself (its seed is fixed at build time, never derived from worker
 //! identity), workers claim scenarios from a shared atomic cursor, and
@@ -21,6 +25,7 @@ use nmap::{
 use noc_lp::SolveError;
 use noc_probe::{Probe, Value};
 use noc_sim::{FlowSpec, SimReport, Simulator};
+use noc_units::Mbps;
 
 use crate::report::{RunRecord, SimStats, StageTimes, SweepReport};
 use crate::scenario::{
@@ -310,8 +315,10 @@ fn run_scenario_inner(scenario: &Scenario, probe: &Probe) -> RunRecord {
         error: String::new(),
         feasible: loads.within_capacity(problem.topology()),
         comm_cost: problem.comm_cost(&mapping),
-        max_link_load: loads.max(),
-        total_load: loads.total(),
+        // Routed loads are finite sums of non-negative commodity rates —
+        // in range for `Mbps` by construction.
+        max_link_load: Mbps::raw(loads.max()),
+        total_load: Mbps::raw(loads.total()),
         evaluations,
         sim,
         times: StageTimes { build_us, map_us, route_us, sim_us },
@@ -355,7 +362,7 @@ pub fn flows_from_tables(
     problem
         .commodities(mapping)
         .into_iter()
-        .filter(|c| c.value > 0.0)
+        .filter(|c| !c.value.is_zero())
         .map(|c| {
             let paths: Vec<(Vec<_>, f64)> = tables
                 .routes_of(c.edge)
@@ -371,13 +378,16 @@ pub fn flows_from_tables(
 /// Folds a [`SimReport`] into the record-level [`SimStats`] columns.
 fn sim_stats(report: &SimReport, link_count: usize, packet_bytes: usize) -> SimStats {
     let delivered_mbps = if report.measure_cycles == 0 {
-        0.0
+        Mbps::ZERO
     } else {
-        report.latency.count() as f64 * packet_bytes as f64 / report.measure_cycles as f64 * 1000.0
+        Mbps::raw(
+            report.latency.count() as f64 * packet_bytes as f64 / report.measure_cycles as f64
+                * 1000.0,
+        )
     };
     let max_link_mbps = (0..link_count)
         .map(|l| report.link_throughput_mbps(noc_graph::LinkId::new(l)))
-        .fold(0.0, f64::max);
+        .fold(Mbps::ZERO, Mbps::max);
     SimStats {
         avg_latency_cycles: report.avg_latency_cycles(),
         avg_network_latency_cycles: report.avg_network_latency_cycles(),
@@ -462,6 +472,7 @@ mod tests {
     use nmap::SinglePathOptions;
     use noc_apps::App;
     use noc_graph::RandomGraphConfig;
+    use noc_units::mbps;
 
     fn strip_times(records: &[RunRecord]) -> Vec<RunRecord> {
         records
@@ -507,7 +518,7 @@ mod tests {
             app: AppSpec::Bundled(App::Vopd),
             seed: 0,
             topology: TopologySpec::Mesh { dims: vec![2, 2] },
-            capacity: 1_000.0,
+            capacity: mbps(1_000.0),
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
             simulate: None,
@@ -525,7 +536,7 @@ mod tests {
             app: AppSpec::DspFilter,
             seed: 0,
             topology: TopologySpec::Mesh { dims: vec![3, 2] },
-            capacity: 1_000.0,
+            capacity: mbps(1_000.0),
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::McfQuadrant,
             simulate: None,
@@ -533,7 +544,7 @@ mod tests {
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
         assert!(record.feasible);
-        assert!(record.max_link_load > 0.0);
+        assert!(record.max_link_load > Mbps::ZERO);
         assert!(record.total_load >= record.max_link_load);
     }
 
@@ -545,7 +556,7 @@ mod tests {
             app: AppSpec::DspFilter,
             seed: 0,
             topology: TopologySpec::FitMesh,
-            capacity: 100.0,
+            capacity: mbps(100.0),
             mapper: MapperSpec::NmapInit,
             routing: RoutingSpec::McfAllPaths,
             simulate: None,
@@ -553,7 +564,7 @@ mod tests {
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
         assert!(!record.feasible);
-        assert!(record.max_link_load > 100.0);
+        assert!(record.max_link_load > mbps(100.0));
     }
 
     /// A fast simulate config for engine tests.
@@ -573,7 +584,7 @@ mod tests {
             app: AppSpec::DspFilter,
             seed: 5,
             topology: TopologySpec::Mesh { dims: vec![3, 2] },
-            capacity: 1_400.0,
+            capacity: mbps(1_400.0),
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::MinPath,
             simulate: Some(quick_sim()),
@@ -581,12 +592,12 @@ mod tests {
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
         let sim = record.sim.as_ref().expect("simulate stage ran");
-        assert!(sim.avg_latency_cycles > 0.0, "no packets measured");
-        assert!(sim.avg_network_latency_cycles > 0.0);
+        assert!(sim.avg_latency_cycles.to_f64() > 0.0, "no packets measured");
+        assert!(sim.avg_network_latency_cycles.to_f64() > 0.0);
         assert!(sim.avg_network_latency_cycles <= sim.avg_latency_cycles);
         assert!(sim.p95_latency_cycles > 0);
-        assert!(sim.delivered_mbps > 0.0);
-        assert!(sim.max_link_mbps > 0.0);
+        assert!(sim.delivered_mbps > Mbps::ZERO);
+        assert!(sim.max_link_mbps > Mbps::ZERO);
         assert!(!sim.saturated, "1.4 GB/s links must not saturate the DSP design");
 
         // Same scenario, same record — the sim stage is deterministic.
@@ -609,7 +620,7 @@ mod tests {
             app: AppSpec::DspFilter,
             seed: 0,
             topology: TopologySpec::FitMesh,
-            capacity: 1_000.0,
+            capacity: mbps(1_000.0),
             mapper: MapperSpec::NmapInit,
             routing: RoutingSpec::MinPath,
             simulate: Some(SimulateSpec { measure_cycles: 0, ..Default::default() }),
@@ -627,7 +638,10 @@ mod tests {
         // Unresolved bandwidth points are an error too: the engine would
         // otherwise simulate at `capacity` and mislabel every sim column.
         let unresolved = Scenario {
-            simulate: Some(SimulateSpec { bandwidths_mbps: vec![600.0], ..Default::default() }),
+            simulate: Some(SimulateSpec {
+                bandwidths_mbps: vec![mbps(600.0)],
+                ..Default::default()
+            }),
             ..scenario
         };
         let record = run_scenario(&unresolved);
@@ -644,14 +658,14 @@ mod tests {
             app: AppSpec::DspFilter,
             seed: 1,
             topology: TopologySpec::Mesh { dims: vec![3, 2] },
-            capacity: 1_400.0,
+            capacity: mbps(1_400.0),
             mapper: MapperSpec::Nmap(SinglePathOptions::paper_exact()),
             routing: RoutingSpec::McfQuadrant,
             simulate: Some(quick_sim()),
         };
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "error: {}", record.error);
-        assert!(record.sim.as_ref().expect("sim ran").avg_latency_cycles > 0.0);
+        assert!(record.sim.as_ref().expect("sim ran").avg_latency_cycles.to_f64() > 0.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use noc_units::{HopMbps, Latency, Mbps};
+
 use crate::Scenario;
 
 /// Wall-clock time spent in each stage of one scenario, in microseconds.
@@ -65,17 +67,17 @@ impl StageTimes {
 pub struct SimStats {
     /// Mean packet latency in cycles (generation → tail ejection,
     /// source queueing included).
-    pub avg_latency_cycles: f64,
+    pub avg_latency_cycles: Latency,
     /// Mean network-only latency in cycles (network entry → ejection).
-    pub avg_network_latency_cycles: f64,
+    pub avg_network_latency_cycles: Latency,
     /// Coarse 95th-percentile latency bound in cycles (histogram bucket
     /// upper edge; 0 when no packet was measured).
     pub p95_latency_cycles: u64,
-    /// Accepted throughput over the measurement window in MB/s: payload
-    /// bytes of measured delivered packets per unit time.
-    pub delivered_mbps: f64,
-    /// Peak per-link throughput during the window in MB/s.
-    pub max_link_mbps: f64,
+    /// Accepted throughput over the measurement window: payload bytes of
+    /// measured delivered packets per unit time.
+    pub delivered_mbps: Mbps,
+    /// Peak per-link throughput during the window.
+    pub max_link_mbps: Mbps,
     /// Saturation flag (deadlock drops or in-flight measured packets at
     /// the end of the drain window).
     pub saturated: bool,
@@ -90,8 +92,8 @@ pub struct RunRecord {
     pub cores: usize,
     /// Resolved topology label (e.g. `mesh4x4`).
     pub topology: String,
-    /// Uniform link capacity (MB/s).
-    pub capacity: f64,
+    /// Uniform link capacity.
+    pub capacity: Mbps,
     /// Mapper name.
     pub mapper: String,
     /// Routing-regime name.
@@ -103,11 +105,11 @@ pub struct RunRecord {
     /// Whether the routed loads satisfy every link capacity.
     pub feasible: bool,
     /// Equation-7 communication cost of the placement.
-    pub comm_cost: f64,
+    pub comm_cost: HopMbps,
     /// Heaviest link load under the scenario's routing regime.
-    pub max_link_load: f64,
+    pub max_link_load: Mbps,
     /// Sum of all link loads (total flow).
-    pub total_load: f64,
+    pub total_load: Mbps,
     /// Mapper work measure (placement evaluations, LP solves or search
     /// expansions, depending on the mapper; 0 for constructive mappers).
     pub evaluations: usize,
@@ -131,9 +133,9 @@ impl RunRecord {
             seed: scenario.seed,
             error,
             feasible: false,
-            comm_cost: 0.0,
-            max_link_load: 0.0,
-            total_load: 0.0,
+            comm_cost: HopMbps::ZERO,
+            max_link_load: Mbps::ZERO,
+            total_load: Mbps::ZERO,
             evaluations: 0,
             sim: None,
             times: StageTimes::default(),
@@ -155,7 +157,7 @@ impl RunRecord {
         out.push(',');
         push_json_str(&mut out, "topology", &self.topology);
         out.push(',');
-        push_json_raw(&mut out, "capacity", &fmt_f64(self.capacity));
+        push_json_raw(&mut out, "capacity", &fmt_f64(self.capacity.to_f64()));
         out.push(',');
         push_json_str(&mut out, "mapper", &self.mapper);
         out.push(',');
@@ -167,24 +169,24 @@ impl RunRecord {
         out.push(',');
         push_json_raw(&mut out, "feasible", if self.feasible { "true" } else { "false" });
         out.push(',');
-        push_json_raw(&mut out, "comm_cost", &fmt_f64(self.comm_cost));
+        push_json_raw(&mut out, "comm_cost", &fmt_f64(self.comm_cost.to_f64()));
         out.push(',');
-        push_json_raw(&mut out, "max_link_load", &fmt_f64(self.max_link_load));
+        push_json_raw(&mut out, "max_link_load", &fmt_f64(self.max_link_load.to_f64()));
         out.push(',');
-        push_json_raw(&mut out, "total_load", &fmt_f64(self.total_load));
+        push_json_raw(&mut out, "total_load", &fmt_f64(self.total_load.to_f64()));
         out.push(',');
         push_json_raw(&mut out, "evaluations", &self.evaluations.to_string());
         out.push(',');
         push_json_raw(
             &mut out,
             "sim_avg_latency",
-            &fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles)),
+            &fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles.to_f64())),
         );
         out.push(',');
         push_json_raw(
             &mut out,
             "sim_network_latency",
-            &fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles)),
+            &fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles.to_f64())),
         );
         out.push(',');
         push_json_raw(
@@ -196,13 +198,13 @@ impl RunRecord {
         push_json_raw(
             &mut out,
             "sim_delivered_mbps",
-            &fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps)),
+            &fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps.to_f64())),
         );
         out.push(',');
         push_json_raw(
             &mut out,
             "sim_max_link_mbps",
-            &fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps)),
+            &fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps.to_f64())),
         );
         out.push(',');
         push_json_raw(
@@ -249,21 +251,21 @@ sim_p95_latency,sim_delivered_mbps,sim_max_link_mbps,sim_saturated"
             csv_cell(&self.scenario),
             self.cores.to_string(),
             csv_cell(&self.topology),
-            fmt_f64(self.capacity),
+            fmt_f64(self.capacity.to_f64()),
             csv_cell(&self.mapper),
             csv_cell(&self.routing),
             self.seed.to_string(),
             csv_cell(&self.error),
             (if self.feasible { "true" } else { "false" }).to_string(),
-            fmt_f64(self.comm_cost),
-            fmt_f64(self.max_link_load),
-            fmt_f64(self.total_load),
+            fmt_f64(self.comm_cost.to_f64()),
+            fmt_f64(self.max_link_load.to_f64()),
+            fmt_f64(self.total_load.to_f64()),
             self.evaluations.to_string(),
-            fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles)),
-            fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles)),
+            fmt_opt_f64(self.sim_f64(|s| s.avg_latency_cycles.to_f64())),
+            fmt_opt_f64(self.sim_f64(|s| s.avg_network_latency_cycles.to_f64())),
             self.sim.as_ref().map_or("null".to_string(), |s| s.p95_latency_cycles.to_string()),
-            fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps)),
-            fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps)),
+            fmt_opt_f64(self.sim_f64(|s| s.delivered_mbps.to_f64())),
+            fmt_opt_f64(self.sim_f64(|s| s.max_link_mbps.to_f64())),
             self.sim
                 .as_ref()
                 .map_or("null", |s| if s.saturated { "true" } else { "false" })
@@ -316,7 +318,7 @@ impl SweepReport {
     /// Aggregate statistics over the records.
     pub fn summary(&self) -> SweepSummary {
         let mut costs: Vec<f64> =
-            self.records.iter().filter(|r| r.is_ok()).map(|r| r.comm_cost).collect();
+            self.records.iter().filter(|r| r.is_ok()).map(|r| r.comm_cost.to_f64()).collect();
         // total_cmp keeps this panic-free even for hand-built records
         // holding non-finite costs (NaN sorts last).
         costs.sort_by(f64::total_cmp);
@@ -325,21 +327,24 @@ impl SweepReport {
         let times =
             self.records.iter().fold(StageTimes::default(), |acc, r| acc.saturating_sum(&r.times));
         let sims: Vec<&SimStats> = self.records.iter().filter_map(|r| r.sim.as_ref()).collect();
-        let mut sim_latencies: Vec<f64> = sims.iter().map(|s| s.avg_latency_cycles).collect();
+        let mut sim_latencies: Vec<f64> =
+            sims.iter().map(|s| s.avg_latency_cycles.to_f64()).collect();
         sim_latencies.sort_by(f64::total_cmp);
         SweepSummary {
             scenarios: self.records.len(),
             failed: self.records.len() - completed,
             feasible,
             feasibility_rate: if completed == 0 { 0.0 } else { feasible as f64 / completed as f64 },
-            cost_min: quantile(&costs, 0.0),
-            cost_median: quantile(&costs, 0.5),
-            cost_p90: quantile(&costs, 0.9),
-            cost_max: quantile(&costs, 1.0),
+            // Nearest-rank quantiles select an element (no interpolation),
+            // so the raw f64s are exactly the typed costs that went in.
+            cost_min: HopMbps::raw(quantile(&costs, 0.0)),
+            cost_median: HopMbps::raw(quantile(&costs, 0.5)),
+            cost_p90: HopMbps::raw(quantile(&costs, 0.9)),
+            cost_max: HopMbps::raw(quantile(&costs, 1.0)),
             simulated: sims.len(),
             saturated: sims.iter().filter(|s| s.saturated).count(),
-            sim_latency_median: quantile(&sim_latencies, 0.5),
-            sim_latency_p90: quantile(&sim_latencies, 0.9),
+            sim_latency_median: Latency::raw(quantile(&sim_latencies, 0.5)),
+            sim_latency_p90: Latency::raw(quantile(&sim_latencies, 0.9)),
             times,
         }
     }
@@ -355,24 +360,25 @@ pub struct SweepSummary {
     /// Scenarios whose routed loads met every link capacity.
     pub feasible: usize,
     /// `feasible / (scenarios - failed)`; 0 when nothing completed.
+    // lint: allow(f64-api) — dimensionless ratio in [0, 1].
     pub feasibility_rate: f64,
     /// Minimum communication cost over completed scenarios (0 if none).
-    pub cost_min: f64,
+    pub cost_min: HopMbps,
     /// Median communication cost (nearest-rank).
-    pub cost_median: f64,
+    pub cost_median: HopMbps,
     /// 90th-percentile communication cost (nearest-rank).
-    pub cost_p90: f64,
+    pub cost_p90: HopMbps,
     /// Maximum communication cost.
-    pub cost_max: f64,
+    pub cost_max: HopMbps,
     /// Scenarios that ran the simulation stage.
     pub simulated: usize,
     /// Simulated scenarios that showed saturation.
     pub saturated: usize,
     /// Median mean-packet-latency over simulated scenarios (cycles,
     /// nearest-rank; 0 when nothing was simulated).
-    pub sim_latency_median: f64,
+    pub sim_latency_median: Latency,
     /// 90th-percentile mean-packet-latency over simulated scenarios.
-    pub sim_latency_p90: f64,
+    pub sim_latency_p90: Latency,
     /// Total wall-clock time per stage across all scenarios.
     pub times: StageTimes,
 }
@@ -480,34 +486,35 @@ fn csv_cell(value: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_units::{hop_mbps, latency, mbps};
 
     fn record(cost: f64, feasible: bool) -> RunRecord {
         RunRecord {
             scenario: "VOPD".into(),
             cores: 16,
             topology: "mesh4x4".into(),
-            capacity: 1_000.0,
+            capacity: mbps(1_000.0),
             mapper: "nmap".into(),
             routing: "min-path".into(),
             seed: 42,
             error: String::new(),
             feasible,
-            comm_cost: cost,
-            max_link_load: cost / 4.0,
-            total_load: cost,
+            comm_cost: hop_mbps(cost),
+            max_link_load: mbps(cost / 4.0),
+            total_load: mbps(cost),
             evaluations: 7,
             sim: None,
             times: StageTimes { build_us: 10, map_us: 200, route_us: 30, sim_us: 0 },
         }
     }
 
-    fn sim_stats(latency: f64, saturated: bool) -> SimStats {
+    fn sim_stats(cycles: f64, saturated: bool) -> SimStats {
         SimStats {
-            avg_latency_cycles: latency,
-            avg_network_latency_cycles: latency - 10.0,
+            avg_latency_cycles: latency(cycles),
+            avg_network_latency_cycles: latency(cycles - 10.0),
             p95_latency_cycles: 256,
-            delivered_mbps: 400.0,
-            max_link_mbps: 425.5,
+            delivered_mbps: mbps(400.0),
+            max_link_mbps: mbps(425.5),
             saturated,
         }
     }
@@ -584,12 +591,12 @@ mod tests {
         assert_eq!(s.failed, 1);
         assert_eq!(s.feasible, 3);
         assert!((s.feasibility_rate - 0.75).abs() < 1e-12);
-        assert_eq!(s.cost_min, 10.0);
-        assert_eq!(s.cost_median, 20.0); // nearest rank: ceil(0.5*4) = rank 2
-        assert_eq!(s.cost_p90, 40.0); // ceil(0.9*4) = rank 4
-        assert_eq!(s.cost_max, 40.0);
+        assert_eq!(s.cost_min, hop_mbps(10.0));
+        assert_eq!(s.cost_median, hop_mbps(20.0)); // nearest rank: ceil(0.5*4) = rank 2
+        assert_eq!(s.cost_p90, hop_mbps(40.0)); // ceil(0.9*4) = rank 4
+        assert_eq!(s.cost_max, hop_mbps(40.0));
         assert_eq!(s.simulated, 0);
-        assert_eq!(s.sim_latency_median, 0.0);
+        assert_eq!(s.sim_latency_median, Latency::ZERO);
         assert_eq!(s.times.map_us, 5 * 200);
         let shown = s.to_string();
         assert!(shown.contains("feasible: 3"));
@@ -607,8 +614,8 @@ mod tests {
         let s = report.summary();
         assert_eq!(s.simulated, 2);
         assert_eq!(s.saturated, 1);
-        assert_eq!(s.sim_latency_median, 80.0); // ceil(0.5*2) = rank 1
-        assert_eq!(s.sim_latency_p90, 200.0);
+        assert_eq!(s.sim_latency_median, latency(80.0)); // ceil(0.5*2) = rank 1
+        assert_eq!(s.sim_latency_p90, latency(200.0));
         assert_eq!(s.times.sim_us, 500);
         let shown = s.to_string();
         assert!(shown.contains("simulated: 2 (1 saturated)"), "display: {shown}");
@@ -623,16 +630,16 @@ mod tests {
 
     #[test]
     fn non_finite_numbers_serialize_as_null() {
-        // Engine records are always finite, but RunRecord fields are pub;
-        // the writers must stay parsable for hand-built records too.
-        let mut r = record(1.0, true);
-        r.comm_cost = f64::INFINITY;
-        r.max_link_load = f64::NAN;
-        let json = r.to_json(false);
-        assert!(json.contains("\"comm_cost\":null"));
-        assert!(json.contains("\"max_link_load\":null"));
-        assert!(!json.contains("inf") && !json.contains("NaN"));
-        assert!(r.to_csv(false).contains("null"));
+        // The typed quantity fields cannot hold non-finite values any
+        // more — the serialization seam still guards, so a future f64
+        // column (or a quantity grown through unchecked paths) can never
+        // emit unparsable JSON.
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "null");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_opt_f64(Some(f64::NAN)), "null");
+        assert_eq!(fmt_opt_f64(None), "null");
+        assert_eq!(fmt_f64(4119.5), "4119.5");
     }
 
     #[test]

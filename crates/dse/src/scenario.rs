@@ -13,6 +13,7 @@ use noc_graph::{
     dims_label, CoreGraph, Grid, RandomGraphConfig, RandomGraphFamily, Topology, TopologyKind,
 };
 use noc_sim::{LoopKind, SimConfig};
+use noc_units::Mbps;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -86,7 +87,8 @@ impl TopologySpec {
     /// Panics on invalid dimensions or capacities (the spec parser and the
     /// builder validate both up front; hand-built specs inherit the
     /// constructor panics, as the 2-D-only spec did).
-    pub fn build(&self, cores: usize, capacity: f64) -> Topology {
+    pub fn build(&self, cores: usize, capacity: Mbps) -> Topology {
+        let capacity = capacity.to_f64();
         let built = match self {
             TopologySpec::FitMesh => {
                 let (w, h) = Topology::fit_mesh_dims(cores);
@@ -207,8 +209,8 @@ impl MapperSpec {
 /// into `Scenario::capacity`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulateSpec {
-    /// Link-bandwidth sweep points (MB/s); empty → the builder capacity.
-    pub bandwidths_mbps: Vec<f64>,
+    /// Link-bandwidth sweep points; empty → the builder capacity.
+    pub bandwidths_mbps: Vec<Mbps>,
     /// Warm-up cycles excluded from statistics.
     pub warmup_cycles: u64,
     /// Measured cycles after warm-up (must be non-zero).
@@ -218,6 +220,7 @@ pub struct SimulateSpec {
     /// Mean burst length of the on/off sources, in packets.
     pub burst_packets: u32,
     /// Peak-to-mean ratio of the on/off sources.
+    // lint: allow(f64-api) — dimensionless peak-to-mean ratio.
     pub burst_intensity: f64,
     /// Simulation seed component; the per-scenario traffic seed mixes this
     /// with the scenario seed (see [`SimulateSpec::sim_seed`]).
@@ -267,7 +270,7 @@ impl SimulateSpec {
     /// pool worker.
     pub fn validate(&self) -> Result<(), String> {
         for &bw in &self.bandwidths_mbps {
-            if !(bw.is_finite() && bw > 0.0) {
+            if bw.is_zero() {
                 return Err(format!("bandwidth points must be positive, got {bw}"));
             }
         }
@@ -334,8 +337,8 @@ pub struct Scenario {
     pub seed: u64,
     /// The fabric.
     pub topology: TopologySpec,
-    /// Uniform link capacity in MB/s.
-    pub capacity: f64,
+    /// Uniform link capacity.
+    pub capacity: Mbps,
     /// The mapping algorithm.
     pub mapper: MapperSpec,
     /// The routing regime evaluating the placement.
@@ -417,7 +420,7 @@ struct AppEntry {
 /// scenario list is a pure function of the builder calls.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSetBuilder {
-    capacity: f64,
+    capacity: Mbps,
     root_seed: u64,
     apps: Vec<AppEntry>,
     topologies: Vec<TopologySpec>,
@@ -429,7 +432,7 @@ pub struct ScenarioSetBuilder {
 impl Default for ScenarioSetBuilder {
     fn default() -> Self {
         Self {
-            capacity: 1_000.0,
+            capacity: Mbps::raw(1_000.0),
             root_seed: 0,
             apps: Vec::new(),
             topologies: Vec::new(),
@@ -442,9 +445,10 @@ impl Default for ScenarioSetBuilder {
 
 impl ScenarioSetBuilder {
     /// Sets the uniform link capacity (MB/s) of every scenario.
+    // lint: allow(f64-api) — checked boundary intake: validated via
+    // `Mbps::positive` below.
     pub fn capacity(mut self, capacity: f64) -> Self {
-        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be positive");
-        self.capacity = capacity;
+        self.capacity = Mbps::positive(capacity).expect("capacity must be positive");
         self
     }
 
@@ -576,7 +580,7 @@ impl ScenarioSetBuilder {
         // points: one per bandwidth, or the builder capacity when no sweep
         // points are named. Expanded specs carry an empty bandwidth list —
         // the point is resolved into the scenario's capacity.
-        let sim_points: Vec<(f64, Option<SimulateSpec>)> = match &self.simulate {
+        let sim_points: Vec<(Mbps, Option<SimulateSpec>)> = match &self.simulate {
             None => vec![(self.capacity, None)],
             Some(spec) => {
                 let resolved = SimulateSpec { bandwidths_mbps: Vec::new(), ..spec.clone() };
@@ -623,6 +627,7 @@ impl ScenarioSetBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_units::mbps;
 
     #[test]
     fn cross_product_order_is_apps_topos_mappers_routings() {
@@ -655,7 +660,7 @@ mod tests {
         assert_eq!(s.topology, TopologySpec::FitMesh);
         assert_eq!(s.mapper, MapperSpec::Nmap(SinglePathOptions::default()));
         assert_eq!(s.routing, RoutingSpec::MinPath);
-        assert_eq!(s.capacity, 1_000.0);
+        assert_eq!(s.capacity, mbps(1_000.0));
     }
 
     #[test]
@@ -705,7 +710,7 @@ mod tests {
             app: AppSpec::Bundled(App::Vopd),
             seed: 0,
             topology: TopologySpec::FitMesh,
-            capacity: 500.0,
+            capacity: mbps(500.0),
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
             simulate: None,
@@ -725,7 +730,7 @@ mod tests {
             app: AppSpec::Bundled(App::Vopd),
             seed: 0,
             topology: TopologySpec::Mesh { dims: vec![4, 4, 2] },
-            capacity: 500.0,
+            capacity: mbps(500.0),
             mapper: MapperSpec::Pmap,
             routing: RoutingSpec::MinPath,
             simulate: None,
@@ -756,7 +761,7 @@ mod tests {
             .routing(RoutingSpec::MinPath)
             .routing(RoutingSpec::Xy)
             .simulate(SimulateSpec {
-                bandwidths_mbps: vec![1_100.0, 1_400.0],
+                bandwidths_mbps: vec![mbps(1_100.0), mbps(1_400.0)],
                 ..Default::default()
             })
             .build();
@@ -765,10 +770,10 @@ mod tests {
         assert_eq!(
             points,
             vec![
-                (RoutingSpec::MinPath, 1_100.0),
-                (RoutingSpec::MinPath, 1_400.0),
-                (RoutingSpec::Xy, 1_100.0),
-                (RoutingSpec::Xy, 1_400.0),
+                (RoutingSpec::MinPath, mbps(1_100.0)),
+                (RoutingSpec::MinPath, mbps(1_400.0)),
+                (RoutingSpec::Xy, mbps(1_100.0)),
+                (RoutingSpec::Xy, mbps(1_400.0)),
             ]
         );
         for s in set.scenarios() {
@@ -786,7 +791,7 @@ mod tests {
             .build();
         assert_eq!(set.len(), 1);
         let s = &set.scenarios()[0];
-        assert_eq!(s.capacity, 750.0);
+        assert_eq!(s.capacity, mbps(750.0));
         assert!(s.simulate.is_some());
     }
 
@@ -805,7 +810,7 @@ mod tests {
     fn simulate_rejects_bad_bandwidths() {
         let _ = ScenarioSet::builder()
             .app(App::Pip)
-            .simulate(SimulateSpec { bandwidths_mbps: vec![0.0], ..Default::default() });
+            .simulate(SimulateSpec { bandwidths_mbps: vec![Mbps::ZERO], ..Default::default() });
     }
 
     #[test]
@@ -867,7 +872,7 @@ mod tests {
             app: AppSpec::Random(RandomGraphConfig { cores: 12, ..Default::default() }),
             seed: 5,
             topology: TopologySpec::Mesh { dims: vec![4, 4] },
-            capacity: 2_000.0,
+            capacity: mbps(2_000.0),
             mapper: MapperSpec::Sa(SaOptions::default()),
             routing: RoutingSpec::MinPath,
             simulate: None,

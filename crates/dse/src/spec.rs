@@ -61,6 +61,8 @@ use noc_baselines::PbbOptions;
 use noc_graph::RandomGraphConfig;
 use noc_sim::LoopKind;
 
+use noc_units::Mbps;
+
 use crate::scenario::{MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec, TopologySpec};
 
 /// One application directive of a spec.
@@ -83,8 +85,8 @@ pub enum AppDirective {
 /// expand into a concrete [`ScenarioSet`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    /// Uniform link capacity (MB/s).
-    pub capacity: f64,
+    /// Uniform link capacity.
+    pub capacity: Mbps,
     /// Root seed for derived scenario seeds.
     pub root_seed: u64,
     /// Applications, in directive order.
@@ -103,7 +105,7 @@ pub struct SweepSpec {
 impl Default for SweepSpec {
     fn default() -> Self {
         Self {
-            capacity: 1_000.0,
+            capacity: Mbps::raw(1_000.0),
             root_seed: 0,
             apps: Vec::new(),
             topologies: Vec::new(),
@@ -117,7 +119,8 @@ impl Default for SweepSpec {
 impl SweepSpec {
     /// Expands the spec into the ordered scenario cross product.
     pub fn scenarios(&self) -> ScenarioSet {
-        let mut builder = ScenarioSet::builder().capacity(self.capacity).root_seed(self.root_seed);
+        let mut builder =
+            ScenarioSet::builder().capacity(self.capacity.to_f64()).root_seed(self.root_seed);
         for app in &self.apps {
             builder = match app {
                 AppDirective::Bundled(a) => builder.app(*a),
@@ -255,10 +258,8 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
         match keyword {
             "capacity" => {
                 let v: f64 = parse_one(&rest, line_no, "capacity")?;
-                if !(v.is_finite() && v > 0.0) {
-                    return Err(syntax(line_no, format!("capacity must be positive, got {v}")));
-                }
-                spec.capacity = v;
+                spec.capacity = Mbps::positive(v)
+                    .map_err(|_| syntax(line_no, format!("capacity must be positive, got {v}")))?;
             }
             "seed" => spec.root_seed = parse_one(&rest, line_no, "seed")?,
             "app" => {
@@ -293,13 +294,15 @@ pub fn parse_spec(text: &str) -> Result<SweepSpec, SpecError> {
                     config.avg_degree = parse_field(rest[2], line_no, "avg_degree")?;
                 }
                 if rest.len() == 5 {
-                    config.min_bandwidth = parse_field(rest[3], line_no, "min_bw")?;
-                    config.max_bandwidth = parse_field(rest[4], line_no, "max_bw")?;
+                    let min_bw: f64 = parse_field(rest[3], line_no, "min_bw")?;
+                    let max_bw: f64 = parse_field(rest[4], line_no, "max_bw")?;
+                    let invalid = |_| syntax(line_no, "invalid `random` parameters".into());
+                    config.min_bandwidth = Mbps::new(min_bw).map_err(invalid)?;
+                    config.max_bandwidth = Mbps::new(max_bw).map_err(invalid)?;
                 }
                 if cores == 0
                     || instances == 0
                     || !(config.avg_degree.is_finite() && config.avg_degree > 0.0)
-                    || config.min_bandwidth < 0.0
                     || config.max_bandwidth < config.min_bandwidth
                 {
                     return Err(syntax(line_no, "invalid `random` parameters".into()));
@@ -417,9 +420,9 @@ fn parse_simulate_field(
             let mut points = Vec::with_capacity(rest.len());
             for text in rest {
                 let bw: f64 = parse_field(text, line_no, "bandwidth")?;
-                if !(bw.is_finite() && bw > 0.0) {
-                    return Err(syntax(line_no, format!("bandwidth must be positive, got {bw}")));
-                }
+                let bw = Mbps::positive(bw).map_err(|_| {
+                    syntax(line_no, format!("bandwidth must be positive, got {bw}"))
+                })?;
                 points.push(bw);
             }
             block.bandwidths_mbps = points;
@@ -668,6 +671,8 @@ fn parse_routing(name: &str) -> Option<RoutingSpec> {
 
 #[cfg(test)]
 mod tests {
+    use noc_units::mbps;
+
     use super::*;
 
     const FULL: &str = "\
@@ -699,7 +704,7 @@ simulate {
     #[test]
     fn parses_every_directive() {
         let spec = parse_spec(FULL).unwrap();
-        assert_eq!(spec.capacity, 800.0);
+        assert_eq!(spec.capacity, mbps(800.0));
         assert_eq!(spec.root_seed, 9);
         assert_eq!(spec.apps.len(), 4);
         assert_eq!(
@@ -708,8 +713,8 @@ simulate {
                 config: RandomGraphConfig {
                     cores: 12,
                     avg_degree: 3.0,
-                    min_bandwidth: 50.0,
-                    max_bandwidth: 60.0,
+                    min_bandwidth: mbps(50.0),
+                    max_bandwidth: mbps(60.0),
                 },
                 instances: 2,
             }
@@ -722,7 +727,7 @@ simulate {
         assert_eq!(
             spec.simulate,
             Some(SimulateSpec {
-                bandwidths_mbps: vec![1_100.0, 1_400.0],
+                bandwidths_mbps: vec![mbps(1_100.0), mbps(1_400.0)],
                 warmup_cycles: 1_000,
                 measure_cycles: 5_000,
                 drain_cycles: 2_000,
@@ -888,7 +893,7 @@ simulate {
         let spec = parse_spec("app pip\n").unwrap();
         let set = spec.scenarios();
         assert_eq!(set.len(), 1);
-        assert_eq!(set.scenarios()[0].capacity, 1_000.0);
+        assert_eq!(set.scenarios()[0].capacity, mbps(1_000.0));
         assert_eq!(set.scenarios()[0].routing, RoutingSpec::MinPath);
     }
 

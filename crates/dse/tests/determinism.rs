@@ -66,7 +66,11 @@ fn sim_set_with(loop_kind: LoopKind) -> ScenarioSet {
         .routing(RoutingSpec::MinPath)
         .routing(RoutingSpec::Xy)
         .simulate(SimulateSpec {
-            bandwidths_mbps: vec![600.0, 1_000.0, 1_400.0],
+            bandwidths_mbps: vec![
+                noc_units::mbps(600.0),
+                noc_units::mbps(1_000.0),
+                noc_units::mbps(1_400.0),
+            ],
             warmup_cycles: 500,
             measure_cycles: 4_000,
             drain_cycles: 2_000,
@@ -87,7 +91,7 @@ fn sim_enabled_sweep_is_byte_identical_across_thread_counts() {
     // Every record carries real simulation numbers in the sim columns.
     for record in &baseline.records {
         let sim = record.sim.as_ref().expect("simulate stage ran");
-        assert!(sim.avg_latency_cycles > 0.0, "{}: no packets measured", record.scenario);
+        assert!(sim.avg_latency_cycles.to_f64() > 0.0, "{}: no packets measured", record.scenario);
     }
     assert!(jsonl.lines().all(|l| !l.contains("\"sim_avg_latency\":null")));
 
@@ -162,7 +166,7 @@ routing min-path
     let csv = baseline.write_csv(false);
     for record in &baseline.records {
         assert!(record.is_ok(), "{}: {}", record.scenario, record.error);
-        assert!(record.comm_cost > 0.0);
+        assert!(record.comm_cost > noc_units::HopMbps::ZERO);
     }
     // All four mapper spellings appear in the records.
     for name in ["sa", "tabu", "sa[m2000t0.1c0.999]", "tabu[i16t4]"] {

@@ -40,7 +40,7 @@ fn the_engine_runs_every_registered_mapper() {
             app: AppSpec::DspFilter,
             seed: 11,
             topology: TopologySpec::FitMesh,
-            capacity: 2_000.0,
+            capacity: noc_units::mbps(2_000.0),
             mapper: spec.mappers[0].clone(),
             routing: RoutingSpec::MinPath,
             simulate: None,
@@ -48,7 +48,7 @@ fn the_engine_runs_every_registered_mapper() {
         let record = run_scenario(&scenario);
         assert!(record.is_ok(), "mapper `{name}` failed: {}", record.error);
         assert_eq!(record.mapper, name);
-        assert!(record.comm_cost.is_finite() && record.comm_cost > 0.0, "mapper `{name}`");
+        assert!(record.comm_cost > noc_units::HopMbps::ZERO, "mapper `{name}`");
         assert!(record.feasible, "DSP at 2 GB/s must be feasible for `{name}`");
     }
 }

@@ -71,8 +71,8 @@ pub fn table2_rows_from_records(config: &Table2Config, records: &[RunRecord]) ->
                 assert!(pbb.is_ok() && nmap.is_ok(), "Table 2 scenarios cannot fail");
                 assert!(pbb.mapper.starts_with("pbb"), "unexpected order: {}", pbb.mapper);
                 assert_eq!(pbb.cores, cores);
-                pbb_sum += pbb.comm_cost;
-                nmap_sum += nmap.comm_cost;
+                pbb_sum += pbb.comm_cost.to_f64();
+                nmap_sum += nmap.comm_cost.to_f64();
             }
             let pbb_avg = pbb_sum / config.instances as f64;
             let nmap_avg = nmap_sum / config.instances as f64;
@@ -123,7 +123,11 @@ pub fn fig5c_via_engine_probed(
         sim.set_loop_kind(config.loop_kind);
         sim.set_probe(probe);
         let report = sim.run();
-        (report.avg_latency_cycles(), report.avg_network_latency_cycles(), report.saturated())
+        (
+            report.avg_latency_cycles().to_f64(),
+            report.avg_network_latency_cycles().to_f64(),
+            report.saturated(),
+        )
     });
     runs.chunks_exact(2)
         .zip(&config.bandwidths_mbps)
@@ -215,9 +219,9 @@ pub fn torus_vs_mesh_rows_from_records(records: &[RunRecord]) -> Vec<TorusVsMesh
             assert!(torus.topology.starts_with("torus"), "unexpected order: {}", torus.topology);
             TorusVsMeshRow {
                 app: mesh.scenario.clone(),
-                mesh_cost: mesh.comm_cost,
-                torus_cost: torus.comm_cost,
-                gain: mesh.comm_cost / torus.comm_cost,
+                mesh_cost: mesh.comm_cost.to_f64(),
+                torus_cost: torus.comm_cost.to_f64(),
+                gain: mesh.comm_cost.to_f64() / torus.comm_cost.to_f64(),
             }
         })
         .collect()

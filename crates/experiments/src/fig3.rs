@@ -33,10 +33,10 @@ pub fn run_app(app: App) -> Fig3Row {
         map_single_path(&problem, &SinglePathOptions::default()).expect("mesh routing succeeds");
     Fig3Row {
         app,
-        pmap: pmap_cost,
-        gmap: gmap_cost,
-        pbb: pbb_out.comm_cost,
-        nmap: nmap_out.comm_cost,
+        pmap: pmap_cost.to_f64(),
+        gmap: gmap_cost.to_f64(),
+        pbb: pbb_out.comm_cost.to_f64(),
+        nmap: nmap_out.comm_cost.to_f64(),
     }
 }
 
@@ -63,7 +63,7 @@ mod tests {
     #[test]
     fn costs_are_bounded_below_by_total_bandwidth() {
         let row = run_app(App::Pip);
-        let lb = App::Pip.core_graph().total_bandwidth();
+        let lb = App::Pip.core_graph().total_bandwidth().to_f64();
         for cost in [row.pmap, row.gmap, row.pbb, row.nmap] {
             assert!(cost >= lb - 1e-9, "cost {cost} below 1-hop bound {lb}");
         }

@@ -100,7 +100,7 @@ mod tests {
         // edge weight.
         let row = run_app(App::Pip);
         let g = App::Pip.core_graph();
-        let hottest = g.edges().map(|(_, e)| e.bandwidth).fold(0.0f64, f64::max);
+        let hottest = g.edges().map(|(_, e)| e.bandwidth.to_f64()).fold(0.0f64, f64::max);
         for v in [row.dpmap, row.dgmap, row.pmap, row.gmap, row.nmap] {
             assert!(v >= hottest - 1e-6, "single-path BW {v} below hottest edge {hottest}");
         }

@@ -110,7 +110,7 @@ fn split_target(problem: &MappingProblem, mapping: &Mapping) -> f64 {
     problem
         .commodities(mapping)
         .iter()
-        .filter(|c| c.value > 0.0)
+        .filter(|c| !c.value.is_zero())
         .map(|c| solo_sizing(problem.topology(), c))
         .fold(0.0, f64::max)
 }
@@ -166,10 +166,10 @@ pub fn design_dsp() -> DspDesign {
     let commodities = problem.commodities(&mapping);
     let mut split_routes = vec![Vec::new(); commodities.len()];
     for c in &commodities {
-        if c.value <= 0.0 {
+        if c.value.is_zero() {
             continue;
         }
-        if c.value <= best_target + 1e-6 {
+        if c.value.to_f64() <= best_target + 1e-6 {
             let single = &minpath_tables.routes_of(c.edge)[0];
             split_routes[c.edge.index()] = vec![single.clone()];
         } else {
@@ -223,8 +223,8 @@ pub fn run_probed(config: &Fig5cConfig, probe: &noc_probe::Probe) -> Vec<Fig5cPo
                 sim.set_probe(probe);
                 let report = sim.run();
                 (
-                    report.avg_latency_cycles(),
-                    report.avg_network_latency_cycles(),
+                    report.avg_latency_cycles().to_f64(),
+                    report.avg_network_latency_cycles().to_f64(),
                     report.saturated(),
                 )
             };
@@ -280,10 +280,10 @@ mod tests {
         let commodities = design.problem.commodities(&design.mapping);
         for c in &commodities {
             let routes = design.split_tables.routes_of(c.edge);
-            if c.value == 600.0 {
+            if c.value.to_f64() == 600.0 {
                 assert_eq!(routes.len(), 3, "600 MB/s flow must split 3 ways");
                 for r in routes {
-                    assert!(c.value * r.fraction <= 200.0 + 1e-6);
+                    assert!(c.value.to_f64() * r.fraction <= 200.0 + 1e-6);
                 }
             } else {
                 assert_eq!(routes.len(), 1, "200 MB/s flows stay single-path");
@@ -296,7 +296,7 @@ mod tests {
         let design = design_dsp();
         let flows = flows_from_tables(&design.problem, &design.mapping, &design.minpath_tables);
         assert_eq!(flows.len(), 8); // the DSP graph's 8 edges
-        let total: f64 = flows.iter().map(|f| f.rate_mbps).sum();
+        let total: f64 = flows.iter().map(|f| f.rate_mbps.to_f64()).sum();
         assert_eq!(total, 2_400.0); // 6x200 + 2x600
     }
 

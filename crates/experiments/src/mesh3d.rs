@@ -117,11 +117,11 @@ pub fn mesh3d_rows_from_records(records: &[RunRecord]) -> Vec<Mesh3dRow> {
             Mesh3dRow {
                 app: flat.scenario.clone(),
                 cores: flat.cores,
-                cost_2d: flat.comm_cost,
-                cost_3d: cube.comm_cost,
-                cost_gain: flat.comm_cost / cube.comm_cost,
-                latency_2d: flat_sim.avg_latency_cycles,
-                latency_3d: cube_sim.avg_latency_cycles,
+                cost_2d: flat.comm_cost.to_f64(),
+                cost_3d: cube.comm_cost.to_f64(),
+                cost_gain: flat.comm_cost.to_f64() / cube.comm_cost.to_f64(),
+                latency_2d: flat_sim.avg_latency_cycles.to_f64(),
+                latency_3d: cube_sim.avg_latency_cycles.to_f64(),
                 saturated: flat_sim.saturated || cube_sim.saturated,
             }
         })

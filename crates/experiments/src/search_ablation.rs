@@ -65,7 +65,7 @@ pub fn run_all_probed(probe: &Probe) -> Vec<AblationPoint> {
             out.push(AblationPoint {
                 config,
                 app,
-                comm_cost: result.comm_cost,
+                comm_cost: result.comm_cost.to_f64(),
                 evaluations: result.evaluations,
                 elapsed: start.elapsed(),
             });
@@ -126,7 +126,7 @@ pub fn run_strategies_probed(probe: &Probe) -> Vec<StrategyPoint> {
             out.push(StrategyPoint {
                 mapper: name,
                 app,
-                comm_cost: outcome.comm_cost,
+                comm_cost: outcome.comm_cost.to_f64(),
                 feasible: outcome.feasible,
                 evaluations: outcome.evaluations,
                 elapsed: start.elapsed(),
@@ -149,7 +149,7 @@ mod tests {
         // search they subsume pairwise with the paper baseline.
         let paper = map_single_path(&problem, &SinglePathOptions::paper_exact()).unwrap().comm_cost;
         let default = map_single_path(&problem, &SinglePathOptions::default()).unwrap().comm_cost;
-        assert!(default <= paper + 1e-9);
+        assert!(default.to_f64() <= paper.to_f64() + 1e-9);
         let _ = &mut last;
     }
 

@@ -67,10 +67,11 @@ pub fn run(config: &Table2Config) -> Vec<Table2Row> {
                 let (w, h) = Topology::fit_mesh_dims(cores);
                 let problem = MappingProblem::new(graph, Topology::mesh(w, h, UNLIMITED_CAPACITY))
                     .expect("generated graph fits");
-                pbb_sum += pbb(&problem, &config.pbb).comm_cost;
+                pbb_sum += pbb(&problem, &config.pbb).comm_cost.to_f64();
                 nmap_sum += map_single_path(&problem, &SinglePathOptions::default())
                     .expect("mesh routing succeeds")
-                    .comm_cost;
+                    .comm_cost
+                    .to_f64();
             }
             let pbb_avg = pbb_sum / config.instances as f64;
             let nmap_avg = nmap_sum / config.instances as f64;

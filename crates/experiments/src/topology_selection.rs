@@ -78,7 +78,7 @@ pub fn explore(app: App) -> Vec<CandidateResult> {
                 fabric,
                 nodes,
                 links,
-                comm_cost: out.comm_cost,
+                comm_cost: out.comm_cost.to_f64(),
                 bw_single: out.link_loads.max(),
                 bw_split,
                 elapsed: start.elapsed(),

@@ -27,11 +27,11 @@ fn mesh3d_smoke_sweep_is_deterministic_and_sim_backed() {
     assert_eq!(cube_records.len(), 6, "one 3-D record per bundled app");
     for record in cube_records {
         assert!(record.is_ok(), "{}: {}", record.scenario, record.error);
-        assert!(record.comm_cost > 0.0);
+        assert!(record.comm_cost.to_f64() > 0.0);
         assert!(record.feasible, "{} infeasible on the 3-D mesh", record.scenario);
         let sim = record.sim.as_ref().expect("simulate stage enabled");
-        assert!(sim.avg_latency_cycles > 0.0);
-        assert!(sim.delivered_mbps > 0.0);
+        assert!(sim.avg_latency_cycles.to_f64() > 0.0);
+        assert!(sim.delivered_mbps.to_f64() > 0.0);
     }
     // And the folded study rows are well-formed.
     let rows = mesh3d_rows_from_records(&reference.records);

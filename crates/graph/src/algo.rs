@@ -87,6 +87,8 @@ impl PartialOrd for HeapEntry {
 /// This is the search primitive of the paper's `shortestpath()` routine:
 /// NMAP calls it on the *quadrant graph* of each commodity with
 /// load-dependent weights.
+// lint: allow(f64-api) — generic edge weights: callers choose the cost
+// dimension (hops, load, …) via the `weight` closure.
 pub fn dijkstra<W, A>(
     topology: &Topology,
     source: NodeId,

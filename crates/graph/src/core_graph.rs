@@ -4,7 +4,12 @@
 //! `comm_{i,j}` states that core `v_i` sends an average of `comm_{i,j}` MB/s
 //! to core `v_j`. Each edge becomes one *commodity* `d_k` during mapping.
 
+// lint: allow-file(hash-container) — the only hash container here is
+// `edge_lookup`, a get/insert-only duplicate index that is never
+// iterated, so its order cannot leak into results.
 use std::collections::HashMap;
+
+use noc_units::Mbps;
 
 use crate::{CoreId, EdgeId, GraphError, Result};
 
@@ -16,8 +21,9 @@ pub struct CoreEdge {
     /// Destination core `v_j`.
     pub dst: CoreId,
     /// Average communication bandwidth `comm_{i,j}` in MB/s; this is the
-    /// commodity value `vl(d_k)` of Equation 2.
-    pub bandwidth: f64,
+    /// commodity value `vl(d_k)` of Equation 2. Finite and non-negative
+    /// by construction ([`CoreGraph::add_comm`] validates).
+    pub bandwidth: Mbps,
 }
 
 /// The application core graph `G(V, E)` (Definition 1 in the paper).
@@ -36,7 +42,7 @@ pub struct CoreEdge {
 /// g.add_comm(vld, rld, 70.0)?;
 /// assert_eq!(g.core_count(), 2);
 /// assert_eq!(g.edge_count(), 1);
-/// assert_eq!(g.total_bandwidth(), 70.0);
+/// assert_eq!(g.total_bandwidth().to_f64(), 70.0);
 /// # Ok::<(), noc_graph::GraphError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -79,6 +85,7 @@ impl CoreGraph {
     ///   infinite.
     /// * [`GraphError::DuplicateEdge`] if `(src, dst)` already exists; sum
     ///   parallel demands before inserting.
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::new`.
     pub fn add_comm(&mut self, src: CoreId, dst: CoreId, bandwidth: f64) -> Result<EdgeId> {
         if src.index() >= self.names.len() {
             return Err(GraphError::UnknownCore(src));
@@ -89,9 +96,8 @@ impl CoreGraph {
         if src == dst {
             return Err(GraphError::SelfLoop(src));
         }
-        if !bandwidth.is_finite() || bandwidth < 0.0 {
-            return Err(GraphError::InvalidBandwidth(bandwidth));
-        }
+        let bandwidth =
+            Mbps::new(bandwidth).map_err(|_| GraphError::InvalidBandwidth(bandwidth))?;
         if self.edge_lookup.contains_key(&(src, dst)) {
             return Err(GraphError::DuplicateEdge(src, dst));
         }
@@ -160,22 +166,22 @@ impl CoreGraph {
     /// Total communication demand adjacent to `core` in the **undirected**
     /// view `S(A, B) = makeundirected(G)` used by `initialize()`:
     /// the sum of bandwidths of all edges entering or leaving the core.
-    pub fn total_comm(&self, core: CoreId) -> f64 {
-        let out: f64 = self.out_edges(core).map(|(_, e)| e.bandwidth).sum();
-        let inn: f64 = self.in_edges(core).map(|(_, e)| e.bandwidth).sum();
+    pub fn total_comm(&self, core: CoreId) -> Mbps {
+        let out: Mbps = self.out_edges(core).map(|(_, e)| e.bandwidth).sum();
+        let inn: Mbps = self.in_edges(core).map(|(_, e)| e.bandwidth).sum();
         out + inn
     }
 
     /// Undirected communication volume between `a` and `b`:
     /// `comm(a→b) + comm(b→a)`.
-    pub fn comm_between(&self, a: CoreId, b: CoreId) -> f64 {
-        let ab = self.find_edge(a, b).map_or(0.0, |e| self.edges[e.index()].bandwidth);
-        let ba = self.find_edge(b, a).map_or(0.0, |e| self.edges[e.index()].bandwidth);
+    pub fn comm_between(&self, a: CoreId, b: CoreId) -> Mbps {
+        let ab = self.find_edge(a, b).map_or(Mbps::ZERO, |e| self.edges[e.index()].bandwidth);
+        let ba = self.find_edge(b, a).map_or(Mbps::ZERO, |e| self.edges[e.index()].bandwidth);
         ab + ba
     }
 
     /// Sum of all edge bandwidths (aggregate application demand in MB/s).
-    pub fn total_bandwidth(&self) -> f64 {
+    pub fn total_bandwidth(&self) -> Mbps {
         self.edges.iter().map(|e| e.bandwidth).sum()
     }
 
@@ -184,10 +190,9 @@ impl CoreGraph {
     /// the algorithm is deterministic. Returns `None` on an empty graph.
     pub fn max_comm_core(&self) -> Option<CoreId> {
         self.cores().max_by(|&a, &b| {
-            self.total_comm(a)
-                .partial_cmp(&self.total_comm(b))
-                .expect("bandwidths are finite")
-                .then(b.cmp(&a)) // prefer the *lower* id on ties
+            // `Mbps` is totally ordered (NaN unrepresentable), so no
+            // partial_cmp/expect dance.
+            self.total_comm(a).cmp(&self.total_comm(b)).then(b.cmp(&a)) // prefer the *lower* id on ties
         })
     }
 
@@ -196,11 +201,7 @@ impl CoreGraph {
     pub fn edges_by_decreasing_bandwidth(&self) -> Vec<EdgeId> {
         let mut ids: Vec<EdgeId> = (0..self.edges.len()).map(EdgeId::new).collect();
         ids.sort_by(|&a, &b| {
-            self.edges[b.index()]
-                .bandwidth
-                .partial_cmp(&self.edges[a.index()].bandwidth)
-                .expect("bandwidths are finite")
-                .then(a.cmp(&b))
+            self.edges[b.index()].bandwidth.cmp(&self.edges[a.index()].bandwidth).then(a.cmp(&b))
         });
         ids
     }
@@ -259,18 +260,18 @@ mod tests {
     fn total_comm_sums_both_directions() {
         let (g, a, b, _) = triangle();
         // a: out 100 (a->b), in 25 (c->a)
-        assert_eq!(g.total_comm(a), 125.0);
+        assert_eq!(g.total_comm(a).to_f64(), 125.0);
         // b: out 50, in 100
-        assert_eq!(g.total_comm(b), 150.0);
+        assert_eq!(g.total_comm(b).to_f64(), 150.0);
     }
 
     #[test]
     fn comm_between_is_symmetric() {
         let (mut g, a, b, _) = triangle();
-        assert_eq!(g.comm_between(a, b), 100.0);
-        assert_eq!(g.comm_between(b, a), 100.0);
+        assert_eq!(g.comm_between(a, b).to_f64(), 100.0);
+        assert_eq!(g.comm_between(b, a).to_f64(), 100.0);
         g.add_comm(b, a, 11.0).unwrap();
-        assert_eq!(g.comm_between(a, b), 111.0);
+        assert_eq!(g.comm_between(a, b).to_f64(), 111.0);
     }
 
     #[test]
@@ -296,7 +297,7 @@ mod tests {
     fn commodity_ordering_is_decreasing_and_stable() {
         let (g, _, _, _) = triangle();
         let order = g.edges_by_decreasing_bandwidth();
-        let bws: Vec<f64> = order.iter().map(|&e| g.edge(e).bandwidth).collect();
+        let bws: Vec<f64> = order.iter().map(|&e| g.edge(e).bandwidth.to_f64()).collect();
         assert_eq!(bws, vec![100.0, 50.0, 25.0]);
     }
 
@@ -364,6 +365,6 @@ mod tests {
     #[test]
     fn total_bandwidth_sums_all_edges() {
         let (g, ..) = triangle();
-        assert_eq!(g.total_bandwidth(), 175.0);
+        assert_eq!(g.total_bandwidth().to_f64(), 175.0);
     }
 }

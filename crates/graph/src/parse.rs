@@ -31,7 +31,7 @@
 //! link bandwidth); the rank cap keeps a stray trailing number on a
 //! legacy 2-D line from silently declaring a huge higher-rank grid.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -87,7 +87,7 @@ impl Error for ParseError {
 /// [`ParseError::Graph`].
 pub fn parse_core_graph(text: &str) -> Result<CoreGraph, ParseError> {
     let mut graph = CoreGraph::new();
-    let mut ids: HashMap<String, CoreId> = HashMap::new();
+    let mut ids: BTreeMap<String, CoreId> = BTreeMap::new();
     let mut saw_content = false;
 
     for (idx, raw) in text.lines().enumerate() {
@@ -325,7 +325,7 @@ fn missing(line: usize, what: &str) -> ParseError {
     ParseError::Syntax { line, message: format!("missing {what}") }
 }
 
-fn intern(graph: &mut CoreGraph, ids: &mut HashMap<String, CoreId>, name: &str) -> CoreId {
+fn intern(graph: &mut CoreGraph, ids: &mut BTreeMap<String, CoreId>, name: &str) -> CoreId {
     if let Some(&id) = ids.get(name) {
         return id;
     }
@@ -367,7 +367,7 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         let a = g.cores().find(|&c| g.name(c) == "a").unwrap();
         let b = g.cores().find(|&c| g.name(c) == "b").unwrap();
-        assert_eq!(g.edge(g.find_edge(a, b).unwrap()).bandwidth, 70.0);
+        assert_eq!(g.edge(g.find_edge(a, b).unwrap()).bandwidth.to_f64(), 70.0);
     }
 
     #[test]
@@ -418,7 +418,7 @@ mod tests {
         assert_eq!(t.node_count(), 12);
         assert_eq!(t.kind(), &crate::TopologyKind::Grid(crate::Grid::mesh(&[4, 3]).unwrap()));
         let (_, link) = t.links().next().unwrap();
-        assert_eq!(link.capacity, 1000.0);
+        assert_eq!(link.capacity.to_f64(), 1000.0);
     }
 
     #[test]

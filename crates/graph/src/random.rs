@@ -13,6 +13,8 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use noc_units::Mbps;
+
 use crate::{CoreGraph, CoreId};
 
 /// Parameters for [`RandomGraphConfig::generate`].
@@ -22,18 +24,24 @@ pub struct RandomGraphConfig {
     pub cores: usize,
     /// Average out-degree; total edges ≈ `cores * avg_degree`, clamped to
     /// the simple-digraph maximum.
+    // lint: allow(f64-api) — dimensionless mean degree.
     pub avg_degree: f64,
-    /// Minimum edge bandwidth (MB/s).
-    pub min_bandwidth: f64,
-    /// Maximum edge bandwidth (MB/s).
-    pub max_bandwidth: f64,
+    /// Minimum edge bandwidth.
+    pub min_bandwidth: Mbps,
+    /// Maximum edge bandwidth.
+    pub max_bandwidth: Mbps,
 }
 
 impl Default for RandomGraphConfig {
     /// Defaults chosen to echo the paper's Table 2 workloads: sparse graphs
     /// (average degree 2) with demands between 10 and 400 MB/s.
     fn default() -> Self {
-        Self { cores: 25, avg_degree: 2.0, min_bandwidth: 10.0, max_bandwidth: 400.0 }
+        Self {
+            cores: 25,
+            avg_degree: 2.0,
+            min_bandwidth: Mbps::raw(10.0),
+            max_bandwidth: Mbps::raw(400.0),
+        }
     }
 }
 
@@ -48,12 +56,7 @@ impl RandomGraphConfig {
     /// or if `avg_degree` is not finite and positive.
     pub fn generate(&self, seed: u64) -> CoreGraph {
         assert!(self.cores > 0, "need at least one core");
-        assert!(
-            self.min_bandwidth >= 0.0
-                && self.max_bandwidth >= self.min_bandwidth
-                && self.max_bandwidth.is_finite(),
-            "invalid bandwidth range"
-        );
+        assert!(self.max_bandwidth >= self.min_bandwidth, "invalid bandwidth range");
         assert!(self.avg_degree.is_finite() && self.avg_degree > 0.0, "invalid average degree");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut g = CoreGraph::new();
@@ -69,9 +72,9 @@ impl RandomGraphConfig {
 
         let draw_bw = |rng: &mut ChaCha8Rng| {
             if self.max_bandwidth > self.min_bandwidth {
-                rng.gen_range(self.min_bandwidth..self.max_bandwidth)
+                rng.gen_range(self.min_bandwidth.to_f64()..self.max_bandwidth.to_f64())
             } else {
-                self.min_bandwidth
+                self.min_bandwidth.to_f64()
             }
         };
 
@@ -171,12 +174,16 @@ mod tests {
         let cfg = RandomGraphConfig {
             cores: 20,
             avg_degree: 2.5,
-            min_bandwidth: 50.0,
-            max_bandwidth: 60.0,
+            min_bandwidth: Mbps::raw(50.0),
+            max_bandwidth: Mbps::raw(60.0),
         };
         let g = cfg.generate(3);
         for (_, e) in g.edges() {
-            assert!((50.0..60.0).contains(&e.bandwidth), "bw {} out of range", e.bandwidth);
+            assert!(
+                (50.0..60.0).contains(&e.bandwidth.to_f64()),
+                "bw {} out of range",
+                e.bandwidth
+            );
         }
     }
 
@@ -185,11 +192,11 @@ mod tests {
         let cfg = RandomGraphConfig {
             cores: 10,
             avg_degree: 2.0,
-            min_bandwidth: 100.0,
-            max_bandwidth: 100.0,
+            min_bandwidth: Mbps::raw(100.0),
+            max_bandwidth: Mbps::raw(100.0),
         };
         let g = cfg.generate(0);
-        assert!(g.edges().all(|(_, e)| e.bandwidth == 100.0));
+        assert!(g.edges().all(|(_, e)| e.bandwidth.to_f64() == 100.0));
     }
 
     #[test]
@@ -223,8 +230,8 @@ mod tests {
         let cfg = RandomGraphConfig {
             cores: 5,
             avg_degree: 2.0,
-            min_bandwidth: 10.0,
-            max_bandwidth: 5.0,
+            min_bandwidth: Mbps::raw(10.0),
+            max_bandwidth: Mbps::raw(5.0),
         };
         let _ = cfg.generate(0);
     }

@@ -8,7 +8,12 @@
 //! one [`Grid`] abstraction) plus arbitrary custom topologies (the
 //! "future work" extension of Section 8).
 
+// lint: allow-file(hash-container) — the only hash container here is
+// `link_lookup`, a get/insert-only index that is never iterated, so its
+// order cannot leak into results.
 use std::collections::HashMap;
+
+use noc_units::Mbps;
 
 use crate::{GraphError, Grid, LinkId, NodeId, Result};
 
@@ -44,8 +49,10 @@ pub struct Link {
     pub src: NodeId,
     /// Downstream node `u_j`.
     pub dst: NodeId,
-    /// Capacity `bw_{i,j}` in MB/s.
-    pub capacity: f64,
+    /// Capacity `bw_{i,j}` in MB/s (finite and positive by
+    /// construction — every constructor validates through
+    /// [`Mbps::positive`]).
+    pub capacity: Mbps,
 }
 
 /// The NoC topology graph `P(U, F)` (Definition 2 in the paper).
@@ -91,6 +98,7 @@ impl Topology {
     /// Panics if `width == 0 || height == 0` or if `link_capacity` is not a
     /// finite positive number. Use [`Topology::mesh_nd`] for fallible
     /// construction.
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::positive`.
     pub fn mesh(width: usize, height: usize, link_capacity: f64) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
         Self::mesh_nd(&[width, height], link_capacity)
@@ -107,6 +115,7 @@ impl Topology {
     /// # Panics
     ///
     /// Same conditions as [`Topology::mesh`].
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::positive`.
     pub fn torus(width: usize, height: usize, link_capacity: f64) -> Self {
         assert!(width > 0 && height > 0, "torus dimensions must be non-zero");
         Self::torus_nd(&[width, height], link_capacity)
@@ -124,6 +133,7 @@ impl Topology {
     ///   empty or zero-extent dimension lists.
     /// * [`GraphError::InvalidCapacity`] for non-finite or non-positive
     ///   capacities.
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::positive`.
     pub fn mesh_nd(dims: &[usize], link_capacity: f64) -> Result<Self> {
         Self::grid(Grid::mesh(dims)?, link_capacity)
     }
@@ -134,6 +144,7 @@ impl Topology {
     /// # Errors
     ///
     /// Same conditions as [`Topology::mesh_nd`].
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::positive`.
     pub fn torus_nd(dims: &[usize], link_capacity: f64) -> Result<Self> {
         Self::grid(Grid::torus(dims)?, link_capacity)
     }
@@ -150,10 +161,11 @@ impl Topology {
     ///
     /// [`GraphError::InvalidCapacity`] for non-finite or non-positive
     /// capacities.
+    // lint: allow(f64-api) — checked boundary intake: the bare capacity is
+    // validated into `Mbps` before any link is built.
     pub fn grid(grid: Grid, link_capacity: f64) -> Result<Self> {
-        if !(link_capacity.is_finite() && link_capacity > 0.0) {
-            return Err(GraphError::InvalidCapacity(link_capacity));
-        }
+        let capacity = Mbps::positive(link_capacity)
+            .map_err(|_| GraphError::InvalidCapacity(link_capacity))?;
         let node_count = grid.node_count();
         let rank = grid.rank();
         // Build with a placeholder kind so `grid` stays borrowable for the
@@ -171,7 +183,7 @@ impl Topology {
                 if coord + 1 < grid.axis(axis).extent {
                     let here = NodeId::new(index);
                     let next = NodeId::new(index + grid.stride(axis));
-                    t.push_bidirectional(here, next, link_capacity);
+                    t.push_bidirectional(here, next, capacity);
                 }
             }
         }
@@ -186,7 +198,7 @@ impl Topology {
                 if t.coords[index * rank + axis] == ax.extent - 1 {
                     let here = NodeId::new(index);
                     let first = NodeId::new(index - span);
-                    t.push_bidirectional(here, first, link_capacity);
+                    t.push_bidirectional(here, first, capacity);
                 }
             }
         }
@@ -203,6 +215,7 @@ impl Topology {
     /// * [`GraphError::UnknownNode`] for out-of-range endpoints.
     /// * [`GraphError::InvalidCapacity`] for non-finite or non-positive
     ///   capacities.
+    // lint: allow(f64-api) — checked boundary intake: validated via `Mbps::positive`.
     pub fn custom(
         node_count: usize,
         links: impl IntoIterator<Item = (NodeId, NodeId, f64)>,
@@ -221,10 +234,8 @@ impl Topology {
             if dst.index() >= node_count {
                 return Err(GraphError::UnknownNode(dst));
             }
-            if !cap.is_finite() || cap <= 0.0 {
-                return Err(GraphError::InvalidCapacity(cap));
-            }
-            t.push_link(src, dst, cap);
+            let capacity = Mbps::positive(cap).map_err(|_| GraphError::InvalidCapacity(cap))?;
+            t.push_link(src, dst, capacity);
         }
         Ok(t)
     }
@@ -242,7 +253,7 @@ impl Topology {
         }
     }
 
-    fn push_link(&mut self, src: NodeId, dst: NodeId, capacity: f64) -> LinkId {
+    fn push_link(&mut self, src: NodeId, dst: NodeId, capacity: Mbps) -> LinkId {
         let id = LinkId::new(self.links.len());
         self.links.push(Link { src, dst, capacity });
         self.out_links[src.index()].push(id);
@@ -251,7 +262,7 @@ impl Topology {
         id
     }
 
-    fn push_bidirectional(&mut self, a: NodeId, b: NodeId, capacity: f64) {
+    fn push_bidirectional(&mut self, a: NodeId, b: NodeId, capacity: Mbps) {
         self.push_link(a, b, capacity);
         self.push_link(b, a, capacity);
     }
@@ -726,6 +737,6 @@ mod tests {
         let ab = m.find_link(a, b).unwrap();
         let ba = m.find_link(b, a).unwrap();
         assert_ne!(ab, ba);
-        assert_eq!(m.link(ab).capacity, 7.0);
+        assert_eq!(m.link(ab).capacity.to_f64(), 7.0);
     }
 }

@@ -160,8 +160,8 @@ proptest! {
         let cfg = RandomGraphConfig {
             cores,
             avg_degree: tenths_degree as f64 / 10.0,
-            min_bandwidth: bw_base as f64,
-            max_bandwidth: (bw_base + bw_spread) as f64,
+            min_bandwidth: noc_units::Mbps::raw(bw_base as f64),
+            max_bandwidth: noc_units::Mbps::raw((bw_base + bw_spread) as f64),
         };
         let g = cfg.generate(seed);
         prop_assert_eq!(g.core_count(), cores);

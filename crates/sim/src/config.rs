@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use noc_units::Mbps;
+
 /// Parameters of the simulated NoC and measurement window.
 ///
 /// Defaults follow the paper's DSP design (Table 3): 64-byte packets,
@@ -26,6 +28,7 @@ pub struct SimConfig {
     pub burst_packets: u32,
     /// Peak-to-mean ratio of the on/off sources: packets inside a burst
     /// arrive this many times faster than the long-run average rate.
+    // lint: allow(f64-api) — dimensionless peak-to-mean ratio.
     pub burst_intensity: f64,
     /// RNG seed for the traffic processes.
     pub seed: u64,
@@ -55,10 +58,12 @@ impl SimConfig {
         1 + self.packet_bytes.div_ceil(self.flit_bytes)
     }
 
-    /// Bytes a link moves per cycle at `bandwidth_mbps` MB/s under the
+    /// Bytes a link moves per cycle at `bandwidth` MB/s under the
     /// 1 GHz clock: `MB/s × 10⁶ B/MB ÷ 10⁹ cycles/s`.
-    pub fn bytes_per_cycle(bandwidth_mbps: f64) -> f64 {
-        bandwidth_mbps / 1000.0
+    // lint: allow(f64-api) — the return is bytes-per-cycle, a clock-local
+    // conversion factor with no quantity type of its own.
+    pub fn bytes_per_cycle(bandwidth: Mbps) -> f64 {
+        bandwidth.to_f64() / 1000.0
     }
 
     /// Checks the configuration, returning the first violated constraint
@@ -134,9 +139,9 @@ mod tests {
 
     #[test]
     fn bytes_per_cycle_at_1ghz() {
-        assert_eq!(SimConfig::bytes_per_cycle(1000.0), 1.0); // 1 GB/s = 1 B/ns
-        assert_eq!(SimConfig::bytes_per_cycle(1600.0), 1.6);
-        assert_eq!(SimConfig::bytes_per_cycle(200.0), 0.2);
+        assert_eq!(SimConfig::bytes_per_cycle(noc_units::mbps(1000.0)), 1.0); // 1 GB/s = 1 B/ns
+        assert_eq!(SimConfig::bytes_per_cycle(noc_units::mbps(1600.0)), 1.6);
+        assert_eq!(SimConfig::bytes_per_cycle(noc_units::mbps(200.0)), 0.2);
     }
 
     #[test]

@@ -34,11 +34,16 @@
 //!
 //! let mesh = Topology::mesh(2, 2, 1_000.0);
 //! let path = vec![mesh.find_link(noc_graph::NodeId::new(0), noc_graph::NodeId::new(1)).unwrap()];
-//! let flow = FlowSpec::single_path(noc_graph::NodeId::new(0), noc_graph::NodeId::new(1), 400.0, path);
+//! let flow = FlowSpec::single_path(
+//!     noc_graph::NodeId::new(0),
+//!     noc_graph::NodeId::new(1),
+//!     noc_units::mbps(400.0),
+//!     path,
+//! );
 //! let mut sim = Simulator::new(&mesh, vec![flow], SimConfig::default());
 //! let report = sim.run();
 //! assert!(report.delivered_packets > 0);
-//! assert!(report.avg_latency_cycles() > 0.0);
+//! assert!(report.avg_latency_cycles().to_f64() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -12,6 +12,7 @@ use crate::packet::Packet;
 use crate::router::{Buffer, ChannelState, FlitRef, InputId};
 use crate::stats::LatencyStats;
 use crate::traffic::{BurstSource, FlowSpec};
+use noc_units::{CycleFrac, Latency, Mbps};
 
 /// Cycles without any flit movement (while traffic is in flight) after
 /// which the oldest in-network packet is dropped to break a deadlock.
@@ -92,14 +93,14 @@ pub struct SimReport {
 impl SimReport {
     /// Mean packet latency in cycles over the measurement window
     /// (including source queueing).
-    pub fn avg_latency_cycles(&self) -> f64 {
-        self.latency.mean()
+    pub fn avg_latency_cycles(&self) -> Latency {
+        Latency::raw(self.latency.mean())
     }
 
     /// Mean network-only packet latency in cycles (excluding source
     /// queueing).
-    pub fn avg_network_latency_cycles(&self) -> f64 {
-        self.network_latency.mean()
+    pub fn avg_network_latency_cycles(&self) -> Latency {
+        Latency::raw(self.network_latency.mean())
     }
 
     /// Delivered payload+header bandwidth of `link` during the window, in
@@ -107,12 +108,12 @@ impl SimReport {
     /// than `0/0 = NaN` — [`SimConfig::validate`] rejects such configs at
     /// [`Simulator::new`], but `SimReport` fields are public and merged
     /// reports may be hand-built.
-    pub fn link_throughput_mbps(&self, link: LinkId) -> f64 {
+    pub fn link_throughput_mbps(&self, link: LinkId) -> Mbps {
         if self.measure_cycles == 0 {
-            return 0.0;
+            return Mbps::ZERO;
         }
         let bytes = self.link_flits[link.index()] as f64 * self.flit_bytes as f64;
-        bytes / self.measure_cycles as f64 * 1000.0
+        Mbps::raw(bytes / self.measure_cycles as f64 * 1000.0)
     }
 
     /// True when the run shows signs of saturation: deadlock drops or a
@@ -341,12 +342,12 @@ impl Simulator {
     /// Fraction of simulated cycles actually executed so far — the
     /// workload-density signal a hybrid loop would switch on: near 1.0
     /// the event queue is pure overhead, near 0.0 it is the whole win.
-    /// Returns 0.0 before any cycle has been simulated.
-    pub fn executed_cycle_fraction(&self) -> f64 {
+    /// Returns zero before any cycle has been simulated.
+    pub fn executed_cycle_fraction(&self) -> CycleFrac {
         if self.cycle == 0 {
-            return 0.0;
+            return CycleFrac::ZERO;
         }
-        self.executed_cycles as f64 / self.cycle as f64
+        CycleFrac::raw(self.executed_cycles as f64 / self.cycle as f64)
     }
 
     /// Runs warm-up, measurement and drain, returning the report.
@@ -1064,6 +1065,7 @@ fn validate_path(topology: &Topology, flow: &FlowSpec, links: &[LinkId], flow_id
 mod tests {
     use super::*;
     use noc_graph::Topology;
+    use noc_units::mbps;
 
     fn mesh() -> Topology {
         Topology::mesh(3, 3, 1_000.0)
@@ -1090,7 +1092,7 @@ mod tests {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(2),
-            200.0,
+            mbps(200.0),
             path(&t, &[(0, 1), (1, 2)]),
         );
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
@@ -1111,12 +1113,12 @@ mod tests {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(2),
-            50.0, // light load
+            mbps(50.0), // light load
             path(&t, &[(0, 1), (1, 2)]),
         );
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
         let report = sim.run();
-        let avg = report.avg_latency_cycles();
+        let avg = report.avg_latency_cycles().to_f64();
         assert!(avg > 60.0 && avg < 130.0, "unexpected latency {avg}");
     }
 
@@ -1124,7 +1126,12 @@ mod tests {
     fn latency_grows_with_load() {
         let t = mesh();
         let mk = |rate: f64| {
-            FlowSpec::single_path(NodeId::new(0), NodeId::new(2), rate, path(&t, &[(0, 1), (1, 2)]))
+            FlowSpec::single_path(
+                NodeId::new(0),
+                NodeId::new(2),
+                mbps(rate),
+                path(&t, &[(0, 1), (1, 2)]),
+            )
         };
         let light = Simulator::new(&t, vec![mk(100.0)], quick_config()).run();
         let heavy = Simulator::new(&t, vec![mk(800.0)], quick_config()).run();
@@ -1142,13 +1149,13 @@ mod tests {
         let solo = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(2),
-            400.0,
+            mbps(400.0),
             path(&t, &[(0, 1), (1, 2)]),
         );
         let rival = FlowSpec::single_path(
             NodeId::new(3),
             NodeId::new(2),
-            400.0,
+            mbps(400.0),
             path(&t, &[(3, 4), (4, 1), (1, 2)]),
         );
         let alone = Simulator::new(&t, vec![solo.clone()], quick_config()).run();
@@ -1169,7 +1176,7 @@ mod tests {
         let flow = FlowSpec::split(
             NodeId::new(0),
             NodeId::new(2),
-            400.0,
+            mbps(400.0),
             vec![(p1.clone(), 0.5), (p2.clone(), 0.5)],
         );
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
@@ -1186,7 +1193,7 @@ mod tests {
     fn link_throughput_matches_offered_load() {
         let t = mesh();
         let flow =
-            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 400.0, path(&t, &[(0, 1)]));
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(400.0), path(&t, &[(0, 1)]));
         let config = SimConfig {
             warmup_cycles: 5_000,
             measure_cycles: 200_000,
@@ -1196,7 +1203,7 @@ mod tests {
         let mut sim = Simulator::new(&t, vec![flow], config);
         let report = sim.run();
         let l = t.find_link(NodeId::new(0), NodeId::new(1)).unwrap();
-        let tput = report.link_throughput_mbps(l);
+        let tput = report.link_throughput_mbps(l).to_f64();
         // Offered 400 MB/s payload + 1/16 header overhead ≈ 425 MB/s.
         assert!((tput - 425.0).abs() < 50.0, "throughput {tput}");
     }
@@ -1207,7 +1214,7 @@ mod tests {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(1),
-            400.0, // 4x the capacity
+            mbps(400.0), // 4x the capacity
             vec![t.find_link(NodeId::new(0), NodeId::new(1)).unwrap()],
         );
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
@@ -1220,7 +1227,7 @@ mod tests {
     fn discontiguous_path_is_rejected() {
         let t = mesh();
         let bad = path(&t, &[(0, 1), (4, 5)]);
-        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(5), 10.0, bad);
+        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(5), mbps(10.0), bad);
         let _ = Simulator::new(&t, vec![flow], quick_config());
     }
 
@@ -1228,7 +1235,8 @@ mod tests {
     #[should_panic(expected = "ends at")]
     fn wrong_destination_is_rejected() {
         let t = mesh();
-        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(5), 10.0, path(&t, &[(0, 1)]));
+        let flow =
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(5), mbps(10.0), path(&t, &[(0, 1)]));
         let _ = Simulator::new(&t, vec![flow], quick_config());
     }
 
@@ -1253,19 +1261,19 @@ mod tests {
             FlowSpec::single_path(
                 NodeId::new(0),
                 NodeId::new(2),
-                400.0,
+                mbps(400.0),
                 path(&t, &[(0, 1), (1, 2)]),
             ),
             FlowSpec::single_path(
                 NodeId::new(3),
                 NodeId::new(2),
-                400.0,
+                mbps(400.0),
                 path(&t, &[(3, 4), (4, 1), (1, 2)]),
             ),
             FlowSpec::split(
                 NodeId::new(6),
                 NodeId::new(8),
-                300.0,
+                mbps(300.0),
                 vec![
                     (path(&t, &[(6, 7), (7, 8)]), 0.5),
                     (path(&t, &[(6, 3), (3, 4), (4, 5), (5, 8)]), 0.5),
@@ -1284,7 +1292,7 @@ mod tests {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(1),
-            400.0,
+            mbps(400.0),
             vec![t.find_link(NodeId::new(0), NodeId::new(1)).unwrap()],
         );
         let report = assert_loops_agree(&t, vec![flow], quick_config());
@@ -1300,7 +1308,7 @@ mod tests {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(2),
-            60.0,
+            mbps(60.0),
             path(&t, &[(0, 1), (1, 2)]),
         );
         let report = assert_loops_agree(&t, vec![flow], quick_config());
@@ -1314,7 +1322,7 @@ mod tests {
             FlowSpec::single_path(
                 NodeId::new(0),
                 NodeId::new(2),
-                300.0,
+                mbps(300.0),
                 path(&t, &[(0, 1), (1, 2)]),
             )
         };
@@ -1341,15 +1349,16 @@ mod tests {
             flit_bytes: 4,
         };
         let tput = report.link_throughput_mbps(LinkId::new(0));
-        assert_eq!(tput, 0.0);
-        assert!(!tput.is_nan());
+        assert_eq!(tput, Mbps::ZERO);
+        assert!(!tput.to_f64().is_nan());
     }
 
     #[test]
     #[should_panic(expected = "measurement window must be non-empty")]
     fn empty_measure_window_rejected_at_construction() {
         let t = mesh();
-        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 10.0, path(&t, &[(0, 1)]));
+        let flow =
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(10.0), path(&t, &[(0, 1)]));
         let config = SimConfig { measure_cycles: 0, ..Default::default() };
         let _ = Simulator::new(&t, vec![flow], config);
     }
@@ -1357,10 +1366,11 @@ mod tests {
     #[test]
     fn zero_rate_flow_generates_nothing() {
         let t = mesh();
-        let flow = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 0.0, path(&t, &[(0, 1)]));
+        let flow =
+            FlowSpec::single_path(NodeId::new(0), NodeId::new(1), Mbps::ZERO, path(&t, &[(0, 1)]));
         let mut sim = Simulator::new(&t, vec![flow], quick_config());
         let report = sim.run();
         assert_eq!(report.generated_packets, 0);
-        assert_eq!(report.avg_latency_cycles(), 0.0);
+        assert_eq!(report.avg_latency_cycles(), Latency::ZERO);
     }
 }

@@ -5,7 +5,11 @@
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyStats {
     count: u64,
-    sum: f64,
+    /// Exact integer sum of all samples. Kept in `u128` so the running
+    /// total never rounds (an f64 accumulator silently loses low bits
+    /// once the sum crosses 2^53); converted to `f64` exactly once, in
+    /// [`LatencyStats::mean`].
+    sum: u128,
     min: u64,
     max: u64,
     /// Histogram buckets: [0,2), [2,4), [4,8), … powers of two.
@@ -21,13 +25,13 @@ impl Default for LatencyStats {
 impl LatencyStats {
     /// Creates empty statistics.
     pub fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: u64::MAX, max: 0, buckets: vec![0; 40] }
+        Self { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; 40] }
     }
 
     /// Records one latency sample (cycles).
     pub fn record(&mut self, latency: u64) {
         self.count += 1;
-        self.sum += latency as f64;
+        self.sum += u128::from(latency);
         self.min = self.min.min(latency);
         self.max = self.max.max(latency);
         let bucket = (64 - latency.max(1).leading_zeros() as usize).min(self.buckets.len() - 1);
@@ -40,11 +44,13 @@ impl LatencyStats {
     }
 
     /// Mean latency in cycles (0 when empty).
+    // lint: allow(f64-api) — raw sample-space mean; the report seam wraps
+    // it in `Latency` (`SimReport::avg_latency_cycles`).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum as f64 / self.count as f64
         }
     }
 
@@ -67,6 +73,7 @@ impl LatencyStats {
     /// near 0 reports the bucket of the smallest sample (the target rank
     /// is floored at 1 sample — otherwise the never-populated bucket 0
     /// would satisfy `seen ≥ 0` and misreport 1).
+    // lint: allow(f64-api) — `q` is a dimensionless quantile in [0, 1].
     pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -171,6 +178,24 @@ mod tests {
         assert_eq!(a.mean(), 10.0);
         assert_eq!(a.min(), Some(5));
         assert_eq!(a.max(), Some(15));
+    }
+
+    #[test]
+    fn large_window_mean_does_not_round() {
+        // Regression for the old f64 accumulator: past 2^53 the running
+        // sum dropped low bits, so a long window of identical samples
+        // drifted off the exact mean. The u128 sum stays exact.
+        let mut s = LatencyStats::new();
+        let sample = (1u64 << 53) + 1;
+        for _ in 0..4 {
+            s.record(sample);
+        }
+        // f64 accumulation would compute ((2^53+1) + (2^53+1)) = 2^54+2 ✓,
+        // then + (2^53+1) → rounds; the exact integer path cannot.
+        assert_eq!(s.mean(), ((4 * u128::from(sample)) as f64) / 4.0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(sample));
+        assert_eq!(s.max(), Some(sample));
     }
 
     #[test]

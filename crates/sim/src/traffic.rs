@@ -1,6 +1,7 @@
 //! Flow specifications and bursty traffic generation.
 
 use noc_graph::{LinkId, NodeId};
+use noc_units::Mbps;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -13,6 +14,8 @@ pub struct WeightedPath {
     /// Links to traverse, in order.
     pub links: Vec<LinkId>,
     /// Share of the flow's traffic (fractions of a flow sum to 1).
+    // lint: allow(f64-api) — dimensionless share; weights of a flow sum
+    // to 1.
     pub weight: f64,
 }
 
@@ -24,15 +27,15 @@ pub struct FlowSpec {
     pub source: NodeId,
     /// Consuming node.
     pub dest: NodeId,
-    /// Average offered load in MB/s.
-    pub rate_mbps: f64,
+    /// Average offered load.
+    pub rate_mbps: Mbps,
     /// Alternative paths with their traffic shares.
     pub paths: Vec<WeightedPath>,
 }
 
 impl FlowSpec {
     /// Builds a flow with a single path carrying all traffic.
-    pub fn single_path(source: NodeId, dest: NodeId, rate_mbps: f64, links: Vec<LinkId>) -> Self {
+    pub fn single_path(source: NodeId, dest: NodeId, rate_mbps: Mbps, links: Vec<LinkId>) -> Self {
         Self { source, dest, rate_mbps, paths: vec![WeightedPath { links, weight: 1.0 }] }
     }
 
@@ -45,10 +48,11 @@ impl FlowSpec {
     /// Each individual weight must be a positive share: a negative or NaN
     /// weight would corrupt the deficit-round-robin credits of the packet
     /// scheduler even when the weight *sum* looks healthy.
+    // lint: allow(f64-api) — path weights are dimensionless shares.
     pub fn split(
         source: NodeId,
         dest: NodeId,
-        rate_mbps: f64,
+        rate_mbps: Mbps,
         paths: Vec<(Vec<LinkId>, f64)>,
     ) -> Self {
         assert!(!paths.is_empty(), "a flow needs at least one path");
@@ -180,16 +184,17 @@ impl BurstSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_units::mbps;
     use rand::SeedableRng;
 
     fn spec(rate: f64, paths: usize) -> FlowSpec {
         let p = (0..paths).map(|_| (vec![], 1.0)).collect();
-        FlowSpec::split(NodeId::new(0), NodeId::new(1), rate, p)
+        FlowSpec::split(NodeId::new(0), NodeId::new(1), mbps(rate), p)
     }
 
     #[test]
     fn single_path_constructor_normalizes() {
-        let f = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 100.0, vec![]);
+        let f = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(100.0), vec![]);
         assert_eq!(f.paths.len(), 1);
         assert_eq!(f.paths[0].weight, 1.0);
     }
@@ -199,7 +204,7 @@ mod tests {
         let f = FlowSpec::split(
             NodeId::new(0),
             NodeId::new(1),
-            100.0,
+            mbps(100.0),
             vec![(vec![], 2.0), (vec![], 6.0)],
         );
         assert!((f.paths[0].weight - 0.25).abs() < 1e-12);
@@ -209,7 +214,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one path")]
     fn empty_paths_panics() {
-        let _ = FlowSpec::split(NodeId::new(0), NodeId::new(1), 1.0, vec![]);
+        let _ = FlowSpec::split(NodeId::new(0), NodeId::new(1), mbps(1.0), vec![]);
     }
 
     #[test]
@@ -220,7 +225,7 @@ mod tests {
         let _ = FlowSpec::split(
             NodeId::new(0),
             NodeId::new(1),
-            100.0,
+            mbps(100.0),
             vec![(vec![], 3.0), (vec![], -1.0)],
         );
     }
@@ -231,7 +236,7 @@ mod tests {
         let _ = FlowSpec::split(
             NodeId::new(0),
             NodeId::new(1),
-            100.0,
+            mbps(100.0),
             vec![(vec![], 0.0), (vec![], 1.0)],
         );
     }
@@ -239,14 +244,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be finite and positive")]
     fn nan_weight_panics() {
-        let _ = FlowSpec::split(NodeId::new(0), NodeId::new(1), 100.0, vec![(vec![], f64::NAN)]);
+        let _ =
+            FlowSpec::split(NodeId::new(0), NodeId::new(1), mbps(100.0), vec![(vec![], f64::NAN)]);
     }
 
     #[test]
     #[should_panic(expected = "must be finite and positive")]
     fn infinite_weight_panics() {
-        let _ =
-            FlowSpec::split(NodeId::new(0), NodeId::new(1), 100.0, vec![(vec![], f64::INFINITY)]);
+        let _ = FlowSpec::split(
+            NodeId::new(0),
+            NodeId::new(1),
+            mbps(100.0),
+            vec![(vec![], f64::INFINITY)],
+        );
     }
 
     #[test]
@@ -296,7 +306,7 @@ mod tests {
         let spec = FlowSpec::split(
             NodeId::new(0),
             NodeId::new(1),
-            300.0,
+            mbps(300.0),
             vec![(vec![], 1.0), (vec![], 3.0)],
         );
         let mut rng = ChaCha8Rng::seed_from_u64(11);

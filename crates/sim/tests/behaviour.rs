@@ -3,6 +3,7 @@
 
 use noc_graph::{LinkId, NodeId, Topology};
 use noc_sim::{FlowSpec, SimConfig, Simulator};
+use noc_units::mbps;
 
 fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
     hops.iter().map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link")).collect()
@@ -21,7 +22,8 @@ fn quick(measure: u64) -> SimConfig {
 /// flit cannot leave the source link before all preceding flits have been
 /// serialized, minus the two-flit token credit an idle link accrues.
 fn serialization_floor(config: &SimConfig, bandwidth_mbps: f64) -> f64 {
-    let cycles_per_flit = config.flit_bytes as f64 / SimConfig::bytes_per_cycle(bandwidth_mbps);
+    let cycles_per_flit =
+        config.flit_bytes as f64 / SimConfig::bytes_per_cycle(mbps(bandwidth_mbps));
     (config.flits_per_packet() as f64 - 2.0) * cycles_per_flit
 }
 
@@ -29,7 +31,8 @@ fn serialization_floor(config: &SimConfig, bandwidth_mbps: f64) -> f64 {
 /// plus the full pipeline at every hop (including ejection), with no
 /// overlap credit.
 fn latency_ceiling(config: &SimConfig, hops: usize, bandwidth_mbps: f64) -> f64 {
-    let cycles_per_flit = config.flit_bytes as f64 / SimConfig::bytes_per_cycle(bandwidth_mbps);
+    let cycles_per_flit =
+        config.flit_bytes as f64 / SimConfig::bytes_per_cycle(mbps(bandwidth_mbps));
     (hops as f64 + 1.0) * (config.router_pipeline_cycles as f64 + cycles_per_flit)
         + config.flits_per_packet() as f64 * cycles_per_flit
 }
@@ -41,14 +44,14 @@ fn network_latency_respects_analytic_bounds() {
     let flow = FlowSpec::single_path(
         NodeId::new(0),
         NodeId::new(2),
-        50.0, // light load: queueing negligible
+        mbps(50.0), // light load: queueing negligible
         path(&t, &[(0, 1), (1, 2)]),
     );
     let mut sim = Simulator::new(&t, vec![flow], config.clone());
     let report = sim.run();
     let floor = serialization_floor(&config, 1_000.0);
     let ceiling = latency_ceiling(&config, 2, 1_000.0);
-    let measured = report.avg_network_latency_cycles();
+    let measured = report.avg_network_latency_cycles().to_f64();
     assert!(measured >= floor, "network latency {measured} below serialization floor {floor}");
     assert!(measured <= ceiling, "network latency {measured} above light-load ceiling {ceiling}");
 }
@@ -57,9 +60,24 @@ fn network_latency_respects_analytic_bounds() {
 fn packets_are_conserved() {
     let t = Topology::mesh(3, 3, 1_000.0);
     let flows = vec![
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(2), 300.0, path(&t, &[(0, 1), (1, 2)])),
-        FlowSpec::single_path(NodeId::new(6), NodeId::new(8), 300.0, path(&t, &[(6, 7), (7, 8)])),
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(6), 200.0, path(&t, &[(0, 3), (3, 6)])),
+        FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            mbps(300.0),
+            path(&t, &[(0, 1), (1, 2)]),
+        ),
+        FlowSpec::single_path(
+            NodeId::new(6),
+            NodeId::new(8),
+            mbps(300.0),
+            path(&t, &[(6, 7), (7, 8)]),
+        ),
+        FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(6),
+            mbps(200.0),
+            path(&t, &[(0, 3), (3, 6)]),
+        ),
     ];
     let mut sim = Simulator::new(&t, flows, quick(50_000));
     let report = sim.run();
@@ -78,12 +96,12 @@ fn latency_decreases_with_bandwidth() {
         let flow = FlowSpec::single_path(
             NodeId::new(0),
             NodeId::new(3),
-            200.0,
+            mbps(200.0),
             path(&t, &[(0, 1), (1, 3)]),
         );
         let mut sim = Simulator::new(&t, vec![flow], quick(30_000));
         let report = sim.run();
-        let latency = report.avg_latency_cycles();
+        let latency = report.avg_latency_cycles().to_f64();
         assert!(
             latency < previous,
             "latency {latency} did not improve at {bw} MB/s (was {previous})"
@@ -100,17 +118,25 @@ fn wormhole_blocking_propagates_upstream() {
     // buffer and A (sharing that buffer's upstream link) slows too —
     // the domino effect the paper attributes to wormhole flow control.
     let t = Topology::mesh(3, 2, 400.0);
-    let a_alone =
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(2), 150.0, path(&t, &[(0, 1), (1, 2)]));
+    let a_alone = FlowSpec::single_path(
+        NodeId::new(0),
+        NodeId::new(2),
+        mbps(150.0),
+        path(&t, &[(0, 1), (1, 2)]),
+    );
     let b = FlowSpec::single_path(
         NodeId::new(0),
         NodeId::new(5),
-        150.0,
+        mbps(150.0),
         path(&t, &[(0, 1), (1, 4), (4, 5)]),
     );
     // Saturator on (4,5): consumes most of that link.
-    let sat =
-        FlowSpec::single_path(NodeId::new(1), NodeId::new(5), 330.0, path(&t, &[(1, 4), (4, 5)]));
+    let sat = FlowSpec::single_path(
+        NodeId::new(1),
+        NodeId::new(5),
+        mbps(330.0),
+        path(&t, &[(1, 4), (4, 5)]),
+    );
 
     let solo = Simulator::new(&t, vec![a_alone.clone()], quick(40_000)).run();
     let jammed = Simulator::new(&t, vec![a_alone, b, sat], quick(40_000)).run();
@@ -130,7 +156,7 @@ fn split_flow_shares_match_weights_in_delivery() {
     let flow = FlowSpec::split(
         NodeId::new(0),
         NodeId::new(1),
-        300.0,
+        mbps(300.0),
         vec![(direct.clone(), 2.0), (detour.clone(), 1.0)],
     );
     let mut sim = Simulator::new(&t, vec![flow], quick(60_000));
@@ -145,8 +171,8 @@ fn split_flow_shares_match_weights_in_delivery() {
 fn saturation_flag_tracks_overload() {
     let t = Topology::mesh(2, 1, 200.0);
     let l = path(&t, &[(0, 1)]);
-    let light = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 100.0, l.clone());
-    let heavy = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 500.0, l);
+    let light = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(100.0), l.clone());
+    let heavy = FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(500.0), l);
     assert!(!Simulator::new(&t, vec![light], quick(30_000)).run().saturated());
     assert!(Simulator::new(&t, vec![heavy], quick(30_000)).run().saturated());
 }
@@ -155,8 +181,8 @@ fn saturation_flag_tracks_overload() {
 fn per_flow_stats_cover_all_flows() {
     let t = Topology::mesh(2, 2, 1_000.0);
     let flows = vec![
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(1), 100.0, path(&t, &[(0, 1)])),
-        FlowSpec::single_path(NodeId::new(2), NodeId::new(3), 100.0, path(&t, &[(2, 3)])),
+        FlowSpec::single_path(NodeId::new(0), NodeId::new(1), mbps(100.0), path(&t, &[(0, 1)])),
+        FlowSpec::single_path(NodeId::new(2), NodeId::new(3), mbps(100.0), path(&t, &[(2, 3)])),
     ];
     let mut sim = Simulator::new(&t, flows, quick(30_000));
     let report = sim.run();
@@ -174,7 +200,7 @@ fn single_hop_flow_on_torus_wrap_link() {
     let a = t.node_at(0, 0).unwrap();
     let b = t.node_at(3, 0).unwrap();
     let wrap = t.find_link(b, a).unwrap();
-    let flow = FlowSpec::single_path(b, a, 200.0, vec![wrap]);
+    let flow = FlowSpec::single_path(b, a, mbps(200.0), vec![wrap]);
     let mut sim = Simulator::new(&t, vec![flow], quick(20_000));
     let report = sim.run();
     assert!(report.delivered_packets > 0);

@@ -17,6 +17,7 @@
 use noc_apps::{dsp_filter, App};
 use noc_graph::{CoreGraph, NodeId, Topology};
 use noc_sim::{FlowSpec, LoopKind, SimConfig, SimReport, Simulator};
+use noc_units::mbps;
 
 /// Builds an XY path between two nodes of a mesh (always valid).
 fn xy_path(t: &Topology, from: NodeId, to: NodeId) -> Vec<noc_graph::LinkId> {
@@ -107,7 +108,7 @@ fn six_paper_apps_are_bit_identical_across_loops() {
         // and tight (heavy blocking, the hard case for wake-up
         // completeness). The tight capacity still clears each flow's own
         // rate so the sources are not trivially saturated at injection.
-        let max_rate = graph.edges().map(|(_, e)| e.bandwidth).fold(0.0, f64::max);
+        let max_rate = graph.edges().map(|(_, e)| e.bandwidth.to_f64()).fold(0.0, f64::max);
         for capacity in [max_rate * 4.0, max_rate * 1.25] {
             let t = Topology::mesh(w, h, capacity);
             let flows = app_flows(&t, &graph);
@@ -167,7 +168,7 @@ fn seeded_random_traffic_is_bit_identical_across_loops() {
                 continue;
             }
             let rate = 40.0 + (splitmix64(&mut state) % 400) as f64;
-            flows.push(FlowSpec::single_path(from, to, rate, xy_path(&t, from, to)));
+            flows.push(FlowSpec::single_path(from, to, mbps(rate), xy_path(&t, from, to)));
         }
         // Vary the traffic-process shape too: burstier sources stress the
         // source-fire scheduling, longer bursts the back-to-back case.
@@ -193,11 +194,11 @@ fn split_flows_are_bit_identical_across_loops() {
     let mut p2 = xy_path(&t, from, mid);
     p2.extend(xy_path(&t, mid, to));
     let flows = vec![
-        FlowSpec::split(from, to, 600.0, vec![(p1, 2.0), (p2, 1.0)]),
+        FlowSpec::split(from, to, mbps(600.0), vec![(p1, 2.0), (p2, 1.0)]),
         FlowSpec::single_path(
             NodeId::new(4),
             NodeId::new(1),
-            150.0,
+            mbps(150.0),
             xy_path(&t, NodeId::new(4), NodeId::new(1)),
         ),
     ];

@@ -21,6 +21,7 @@
 use noc_graph::{LinkId, NodeId, Topology};
 use noc_probe::{Probe, Profile};
 use noc_sim::{FlowSpec, LoopKind, SimConfig, SimReport, Simulator};
+use noc_units::mbps;
 
 fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
     hops.iter().map(|&(a, b)| t.find_link(NodeId::new(a), NodeId::new(b)).expect("link")).collect()
@@ -31,9 +32,24 @@ fn path(t: &Topology, hops: &[(usize, usize)]) -> Vec<LinkId> {
 fn workload() -> (Topology, Vec<FlowSpec>, SimConfig) {
     let t = Topology::mesh(3, 3, 900.0);
     let flows = vec![
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(2), 300.0, path(&t, &[(0, 1), (1, 2)])),
-        FlowSpec::single_path(NodeId::new(6), NodeId::new(8), 250.0, path(&t, &[(6, 7), (7, 8)])),
-        FlowSpec::single_path(NodeId::new(0), NodeId::new(6), 150.0, path(&t, &[(0, 3), (3, 6)])),
+        FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(2),
+            mbps(300.0),
+            path(&t, &[(0, 1), (1, 2)]),
+        ),
+        FlowSpec::single_path(
+            NodeId::new(6),
+            NodeId::new(8),
+            mbps(250.0),
+            path(&t, &[(6, 7), (7, 8)]),
+        ),
+        FlowSpec::single_path(
+            NodeId::new(0),
+            NodeId::new(6),
+            mbps(150.0),
+            path(&t, &[(0, 3), (3, 6)]),
+        ),
     ];
     let config = SimConfig {
         warmup_cycles: 1_000,
@@ -52,7 +68,7 @@ fn run_probed(kind: LoopKind) -> (Profile, SimReport, u64, f64) {
     let probe = Probe::new();
     sim.set_probe(&probe);
     let report = sim.run();
-    (probe.snapshot(), report, sim.executed_cycles(), sim.executed_cycle_fraction())
+    (probe.snapshot(), report, sim.executed_cycles(), sim.executed_cycle_fraction().to_f64())
 }
 
 fn counter(profile: &Profile, name: &str) -> u64 {
@@ -134,6 +150,6 @@ fn executed_cycle_accounting_works_without_a_probe() {
     sim.set_loop_kind(LoopKind::EventQueue);
     let _ = sim.run();
     assert!(sim.executed_cycles() > 0);
-    let fraction = sim.executed_cycle_fraction();
+    let fraction = sim.executed_cycle_fraction().to_f64();
     assert!(fraction > 0.0 && fraction < 1.0, "fraction {fraction}");
 }

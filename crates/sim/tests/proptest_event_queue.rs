@@ -73,7 +73,7 @@ proptest! {
                 let from = NodeId::new(a % n);
                 let to = NodeId::new(b % n);
                 (from != to).then(|| {
-                    FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))
+                    FlowSpec::single_path(from, to, noc_units::mbps(rate), xy_path(&t, from, to))
                 })
             })
             .collect();
@@ -113,7 +113,7 @@ proptest! {
         let t = Topology::mesh(w, h, 500.0);
         let to = NodeId::new(t.node_count() - 1);
         let flows = vec![FlowSpec::single_path(
-            NodeId::new(0), to, 0.0, xy_path(&t, NodeId::new(0), to),
+            NodeId::new(0), to, noc_units::Mbps::ZERO, xy_path(&t, NodeId::new(0), to),
         )];
         let config = SimConfig {
             warmup_cycles: warmup,
@@ -141,11 +141,11 @@ proptest! {
         let t = Topology::mesh(2, 2, bandwidth);
         let flows = vec![
             FlowSpec::single_path(
-                NodeId::new(0), NodeId::new(3), rate,
+                NodeId::new(0), NodeId::new(3), noc_units::mbps(rate),
                 xy_path(&t, NodeId::new(0), NodeId::new(3)),
             ),
             FlowSpec::single_path(
-                NodeId::new(1), NodeId::new(2), rate,
+                NodeId::new(1), NodeId::new(2), noc_units::mbps(rate),
                 xy_path(&t, NodeId::new(1), NodeId::new(2)),
             ),
         ];

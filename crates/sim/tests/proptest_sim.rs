@@ -57,7 +57,7 @@ proptest! {
                 let from = NodeId::new(a % n);
                 let to = NodeId::new(b % n);
                 (from != to).then(|| {
-                    FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))
+                    FlowSpec::single_path(from, to, noc_units::mbps(rate), xy_path(&t, from, to))
                 })
             })
             .collect();
@@ -88,7 +88,7 @@ proptest! {
         let from = NodeId::new(a % n);
         let to = NodeId::new(b % n);
         prop_assume!(from != to);
-        let mk = || vec![FlowSpec::single_path(from, to, rate, xy_path(&t, from, to))];
+        let mk = || vec![FlowSpec::single_path(from, to, noc_units::mbps(rate), xy_path(&t, from, to))];
         let r1 = Simulator::new(&t, mk(), quick_config(seed)).run();
         let r2 = Simulator::new(&t, mk(), quick_config(seed)).run();
         prop_assert_eq!(r1, r2);
@@ -110,7 +110,7 @@ proptest! {
             t.find_link(NodeId::new(0), NodeId::new(2)).unwrap(),
             t.find_link(NodeId::new(2), NodeId::new(3)).unwrap(),
         ];
-        let flow = FlowSpec::split(from, to, rate, vec![(p1.clone(), share), (p2.clone(), 1.0)]);
+        let flow = FlowSpec::split(from, to, noc_units::mbps(rate), vec![(p1.clone(), share), (p2.clone(), 1.0)]);
         let config = SimConfig {
             warmup_cycles: 500,
             measure_cycles: 40_000,

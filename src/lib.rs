@@ -26,5 +26,6 @@ pub use noc_dse as dse;
 pub use noc_graph as graph;
 pub use noc_lp as lp;
 pub use noc_sim as sim;
+pub use noc_units as units;
 
 pub use nmap;

@@ -10,6 +10,7 @@ use nmap_suite::nmap::{
     SinglePathOptions, SplitOptions,
 };
 use nmap_suite::sim::{FlowSpec, SimConfig, Simulator};
+use nmap_suite::units::mbps;
 
 fn problem() -> MappingProblem {
     let g = App::Pip.core_graph();
@@ -64,7 +65,7 @@ fn simulator_reproduces_from_seed() {
         vec![FlowSpec::single_path(
             nmap_suite::graph::NodeId::new(0),
             nmap_suite::graph::NodeId::new(1),
-            300.0,
+            mbps(300.0),
             vec![link],
         )]
     };

@@ -59,6 +59,6 @@ fn trivial_end_to_end_map_succeeds() {
 
     assert!(outcome.feasible, "a light pipeline must satisfy 1 GB/s links");
     assert!(outcome.mapping.is_complete(problem.cores()));
-    assert_eq!(outcome.comm_cost, 400.0 + 300.0 + 200.0);
+    assert_eq!(outcome.comm_cost.to_f64(), 400.0 + 300.0 + 200.0);
     assert_eq!(outcome.comm_cost, problem.comm_cost(&outcome.mapping));
 }

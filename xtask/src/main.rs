@@ -1,0 +1,82 @@
+//! Repo automation tasks. `cargo run -p xtask -- lint` runs the
+//! static-analysis pass over the unit-bearing crates (see [`lint`] for
+//! the rules and allowlist policy) and exits non-zero on any violation —
+//! CI runs it as a hard gate.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown task {other:?}\n\nusage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Lints every `.rs` file under the repo's `crates/` tree (the rules
+/// themselves scope to the unit-bearing crates by path).
+fn run_lint() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(content) = std::fs::read_to_string(path) else {
+            eprintln!("warning: cannot read {}", path.display());
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        scanned += 1;
+        violations.extend(lint::lint_file(&rel, &content));
+    }
+
+    if violations.is_empty() {
+        println!("lint: {scanned} files scanned, no violations");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("lint: {} violation(s) in {scanned} files", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: xtask's manifest dir is `<root>/xtask`.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().expect("xtask lives one level below the root").to_path_buf()
+}
+
+/// Recursively collects `.rs` files, skipping `target/` trees.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
