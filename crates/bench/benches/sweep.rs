@@ -14,8 +14,12 @@ use bench::vopd_instance;
 use nmap::{
     initialize, map_single_path, map_single_path_with, routing, EvalContext, SinglePathOptions,
 };
-use noc_dse::{run_scenarios, MapperSpec, RoutingSpec, ScenarioSet, TopologySpec};
+use noc_dse::{
+    run_scenarios, run_scenarios_cached, MapperSpec, RoutingSpec, ScenarioSet, StageCache,
+    TopologySpec,
+};
 use noc_graph::RandomGraphConfig;
+use noc_probe::Probe;
 
 /// A sweep wide enough to keep several workers busy: 6 bundled apps +
 /// 4 random graphs, two fabrics each, NMAP paper-exact under min-path
@@ -45,6 +49,28 @@ fn bench_sweep_runner(c: &mut Criterion) {
             b.iter(|| black_box(run_scenarios(set.scenarios(), threads)))
         });
     }
+    group.finish();
+}
+
+fn bench_stage_cache(c: &mut Criterion) {
+    // The PR-9 stage cache on a map-dominated sweep: `cold` pays every
+    // map stage into a fresh cache each iteration; `warm` re-sweeps
+    // against a primed cache, so every stage is a lookup. The gap is the
+    // map work a resumed or repeated sweep no longer does.
+    let set = sweep_set();
+    let mut group = c.benchmark_group("sweep_stage_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let cache = StageCache::in_memory();
+            black_box(run_scenarios_cached(set.scenarios(), 2, &Probe::disabled(), &cache))
+        })
+    });
+    let warm = StageCache::in_memory();
+    run_scenarios_cached(set.scenarios(), 2, &Probe::disabled(), &warm);
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(run_scenarios_cached(set.scenarios(), 2, &Probe::disabled(), &warm)))
+    });
     group.finish();
 }
 
@@ -83,5 +109,11 @@ fn bench_single_path_with_context(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_runner, bench_eval_context, bench_single_path_with_context);
+criterion_group!(
+    benches,
+    bench_sweep_runner,
+    bench_stage_cache,
+    bench_eval_context,
+    bench_single_path_with_context
+);
 criterion_main!(benches);

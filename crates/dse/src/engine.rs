@@ -14,6 +14,7 @@
 //! [`StageTimes`] vary between runs, and the report writers exclude them
 //! by default.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -27,10 +28,12 @@ use noc_probe::{Probe, Value};
 use noc_sim::{FlowSpec, SimReport, Simulator};
 use noc_units::Mbps;
 
+use crate::cache::{self, CacheStats, Lookup, StageCache};
 use crate::report::{RunRecord, SimStats, StageTimes, SweepReport};
 use crate::scenario::{
     topology_label, MapperSpec, RoutingSpec, Scenario, ScenarioSet, SimulateSpec,
 };
+use crate::shard::{Checkpoint, ShardPlan};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,13 +80,169 @@ pub fn run_scenarios(scenarios: &[Scenario], threads: usize) -> Vec<RunRecord> {
 }
 
 /// [`run_scenarios`] with instrumentation attached (see
-/// [`run_sweep_probed`] for what the probe collects).
+/// [`run_sweep_probed`] for what the probe collects). A fresh in-memory
+/// [`StageCache`] spans the call, so scenarios sharing a map or route
+/// stage (the routing × bandwidth axes) compute it exactly once.
 pub fn run_scenarios_probed(
     scenarios: &[Scenario],
     threads: usize,
     probe: &Probe,
 ) -> Vec<RunRecord> {
-    pool_map_probed(scenarios.len(), threads, probe, |i| run_scenario_probed(&scenarios[i], probe))
+    run_scenarios_cached(scenarios, threads, probe, &StageCache::in_memory())
+}
+
+/// [`run_scenarios_probed`] against a caller-owned [`StageCache`] — the
+/// seam for cross-sweep reuse (a warm cache spanning several calls, or
+/// one with an on-disk tier). Stage memoization preserves the byte-
+/// identical-output contract: cache keys capture every input a stage
+/// reads, so a cached result equals the computed one by construction.
+pub fn run_scenarios_cached(
+    scenarios: &[Scenario],
+    threads: usize,
+    probe: &Probe,
+    cache: &StageCache,
+) -> Vec<RunRecord> {
+    pool_map_probed(scenarios.len(), threads, probe, |i| {
+        run_scenario_cached(&scenarios[i], probe, cache)
+    })
+}
+
+/// Default scenarios per shard for [`run_sweep_sharded`]: small enough
+/// that a kill loses little work, large enough that per-shard pool and
+/// checkpoint overhead stays negligible.
+pub const DEFAULT_SHARD_SIZE: usize = 64;
+
+/// Configuration of a sharded, optionally checkpointed sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Worker threads per shard; `0` uses available parallelism.
+    pub threads: usize,
+    /// Scenarios per shard; `0` uses [`DEFAULT_SHARD_SIZE`].
+    pub shard_size: usize,
+    /// Checkpoint directory: completed shards persist here and are
+    /// skipped on re-run (see [`crate::shard::Checkpoint`]). `None`
+    /// disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Stage-cache directory: attaches the on-disk map tier
+    /// ([`StageCache::with_disk`]) for cross-run reuse. `None` keeps the
+    /// cache in-memory (still spanning the whole sweep).
+    pub cache_dir: Option<PathBuf>,
+    /// Stop after executing this many shards (restored shards do not
+    /// count) and return with `completed = false` — the seam kill-and-
+    /// resume tests and bounded-work runs use. `None` runs to the end.
+    pub shard_budget: Option<usize>,
+}
+
+/// What a sharded sweep produced (see [`run_sweep_sharded`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutcome {
+    /// Records of every shard processed so far, in scenario order. For a
+    /// completed sweep this is the full report, byte-identical to
+    /// [`run_sweep`]'s on the default (timing-less) writers.
+    pub report: SweepReport,
+    /// False when a `shard_budget` stopped the sweep early.
+    pub completed: bool,
+    /// Shards the plan divides the sweep into.
+    pub shards_total: usize,
+    /// Shards executed by this call.
+    pub shards_run: usize,
+    /// Shards restored from the checkpoint instead of executed.
+    pub shards_restored: usize,
+    /// The stage cache's counters at the end of the call.
+    pub cache: CacheStats,
+}
+
+/// Runs `set` as ordered shards with stage memoization, optional
+/// checkpointed resume and an optional on-disk cache tier (see
+/// [`SweepConfig`]). Records merge in shard order = scenario order, so
+/// the deterministic output of a completed sweep is byte-identical to
+/// [`run_sweep`]'s at any thread count, cold or warm cache, straight
+/// through or killed-and-resumed.
+///
+/// # Errors
+///
+/// Checkpoint/cache I/O failures and sweep-mismatch rejections (a
+/// checkpoint directory recorded for a different sweep). Scenario-level
+/// failures still become error records, never call-level errors.
+pub fn run_sweep_sharded(
+    set: &ScenarioSet,
+    config: &SweepConfig,
+    probe: &Probe,
+) -> Result<ShardedOutcome, String> {
+    run_sweep_sharded_with(set, config, probe, &mut |_, _| {})
+}
+
+/// [`run_sweep_sharded`] with a streaming sink: `sink(shard, records)`
+/// is called once per shard in shard order — with restored records for
+/// checkpoint hits — so callers can emit JSONL incrementally instead of
+/// buffering the whole sweep (the full report is still returned).
+pub fn run_sweep_sharded_with(
+    set: &ScenarioSet,
+    config: &SweepConfig,
+    probe: &Probe,
+    sink: &mut dyn FnMut(usize, &[RunRecord]),
+) -> Result<ShardedOutcome, String> {
+    let scenarios = set.scenarios();
+    let shard_size = if config.shard_size == 0 { DEFAULT_SHARD_SIZE } else { config.shard_size };
+    let plan = ShardPlan::new(scenarios.len(), shard_size);
+    let cache = match &config.cache_dir {
+        Some(dir) => StageCache::with_disk(dir)?,
+        None => StageCache::in_memory(),
+    };
+    let checkpoint = match &config.checkpoint_dir {
+        Some(dir) => Some(Checkpoint::open(dir, scenarios, shard_size)?),
+        None => None,
+    };
+
+    let mut records: Vec<RunRecord> = Vec::with_capacity(scenarios.len());
+    let mut shards_run = 0usize;
+    let mut shards_restored = 0usize;
+    let mut completed = true;
+    for shard in 0..plan.shard_count() {
+        if let Some(cp) = &checkpoint {
+            if let Some(restored) = cp.load_shard(shard)? {
+                shards_restored += 1;
+                sink(shard, &restored);
+                records.extend(restored);
+                continue;
+            }
+        }
+        if config.shard_budget.is_some_and(|budget| shards_run >= budget) {
+            completed = false;
+            break;
+        }
+        let range = plan.range(shard);
+        let shard_records = run_scenarios_cached(&scenarios[range], config.threads, probe, &cache);
+        if let Some(cp) = &checkpoint {
+            cp.store_shard(shard, &shard_records)?;
+        }
+        shards_run += 1;
+        sink(shard, &shard_records);
+        records.extend(shard_records);
+    }
+
+    if probe.is_enabled() {
+        probe.counter("dse.shard.run").add(shards_run as u64);
+        probe.counter("dse.shard.restored").add(shards_restored as u64);
+        probe.emit(
+            "dse.sweep_sharded",
+            &[
+                ("scenarios", Value::from(records.len())),
+                ("shards_total", Value::from(plan.shard_count())),
+                ("shards_run", Value::from(shards_run)),
+                ("shards_restored", Value::from(shards_restored)),
+                ("completed", Value::from(completed)),
+            ],
+        );
+    }
+    Ok(ShardedOutcome {
+        report: SweepReport::new(records),
+        completed,
+        shards_total: plan.shard_count(),
+        shards_run,
+        shards_restored,
+        cache: cache.stats(),
+    })
 }
 
 /// The engine's deterministic worker pool, exposed for harnesses that fan
@@ -214,12 +373,23 @@ pub fn run_scenario(scenario: &Scenario) -> RunRecord {
 /// search trajectory events) and the simulator (cycle and wake-up
 /// counters), the per-stage wall times land in the `dse.stage.*_us`
 /// histograms, and one `dse.scenario` event records the run. The record
-/// itself is byte-identical to an unprobed run.
+/// itself is byte-identical to an unprobed run. Stage memoization is
+/// per-call here (a fresh cache each time); use [`run_scenario_cached`]
+/// to share stages across scenarios.
 pub fn run_scenario_probed(scenario: &Scenario, probe: &Probe) -> RunRecord {
-    let record = run_scenario_inner(scenario, probe);
+    run_scenario_cached(scenario, probe, &StageCache::in_memory())
+}
+
+/// [`run_scenario_probed`] against a caller-owned [`StageCache`]. Cache
+/// lookups land in the `dse.cache.{hit,miss,disk_hit}` counters (plus
+/// per-stage `dse.cache.{map,route}_*` variants) and their overhead in
+/// the `dse.stage.cache_us` histogram.
+pub fn run_scenario_cached(scenario: &Scenario, probe: &Probe, cache: &StageCache) -> RunRecord {
+    let record = run_scenario_inner(scenario, probe, cache);
     probe.histogram("dse.stage.build_us").record(record.times.build_us);
     probe.histogram("dse.stage.map_us").record(record.times.map_us);
     probe.histogram("dse.stage.route_us").record(record.times.route_us);
+    probe.histogram("dse.stage.cache_us").record(record.times.cache_us);
     if record.sim.is_some() {
         probe.histogram("dse.stage.sim_us").record(record.times.sim_us);
     }
@@ -241,7 +411,22 @@ pub fn run_scenario_probed(scenario: &Scenario, probe: &Probe) -> RunRecord {
     record
 }
 
-fn run_scenario_inner(scenario: &Scenario, probe: &Probe) -> RunRecord {
+/// Counts one cache lookup in the probe: the aggregate
+/// `dse.cache.{hit,miss,disk_hit}` counters plus the per-stage variant.
+fn count_lookup(probe: &Probe, stage: &str, lookup: Lookup) {
+    if !probe.is_enabled() {
+        return;
+    }
+    let kind = match lookup {
+        Lookup::Hit => "hit",
+        Lookup::DiskHit => "disk_hit",
+        Lookup::Miss => "miss",
+    };
+    probe.counter(&format!("dse.cache.{kind}")).add(1);
+    probe.counter(&format!("dse.cache.{stage}_{kind}")).add(1);
+}
+
+fn run_scenario_inner(scenario: &Scenario, probe: &Probe, cache: &StageCache) -> RunRecord {
     let build_start = Instant::now();
     let (graph, topology) = scenario.parts();
     let cores = graph.core_count();
@@ -271,31 +456,57 @@ fn run_scenario_inner(scenario: &Scenario, probe: &Probe) -> RunRecord {
     };
     let build_us = StageTimes::us(build_start.elapsed());
 
-    let map_start = Instant::now();
-    let (mapping, evaluations) = match run_mapper(&problem, &scenario.mapper, scenario.seed, probe)
-    {
+    // Map stage, memoized: `map_us` is the compute time (0 on a hit) and
+    // the lookup's remainder — key derivation, tier locks, disk restore,
+    // result clone — is accounted to `cache_us`, so worker-utilization
+    // profiles attribute cache overhead honestly.
+    let map_lookup_start = Instant::now();
+    let mut map_us = 0u64;
+    let (map_result, map_lookup) = cache.map_stage(&cache::map_key(scenario), &problem, || {
+        let compute_start = Instant::now();
+        let result =
+            run_mapper(&problem, &scenario.mapper, scenario.seed, probe).map_err(|e| e.to_string());
+        map_us = StageTimes::us(compute_start.elapsed());
+        result
+    });
+    let mut cache_us = StageTimes::us(map_lookup_start.elapsed()).saturating_sub(map_us);
+    count_lookup(probe, "map", map_lookup);
+    let (mapping, evaluations) = match map_result {
         Ok(result) => result,
         Err(e) => {
-            let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
+            let mut r = RunRecord::failed(scenario, cores, topo_label, e);
             r.times.build_us = build_us;
+            r.times.map_us = map_us;
+            r.times.cache_us = cache_us;
             return r;
         }
     };
-    let map_us = StageTimes::us(map_start.elapsed());
 
-    let route_start = Instant::now();
     let need_tables = scenario.simulate.is_some();
-    let (tables, loads) = match route(&problem, &mapping, scenario.routing, need_tables) {
+    let route_lookup_start = Instant::now();
+    let mut route_us = 0u64;
+    let (route_result, route_lookup) =
+        cache.route_stage(&cache::route_key(scenario, need_tables), || {
+            let compute_start = Instant::now();
+            let result =
+                route(&problem, &mapping, scenario.routing, need_tables).map_err(|e| e.to_string());
+            route_us = StageTimes::us(compute_start.elapsed());
+            result
+        });
+    cache_us = cache_us
+        .saturating_add(StageTimes::us(route_lookup_start.elapsed()).saturating_sub(route_us));
+    count_lookup(probe, "route", route_lookup);
+    let (tables, loads) = match route_result {
         Ok(routed) => routed,
         Err(e) => {
-            let mut r = RunRecord::failed(scenario, cores, topo_label, e.to_string());
+            let mut r = RunRecord::failed(scenario, cores, topo_label, e);
             r.times.build_us = build_us;
             r.times.map_us = map_us;
+            r.times.cache_us = cache_us;
             r.evaluations = evaluations;
             return r;
         }
     };
-    let route_us = StageTimes::us(route_start.elapsed());
 
     let sim_start = Instant::now();
     let sim = scenario.simulate.as_ref().map(|spec| {
@@ -321,7 +532,7 @@ fn run_scenario_inner(scenario: &Scenario, probe: &Probe) -> RunRecord {
         total_load: Mbps::raw(loads.total()),
         evaluations,
         sim,
-        times: StageTimes { build_us, map_us, route_us, sim_us },
+        times: StageTimes { build_us, map_us, route_us, sim_us, cache_us },
     }
 }
 

@@ -29,6 +29,13 @@
 //!   per-worker utilization, search/simulator counters and a structured
 //!   per-scenario run log, all strictly out-of-band (records stay
 //!   byte-identical; see `DESIGN.md` §16).
+//! * [`StageCache`] / [`run_sweep_sharded`] — stage memoization and
+//!   sharded, checkpointed, resumable sweeps: a content-addressed cache
+//!   computes each shared map/route stage exactly once (optionally
+//!   persisted across runs), shards checkpoint to disk as they complete,
+//!   and an interrupted sweep resumes by replaying finished shards —
+//!   all without breaking the byte-identical-output contract (see
+//!   `DESIGN.md` §18).
 //!
 //! # Example
 //!
@@ -52,19 +59,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod engine;
 mod report;
 mod scenario;
+pub mod shard;
 pub mod spec;
 
+pub use cache::{CacheStats, Lookup, StageCache};
 pub use engine::{
-    flows_from_tables, pool_map, pool_map_probed, run_scenario, run_scenario_probed, run_scenarios,
-    run_scenarios_probed, run_sweep, run_sweep_probed, EngineOptions,
+    flows_from_tables, pool_map, pool_map_probed, run_scenario, run_scenario_cached,
+    run_scenario_probed, run_scenarios, run_scenarios_cached, run_scenarios_probed, run_sweep,
+    run_sweep_probed, run_sweep_sharded, run_sweep_sharded_with, EngineOptions, ShardedOutcome,
+    SweepConfig, DEFAULT_SHARD_SIZE,
 };
 pub use noc_sim::LoopKind;
-pub use report::{RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};
+pub use report::{parse_record_json, RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};
 pub use scenario::{
     topology_label, AppSpec, MapperSpec, RoutingSpec, Scenario, ScenarioSet, ScenarioSetBuilder,
     SimulateSpec, TopologySpec,
 };
+pub use shard::{set_fingerprint, Checkpoint, ShardPlan};
 pub use spec::{parse_spec, AppDirective, SpecError, SweepSpec};

@@ -27,6 +27,12 @@ pub struct StageTimes {
     /// Running the wormhole simulator (0 when the scenario has no
     /// simulate stage).
     pub sim_us: u64,
+    /// Stage-cache bookkeeping: key derivation, lookup and store overhead
+    /// of the map/route memoization (0 when every stage computed without
+    /// consulting a cache). Kept separate so worker-utilization profiles
+    /// attribute cache time honestly instead of folding it into the
+    /// stages it displaced.
+    pub cache_us: u64,
 }
 
 impl StageTimes {
@@ -38,6 +44,7 @@ impl StageTimes {
             .saturating_add(self.map_us)
             .saturating_add(self.route_us)
             .saturating_add(self.sim_us)
+            .saturating_add(self.cache_us)
     }
 
     /// Converts a [`Duration`] to saturating microseconds (durations
@@ -54,6 +61,7 @@ impl StageTimes {
             map_us: self.map_us.saturating_add(other.map_us),
             route_us: self.route_us.saturating_add(other.route_us),
             sim_us: self.sim_us.saturating_add(other.sim_us),
+            cache_us: self.cache_us.saturating_add(other.cache_us),
         }
     }
 }
@@ -221,6 +229,8 @@ impl RunRecord {
             push_json_raw(&mut out, "route_us", &self.times.route_us.to_string());
             out.push(',');
             push_json_raw(&mut out, "sim_us", &self.times.sim_us.to_string());
+            out.push(',');
+            push_json_raw(&mut out, "cache_us", &self.times.cache_us.to_string());
         }
         out.push('}');
         out
@@ -239,7 +249,7 @@ comm_cost,max_link_load,total_load,evaluations,sim_avg_latency,sim_network_laten
 sim_p95_latency,sim_delivered_mbps,sim_max_link_mbps,sim_saturated"
             .to_string();
         if timing {
-            h.push_str(",build_us,map_us,route_us,sim_us");
+            h.push_str(",build_us,map_us,route_us,sim_us,cache_us");
         }
         h
     }
@@ -276,6 +286,7 @@ sim_p95_latency,sim_delivered_mbps,sim_max_link_mbps,sim_saturated"
             cells.push(self.times.map_us.to_string());
             cells.push(self.times.route_us.to_string());
             cells.push(self.times.sim_us.to_string());
+            cells.push(self.times.cache_us.to_string());
         }
         cells.join(",")
     }
@@ -407,11 +418,12 @@ impl fmt::Display for SweepSummary {
         }
         write!(
             f,
-            "wall time: build {:.1} ms, map {:.1} ms, route {:.1} ms, sim {:.1} ms",
+            "wall time: build {:.1} ms, map {:.1} ms, route {:.1} ms, sim {:.1} ms, cache {:.1} ms",
             self.times.build_us as f64 / 1e3,
             self.times.map_us as f64 / 1e3,
             self.times.route_us as f64 / 1e3,
-            self.times.sim_us as f64 / 1e3
+            self.times.sim_us as f64 / 1e3,
+            self.times.cache_us as f64 / 1e3
         )
     }
 }
@@ -448,7 +460,7 @@ fn fmt_opt_f64(v: Option<f64>) -> String {
     v.map_or("null".to_string(), fmt_f64)
 }
 
-fn push_json_str(out: &mut String, key: &str, value: &str) {
+pub(crate) fn push_json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");
@@ -483,6 +495,289 @@ fn csv_cell(value: &str) -> String {
     }
 }
 
+/// One parsed value of a flat (non-nested) JSON object. Numbers keep
+/// their raw decimal spelling: `f64` round-trips through Rust's `{}`
+/// formatting exactly, so a record parsed from a checkpoint shard and
+/// re-serialized stays byte-identical to the original line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A number, kept as its raw source spelling.
+    Num(String),
+    /// An unescaped string.
+    Str(String),
+}
+
+impl JsonValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+        }
+    }
+}
+
+/// Parses one line holding a flat JSON object (string / number / bool /
+/// null values only — exactly the shape this module's writers emit) into
+/// its key/value pairs in source order. Shared by the checkpoint-shard
+/// reader and the on-disk stage-cache tier.
+pub(crate) fn parse_flat_json(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = JsonParser { bytes: line.as_bytes(), pos: 0 };
+    let pairs = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input after JSON object at byte {}", p.pos));
+    }
+    Ok(pairs)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, JsonValue)>, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(pairs);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(pairs);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = self.pos;
+                while matches!(
+                    self.bytes.get(self.pos),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "non-UTF-8 number".to_string())?;
+                Ok(JsonValue::Num(raw.to_string()))
+            }
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Collect raw spans between escapes so multi-byte UTF-8 passes
+        // through untouched.
+        let mut span = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    out.push_str(self.span_str(span)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.span_str(span)?);
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            // The writers only \u-escape C0 controls, which
+                            // are never surrogate halves.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                    span = self.pos;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn span_str(&self, start: usize) -> Result<&str, String> {
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 string content".to_string())
+    }
+}
+
+/// Key/value view of one parsed record line with typed accessors.
+struct Fields {
+    pairs: Vec<(String, JsonValue)>,
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&JsonValue, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    fn str(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(format!("field '{key}': expected string, got {}", other.kind())),
+        }
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => {
+                raw.parse().map_err(|_| format!("field '{key}': bad number '{raw}'"))
+            }
+            other => Err(format!("field '{key}': expected number, got {}", other.kind())),
+        }
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => {
+                raw.parse().map_err(|_| format!("field '{key}': bad integer '{raw}'"))
+            }
+            other => Err(format!("field '{key}': expected integer, got {}", other.kind())),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        if self.pairs.iter().any(|(k, _)| k == key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("field '{key}': expected bool, got {}", other.kind())),
+        }
+    }
+
+    fn is_null(&self, key: &str) -> Result<bool, String> {
+        Ok(matches!(self.get(key)?, JsonValue::Null))
+    }
+}
+
+/// Parses one JSON line written by [`RunRecord::to_json`] back into a
+/// [`RunRecord`]. Numbers round-trip exactly (shortest-representation
+/// `f64` formatting is invertible), so re-serializing the result
+/// reproduces the input line byte-for-byte — the property checkpointed
+/// resume relies on. Timing fields are optional and default to zero.
+pub fn parse_record_json(line: &str) -> Result<RunRecord, String> {
+    let f = Fields { pairs: parse_flat_json(line)? };
+    let sim = if f.is_null("sim_avg_latency")? {
+        None
+    } else {
+        Some(SimStats {
+            avg_latency_cycles: Latency::raw(f.f64("sim_avg_latency")?),
+            avg_network_latency_cycles: Latency::raw(f.f64("sim_network_latency")?),
+            p95_latency_cycles: f.u64("sim_p95_latency")?,
+            delivered_mbps: Mbps::raw(f.f64("sim_delivered_mbps")?),
+            max_link_mbps: Mbps::raw(f.f64("sim_max_link_mbps")?),
+            saturated: f.bool("sim_saturated")?,
+        })
+    };
+    Ok(RunRecord {
+        scenario: f.str("scenario")?,
+        cores: usize::try_from(f.u64("cores")?).map_err(|_| "cores out of range".to_string())?,
+        topology: f.str("topology")?,
+        capacity: Mbps::raw(f.f64("capacity")?),
+        mapper: f.str("mapper")?,
+        routing: f.str("routing")?,
+        seed: f.u64("seed")?,
+        error: f.str("error")?,
+        feasible: f.bool("feasible")?,
+        comm_cost: HopMbps::raw(f.f64("comm_cost")?),
+        max_link_load: Mbps::raw(f.f64("max_link_load")?),
+        total_load: Mbps::raw(f.f64("total_load")?),
+        evaluations: usize::try_from(f.u64("evaluations")?)
+            .map_err(|_| "evaluations out of range".to_string())?,
+        sim,
+        times: StageTimes {
+            build_us: f.u64_or("build_us", 0)?,
+            map_us: f.u64_or("map_us", 0)?,
+            route_us: f.u64_or("route_us", 0)?,
+            sim_us: f.u64_or("sim_us", 0)?,
+            cache_us: f.u64_or("cache_us", 0)?,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,7 +799,7 @@ mod tests {
             total_load: mbps(cost),
             evaluations: 7,
             sim: None,
-            times: StageTimes { build_us: 10, map_us: 200, route_us: 30, sim_us: 0 },
+            times: StageTimes { build_us: 10, map_us: 200, route_us: 30, sim_us: 0, cache_us: 0 },
         }
     }
 
@@ -550,8 +845,10 @@ mod tests {
         assert!(r.to_csv(false).contains("123.5,113.5,256,400,425.5,true"));
 
         r.times.sim_us = 77;
+        r.times.cache_us = 9;
         assert!(r.to_json(true).contains("\"sim_us\":77"));
-        assert!(r.to_csv(true).ends_with(",77"));
+        assert!(r.to_json(true).contains("\"cache_us\":9"));
+        assert!(r.to_csv(true).ends_with(",77,9"));
     }
 
     #[test]
@@ -649,14 +946,21 @@ mod tests {
         assert_eq!(StageTimes::us(Duration::MAX), u64::MAX);
 
         // `total_us` saturates when the per-stage fields sum past u64.
-        let near_max = StageTimes { build_us: u64::MAX - 10, map_us: 20, route_us: 5, sim_us: 5 };
+        let near_max =
+            StageTimes { build_us: u64::MAX - 10, map_us: 20, route_us: 5, sim_us: 5, cache_us: 0 };
         assert_eq!(near_max.total_us(), u64::MAX);
-        let plain = StageTimes { build_us: 1, map_us: 2, route_us: 3, sim_us: 4 };
-        assert_eq!(plain.total_us(), 10);
+        let plain = StageTimes { build_us: 1, map_us: 2, route_us: 3, sim_us: 4, cache_us: 5 };
+        assert_eq!(plain.total_us(), 15);
 
         // The sweep summary's fold saturates instead of panicking.
         let mut a = record(1.0, true);
-        a.times = StageTimes { build_us: u64::MAX - 5, map_us: u64::MAX, route_us: 0, sim_us: 1 };
+        a.times = StageTimes {
+            build_us: u64::MAX - 5,
+            map_us: u64::MAX,
+            route_us: 0,
+            sim_us: 1,
+            cache_us: 2,
+        };
         let b = record(2.0, true);
         let s = SweepReport::new(vec![a, b]).summary();
         assert_eq!(s.times.build_us, u64::MAX);
@@ -678,6 +982,60 @@ mod tests {
         assert_eq!(quantile(&v, 0.9), 4.0); // ceil(3.6) = rank 4
         assert_eq!(quantile(&v, 1.0), 4.0);
         assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn record_json_round_trips_byte_identically() {
+        let mut r = record(4119.5, true);
+        r.error = "bad \"quote\"\nline\t\u{0001}end".into();
+        r.times.cache_us = 13;
+        for timing in [false, true] {
+            let line = r.to_json(timing);
+            let back = parse_record_json(&line).expect("parse");
+            assert_eq!(back.to_json(timing), line, "timing={timing}");
+        }
+        // Full equality when timing survives the trip.
+        let back = parse_record_json(&r.to_json(true)).unwrap();
+        assert_eq!(back, r);
+        // Without timing the fields default to zero.
+        let back = parse_record_json(&r.to_json(false)).unwrap();
+        assert_eq!(back.times, StageTimes::default());
+
+        let mut s = record(10.0, false);
+        s.sim = Some(sim_stats(123.5, true));
+        let line = s.to_json(true);
+        let back = parse_record_json(&line).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(true), line);
+    }
+
+    #[test]
+    fn parse_record_json_rejects_malformed_lines() {
+        assert!(parse_record_json("").is_err());
+        assert!(parse_record_json("{\"scenario\":\"x\"}").is_err(), "missing fields");
+        assert!(parse_record_json("not json").is_err());
+        let good = record(1.0, true).to_json(false);
+        assert!(parse_record_json(&format!("{good}garbage")).is_err(), "trailing input");
+        let wrong_type = good.replace("\"cores\":16", "\"cores\":\"16\"");
+        assert!(parse_record_json(&wrong_type).is_err(), "string where integer expected");
+    }
+
+    #[test]
+    fn flat_json_parser_handles_escapes_and_whitespace() {
+        let pairs =
+            parse_flat_json(" { \"a\" : \"x\\u0041\\n\" , \"b\" : -1.5e3 , \"c\" : null } ")
+                .unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_string(), JsonValue::Str("xA\n".to_string())),
+                ("b".to_string(), JsonValue::Num("-1.5e3".to_string())),
+                ("c".to_string(), JsonValue::Null),
+            ]
+        );
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+        assert!(parse_flat_json("{\"a\":\"unterminated").is_err());
+        assert!(parse_flat_json("{\"a\":1,}").is_err());
     }
 
     #[test]

@@ -193,6 +193,21 @@ impl MapperSpec {
         // The seed never appears in the name, so 0 is as good as any.
         self.mapper(0).name()
     }
+
+    /// True when the mapper's `place()` never reads link capacities, so
+    /// its placement is identical at every bandwidth point: the purely
+    /// constructive algorithms (`nmap-init`'s `initialize()`, PMAP,
+    /// GMAP) order cores by communication demand alone. The search
+    /// mappers all score candidates with a capacity-dependent
+    /// feasibility term (NMAP's routed bandwidth checks, PBB's pruning,
+    /// sa/tabu's evaluation) and must be treated as capacity-sensitive.
+    ///
+    /// The stage cache keys on this ([`crate::cache::map_key`]): a
+    /// capacity-invariant mapper's map stage is shared across an entire
+    /// bandwidth sweep.
+    pub fn capacity_invariant(&self) -> bool {
+        matches!(self, MapperSpec::NmapInit | MapperSpec::Pmap | MapperSpec::Gmap)
+    }
 }
 
 /// Configuration of the optional wormhole-simulation stage (the paper's

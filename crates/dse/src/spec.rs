@@ -23,7 +23,7 @@
 //!   drain 30000              # drain window after measurement
 //!   burst 8 3                # mean burst packets, peak-to-mean ratio
 //!   seed 0                   # traffic-seed component
-//!   loop event-queue         # event-queue|active-set|full-scan
+//!   loop event-queue         # event-queue|hybrid|active-set|full-scan
 //! }
 //! ```
 //!
@@ -465,7 +465,8 @@ fn parse_simulate_field(
                 syntax(
                     line_no,
                     format!(
-                        "unknown loop kind `{name}` (expected event-queue/active-set/full-scan)"
+                        "unknown loop kind `{name}` \
+                         (expected event-queue/hybrid/active-set/full-scan)"
                     ),
                 )
             })?;
@@ -644,6 +645,7 @@ fn parse_parameterized_mapper(name: &str) -> Option<MapperSpec> {
 fn parse_loop_kind(name: &str) -> Option<LoopKind> {
     Some(match name {
         "event-queue" => LoopKind::EventQueue,
+        "hybrid" => LoopKind::Hybrid,
         "active-set" => LoopKind::ActiveSet,
         "full-scan" => LoopKind::FullScan,
         _ => return None,
@@ -654,6 +656,7 @@ fn parse_loop_kind(name: &str) -> Option<LoopKind> {
 fn loop_kind_keyword(kind: LoopKind) -> &'static str {
     match kind {
         LoopKind::EventQueue => "event-queue",
+        LoopKind::Hybrid => "hybrid",
         LoopKind::ActiveSet => "active-set",
         LoopKind::FullScan => "full-scan",
     }
@@ -858,6 +861,7 @@ simulate {
         assert_eq!(default.simulate.unwrap().loop_kind, LoopKind::EventQueue);
         for (name, kind) in [
             ("event-queue", LoopKind::EventQueue),
+            ("hybrid", LoopKind::Hybrid),
             ("active-set", LoopKind::ActiveSet),
             ("full-scan", LoopKind::FullScan),
         ] {

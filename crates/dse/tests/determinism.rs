@@ -5,10 +5,11 @@
 //! writers must produce the same bytes for `threads = 1, 2, 8`.
 
 use noc_dse::{
-    parse_spec, run_scenarios, LoopKind, MapperSpec, RoutingSpec, ScenarioSet, SimulateSpec,
-    SweepReport, TopologySpec,
+    parse_spec, run_scenarios, run_scenarios_cached, LoopKind, MapperSpec, RoutingSpec,
+    ScenarioSet, SimulateSpec, StageCache, SweepReport, TopologySpec,
 };
 use noc_graph::RandomGraphConfig;
+use noc_probe::Probe;
 
 /// A sweep wide enough that 8 workers genuinely interleave: 14 app
 /// entries × 2 topologies × 2 mappers × 2 routings = 112 scenarios.
@@ -118,7 +119,7 @@ fn sim_sweep_is_loop_kind_invariant_at_every_thread_count() {
     let jsonl = oracle.write_jsonl(false);
     let csv = oracle.write_csv(false);
 
-    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue, LoopKind::Hybrid] {
         let set = sim_set_with(kind);
         for threads in [1usize, 2, 8] {
             let report = SweepReport::new(run_scenarios(set.scenarios(), threads));
@@ -177,6 +178,77 @@ routing min-path
         let report = SweepReport::new(run_scenarios(set.scenarios(), threads));
         assert_eq!(report.write_jsonl(false), jsonl, "JSONL diverged at threads={threads}");
         assert_eq!(report.write_csv(false), csv, "CSV diverged at threads={threads}");
+    }
+}
+
+/// The stage-cache acceptance bar: a routing × bandwidth sweep whose
+/// mappers are capacity-invariant shares map stages through the
+/// [`StageCache`] — at least 2× fewer map-stage executions than lookups —
+/// while the default-form writers stay byte-identical to the uncached
+/// engine at every thread count, cold or warm.
+#[test]
+fn stage_cache_shares_map_stages_without_changing_bytes() {
+    // NmapInit and Gmap never read link capacity, so one mapping serves
+    // every routing × bandwidth combination of its (app, topology) cell:
+    // 4 map executions cover 24 scenarios.
+    let set = ScenarioSet::builder()
+        .root_seed(99)
+        .app(noc_apps::App::Pip)
+        .dsp()
+        .mapper(MapperSpec::NmapInit)
+        .mapper(MapperSpec::Gmap)
+        .routing(RoutingSpec::MinPath)
+        .routing(RoutingSpec::Xy)
+        .simulate(SimulateSpec {
+            bandwidths_mbps: vec![
+                noc_units::mbps(600.0),
+                noc_units::mbps(1_000.0),
+                noc_units::mbps(1_400.0),
+            ],
+            warmup_cycles: 500,
+            measure_cycles: 2_000,
+            drain_cycles: 1_000,
+            ..Default::default()
+        })
+        .build();
+    assert_eq!(set.len(), 24);
+
+    let plain = SweepReport::new(run_scenarios(set.scenarios(), 1));
+    let jsonl = plain.write_jsonl(false);
+    let csv = plain.write_csv(false);
+
+    for threads in [1usize, 2, 8] {
+        // Cold cache: identical bytes, map stage runs once per distinct
+        // (app, topology, mapper) cell regardless of worker count.
+        let cache = StageCache::in_memory();
+        let report = SweepReport::new(run_scenarios_cached(
+            set.scenarios(),
+            threads,
+            &Probe::disabled(),
+            &cache,
+        ));
+        assert_eq!(report.write_jsonl(false), jsonl, "cold JSONL diverged at threads={threads}");
+        assert_eq!(report.write_csv(false), csv, "cold CSV diverged at threads={threads}");
+        let cold = cache.stats();
+        assert_eq!(cold.map_lookups(), 24, "threads={threads}");
+        assert_eq!(cold.map_misses, 4, "map must run once per cell (threads={threads})");
+        assert!(cold.map_lookups() >= 2 * cold.map_misses, "below the 2x sharing bar");
+
+        // Warm re-run against the same cache: same bytes, zero new map
+        // or route executions.
+        let warm = SweepReport::new(run_scenarios_cached(
+            set.scenarios(),
+            threads,
+            &Probe::disabled(),
+            &cache,
+        ));
+        assert_eq!(warm.write_jsonl(false), jsonl, "warm JSONL diverged at threads={threads}");
+        assert_eq!(warm.write_csv(false), csv, "warm CSV diverged at threads={threads}");
+        let stats = cache.stats();
+        assert_eq!(stats.map_misses, cold.map_misses, "warm run recomputed a map stage");
+        assert_eq!(stats.route_misses, cold.route_misses, "warm run recomputed a route stage");
+        assert_eq!(stats.map_hits, cold.map_hits + 24);
+        assert_eq!(stats.route_hits, cold.route_hits + 24);
     }
 }
 

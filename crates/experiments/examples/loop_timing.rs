@@ -22,10 +22,11 @@ use noc_graph::Topology;
 use noc_probe::Probe;
 use noc_sim::{LoopKind, SimConfig, SimReport, Simulator};
 
-const KINDS: [(&str, LoopKind); 3] = [
+const KINDS: [(&str, LoopKind); 4] = [
     ("full-scan", LoopKind::FullScan),
     ("active-set", LoopKind::ActiveSet),
     ("event-queue", LoopKind::EventQueue),
+    ("hybrid", LoopKind::Hybrid),
 ];
 
 /// Histogram name for one (workload, loop-kind) timing series.
@@ -70,6 +71,7 @@ fn main() {
         }
         assert_eq!(reports[0], reports[1], "active-set diverged from full-scan");
         assert_eq!(reports[0], reports[2], "event-queue diverged from full-scan");
+        assert_eq!(reports[0], reports[3], "hybrid diverged from full-scan");
 
         report(&probe, &format!("split workload @ {bandwidth} MB/s links"), rounds, &workload);
     }
@@ -100,6 +102,7 @@ fn main() {
     }
     assert_eq!(records[0], records[1], "active-set diverged from full-scan");
     assert_eq!(records[0], records[2], "event-queue diverged from full-scan");
+    assert_eq!(records[0], records[3], "hybrid diverged from full-scan");
     report(&probe, "mesh3d study (12 scenarios, engine single-threaded)", rounds, "mesh3d");
 }
 

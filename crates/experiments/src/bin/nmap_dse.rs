@@ -9,8 +9,12 @@
 //! nmap_dse --mesh3d [--smoke]       2-D vs 3-D mapping cost/latency on the
 //!                                   bundled apps (--smoke: reduced cycles)
 //! nmap_dse --spec <file>            run a .dse sweep specification
+//! nmap_dse --bench-json <path>      time cold vs warm stage-cache sweeps
+//!                                   (fig5c + mesh3d rows) and write the
+//!                                   snapshot as JSON
 //! options:  --loop <kind>           simulator loop for --fig5c/--mesh3d:
-//!                                   event-queue (default) | active-set | full-scan
+//!                                   event-queue (default) | hybrid |
+//!                                   active-set | full-scan
 //!           --threads N             worker threads (default: all cores)
 //!           --jsonl <path>          write records as JSON lines
 //!           --csv <path>            write records as CSV
@@ -20,6 +24,15 @@
 //!                                   events; needs the `probe` cargo feature
 //!                                   for non-empty output)
 //!           --allow-failures        (--spec only) exit 0 even when scenarios fail
+//! sharded sweeps (--spec only; any of these switches to the sharded engine):
+//!           --resume <dir>          checkpoint shards under <dir> and skip
+//!                                   shards already completed there; `--jsonl`
+//!                                   streams shard by shard
+//!           --cache-dir <dir>       persist the map-stage cache under <dir>
+//!                                   for cross-run reuse
+//!           --shard-size N          scenarios per shard (default 64)
+//!           --shard-budget N        stop after executing N shards (exit 3;
+//!                                   rerun with --resume to continue)
 //! ```
 //!
 //! `--table2` prints the same values as `table2_scaling` and `--fig5c`
@@ -31,7 +44,10 @@
 
 use std::process::ExitCode;
 
-use noc_dse::{parse_spec, run_sweep_probed, EngineOptions, LoopKind, SweepReport};
+use noc_dse::{
+    parse_spec, run_scenarios_cached, run_sweep_probed, run_sweep_sharded_with, EngineOptions,
+    LoopKind, StageCache, SweepConfig, SweepReport,
+};
 use noc_experiments::dse_bridge::{
     fig5c_smoke_config, fig5c_via_engine_probed, table2_rows_from_records, table2_scenario_set,
     torus_vs_mesh_rows_from_records, torus_vs_mesh_set,
@@ -43,8 +59,9 @@ use noc_experiments::table2::Table2Config;
 use noc_probe::Probe;
 
 const USAGE: &str = "usage: nmap_dse (--smoke | --table2 | --torus-vs-mesh | --fig5c [--smoke] \
-| --mesh3d [--smoke] | --spec <file>) [--loop <kind>] [--threads N] [--jsonl <path>] \
-[--csv <path>] [--timing] [--profile <path>] [--allow-failures]";
+| --mesh3d [--smoke] | --spec <file> | --bench-json <path>) [--loop <kind>] [--threads N] \
+[--jsonl <path>] [--csv <path>] [--timing] [--profile <path>] [--allow-failures] \
+[--resume <dir>] [--cache-dir <dir>] [--shard-size N] [--shard-budget N]";
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Mode {
@@ -54,6 +71,7 @@ enum Mode {
     Fig5c,
     Mesh3d,
     Spec,
+    Bench,
 }
 
 #[derive(Debug)]
@@ -72,6 +90,27 @@ struct Args {
     /// `--profile`: dump the instrumentation profile as JSON lines.
     profile: Option<String>,
     allow_failures: bool,
+    /// `--resume`: checkpoint directory for sharded sweeps.
+    resume: Option<String>,
+    /// `--cache-dir`: on-disk stage-cache directory.
+    cache_dir: Option<String>,
+    /// `--shard-size`: scenarios per shard (`0` = engine default).
+    shard_size: usize,
+    /// `--shard-budget`: stop after executing this many shards.
+    shard_budget: Option<usize>,
+    /// `--bench-json`: output path of the cache benchmark snapshot.
+    bench_json: Option<String>,
+}
+
+impl Args {
+    /// Any sharded-engine option present? (Routes `--spec` through
+    /// [`run_sweep_sharded_with`] instead of the plain pool.)
+    fn sharded(&self) -> bool {
+        self.resume.is_some()
+            || self.cache_dir.is_some()
+            || self.shard_size != 0
+            || self.shard_budget.is_some()
+    }
 }
 
 /// Returns `Ok(None)` for `--help`/`-h` (print usage, exit 0).
@@ -86,6 +125,11 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut timing = false;
     let mut profile = None;
     let mut allow_failures = false;
+    let mut resume = None;
+    let mut cache_dir = None;
+    let mut shard_size = 0usize;
+    let mut shard_budget = None;
+    let mut bench_json = None;
 
     while let Some(arg) = raw.next() {
         match arg.as_str() {
@@ -102,12 +146,14 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let text = raw.next().ok_or("--loop needs a kind")?;
                 loop_kind = Some(match text.as_str() {
                     "event-queue" => LoopKind::EventQueue,
+                    "hybrid" => LoopKind::Hybrid,
                     "active-set" => LoopKind::ActiveSet,
                     "full-scan" => LoopKind::FullScan,
                     other => {
                         return Err(format!(
-                        "unknown loop kind `{other}` (expected event-queue/active-set/full-scan)"
-                    ))
+                            "unknown loop kind `{other}` \
+                             (expected event-queue/hybrid/active-set/full-scan)"
+                        ))
                     }
                 });
             }
@@ -120,23 +166,41 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--timing" => timing = true,
             "--profile" => profile = Some(raw.next().ok_or("--profile needs a path")?),
             "--allow-failures" => allow_failures = true,
+            "--resume" => resume = Some(raw.next().ok_or("--resume needs a directory")?),
+            "--cache-dir" => cache_dir = Some(raw.next().ok_or("--cache-dir needs a directory")?),
+            "--shard-size" => {
+                let text = raw.next().ok_or("--shard-size needs a count")?;
+                shard_size = text.parse().map_err(|_| format!("bad shard size `{text}`"))?;
+                if shard_size == 0 {
+                    return Err("--shard-size must be at least 1".into());
+                }
+            }
+            "--shard-budget" => {
+                let text = raw.next().ok_or("--shard-budget needs a count")?;
+                let n: usize = text.parse().map_err(|_| format!("bad shard budget `{text}`"))?;
+                shard_budget = Some(n);
+            }
+            "--bench-json" => {
+                modes.push(Mode::Bench);
+                bench_json = Some(raw.next().ok_or("--bench-json needs a path")?);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
     // `--smoke` doubles as the reduced-cycle-count modifier of `--fig5c`
     // and `--mesh3d`; every other combination of mode flags is ambiguous.
-    let (mode, reduced) =
-        match modes.as_slice() {
-            [] => return Err(USAGE.to_string()),
-            [m] => (*m, false),
-            [Mode::Fig5c, Mode::Smoke] | [Mode::Smoke, Mode::Fig5c] => (Mode::Fig5c, true),
-            [Mode::Mesh3d, Mode::Smoke] | [Mode::Smoke, Mode::Mesh3d] => (Mode::Mesh3d, true),
-            _ => return Err(
-                "choose exactly one of --smoke/--table2/--torus-vs-mesh/--fig5c/--mesh3d/--spec"
-                    .into(),
-            ),
-        };
+    let (mode, reduced) = match modes.as_slice() {
+        [] => return Err(USAGE.to_string()),
+        [m] => (*m, false),
+        [Mode::Fig5c, Mode::Smoke] | [Mode::Smoke, Mode::Fig5c] => (Mode::Fig5c, true),
+        [Mode::Mesh3d, Mode::Smoke] | [Mode::Smoke, Mode::Mesh3d] => (Mode::Mesh3d, true),
+        _ => {
+            return Err("choose exactly one of --smoke/--table2/--torus-vs-mesh/--fig5c\
+                             /--mesh3d/--spec/--bench-json"
+                .into())
+        }
+    };
     if loop_kind.is_some() && !matches!(mode, Mode::Fig5c | Mode::Mesh3d) {
         // Only the simulation-backed studies run a wormhole loop to pick.
         return Err("--loop is only valid with --fig5c/--mesh3d".into());
@@ -152,7 +216,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         // mode-independent.)
         return Err("--jsonl/--csv/--timing are not supported with --fig5c".into());
     }
-    Ok(Some(Args {
+    let args = Args {
         mode,
         reduced,
         loop_kind,
@@ -163,7 +227,20 @@ fn parse_args() -> Result<Option<Args>, String> {
         timing,
         profile,
         allow_failures,
-    }))
+        resume,
+        cache_dir,
+        shard_size,
+        shard_budget,
+        bench_json,
+    };
+    if args.sharded() && mode != Mode::Spec {
+        // Sharding/checkpointing keys on the scenario set of one spec;
+        // the built-in studies post-process full record sets in order.
+        return Err("--resume/--cache-dir/--shard-size/--shard-budget \
+                    are only valid with --spec"
+            .into());
+    }
+    Ok(Some(args))
 }
 
 fn main() -> ExitCode {
@@ -182,8 +259,8 @@ fn main() -> ExitCode {
     // disabled handle, whose hooks are no-ops.
     let probe = if args.profile.is_some() { Probe::new() } else { Probe::disabled() };
     match run(&args, &probe) {
-        Ok(()) => match write_profile(&args, &probe) {
-            Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => match write_profile(&args, &probe) {
+            Ok(()) => code,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 ExitCode::from(1)
@@ -213,7 +290,7 @@ fn write_profile(args: &Args, probe: &Probe) -> Result<(), String> {
     Ok(())
 }
 
-fn run(args: &Args, probe: &Probe) -> Result<(), String> {
+fn run(args: &Args, probe: &Probe) -> Result<ExitCode, String> {
     match args.mode {
         Mode::Table2 => {
             println!("Table 2 via noc-dse — PBB vs NMAP on random graphs (engine sweep)");
@@ -231,7 +308,7 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
                 ]);
             }
             print!("{}", table.render());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Mode::TorusVsMesh => {
             println!("Torus vs mesh — NMAP cost with and without wrap links\n");
@@ -247,7 +324,7 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
                 ]);
             }
             print!("{}", table.render());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Mode::Mesh3d => {
             println!("2-D vs 3-D — NMAP cost and simulated latency, fitted mesh vs mesh 4x4x2");
@@ -277,7 +354,7 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
                 ]);
             }
             print!("{}", table.render());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Mode::Fig5c => {
             let mut config =
@@ -305,7 +382,7 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
                 ]);
             }
             print!("{}", table.render());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Mode::Smoke => {
             for (label, text) in [("smoke", SMOKE_SPEC), ("smoke-split", SMOKE_SPLIT_SPEC)] {
@@ -321,7 +398,7 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
                 }
             }
             println!("smoke sweep OK (all registered mappers)");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Mode::Spec => {
             let path = args.spec_path.as_deref().expect("set with --spec");
@@ -331,18 +408,28 @@ fn run(args: &Args, probe: &Probe) -> Result<(), String> {
             // A successfully parsed spec always expands to at least one
             // scenario: parse_spec requires an app directive and the
             // builder default-fills every other axis.
-            let report = sweep(&spec.scenarios(), args, probe)?;
-            let failed = report.records.iter().filter(|r| !r.is_ok()).count();
-            if failed > 0 && !args.allow_failures {
-                return Err(format!(
-                    "{failed} of {} scenarios failed (use --allow-failures if \
-that is expected)",
-                    report.records.len()
-                ));
+            if args.sharded() {
+                return sweep_sharded(&spec.scenarios(), args, probe);
             }
-            Ok(())
+            let report = sweep(&spec.scenarios(), args, probe)?;
+            check_failures(&report, args)?;
+            Ok(ExitCode::SUCCESS)
         }
+        Mode::Bench => bench(args),
     }
+}
+
+/// The `--spec` failure gate, shared by the plain and sharded paths.
+fn check_failures(report: &SweepReport, args: &Args) -> Result<(), String> {
+    let failed = report.records.iter().filter(|r| !r.is_ok()).count();
+    if failed > 0 && !args.allow_failures {
+        return Err(format!(
+            "{failed} of {} scenarios failed (use --allow-failures if \
+that is expected)",
+            report.records.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Runs the sweep, writes requested outputs, prints the summary.
@@ -361,6 +448,207 @@ fn sweep(set: &noc_dse::ScenarioSet, args: &Args, probe: &Probe) -> Result<Sweep
     }
     println!("{}", report.summary());
     Ok(report)
+}
+
+/// The sharded `--spec` path: stage-cached, optionally checkpointed and
+/// budget-bounded (see DESIGN.md §18). `--jsonl` streams shard by shard
+/// — an interrupted run leaves a valid prefix on disk. Exit code 3 when
+/// a `--shard-budget` stopped the sweep before the last shard.
+fn sweep_sharded(
+    set: &noc_dse::ScenarioSet,
+    args: &Args,
+    probe: &Probe,
+) -> Result<ExitCode, String> {
+    use std::io::Write;
+
+    let config = SweepConfig {
+        threads: args.threads,
+        shard_size: args.shard_size,
+        checkpoint_dir: args.resume.as_ref().map(std::path::PathBuf::from),
+        cache_dir: args.cache_dir.as_ref().map(std::path::PathBuf::from),
+        shard_budget: args.shard_budget,
+    };
+    println!("running {} scenarios (sharded)...", set.len());
+    let mut jsonl = match &args.jsonl {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            Some((std::io::BufWriter::new(file), path.as_str()))
+        }
+        None => None,
+    };
+    let outcome = run_sweep_sharded_with(set, &config, probe, &mut |_, records| {
+        if let Some((writer, _)) = &mut jsonl {
+            for record in records {
+                // Stream errors surface at flush below; the sweep itself
+                // must not die mid-shard over a full disk.
+                let _ = writeln!(writer, "{}", record.to_json(args.timing));
+            }
+            let _ = writer.flush();
+        }
+    })?;
+    if let Some((mut writer, path)) = jsonl {
+        writer
+            .flush()
+            .and_then(|()| writer.into_inner().map(drop).map_err(|e| e.into_error()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.csv {
+        std::fs::write(path, outcome.report.write_csv(args.timing))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    let stats = &outcome.cache;
+    println!(
+        "shards: {} run, {} restored, {} total; map stages: {} computed, {} shared, {} from disk",
+        outcome.shards_run,
+        outcome.shards_restored,
+        outcome.shards_total,
+        stats.map_misses,
+        stats.map_hits,
+        stats.map_disk_hits,
+    );
+    println!("{}", outcome.report.summary());
+    check_failures(&outcome.report, args)?;
+    if !outcome.completed {
+        println!(
+            "stopped by --shard-budget after {} shards; rerun with --resume to continue",
+            outcome.shards_run
+        );
+        return Ok(ExitCode::from(3));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// One row of the `--bench-json` snapshot.
+struct BenchRow {
+    name: &'static str,
+    scenarios: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_map_misses: u64,
+    cold_map_hits: u64,
+    warm_hit_rate: f64,
+}
+
+/// `--bench-json`: times each study's sweep twice against one shared
+/// [`StageCache`] — cold (empty cache) and warm (fully primed) — and
+/// writes the wall times, speedup and hit rates as a JSON snapshot. The
+/// warm records are asserted byte-identical to the cold ones, so the
+/// speedup is never bought with a behavior change.
+fn bench(args: &Args) -> Result<ExitCode, String> {
+    use std::time::Instant;
+
+    let path = args.bench_json.as_deref().expect("set with --bench-json");
+    let fig5c_set = fig5c_bench_set();
+    let mesh3d_set = noc_experiments::mesh3d::mesh3d_set(true);
+    let search_set = search_bench_set();
+    let mut rows = Vec::new();
+    for (name, set) in
+        [("fig5c", &fig5c_set), ("mesh3d", &mesh3d_set), ("search-mappers", &search_set)]
+    {
+        let cache = StageCache::in_memory();
+        let probe = Probe::disabled();
+        let start = Instant::now();
+        let cold = run_scenarios_cached(set.scenarios(), args.threads, &probe, &cache);
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        let cold_stats = cache.stats();
+
+        let start = Instant::now();
+        let warm = run_scenarios_cached(set.scenarios(), args.threads, &probe, &cache);
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        let warm_stats = cache.stats();
+
+        let cold_report = SweepReport::new(cold);
+        let warm_report = SweepReport::new(warm);
+        if cold_report.write_jsonl(false) != warm_report.write_jsonl(false) {
+            return Err(format!("{name}: warm-cache records diverged from cold"));
+        }
+        let warm_lookups = (warm_stats.map_hits - cold_stats.map_hits)
+            + (warm_stats.route_hits - cold_stats.route_hits);
+        let total = 2 * set.len() as u64; // map + route lookups per scenario
+        rows.push(BenchRow {
+            name,
+            scenarios: set.len(),
+            cold_ms,
+            warm_ms,
+            cold_map_misses: cold_stats.map_misses,
+            cold_map_hits: cold_stats.map_hits,
+            warm_hit_rate: warm_lookups as f64 / total as f64,
+        });
+        println!(
+            "{name}: {} scenarios, cold {cold_ms:.1} ms, warm {warm_ms:.1} ms ({:.1}x)",
+            set.len(),
+            cold_ms / warm_ms.max(1e-9),
+        );
+    }
+    let mut out = String::from("{\n  \"bench\": \"dse_cache\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scenarios\": {}, \"cold_ms\": {:.2}, \
+\"warm_ms\": {:.2}, \"speedup\": {:.2}, \"cold_map_misses\": {}, \
+\"cold_map_hits\": {}, \"warm_hit_rate\": {:.3}}}{}\n",
+            r.name,
+            r.scenarios,
+            r.cold_ms,
+            r.warm_ms,
+            r.cold_ms / r.warm_ms.max(1e-9),
+            r.cold_map_misses,
+            r.cold_map_hits,
+            r.warm_hit_rate,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The fig5c-class bench sweep: the DSP design mapped once per
+/// (mapper, topology) cell and simulated across the Figure 5(c)
+/// bandwidth axis under both cheap routings — the capacity-invariant
+/// mappers let the stage cache share each mapping across the whole
+/// routing × bandwidth product even on the cold pass.
+fn fig5c_bench_set() -> noc_dse::ScenarioSet {
+    noc_dse::ScenarioSet::builder()
+        .root_seed(5)
+        .dsp()
+        .mapper(noc_dse::MapperSpec::NmapInit)
+        .mapper(noc_dse::MapperSpec::Gmap)
+        .routing(noc_dse::RoutingSpec::MinPath)
+        .routing(noc_dse::RoutingSpec::Xy)
+        .simulate(noc_dse::SimulateSpec {
+            bandwidths_mbps: vec![
+                noc_units::mbps(1_000.0),
+                noc_units::mbps(1_200.0),
+                noc_units::mbps(1_400.0),
+                noc_units::mbps(1_600.0),
+            ],
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            drain_cycles: 8_000,
+            ..Default::default()
+        })
+        .build()
+}
+
+/// The map-stage-dominated bench sweep: the sa/tabu search mappers on
+/// the bundled apps with no simulation stage. Here the map stage *is*
+/// the sweep, so the warm/cold ratio isolates what the cache saves when
+/// mapping work dominates (the fig5c/mesh3d rows are simulation-bound
+/// and re-run their sim stage warm or cold).
+fn search_bench_set() -> noc_dse::ScenarioSet {
+    noc_dse::ScenarioSet::builder()
+        .root_seed(5)
+        .capacity(900.0)
+        .all_apps()
+        .mapper(noc_dse::MapperSpec::Sa(Default::default()))
+        .mapper(noc_dse::MapperSpec::Tabu(Default::default()))
+        .routing(noc_dse::RoutingSpec::MinPath)
+        .routing(noc_dse::RoutingSpec::Xy)
+        .build()
 }
 
 /// The built-in CI health-check sweep: small apps, both grid families,

@@ -1,0 +1,161 @@
+//! End-to-end tests for the `nmap_dse` binary's sharded sweep flags
+//! (PR 9): kill-and-resume must leave byte-identical outputs, the flag
+//! validity rules must reject misuse cleanly, and `--bench-json` must
+//! produce a parseable snapshot.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nmap_dse(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nmap_dse")).args(args).output().expect("binary launches")
+}
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("nmap_dse_cli_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+        Self(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_str().expect("utf-8 temp path").to_string()
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A small sim-backed sweep: 2 apps × 2 topologies × 2 mappers ×
+/// 2 routings × 2 bandwidths = 32 scenarios.
+const SWEEP_SPEC: &str = "\
+seed 11
+capacity 800
+app pip
+app dsp
+topology fit
+topology fit-torus
+mapper nmap-init gmap
+routing min-path xy
+simulate {
+  warmup 300
+  measure 1500
+  drain 800
+  bandwidths 700 1200
+}
+";
+
+#[test]
+fn killed_and_resumed_sweep_is_byte_identical_to_straight_through() {
+    let scratch = ScratchDir::new("resume");
+    let spec = scratch.path("sweep.dse");
+    std::fs::write(&spec, SWEEP_SPEC).unwrap();
+
+    // Ground truth: the plain (unsharded) engine.
+    let full = scratch.path("full.jsonl");
+    let out = nmap_dse(&["--spec", &spec, "--jsonl", &full, "--threads", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // "Kill" after 3 of 7 shards: exit code 3, partial prefix on disk.
+    let ckpt = scratch.path("ckpt");
+    let part = scratch.path("part.jsonl");
+    let out = nmap_dse(&[
+        "--spec",
+        &spec,
+        "--jsonl",
+        &part,
+        "--resume",
+        &ckpt,
+        "--cache-dir",
+        &scratch.path("cache"),
+        "--shard-size",
+        "5",
+        "--shard-budget",
+        "3",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "budget stop must exit 3");
+    let partial = std::fs::read_to_string(&part).unwrap();
+    assert_eq!(partial.lines().count(), 15, "3 shards of 5 streamed");
+
+    // Resume at a different thread count: restored + fresh shards must
+    // concatenate to exactly the straight-through bytes.
+    let resumed = scratch.path("resumed.jsonl");
+    let out = nmap_dse(&[
+        "--spec",
+        &spec,
+        "--jsonl",
+        &resumed,
+        "--resume",
+        &ckpt,
+        "--cache-dir",
+        &scratch.path("cache"),
+        "--shard-size",
+        "5",
+        "--threads",
+        "4",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 restored"), "resume skipped nothing: {stdout}");
+    let full_bytes = std::fs::read(&full).unwrap();
+    assert_eq!(std::fs::read(&resumed).unwrap(), full_bytes, "resumed JSONL diverged");
+    assert!(full_bytes.starts_with(partial.as_bytes()), "interrupted run not a prefix");
+}
+
+#[test]
+fn sharded_flags_require_spec_mode() {
+    let out = nmap_dse(&["--smoke", "--resume", "/tmp/nowhere"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("only valid with --spec"), "stderr: {stderr}");
+}
+
+#[test]
+fn mismatched_checkpoint_is_rejected() {
+    let scratch = ScratchDir::new("mismatch");
+    let spec = scratch.path("sweep.dse");
+    std::fs::write(&spec, SWEEP_SPEC).unwrap();
+    let ckpt = scratch.path("ckpt");
+    let args = ["--spec", &spec, "--resume", &ckpt, "--shard-size", "5", "--shard-budget", "1"];
+    assert_eq!(nmap_dse(&args).status.code(), Some(3));
+    // Same checkpoint, different shard size: a different sweep.
+    let out = nmap_dse(&["--spec", &spec, "--resume", &ckpt, "--shard-size", "4"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different sweep"), "stderr: {stderr}");
+}
+
+#[test]
+fn bench_json_writes_a_snapshot() {
+    let scratch = ScratchDir::new("bench");
+    let path = scratch.path("bench.json");
+    let out = nmap_dse(&["--bench-json", &path, "--threads", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).unwrap();
+    for needle in [
+        "\"bench\": \"dse_cache\"",
+        "\"name\": \"fig5c\"",
+        "\"name\": \"mesh3d\"",
+        "\"name\": \"search-mappers\"",
+        "\"warm_hit_rate\": 1.000",
+    ] {
+        assert!(text.contains(needle), "snapshot missing `{needle}`:\n{text}");
+    }
+}
+
+#[test]
+fn hybrid_loop_is_accepted_and_bad_loops_are_not() {
+    let out = nmap_dse(&["--fig5c", "--smoke", "--loop", "hybrid", "--threads", "2"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = nmap_dse(&["--fig5c", "--loop", "warp-speed"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("hybrid"), "usage should list hybrid");
+}

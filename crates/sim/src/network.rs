@@ -18,6 +18,16 @@ use noc_units::{CycleFrac, Latency, Mbps};
 /// which the oldest in-network packet is dropped to break a deadlock.
 const STALL_THRESHOLD: u64 = 5_000;
 
+/// Run-relative cycles a [`LoopKind::Hybrid`] run must cover before its
+/// executed-cycle fraction is trusted as a density signal — short runs
+/// and start-up transients should not trigger the fall-back.
+const HYBRID_MIN_WINDOW: u64 = 4_096;
+
+/// Executed-cycle percentage above which [`LoopKind::Hybrid`] abandons
+/// the tick queue: when most cycles execute anyway, queue maintenance
+/// costs more than the handful of skips it buys.
+const HYBRID_DENSITY_PCT: u64 = 55;
+
 /// Iteration bound of the frozen-state serialization-token replay that
 /// predicts a blocked link's wake-up cycle. Crossing the one-flit
 /// threshold takes `⌈flit_bytes / rate⌉` accrual cycles (~40 for the
@@ -57,6 +67,14 @@ pub enum LoopKind {
     /// drain windows — collapse to their handful of active cycles.
     #[default]
     EventQueue,
+    /// Density-adaptive: starts event-driven and permanently falls back
+    /// to cycle-stepping once the run's executed-cycle fraction proves
+    /// the load dense (most cycles execute anyway, so queue maintenance
+    /// is pure overhead — the ~9% event-queue deficit on saturated
+    /// Fig. 5(c)-class loads). The switch happens at an executed-tick
+    /// boundary, where both regimes agree on the whole state, so reports
+    /// stay bit-identical to the other loop kinds.
+    Hybrid,
 }
 
 /// Measurement report returned by [`Simulator::run`].
@@ -340,9 +358,9 @@ impl Simulator {
     }
 
     /// Fraction of simulated cycles actually executed so far — the
-    /// workload-density signal a hybrid loop would switch on: near 1.0
-    /// the event queue is pure overhead, near 0.0 it is the whole win.
-    /// Returns zero before any cycle has been simulated.
+    /// workload-density signal [`LoopKind::Hybrid`] switches on: near
+    /// 1.0 the event queue is pure overhead, near 0.0 it is the whole
+    /// win. Returns zero before any cycle has been simulated.
     pub fn executed_cycle_fraction(&self) -> CycleFrac {
         if self.cycle == 0 {
             return CycleFrac::ZERO;
@@ -357,7 +375,7 @@ impl Simulator {
         let generation_end = self.config.warmup_cycles + self.config.measure_cycles;
         let cycle_before = self.cycle;
         let executed_before = self.executed_cycles;
-        if self.loop_kind == LoopKind::EventQueue {
+        if matches!(self.loop_kind, LoopKind::EventQueue | LoopKind::Hybrid) {
             self.run_event_queue(total, generation_end);
         } else {
             while self.cycle < total {
@@ -411,6 +429,8 @@ impl Simulator {
     /// over the network at once — falls back to rescanning the next cycle
     /// wholesale.
     fn run_event_queue(&mut self, total: u64, generation_end: u64) {
+        let mut window_start = self.cycle;
+        let mut window_executed = self.executed_cycles;
         let mut queue =
             TickQueue::new(self.node_count, self.link_buffers.len(), self.sources.len());
         queue.set_counters(self.counters.sched_near.clone(), self.counters.sched_heap.clone());
@@ -443,6 +463,30 @@ impl Simulator {
             if purged {
                 self.counters.wake_watchdog.inc();
                 queue.schedule(self.cycle + 1, Component::Watchdog);
+            }
+            // Hybrid density fall-back: once a long enough *recent*
+            // window shows most cycles executing anyway, the tick queue
+            // is pure overhead — finish the run cycle-stepped. A sparse
+            // window re-baselines instead (a busy start must not forfeit
+            // the idle tail), and the check only arms while sources
+            // generate: the drain goes idle and is the event queue's
+            // best case. The switch lands on an executed-tick boundary,
+            // where the event-driven and stepped regimes agree on the
+            // entire network state, so the report is unaffected.
+            if self.loop_kind == LoopKind::Hybrid && tick < generation_end {
+                let window = tick - window_start + 1;
+                if window >= HYBRID_MIN_WINDOW {
+                    let executed = self.executed_cycles - window_executed;
+                    if executed * 100 > window * HYBRID_DENSITY_PCT {
+                        self.cycle = tick + 1;
+                        while self.cycle < total {
+                            self.step(self.cycle < generation_end);
+                        }
+                        return;
+                    }
+                    window_start = tick + 1;
+                    window_executed = self.executed_cycles;
+                }
             }
             next = queue.pop_due(total);
         }
@@ -1240,13 +1284,13 @@ mod tests {
         let _ = Simulator::new(&t, vec![flow], quick_config());
     }
 
-    /// Runs the same flow set under all three main loops and asserts the
+    /// Runs the same flow set under every main loop and asserts the
     /// reports are bit-identical (PartialEq compares every f64 exactly).
     fn assert_loops_agree(t: &Topology, flows: Vec<FlowSpec>, config: SimConfig) -> SimReport {
         let mut full = Simulator::new(t, flows.clone(), config.clone());
         full.set_loop_kind(LoopKind::FullScan);
         let full_report = full.run();
-        for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+        for kind in [LoopKind::ActiveSet, LoopKind::EventQueue, LoopKind::Hybrid] {
             let mut sim = Simulator::new(t, flows.clone(), config.clone());
             sim.set_loop_kind(kind);
             assert_eq!(sim.run(), full_report, "{kind:?} loop diverged from full scan");

@@ -60,7 +60,7 @@ fn app_flows(t: &Topology, graph: &CoreGraph) -> Vec<FlowSpec> {
         .collect()
 }
 
-/// Runs `flows` on `t` under all three loop kinds and asserts the reports
+/// Runs `flows` on `t` under every loop kind and asserts the reports
 /// are bit-identical, returning the oracle report.
 fn assert_identical(
     t: &Topology,
@@ -74,7 +74,7 @@ fn assert_identical(
         sim.run()
     };
     let oracle = run(LoopKind::FullScan);
-    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue] {
+    for kind in [LoopKind::ActiveSet, LoopKind::EventQueue, LoopKind::Hybrid] {
         let report = run(kind);
         assert_eq!(report, oracle, "{label}: {kind:?} diverged from the full-scan oracle");
     }
@@ -139,6 +139,38 @@ fn dsp_filter_design_is_bit_identical_across_loops() {
             assert_identical(&t, &flows, &config, &format!("dsp @ {bw} MB/s"));
         }
     }
+}
+
+#[test]
+fn hybrid_switches_to_stepping_on_dense_loads() {
+    // A saturating DSP-filter load keeps nearly every cycle busy, so the
+    // hybrid loop must abandon the tick queue mid-run. After the switch
+    // it steps through cycles the event loop would have skipped (the
+    // drain tail especially), so it executes strictly more cycles —
+    // proving the fall-back fired — while the report stays bit-identical.
+    let graph = dsp_filter();
+    let (w, h) = Topology::fit_mesh_dims(graph.core_count());
+    let t = Topology::mesh(w, h, 550.0);
+    let flows = app_flows(&t, &graph);
+    let config = SimConfig {
+        warmup_cycles: 1_000,
+        measure_cycles: 8_000,
+        drain_cycles: 4_000,
+        seed: 7,
+        ..SimConfig::default()
+    };
+    let run = |kind: LoopKind| {
+        let mut sim = Simulator::new(&t, flows.clone(), config.clone());
+        sim.set_loop_kind(kind);
+        (sim.run(), sim.executed_cycles())
+    };
+    let (event_report, event_executed) = run(LoopKind::EventQueue);
+    let (hybrid_report, hybrid_executed) = run(LoopKind::Hybrid);
+    assert_eq!(hybrid_report, event_report, "hybrid diverged on the dense load");
+    assert!(
+        hybrid_executed > event_executed,
+        "hybrid never fell back: executed {hybrid_executed} vs event-queue {event_executed}"
+    );
 }
 
 /// Tiny deterministic generator for the random-traffic leg (no RNG crate

@@ -407,6 +407,18 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sweep_modules_are_in_scope() {
+        // The PR-9 stage-cache and shard modules sit squarely on
+        // deterministic result paths (cache keys, checkpoint manifests,
+        // restored records), so the hash-container and wall-clock rules
+        // must cover them — pin that a scope refactor cannot drop them.
+        for path in ["crates/dse/src/cache.rs", "crates/dse/src/shard.rs"] {
+            let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+            assert_eq!(rules_of(&lint_file(path, src)), ["hash-container", "wall-clock"], "{path}");
+        }
+    }
+
+    #[test]
     fn violations_render_location_and_rule() {
         let v = &lint_file(IN_SCOPE, "pub fn x() -> f64;\n")[0];
         let shown = v.to_string();
