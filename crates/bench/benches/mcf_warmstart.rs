@@ -1,0 +1,106 @@
+//! Warm-start benchmarks for MCF routing across a bandwidth sweep: the
+//! PR-10 tentpole. Each benchmark routes the same commodity set at eight
+//! descending capacity points (the shape of a `noc-dse` bandwidth sweep)
+//! and compares three solver configurations on identical instances:
+//!
+//! * `cold_dense`  — every point solved from scratch with the dense
+//!   pivot oracle (the seed configuration);
+//! * `cold_sparse` — every point solved from scratch with the sparse
+//!   segment pivot;
+//! * `warm_chain`  — the first point captures a tableau snapshot and
+//!   every later point dual-restarts from its predecessor, as
+//!   `--warm-lp` does.
+//!
+//! All three produce bit-identical [`nmap::McfSolution`]s; only the wall
+//! time may differ. `BENCH_mcf_warmstart.json` (written by
+//! `nmap_dse --bench-mcf`) snapshots the same comparison end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nmap::mcf::{solve_mcf_for, solve_mcf_for_with_options, solve_mcf_warm};
+use nmap::{Commodity, McfKind, McfWarmState, PathScope};
+use noc_graph::{RandomGraphConfig, Topology};
+use noc_lp::{PivotMode, SimplexOptions};
+
+/// Capacity points as multiples of the instance's min-max-load optimum,
+/// mirroring `nmap_dse --bench-mcf`: every point feasible, tightening
+/// toward the binding regime.
+const CAP_FACTORS: [f64; 8] = [4.0, 3.0, 2.5, 2.0, 1.75, 1.5, 1.3, 1.15];
+
+/// A 24-core chain (24x1 mesh): routing optima are unique at every
+/// point, so the warm chain hits the whole sweep (see DESIGN.md §19).
+fn chain_instance() -> ([usize; 2], Vec<Commodity>, Vec<f64>) {
+    let dims = [24usize, 1usize];
+    let graph = RandomGraphConfig { cores: 24, ..Default::default() }.generate(7);
+    let problem = nmap::MappingProblem::new(graph, Topology::mesh(dims[0], dims[1], 1e9))
+        .expect("chain fits its mesh");
+    let mapping = nmap::initialize(&problem);
+    let commodities = problem.commodities(&mapping);
+    let lambda = solve_mcf_for(
+        &Topology::mesh(dims[0], dims[1], 1e9),
+        &commodities,
+        McfKind::MinMaxLoad,
+        PathScope::AllPaths,
+    )
+    .expect("min-max load is always feasible")
+    .objective;
+    let caps = CAP_FACTORS.iter().map(|f| f * lambda).collect();
+    (dims, commodities, caps)
+}
+
+fn bench_mcf_warmstart(c: &mut Criterion) {
+    let (dims, commodities, caps) = chain_instance();
+    let sweep = |cap: f64| Topology::mesh(dims[0], dims[1], cap);
+    let dense = SimplexOptions { pivot_mode: PivotMode::Dense, ..SimplexOptions::default() };
+
+    let mut group = c.benchmark_group("mcf_warmstart");
+    group.sample_size(10);
+    group.bench_function("sweep8_cold_dense", |b| {
+        b.iter(|| {
+            for &cap in &caps {
+                black_box(
+                    solve_mcf_for_with_options(
+                        &sweep(cap),
+                        &commodities,
+                        McfKind::FlowMin,
+                        PathScope::AllPaths,
+                        dense,
+                    )
+                    .unwrap(),
+                );
+            }
+        })
+    });
+    group.bench_function("sweep8_cold_sparse", |b| {
+        b.iter(|| {
+            for &cap in &caps {
+                black_box(
+                    solve_mcf_for(&sweep(cap), &commodities, McfKind::FlowMin, PathScope::AllPaths)
+                        .unwrap(),
+                );
+            }
+        })
+    });
+    group.bench_function("sweep8_warm_chain", |b| {
+        b.iter(|| {
+            let mut chain: Option<McfWarmState> = None;
+            for &cap in &caps {
+                let (solution, next, _) = solve_mcf_warm(
+                    &sweep(cap),
+                    &commodities,
+                    McfKind::FlowMin,
+                    PathScope::AllPaths,
+                    chain.take(),
+                )
+                .unwrap();
+                black_box(solution);
+                chain = Some(next);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcf_warmstart);
+criterion_main!(benches);

@@ -75,7 +75,7 @@ pub use error::MapError;
 pub use eval::EvalContext;
 pub use init::initialize;
 pub use mapping::Mapping;
-pub use mcf::{McfKind, McfSolution, PathScope};
+pub use mcf::{McfKind, McfSolution, McfSolveStats, McfWarmState, PathScope};
 pub use problem::{Commodity, MappingProblem};
 pub use routing::{CommodityPath, LinkLoads, RoutingTables, SplitRoute};
 pub use search::{MapOutcome, Mapper};

@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use noc_graph::{LinkId, NodeId, QuadrantDag, Topology};
-use noc_lp::{LinearProgram, Sense, SolveError, VarId};
+use noc_lp::{LinearProgram, Sense, SimplexOptions, SolveError, TableauSnapshot, VarId};
 
 use crate::routing::{LinkLoads, RoutingTables, SplitRoute};
 use crate::{Commodity, MapError, Mapping, MappingProblem, Result};
@@ -65,9 +65,19 @@ pub struct McfSolution {
     pub tables: RoutingTables,
 }
 
-/// Threshold below which a flow value is treated as zero during
-/// decomposition.
-const FLOW_EPSILON: f64 = 1e-6;
+/// Threshold below which a flow value is treated as zero when reading the
+/// LP solution back (link loads, per-commodity flows) and during flow
+/// decomposition (residual peeling in [`solve_mcf_for`]'s tables).
+///
+/// The value sits well above the simplex optimality tolerance (`1e-9`) so
+/// solver round-off never materializes as phantom flow, and well below any
+/// meaningful bandwidth (MB/s magnitudes in the paper's applications), so
+/// real traffic is never dropped. Note the **sparse pivot's** zero test in
+/// `noc-lp` is deliberately *not* this epsilon: it skips only exact `0.0`
+/// multipliers, because skipping small-but-nonzero entries would change
+/// the executed arithmetic and break bit-identity with the dense oracle
+/// (DESIGN.md §19).
+pub const FLOW_EPSILON: f64 = 1e-6;
 
 /// Solves the chosen MCF program for `mapping`.
 ///
@@ -109,8 +119,156 @@ pub fn solve_mcf_for(
     kind: McfKind,
     scope: PathScope,
 ) -> Result<McfSolution> {
-    let model = McfModel::build(topology, commodities, kind, scope);
-    let solution = model.lp.solve().map_err(MapError::from)?;
+    solve_mcf_inner(topology, commodities, kind, scope, None, None, false)
+        .map(|(solution, _, _)| solution)
+}
+
+/// [`solve_mcf_for`] under explicit simplex options — the seam benches use
+/// to time the sparse pivot against its dense oracle
+/// ([`noc_lp::PivotMode::Dense`]) on identical MCF instances. Solutions
+/// are bit-identical across pivot modes; only the wall time differs.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_mcf`], plus
+/// [`SolveError::InvalidOptions`] when `options` fails validation.
+pub fn solve_mcf_for_with_options(
+    topology: &Topology,
+    commodities: &[Commodity],
+    kind: McfKind,
+    scope: PathScope,
+    options: SimplexOptions,
+) -> Result<McfSolution> {
+    solve_mcf_inner(topology, commodities, kind, scope, None, Some(options), false)
+        .map(|(solution, _, _)| solution)
+}
+
+/// Warm-start state carried across the bandwidth axis of a sweep: the
+/// final simplex tableau of the previous capacity point (a
+/// [`TableauSnapshot`]) plus enough fingerprint to refuse reuse across
+/// different formulations.
+///
+/// Produced and consumed by [`solve_mcf_warm`]. Reuse is only valid when
+/// the topology *structure* and commodity set are unchanged and only link
+/// capacities (constraint right-hand sides) moved; anything else reports a
+/// basis mismatch inside `noc-lp` and falls back to a cold solve. The
+/// snapshot restart rebuilds the RHS column from the stored basis inverse
+/// instead of refactorizing the basis, and the state is consumed — the
+/// tableau moves through the solve — so a warm hit costs only the RHS
+/// recompute plus a few dual pivots, with no tableau-sized copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McfWarmState {
+    snapshot: TableauSnapshot,
+    kind: McfKind,
+    scope: PathScope,
+    /// Pivot count of the lineage's cold solve — the baseline for
+    /// pivots-saved estimates.
+    cold_pivots: usize,
+}
+
+impl McfWarmState {
+    /// Heap bytes held by the captured tableau — what carrying the state
+    /// across a sweep costs in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.snapshot.memory_bytes()
+    }
+}
+
+/// Pivot counters from one [`solve_mcf_warm`] call, for probe reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McfSolveStats {
+    /// Simplex pivots of this solve (dual + cleanup pivots when warm).
+    pub pivots: usize,
+    /// Phase-1 pivots (zero when the solve was warm-started).
+    pub phase1_pivots: usize,
+    /// True when the previous basis was reused (no two-phase solve ran).
+    pub warm_hit: bool,
+    /// Estimated pivots avoided versus the lineage's cold solve: the cold
+    /// baseline minus this solve's total pivots (saturating at zero).
+    pub pivots_saved: usize,
+}
+
+/// [`solve_mcf_for`] with dual-simplex warm starting: when `previous` holds
+/// the tableau snapshot of a structurally identical instance (same topology
+/// wiring, commodities, `kind` and `scope`; only link capacities changed),
+/// the LP re-optimizes from that tableau instead of running a cold
+/// two-phase solve. The state is consumed — a sweep moves one tableau
+/// along the whole capacity axis without copying it. Any mismatch silently
+/// falls back to the cold path, so the result is always available;
+/// [`McfSolveStats::warm_hit`] reports which path ran.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_mcf`].
+pub fn solve_mcf_warm(
+    topology: &Topology,
+    commodities: &[Commodity],
+    kind: McfKind,
+    scope: PathScope,
+    previous: Option<McfWarmState>,
+) -> Result<(McfSolution, McfWarmState, McfSolveStats)> {
+    let (solution, state, stats) =
+        solve_mcf_inner(topology, commodities, kind, scope, previous, None, true)?;
+    Ok((solution, state.expect("capture was requested"), stats))
+}
+
+fn solve_mcf_inner(
+    topology: &Topology,
+    commodities: &[Commodity],
+    kind: McfKind,
+    scope: PathScope,
+    previous: Option<McfWarmState>,
+    options: Option<SimplexOptions>,
+    capture: bool,
+) -> Result<(McfSolution, Option<McfWarmState>, McfSolveStats)> {
+    let mut model = McfModel::build(topology, commodities, kind, scope);
+    if let Some(options) = options {
+        model.lp.set_options(options);
+    }
+    let reusable = previous.filter(|w| w.kind == kind && w.scope == scope);
+    // Any warm-path failure — snapshot mismatch, iteration limit, even an
+    // infeasibility verdict — falls back to the cold solve, so every
+    // returned value *and every error* comes from either the cold path or
+    // a uniqueness-guarded warm re-optimization. Sweeps with warm starting
+    // on and off therefore agree error-for-error, not just value-for-value.
+    // The state is consumed: a hit moves the tableau through the dual
+    // simplex without copying it, and any fallback recaptures from cold.
+    let warm = reusable.and_then(|w| {
+        let McfWarmState { snapshot, cold_pivots, .. } = w;
+        match model.lp.resolve_with_snapshot(snapshot) {
+            Ok(solved) => Some((solved, cold_pivots)),
+            Err(_) => None,
+        }
+    });
+    let (solution, snapshot, stats, cold_pivots) = match warm {
+        Some(((solution, snapshot, stats), cold_pivots)) => {
+            (solution, Some(snapshot), stats, cold_pivots)
+        }
+        None if capture => {
+            // Only the warm-chaining entry point pays for a snapshot
+            // capture; plain solves keep the cheaper basis-only path.
+            let (solution, snapshot, stats) =
+                model.lp.solve_with_snapshot().map_err(MapError::from)?;
+            let pivots = stats.pivots;
+            (solution, Some(snapshot), stats, pivots)
+        }
+        None => {
+            let (solution, _, stats) = model.lp.solve_with_basis().map_err(MapError::from)?;
+            let pivots = stats.pivots;
+            (solution, None, stats, pivots)
+        }
+    };
+    let mcf_stats = McfSolveStats {
+        pivots: stats.pivots,
+        phase1_pivots: stats.phase1_pivots,
+        warm_hit: stats.warm_start,
+        pivots_saved: if stats.warm_start {
+            cold_pivots.saturating_sub(stats.pivots + stats.refactor_pivots)
+        } else {
+            0
+        },
+    };
+    let next = snapshot.map(|snapshot| McfWarmState { snapshot, kind, scope, cold_pivots });
 
     let mut link_loads = LinkLoads::zeros(topology.link_count());
     let mut flows: Vec<BTreeMap<LinkId, f64>> = vec![BTreeMap::new(); commodities.len()];
@@ -125,7 +283,7 @@ pub fn solve_mcf_for(
     }
 
     let tables = decompose_flows(topology, commodities, flows);
-    Ok(McfSolution { kind, objective: solution.objective, link_loads, tables })
+    Ok((McfSolution { kind, objective: solution.objective, link_loads, tables }, next, mcf_stats))
 }
 
 /// Checks whether a mapping admits a feasible split-traffic routing:
@@ -523,6 +681,164 @@ mod tests {
         let sol = solve_mcf(&p, &m, McfKind::FlowMin, PathScope::AllPaths).unwrap();
         assert!(sol.link_loads.within_capacity(p.topology()));
         assert!((sol.objective - 200.0).abs() < 1e-4);
+    }
+}
+
+#[cfg(test)]
+mod warm_start_tests {
+    use noc_graph::{EdgeId, RandomGraphConfig, Topology};
+    use noc_units::Mbps;
+
+    use super::*;
+
+    /// Warm and cold solves must agree on the *entire* solution — the
+    /// objective, the link loads and the decomposed per-commodity routing
+    /// tables — across a shrinking-capacity sweep, on seeded random
+    /// graphs. This is the identity contract that lets `--warm-lp` keep
+    /// sweep outputs byte-identical.
+    #[test]
+    fn warm_and_cold_solves_are_identical_across_a_capacity_sweep() {
+        for seed in [1u64, 7, 42] {
+            let graph = RandomGraphConfig { cores: 10, ..Default::default() }.generate(seed);
+            for kind in [McfKind::FlowMin, McfKind::SlackMin] {
+                let mut warm: Option<McfWarmState> = None;
+                for cap in [5000.0, 4000.0, 3000.0, 2500.0, 2000.0, 1500.0, 1200.0, 1000.0] {
+                    let problem =
+                        MappingProblem::new(graph.clone(), Topology::mesh(4, 3, cap)).unwrap();
+                    let mapping = crate::initialize(&problem);
+                    let commodities = problem.commodities(&mapping);
+                    let scope = PathScope::AllPaths;
+                    let cold = solve_mcf_for(problem.topology(), &commodities, kind, scope);
+                    let warmed =
+                        solve_mcf_warm(problem.topology(), &commodities, kind, scope, warm.take());
+                    match (cold, warmed) {
+                        (Ok(c), Ok((w, next, stats))) => {
+                            assert_eq!(c, w, "seed {seed} {kind:?} cap {cap}");
+                            if stats.warm_hit {
+                                assert_eq!(stats.phase1_pivots, 0, "warm solves skip phase 1");
+                            }
+                            warm = Some(next);
+                        }
+                        (Err(ce), Err(we)) => {
+                            assert_eq!(
+                                is_infeasible(&ce),
+                                is_infeasible(&we),
+                                "seed {seed} {kind:?} cap {cap}"
+                            );
+                            warm = None;
+                        }
+                        (c, w) => {
+                            panic!("seed {seed} {kind:?} cap {cap}: cold {c:?} vs warm {w:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_state_is_not_reused_across_kinds_or_scopes() {
+        let graph = RandomGraphConfig { cores: 8, ..Default::default() }.generate(3);
+        let problem = MappingProblem::new(graph, Topology::mesh(3, 3, 5_000.0)).unwrap();
+        let mapping = crate::initialize(&problem);
+        let commodities = problem.commodities(&mapping);
+        let (_, state, first) = solve_mcf_warm(
+            problem.topology(),
+            &commodities,
+            McfKind::FlowMin,
+            PathScope::AllPaths,
+            None,
+        )
+        .unwrap();
+        assert!(!first.warm_hit);
+        let (_, _, cross_kind) = solve_mcf_warm(
+            problem.topology(),
+            &commodities,
+            McfKind::SlackMin,
+            PathScope::AllPaths,
+            Some(state.clone()),
+        )
+        .unwrap();
+        assert!(!cross_kind.warm_hit, "basis must not cross formulations");
+        let (_, _, cross_scope) = solve_mcf_warm(
+            problem.topology(),
+            &commodities,
+            McfKind::FlowMin,
+            PathScope::Quadrant,
+            Some(state),
+        )
+        .unwrap();
+        assert!(!cross_scope.warm_hit, "basis must not cross path scopes");
+    }
+
+    /// In the capacity-binding regime a single flow over two unequal-length
+    /// paths has a *unique* optimal split, so the uniqueness guard admits
+    /// the warm answer and the dual simplex actually serves the sweep.
+    #[test]
+    fn warm_hits_in_binding_capacity_regimes() {
+        use noc_graph::CoreGraph;
+        let instance = |cap: f64| {
+            let mut g = CoreGraph::new();
+            let a = g.add_core("a");
+            let b = g.add_core("b");
+            g.add_comm(a, b, 300.0).unwrap();
+            let p = MappingProblem::new(g, Topology::mesh(2, 2, cap)).unwrap();
+            let mut m = Mapping::new(4);
+            m.place(a, NodeId::new(0));
+            m.place(b, NodeId::new(1));
+            (p, m)
+        };
+        let mut warm: Option<McfWarmState> = None;
+        let mut hits = 0usize;
+        for cap in [1000.0, 290.0, 250.0, 200.0, 160.0] {
+            let (p, m) = instance(cap);
+            let commodities = p.commodities(&m);
+            let cold =
+                solve_mcf_for(p.topology(), &commodities, McfKind::FlowMin, PathScope::AllPaths)
+                    .unwrap();
+            let (w, next, stats) = solve_mcf_warm(
+                p.topology(),
+                &commodities,
+                McfKind::FlowMin,
+                PathScope::AllPaths,
+                warm.take(),
+            )
+            .unwrap();
+            assert_eq!(cold, w, "cap {cap}");
+            if stats.warm_hit {
+                hits += 1;
+                assert_eq!(stats.phase1_pivots, 0);
+            }
+            warm = Some(next);
+        }
+        assert!(hits >= 2, "expected warm hits in the binding regime, got {hits}");
+    }
+
+    /// Pins [`FLOW_EPSILON`] as the decomposition boundary: residual flow
+    /// exactly at the threshold is treated as zero, flow above it routes.
+    #[test]
+    fn flow_epsilon_is_the_decomposition_boundary() {
+        let t = Topology::mesh(2, 2, 1e9);
+        let (direct, _) = t
+            .out_links(NodeId::new(0))
+            .find(|(_, l)| l.dst == NodeId::new(1))
+            .expect("adjacent link");
+        let commodity = |v: f64| Commodity {
+            edge: EdgeId::new(0),
+            value: Mbps::new(v).unwrap(),
+            source: NodeId::new(0),
+            dest: NodeId::new(1),
+        };
+        let above = 2.0 * FLOW_EPSILON;
+        let tables =
+            decompose_flows(&t, &[commodity(above)], vec![BTreeMap::from([(direct, above)])]);
+        assert_eq!(tables.routes_of(EdgeId::new(0)).len(), 1, "above the threshold must route");
+        let tables = decompose_flows(
+            &t,
+            &[commodity(FLOW_EPSILON)],
+            vec![BTreeMap::from([(direct, FLOW_EPSILON)])],
+        );
+        assert!(tables.routes_of(EdgeId::new(0)).is_empty(), "at the threshold is treated as zero");
     }
 }
 

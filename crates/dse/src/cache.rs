@@ -16,6 +16,14 @@
 //! [`CacheStats`] counters thread-count-independent: misses equal the
 //! number of distinct keys computed, hits equal lookups minus distinct
 //! keys, no matter how the pool interleaves.
+//!
+//! An optional byte budget ([`StageCache::with_mem_cap`]) bounds the
+//! in-memory tiers with least-recently-used eviction. Results stay
+//! byte-identical at any cap — an evicted key simply recomputes its
+//! deterministic value on the next lookup — but the exactly-once contract
+//! weakens to exactly-once *per residency*, so hit/miss/eviction counters
+//! under a finite cap depend on worker interleaving (they are exact at one
+//! thread). The default is unbounded, which preserves the strict contract.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -25,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use nmap::{LinkLoads, Mapping, MappingProblem, RoutingTables};
-use noc_graph::{CoreId, NodeId};
+use noc_graph::{CoreId, EdgeId, NodeId};
 
 use crate::report::{parse_flat_json, push_json_str, JsonValue};
 use crate::scenario::{AppSpec, Scenario};
@@ -68,6 +76,8 @@ pub struct CacheStats {
     pub route_hits: u64,
     /// Route-stage lookups that computed the routing.
     pub route_misses: u64,
+    /// Entries dropped by the byte budget's LRU policy (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -84,6 +94,52 @@ struct Counters {
     map_misses: AtomicU64,
     route_hits: AtomicU64,
     route_misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Which in-memory tier a byte-budget book entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Map,
+    Route,
+}
+
+/// One resident entry's recency tick and estimated footprint.
+#[derive(Debug, Clone, Copy)]
+struct LruEntry {
+    tick: u64,
+    bytes: usize,
+}
+
+/// Recency and size bookkeeping for the byte budget. One logical clock
+/// spans both stages, so pressure from either tier can reclaim stale
+/// entries of the other. Only *filled* slots are booked (an entry enters
+/// after its compute completes), so an in-flight `OnceLock` another worker
+/// is blocking on is never evicted from under it.
+#[derive(Default)]
+struct LruBook {
+    clock: u64,
+    map: BTreeMap<String, LruEntry>,
+    route: BTreeMap<String, LruEntry>,
+    total_bytes: usize,
+}
+
+impl LruBook {
+    fn entries(&mut self, stage: Stage) -> &mut BTreeMap<String, LruEntry> {
+        match stage {
+            Stage::Map => &mut self.map,
+            Stage::Route => &mut self.route,
+        }
+    }
+
+    /// The least-recently-used entry across both stages.
+    fn oldest(&self) -> Option<(Stage, String, usize)> {
+        let map = self.map.iter().map(|(k, e)| (e.tick, Stage::Map, k, e.bytes));
+        let route = self.route.iter().map(|(k, e)| (e.tick, Stage::Route, k, e.bytes));
+        map.chain(route)
+            .min_by_key(|&(tick, ..)| tick)
+            .map(|(_, stage, key, bytes)| (stage, key.clone(), bytes))
+    }
 }
 
 /// The two-tier stage cache. See the module docs for the determinism
@@ -94,6 +150,8 @@ pub struct StageCache {
     route_tier: Mutex<BTreeMap<String, Arc<OnceLock<RouteResult>>>>,
     disk: Option<DiskTier>,
     counters: Counters,
+    mem_cap: Option<usize>,
+    lru: Mutex<LruBook>,
 }
 
 impl std::fmt::Debug for StageCache {
@@ -101,6 +159,7 @@ impl std::fmt::Debug for StageCache {
         f.debug_struct("StageCache")
             .field("stats", &self.stats())
             .field("disk", &self.disk.is_some())
+            .field("mem_cap", &self.mem_cap)
             .finish()
     }
 }
@@ -119,7 +178,25 @@ impl StageCache {
             route_tier: Mutex::new(BTreeMap::new()),
             disk: None,
             counters: Counters::default(),
+            mem_cap: None,
+            lru: Mutex::new(LruBook::default()),
         }
+    }
+
+    /// Bounds the in-memory tiers to roughly `cap` bytes of cached results
+    /// (estimated, not malloc-exact), evicting least-recently-used entries
+    /// once the budget is exceeded; `None` (the default) is unbounded. A
+    /// cap of 0 retains nothing — every lookup recomputes. Entries evicted
+    /// from memory are still restorable from the disk tier when one is
+    /// attached. See the module docs for the determinism trade-off.
+    pub fn with_mem_cap(mut self, cap: Option<usize>) -> Self {
+        self.mem_cap = cap;
+        self
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn mem_cap(&self) -> Option<usize> {
+        self.mem_cap
     }
 
     /// A cache whose map tier additionally persists to
@@ -162,6 +239,8 @@ impl StageCache {
             route_tier: Mutex::new(BTreeMap::new()),
             disk: Some(DiskTier { entries: Mutex::new(entries), file: Mutex::new(file) }),
             counters: Counters::default(),
+            mem_cap: None,
+            lru: Mutex::new(LruBook::default()),
         })
     }
 
@@ -212,7 +291,9 @@ impl StageCache {
             self.counters.map_misses.fetch_add(1, Ordering::Relaxed);
             Lookup::Miss
         };
-        (value.clone(), lookup)
+        let value = value.clone();
+        self.note_use(Stage::Map, key, ran.then(|| map_result_bytes(&value)));
+        (value, lookup)
     }
 
     /// Memoized route stage (in-memory tier only): returns the cached
@@ -239,7 +320,45 @@ impl StageCache {
             self.counters.route_hits.fetch_add(1, Ordering::Relaxed);
             Lookup::Hit
         };
-        (value.clone(), lookup)
+        let value = value.clone();
+        self.note_use(Stage::Route, key, ran.then(|| route_result_bytes(&value)));
+        (value, lookup)
+    }
+
+    /// Records a lookup in the byte-budget book (no-op when unbounded):
+    /// `bytes` is `Some` when the slot was just filled (book the entry at
+    /// its estimated size), `None` on a hit (refresh its recency tick).
+    /// Then evicts least-recently-used entries until the budget holds.
+    fn note_use(&self, stage: Stage, key: &str, bytes: Option<usize>) {
+        let Some(cap) = self.mem_cap else { return };
+        let mut book = self.lru.lock().expect("lru book not poisoned");
+        book.clock += 1;
+        let tick = book.clock;
+        match bytes {
+            Some(b) => {
+                let prev = book.entries(stage).insert(key.to_string(), LruEntry { tick, bytes: b });
+                book.total_bytes = book.total_bytes - prev.map_or(0, |p| p.bytes) + b;
+            }
+            None => {
+                if let Some(entry) = book.entries(stage).get_mut(key) {
+                    entry.tick = tick;
+                }
+            }
+        }
+        while book.total_bytes > cap {
+            let Some((victim_stage, victim_key, victim_bytes)) = book.oldest() else { break };
+            match victim_stage {
+                Stage::Map => {
+                    self.map_tier.lock().expect("map tier not poisoned").remove(&victim_key);
+                }
+                Stage::Route => {
+                    self.route_tier.lock().expect("route tier not poisoned").remove(&victim_key);
+                }
+            }
+            book.entries(victim_stage).remove(&victim_key);
+            book.total_bytes -= victim_bytes;
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of the hit/miss counters.
@@ -250,7 +369,41 @@ impl StageCache {
             map_misses: self.counters.map_misses.load(Ordering::Relaxed),
             route_hits: self.counters.route_hits.load(Ordering::Relaxed),
             route_misses: self.counters.route_misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Estimated in-memory footprint of a map-stage result. Deliberately
+/// coarse — the budget bounds growth, it does not account allocators.
+fn map_result_bytes(value: &MapResult) -> usize {
+    const BASE: usize = 64;
+    match value {
+        Ok((mapping, _)) => BASE + mapping.node_count() * 24,
+        Err(e) => BASE + e.len(),
+    }
+}
+
+/// Estimated in-memory footprint of a route-stage result: the load vector
+/// plus, when tables were materialized, every split route's link list.
+fn route_result_bytes(value: &RouteResult) -> usize {
+    const BASE: usize = 64;
+    match value {
+        Ok((tables, loads)) => {
+            let table_bytes = tables.as_ref().map_or(0, |t| {
+                (0..t.commodity_count())
+                    .map(|e| {
+                        t.routes_of(EdgeId::new(e))
+                            .iter()
+                            .map(|r| 32 + r.links.len() * 8)
+                            .sum::<usize>()
+                            + 24
+                    })
+                    .sum()
+            });
+            BASE + loads.as_slice().len() * 8 + table_bytes
+        }
+        Err(e) => BASE + e.len(),
     }
 }
 
@@ -289,6 +442,16 @@ pub fn route_key(scenario: &Scenario, need_tables: bool) -> String {
         scenario.routing.name(),
         need_tables
     )
+}
+
+/// The warm-start lineage key: [`route_key`] minus the route-stage link
+/// capacity (`rcap`). Scenarios sharing a lineage differ *only* in the
+/// capacities their MCF program constrains on — exactly the family whose
+/// optimal bases chain through the dual simplex (`noc_lp::Basis` reuse),
+/// since the LP's structure (topology wiring, commodity set, objective)
+/// is pinned by every other key component.
+pub fn warm_lineage_key(scenario: &Scenario, need_tables: bool) -> String {
+    format!("{};routing={};tables={}", map_key(scenario), scenario.routing.name(), need_tables)
 }
 
 /// Complete spelling of an app spec. [`AppSpec::family`] is not injective
@@ -510,6 +673,71 @@ mod tests {
         let tight = Scenario { capacity: mbps(100.0), ..s.clone() };
         assert_eq!(map_key(&s), map_key(&tight));
         assert_ne!(route_key(&s, false), route_key(&tight, false));
+    }
+
+    #[test]
+    fn warm_lineage_key_drops_only_the_route_capacity() {
+        let s = scenario(MapperSpec::NmapInit, 1_000.0, RoutingSpec::McfQuadrant);
+        let tight = Scenario { capacity: mbps(250.0), ..s.clone() };
+        assert_ne!(route_key(&s, false), route_key(&tight, false));
+        assert_eq!(warm_lineage_key(&s, false), warm_lineage_key(&tight, false));
+        // Everything else still separates lineages.
+        let all = Scenario { routing: RoutingSpec::McfAllPaths, ..s.clone() };
+        assert_ne!(warm_lineage_key(&s, false), warm_lineage_key(&all, false));
+        assert_ne!(warm_lineage_key(&s, false), warm_lineage_key(&s, true));
+        // Capacity-dependent mappers pin capacity inside the map key, so
+        // their lineages never span bandwidth points (their placements —
+        // hence commodity sets — may differ per point).
+        let search = scenario(
+            MapperSpec::Nmap(SinglePathOptions::default()),
+            1_000.0,
+            RoutingSpec::McfQuadrant,
+        );
+        let search_tight = Scenario { capacity: mbps(250.0), ..search.clone() };
+        assert_ne!(warm_lineage_key(&search, false), warm_lineage_key(&search_tight, false));
+    }
+
+    #[test]
+    fn mem_cap_evicts_least_recently_used() {
+        assert_eq!(StageCache::in_memory().mem_cap(), None, "default is unbounded");
+        // Each loads-only result estimates to 96 bytes, so a 200-byte
+        // budget holds two entries.
+        let cache = StageCache::in_memory().with_mem_cap(Some(200));
+        let compute = || Ok((None, LinkLoads::zeros(4)));
+        let (_, l) = cache.route_stage("a", compute);
+        assert_eq!(l, Lookup::Miss);
+        let (_, l) = cache.route_stage("b", compute);
+        assert_eq!(l, Lookup::Miss);
+        assert_eq!(cache.stats().evictions, 0);
+        // Touch "a" so "b" is the LRU victim when "c" overflows the budget.
+        let (_, l) = cache.route_stage("a", || panic!("resident"));
+        assert_eq!(l, Lookup::Hit);
+        let (_, l) = cache.route_stage("c", compute);
+        assert_eq!(l, Lookup::Miss);
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, l) = cache.route_stage("a", || panic!("still resident"));
+        assert_eq!(l, Lookup::Hit);
+        let (replayed, l) = cache.route_stage("b", compute);
+        assert_eq!(l, Lookup::Miss, "evicted key recomputes");
+        assert_eq!(replayed, Ok((None, LinkLoads::zeros(4))));
+    }
+
+    #[test]
+    fn mem_cap_zero_retains_nothing_but_stays_deterministic() {
+        let cache = StageCache::in_memory().with_mem_cap(Some(0));
+        let s = scenario(MapperSpec::NmapInit, 1_000.0, RoutingSpec::MinPath);
+        let problem = s.problem().unwrap();
+        let key = map_key(&s);
+        let mut results = Vec::new();
+        for _ in 0..3 {
+            let (r, l) = cache.map_stage(&key, &problem, || Ok((nmap::initialize(&problem), 0)));
+            assert_eq!(l, Lookup::Miss, "cap 0 retains nothing");
+            results.push(r);
+        }
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "recomputes are deterministic");
+        let stats = cache.stats();
+        assert_eq!((stats.map_misses, stats.map_hits), (3, 0));
+        assert_eq!(stats.evictions, 3);
     }
 
     #[test]

@@ -14,14 +14,16 @@
 //! [`StageTimes`] vary between runs, and the report writers exclude them
 //! by default.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use nmap::{
-    mcf::solve_mcf, routing, EvalContext, LinkLoads, MapError, Mapping, MappingProblem, McfKind,
-    PathScope, RoutingTables,
+    mcf::{solve_mcf, solve_mcf_warm},
+    routing, EvalContext, LinkLoads, MapError, Mapping, MappingProblem, McfKind, McfSolution,
+    McfWarmState, PathScope, RoutingTables,
 };
 use noc_lp::SolveError;
 use noc_probe::{Probe, Value};
@@ -41,6 +43,58 @@ pub struct EngineOptions {
     /// Worker threads; `0` (the default) uses the machine's available
     /// parallelism. The pool never spawns more workers than scenarios.
     pub threads: usize,
+    /// Warm-start the MCF route stage's LP across a sweep's bandwidth
+    /// axis: scenarios sharing a [`cache::warm_lineage_key`] chain their
+    /// optimal simplex tableaux through [`solve_mcf_warm`]'s dual simplex
+    /// instead of cold two-phase solves. Off by default. Records are
+    /// byte-identical either way — a warm result is used only when
+    /// `noc-lp`'s uniqueness guard proves the optimum unique, every other
+    /// case falls back to the cold path — but the `lp.warm_start.*`
+    /// counters depend on which capacity point of a lineage solves first,
+    /// so they are interleaving-dependent above one thread.
+    pub warm_lp: bool,
+}
+
+/// Per-lineage warm-start slots for the MCF route stage, shared across a
+/// sweep. Keyed by [`cache::warm_lineage_key`]; each slot holds the last
+/// optimal [`McfWarmState`] per objective kind, and its lock is held
+/// across the LP solve so one lineage's capacity points chain their
+/// tableaux sequentially while distinct lineages solve in parallel.
+#[derive(Debug, Default)]
+pub struct WarmLpStore {
+    slots: Mutex<BTreeMap<String, Arc<Mutex<WarmSlot>>>>,
+}
+
+/// One lineage's warm state. FlowMin and SlackMin chains are kept apart:
+/// the engine's MCF fallback (FlowMin infeasible → SlackMin) would
+/// otherwise clobber the FlowMin lineage at the first infeasible point.
+#[derive(Debug, Default)]
+struct WarmSlot {
+    flow_min: WarmChain,
+    slack_min: WarmChain,
+}
+
+/// A consecutive-refusal budget per chain: when the uniqueness guard (or a
+/// basis mismatch) keeps refusing reuse, the instance's optima are
+/// structurally non-unique and further warm attempts are pointless (the
+/// O(1) snapshot refusal is cheap, but each point still re-captures state
+/// it will never use). After this many refusals in a row the chain stops
+/// attempting warm starts; one accepted reuse resets the count.
+const WARM_REFUSAL_LIMIT: u32 = 2;
+
+/// One objective kind's tableau chain plus its refusal strike count.
+#[derive(Debug, Default)]
+struct WarmChain {
+    state: Option<McfWarmState>,
+    refusals: u32,
+}
+
+impl WarmLpStore {
+    /// The lineage's slot, created on first use.
+    fn slot(&self, lineage: &str) -> Arc<Mutex<WarmSlot>> {
+        let mut slots = self.slots.lock().expect("warm slots not poisoned");
+        Arc::clone(slots.entry(lineage.to_string()).or_default())
+    }
 }
 
 /// Runs every scenario of `set` and aggregates the records into a
@@ -54,7 +108,14 @@ pub fn run_sweep(set: &ScenarioSet, options: &EngineOptions) -> SweepReport {
 /// `dse.sweep` summary event land in `probe`. The probe observes only —
 /// the returned report is byte-identical to an unprobed run.
 pub fn run_sweep_probed(set: &ScenarioSet, options: &EngineOptions, probe: &Probe) -> SweepReport {
-    let records = run_scenarios_probed(set.scenarios(), options.threads, probe);
+    let warm = options.warm_lp.then(WarmLpStore::default);
+    let records = run_scenarios_warm(
+        set.scenarios(),
+        options.threads,
+        probe,
+        &StageCache::in_memory(),
+        warm.as_ref(),
+    );
     if probe.is_enabled() {
         let failed = records.iter().filter(|r| !r.is_ok()).count();
         let feasible = records.iter().filter(|r| r.feasible).count();
@@ -102,8 +163,21 @@ pub fn run_scenarios_cached(
     probe: &Probe,
     cache: &StageCache,
 ) -> Vec<RunRecord> {
+    run_scenarios_warm(scenarios, threads, probe, cache, None)
+}
+
+/// [`run_scenarios_cached`] with an optional warm-start store for the MCF
+/// route stage (see [`WarmLpStore`]); `None` keeps every LP solve cold.
+/// Passing a store spanning several calls chains bases across them.
+pub fn run_scenarios_warm(
+    scenarios: &[Scenario],
+    threads: usize,
+    probe: &Probe,
+    cache: &StageCache,
+    warm: Option<&WarmLpStore>,
+) -> Vec<RunRecord> {
     pool_map_probed(scenarios.len(), threads, probe, |i| {
-        run_scenario_cached(&scenarios[i], probe, cache)
+        run_scenario_warm(&scenarios[i], probe, cache, warm)
     })
 }
 
@@ -131,6 +205,13 @@ pub struct SweepConfig {
     /// count) and return with `completed = false` — the seam kill-and-
     /// resume tests and bounded-work runs use. `None` runs to the end.
     pub shard_budget: Option<usize>,
+    /// Warm-start the MCF route stage's LP across the bandwidth axis (see
+    /// [`EngineOptions::warm_lp`]); the warm store spans shards, so a
+    /// lineage's basis chain survives shard boundaries.
+    pub warm_lp: bool,
+    /// Byte budget for the stage cache's in-memory tiers (see
+    /// [`StageCache::with_mem_cap`]); `None` is unbounded.
+    pub cache_mem_cap: Option<usize>,
 }
 
 /// What a sharded sweep produced (see [`run_sweep_sharded`]).
@@ -188,7 +269,9 @@ pub fn run_sweep_sharded_with(
     let cache = match &config.cache_dir {
         Some(dir) => StageCache::with_disk(dir)?,
         None => StageCache::in_memory(),
-    };
+    }
+    .with_mem_cap(config.cache_mem_cap);
+    let warm = config.warm_lp.then(WarmLpStore::default);
     let checkpoint = match &config.checkpoint_dir {
         Some(dir) => Some(Checkpoint::open(dir, scenarios, shard_size)?),
         None => None,
@@ -212,7 +295,8 @@ pub fn run_sweep_sharded_with(
             break;
         }
         let range = plan.range(shard);
-        let shard_records = run_scenarios_cached(&scenarios[range], config.threads, probe, &cache);
+        let shard_records =
+            run_scenarios_warm(&scenarios[range], config.threads, probe, &cache, warm.as_ref());
         if let Some(cp) = &checkpoint {
             cp.store_shard(shard, &shard_records)?;
         }
@@ -224,6 +308,7 @@ pub fn run_sweep_sharded_with(
     if probe.is_enabled() {
         probe.counter("dse.shard.run").add(shards_run as u64);
         probe.counter("dse.shard.restored").add(shards_restored as u64);
+        probe.counter("dse.cache.evictions").add(cache.stats().evictions);
         probe.emit(
             "dse.sweep_sharded",
             &[
@@ -385,7 +470,20 @@ pub fn run_scenario_probed(scenario: &Scenario, probe: &Probe) -> RunRecord {
 /// per-stage `dse.cache.{map,route}_*` variants) and their overhead in
 /// the `dse.stage.cache_us` histogram.
 pub fn run_scenario_cached(scenario: &Scenario, probe: &Probe, cache: &StageCache) -> RunRecord {
-    let record = run_scenario_inner(scenario, probe, cache);
+    run_scenario_warm(scenario, probe, cache, None)
+}
+
+/// [`run_scenario_cached`] with an optional warm-start store (see
+/// [`WarmLpStore`]). LP pivot counts land in the `lp.pivots` /
+/// `lp.phase1_pivots` counters and basis reuse in `lp.warm_start.hits` /
+/// `lp.warm_start.pivots_saved`.
+pub fn run_scenario_warm(
+    scenario: &Scenario,
+    probe: &Probe,
+    cache: &StageCache,
+    warm: Option<&WarmLpStore>,
+) -> RunRecord {
+    let record = run_scenario_inner(scenario, probe, cache, warm);
     probe.histogram("dse.stage.build_us").record(record.times.build_us);
     probe.histogram("dse.stage.map_us").record(record.times.map_us);
     probe.histogram("dse.stage.route_us").record(record.times.route_us);
@@ -426,7 +524,12 @@ fn count_lookup(probe: &Probe, stage: &str, lookup: Lookup) {
     probe.counter(&format!("dse.cache.{stage}_{kind}")).add(1);
 }
 
-fn run_scenario_inner(scenario: &Scenario, probe: &Probe, cache: &StageCache) -> RunRecord {
+fn run_scenario_inner(
+    scenario: &Scenario,
+    probe: &Probe,
+    cache: &StageCache,
+    warm: Option<&WarmLpStore>,
+) -> RunRecord {
     let build_start = Instant::now();
     let (graph, topology) = scenario.parts();
     let cores = graph.core_count();
@@ -483,13 +586,20 @@ fn run_scenario_inner(scenario: &Scenario, probe: &Probe, cache: &StageCache) ->
     };
 
     let need_tables = scenario.simulate.is_some();
+    // Only the MCF regimes solve an LP, so only they get a warm slot; the
+    // slot is resolved outside the cache closure (a route-stage hit never
+    // touches the warm store).
+    let warm_slot = warm
+        .filter(|_| matches!(scenario.routing, RoutingSpec::McfQuadrant | RoutingSpec::McfAllPaths))
+        .map(|store| store.slot(&cache::warm_lineage_key(scenario, need_tables)));
     let route_lookup_start = Instant::now();
     let mut route_us = 0u64;
     let (route_result, route_lookup) =
         cache.route_stage(&cache::route_key(scenario, need_tables), || {
             let compute_start = Instant::now();
             let result =
-                route(&problem, &mapping, scenario.routing, need_tables).map_err(|e| e.to_string());
+                route(&problem, &mapping, scenario.routing, need_tables, warm_slot.as_ref(), probe)
+                    .map_err(|e| e.to_string());
             route_us = StageTimes::us(compute_start.elapsed());
             result
         });
@@ -646,6 +756,8 @@ fn route(
     mapping: &Mapping,
     routing: RoutingSpec,
     need_tables: bool,
+    warm: Option<&Arc<Mutex<WarmSlot>>>,
+    probe: &Probe,
 ) -> nmap::Result<(Option<RoutingTables>, LinkLoads)> {
     match routing {
         RoutingSpec::MinPath => {
@@ -656,8 +768,8 @@ fn route(
             let (paths, loads) = routing::route_xy(problem, mapping)?;
             Ok((need_tables.then(|| RoutingTables::from_single_paths(&paths)), loads))
         }
-        RoutingSpec::McfQuadrant => mcf_routing(problem, mapping, PathScope::Quadrant),
-        RoutingSpec::McfAllPaths => mcf_routing(problem, mapping, PathScope::AllPaths),
+        RoutingSpec::McfQuadrant => mcf_routing(problem, mapping, PathScope::Quadrant, warm, probe),
+        RoutingSpec::McfAllPaths => mcf_routing(problem, mapping, PathScope::AllPaths, warm, probe),
     }
 }
 
@@ -665,15 +777,78 @@ fn mcf_routing(
     problem: &MappingProblem,
     mapping: &Mapping,
     scope: PathScope,
+    warm: Option<&Arc<Mutex<WarmSlot>>>,
+    probe: &Probe,
 ) -> nmap::Result<(Option<RoutingTables>, LinkLoads)> {
-    match solve_mcf(problem, mapping, McfKind::FlowMin, scope) {
+    let Some(slot) = warm else {
+        return match solve_mcf(problem, mapping, McfKind::FlowMin, scope) {
+            Ok(solution) => Ok((Some(solution.tables), solution.link_loads)),
+            Err(MapError::Lp(SolveError::Infeasible)) => {
+                let solution = solve_mcf(problem, mapping, McfKind::SlackMin, scope)?;
+                Ok((Some(solution.tables), solution.link_loads))
+            }
+            Err(e) => Err(e),
+        };
+    };
+    // The lineage lock is held across the solve: one lineage's capacity
+    // points chain their bases sequentially (whichever worker claims the
+    // next point inherits the freshest basis), distinct lineages solve in
+    // parallel.
+    let mut chain = slot.lock().expect("warm slot not poisoned");
+    match solve_mcf_chained(problem, mapping, McfKind::FlowMin, scope, &mut chain.flow_min, probe) {
         Ok(solution) => Ok((Some(solution.tables), solution.link_loads)),
         Err(MapError::Lp(SolveError::Infeasible)) => {
-            let solution = solve_mcf(problem, mapping, McfKind::SlackMin, scope)?;
+            let solution = solve_mcf_chained(
+                problem,
+                mapping,
+                McfKind::SlackMin,
+                scope,
+                &mut chain.slack_min,
+                probe,
+            )?;
             Ok((Some(solution.tables), solution.link_loads))
         }
         Err(e) => Err(e),
     }
+}
+
+/// One warm-chained MCF solve: re-optimizes from the lineage's previous
+/// tableau snapshot when possible (and not struck out — see
+/// [`WARM_REFUSAL_LIMIT`]), stores the successor snapshot back into the
+/// chain, and records the LP counters (`lp.pivots`, `lp.phase1_pivots`,
+/// `lp.warm_start.{hits,pivots_saved}`). The state is moved into the
+/// solve (a warm hit carries the tableau through without copying it), so
+/// on error the chain is left empty and the next capacity point recaptures
+/// from a cold solve.
+fn solve_mcf_chained(
+    problem: &MappingProblem,
+    mapping: &Mapping,
+    kind: McfKind,
+    scope: PathScope,
+    chain: &mut WarmChain,
+    probe: &Probe,
+) -> nmap::Result<McfSolution> {
+    let commodities = problem.commodities(mapping);
+    let attempt_warm = chain.refusals < WARM_REFUSAL_LIMIT;
+    let had_state = chain.state.is_some();
+    let previous = if attempt_warm { chain.state.take() } else { None };
+    let (solution, next, stats) =
+        solve_mcf_warm(problem.topology(), &commodities, kind, scope, previous)?;
+    if stats.warm_hit {
+        chain.refusals = 0;
+    } else if attempt_warm && had_state {
+        chain.refusals += 1;
+    }
+    chain.state = Some(next);
+    if probe.is_enabled() {
+        probe.counter("lp.pivots").add(stats.pivots as u64);
+        probe.counter("lp.phase1_pivots").add(stats.phase1_pivots as u64);
+        if stats.warm_hit {
+            probe.counter("lp.warm_start.hits").add(1);
+            probe.counter("lp.warm_start.pivots_saved").add(stats.pivots_saved as u64);
+        }
+    }
+    Ok(solution)
 }
 
 #[cfg(test)]

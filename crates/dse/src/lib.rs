@@ -35,7 +35,15 @@
 //!   persisted across runs), shards checkpoint to disk as they complete,
 //!   and an interrupted sweep resumes by replaying finished shards —
 //!   all without breaking the byte-identical-output contract (see
-//!   `DESIGN.md` §18).
+//!   `DESIGN.md` §18). The in-memory tier takes an optional byte budget
+//!   (`--cache-mem-cap`) with LRU eviction.
+//! * [`WarmLpStore`] / [`run_scenarios_warm`] — dual-simplex warm starts
+//!   for MCF routing: scenarios that differ only in link capacity chain
+//!   their route-stage LP tableaux (`--warm-lp`), so each later
+//!   bandwidth point re-solves from its predecessor's snapshot in a few
+//!   dual pivots instead of a full two-phase solve. A uniqueness guard
+//!   keeps warm records byte-identical to cold ones (see `DESIGN.md`
+//!   §19).
 //!
 //! # Example
 //!
@@ -69,9 +77,10 @@ pub mod spec;
 pub use cache::{CacheStats, Lookup, StageCache};
 pub use engine::{
     flows_from_tables, pool_map, pool_map_probed, run_scenario, run_scenario_cached,
-    run_scenario_probed, run_scenarios, run_scenarios_cached, run_scenarios_probed, run_sweep,
-    run_sweep_probed, run_sweep_sharded, run_sweep_sharded_with, EngineOptions, ShardedOutcome,
-    SweepConfig, DEFAULT_SHARD_SIZE,
+    run_scenario_probed, run_scenario_warm, run_scenarios, run_scenarios_cached,
+    run_scenarios_probed, run_scenarios_warm, run_sweep, run_sweep_probed, run_sweep_sharded,
+    run_sweep_sharded_with, EngineOptions, ShardedOutcome, SweepConfig, WarmLpStore,
+    DEFAULT_SHARD_SIZE,
 };
 pub use noc_sim::LoopKind;
 pub use report::{parse_record_json, RunRecord, SimStats, StageTimes, SweepReport, SweepSummary};

@@ -399,6 +399,13 @@ impl ScenarioSet {
         ScenarioSetBuilder::default()
     }
 
+    /// Wraps an explicit scenario list — the seam for hand-built sweeps
+    /// (axes the builder cannot express, e.g. a routing-only capacity
+    /// sweep) and test harnesses. The list order is the sweep order.
+    pub fn from_scenarios(scenarios: Vec<Scenario>) -> Self {
+        Self { scenarios }
+    }
+
     /// The scenarios, in sweep order.
     pub fn scenarios(&self) -> &[Scenario] {
         &self.scenarios

@@ -74,6 +74,7 @@ fn interrupted_sweep_resumes_byte_identically() {
             checkpoint_dir: Some(scratch.path()),
             cache_dir: None,
             shard_budget: Some(3),
+            ..Default::default()
         };
 
         // "Kill" the sweep after 3 of 7 shards.
@@ -118,6 +119,7 @@ fn straight_through_sharded_sweep_matches_plain_engine() {
         checkpoint_dir: Some(scratch.path()),
         cache_dir: Some(scratch.path().join("cache")),
         shard_budget: None,
+        ..Default::default()
     };
     let outcome = run_sweep_sharded(&set, &config, &Probe::disabled()).unwrap();
     assert!(outcome.completed);
@@ -149,6 +151,7 @@ fn warm_disk_cache_reruns_are_byte_identical_and_skip_map_work() {
         checkpoint_dir: None, // no checkpoint: the cache alone must carry the reuse
         cache_dir: Some(scratch.path()),
         shard_budget: None,
+        ..Default::default()
     };
     let cold = run_sweep_sharded(&set, &base, &Probe::disabled()).unwrap();
     assert_eq!(cold.report.write_jsonl(false), oracle);
@@ -174,6 +177,7 @@ fn streaming_sink_sees_every_shard_in_order() {
         checkpoint_dir: Some(scratch.path()),
         cache_dir: None,
         shard_budget: Some(4),
+        ..Default::default()
     };
     // Interrupt at 4 shards, then resume while streaming: the sink must
     // see all 7 shards (4 restored + 3 executed) in order, and the

@@ -60,7 +60,7 @@ fn strip_times(mut report: SweepReport) -> SweepReport {
 
 fn assert_outputs_identical(set: &ScenarioSet, label: &str) {
     for threads in [1usize, 2, 8] {
-        let options = EngineOptions { threads };
+        let options = EngineOptions { threads, ..Default::default() };
         let unprobed = strip_times(run_sweep(set, &options));
         let live_probe = Probe::new();
         let live = strip_times(run_sweep_probed(set, &options, &live_probe));

@@ -10,11 +10,26 @@
 //!   objective coefficients) and constraints (`≤`, `=`, `≥`).
 //! * Call [`LinearProgram::solve`] to obtain a [`Solution`] or a
 //!   [`SolveError`] describing infeasibility/unboundedness.
+//! * For a family of programs that differ only in constraint right-hand
+//!   sides (e.g. a bandwidth sweep), call
+//!   [`LinearProgram::solve_with_basis`] once and
+//!   [`LinearProgram::resolve_with_basis`] afterwards: the dual simplex
+//!   re-optimizes from the previous optimal [`Basis`] in a few pivots.
+//!   [`LinearProgram::solve_with_snapshot`] /
+//!   [`LinearProgram::resolve_with_snapshot`] trade memory for speed:
+//!   the captured [`TableauSnapshot`] keeps the whole eliminated tableau,
+//!   so the restart skips the refactorization a basis restart pays.
+//!
+//! Pivot updates are column-sparse by default ([`PivotMode::Sparse`]):
+//! eliminations skip entries whose multiplier is exactly zero, which on
+//! MCF tableaux (over 90% zeros) removes most of the arithmetic while
+//! leaving the executed operations — and therefore every result bit —
+//! identical to the dense oracle ([`PivotMode::Dense`]).
 //!
 //! Determinism: pivot selection uses Dantzig's rule with index tie-breaks
 //! and falls back to Bland's rule when stalling is detected, so the solver
 //! terminates on degenerate problems and always returns the same answer for
-//! the same model.
+//! the same model. [`SolveStats`] reports pivot counts for instrumentation.
 //!
 //! # Example
 //!
@@ -40,7 +55,9 @@
 
 mod export;
 mod problem;
+mod revised;
 mod simplex;
 
 pub use problem::{Constraint, ConstraintSense, LinearProgram, Sense, Solution, VarId};
-pub use simplex::{SimplexOptions, SolveError};
+pub use revised::{Basis, TableauSnapshot};
+pub use simplex::{PivotMode, SimplexOptions, SolveError, SolveStats};

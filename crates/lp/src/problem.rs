@@ -1,9 +1,17 @@
 //! Model-building API: variables, constraints, objective sense.
+//
+// lint: allow-file(f64-api) — the solver is a raw-numeric seam by
+// design: costs, coefficients and right-hand sides are dimensionless
+// reals whose units live with the caller (nmap wraps them in typed
+// quantities at the MCF layer).
 
 use std::fmt;
 use std::ops::Index;
 
-use crate::simplex::{solve_standard_form, SimplexOptions, SolveError};
+use crate::revised::{resolve_from_snapshot, resolve_standard_form, Basis, TableauSnapshot};
+use crate::simplex::{
+    solve_standard_form_full, solve_standard_form_snapshot, SimplexOptions, SolveError, SolveStats,
+};
 
 /// Identifier of a decision variable within one [`LinearProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -180,22 +188,125 @@ impl LinearProgram {
     /// * [`SolveError::Unbounded`] — the objective decreases without bound.
     /// * [`SolveError::IterationLimit`] — the pivot budget was exhausted
     ///   (raise it via [`SimplexOptions`]).
+    /// * [`SolveError::InvalidOptions`] — a [`SimplexOptions`] field is out
+    ///   of range.
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        let negate = self.sense == Sense::Maximize;
-        let costs: Vec<f64> =
-            if negate { self.costs.iter().map(|c| -c).collect() } else { self.costs.clone() };
-        let mut values = solve_standard_form(&costs, &self.constraints, self.options)?;
+        self.solve_with_basis().map(|(solution, _, _)| solution)
+    }
+
+    /// Like [`LinearProgram::solve`], additionally returning the optimal
+    /// [`Basis`] (for warm-starting a related program via
+    /// [`LinearProgram::resolve_with_basis`]) and the [`SolveStats`] pivot
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearProgram::solve`].
+    pub fn solve_with_basis(&self) -> Result<(Solution, Basis, SolveStats), SolveError> {
+        let costs = self.minimization_costs();
+        let full = solve_standard_form_full(&costs, &self.constraints, self.options)?;
+        Ok((self.finish(full.values), full.basis, full.stats))
+    }
+
+    /// Re-optimizes from `previous`, the optimal basis of a structurally
+    /// identical program whose constraint right-hand sides may have
+    /// changed, using the dual simplex method. On a bandwidth sweep this
+    /// replaces a full two-phase solve with a few dual pivots.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::BasisMismatch`] — `previous` does not fit this
+    ///   program (different shape/senses, an RHS sign flip that changes
+    ///   the slack layout, or a singular refactorization). Fall back to a
+    ///   cold [`LinearProgram::solve`].
+    /// * Otherwise as [`LinearProgram::solve`].
+    pub fn resolve_with_basis(
+        &self,
+        previous: &Basis,
+    ) -> Result<(Solution, Basis, SolveStats), SolveError> {
+        let costs = self.minimization_costs();
+        let (values, basis, stats) =
+            resolve_standard_form(&costs, &self.constraints, self.options, previous)?;
+        Ok((self.finish(values), basis, stats))
+    }
+
+    /// Like [`LinearProgram::solve_with_basis`], but capturing the final
+    /// simplex tableau as a [`TableauSnapshot`] instead of just the basic
+    /// column set. Re-optimizing from a snapshot
+    /// ([`LinearProgram::resolve_with_snapshot`]) skips the per-row
+    /// Gauss-Jordan refactorization a [`Basis`] restart pays, rebuilding
+    /// the RHS column from the stored basis inverse in `O(m²)`.
+    ///
+    /// The solution and pivot sequence are identical to
+    /// [`LinearProgram::solve`]; the capture only keeps tableau columns
+    /// alive that the plain solve is free to stop maintaining.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearProgram::solve`].
+    pub fn solve_with_snapshot(
+        &self,
+    ) -> Result<(Solution, TableauSnapshot, SolveStats), SolveError> {
+        let costs = self.minimization_costs();
+        let (full, snapshot) =
+            solve_standard_form_snapshot(&costs, &self.constraints, self.options)?;
+        Ok((self.finish(full.values), snapshot, full.stats))
+    }
+
+    /// Re-optimizes from `previous`, a [`TableauSnapshot`] of a
+    /// structurally identical program whose constraint right-hand sides
+    /// may have changed. Like [`LinearProgram::resolve_with_basis`] this
+    /// runs the dual simplex, but it starts from the stored eliminated
+    /// tableau: the refactorization — the dominant cost of a basis warm
+    /// start on large programs — is replaced by one dot product per row
+    /// against the snapshot's basis-inverse columns.
+    ///
+    /// The snapshot is consumed: its tableau is moved through the solve
+    /// and returned as the successor snapshot, so a sweep carries one
+    /// tableau along the whole capacity axis without copying it. Clone
+    /// the snapshot first if a restart point must be retained.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::BasisMismatch`] — `previous` does not fit this
+    ///   program (different shape/senses/objective coefficients, an RHS
+    ///   sign flip, or a snapshot captured at a non-unique optimum, which
+    ///   is refused in O(1)). Fall back to a cold
+    ///   [`LinearProgram::solve_with_snapshot`].
+    /// * Otherwise as [`LinearProgram::solve`].
+    pub fn resolve_with_snapshot(
+        &self,
+        previous: TableauSnapshot,
+    ) -> Result<(Solution, TableauSnapshot, SolveStats), SolveError> {
+        let costs = self.minimization_costs();
+        let (values, snapshot, stats) =
+            resolve_from_snapshot(&costs, &self.constraints, self.options, previous)?;
+        Ok((self.finish(values), snapshot, stats))
+    }
+
+    /// Objective coefficients in the solver's native minimization sense.
+    fn minimization_costs(&self) -> Vec<f64> {
+        if self.sense == Sense::Maximize {
+            self.costs.iter().map(|c| -c).collect()
+        } else {
+            self.costs.clone()
+        }
+    }
+
+    /// Builds a [`Solution`] from raw structural values: computes the
+    /// objective in the original sense and snaps tiny negatives introduced
+    /// by elimination to zero.
+    fn finish(&self, mut values: Vec<f64>) -> Solution {
         let mut objective = 0.0;
         for (value, cost) in values.iter().zip(&self.costs) {
             objective += value * cost;
         }
-        // Snap tiny negatives introduced by elimination to zero.
         for v in &mut values {
             if *v < 0.0 && *v > -1e-9 {
                 *v = 0.0;
             }
         }
-        Ok(Solution { objective, values })
+        Solution { objective, values }
     }
 }
 

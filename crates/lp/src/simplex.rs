@@ -1,30 +1,89 @@
 //! Two-phase primal simplex over a dense tableau.
+//
+// lint: allow-file(f64-api) — solver options and statistics expose raw
+// tolerances and objective reals; the unit-bearing wrappers live with
+// the MCF callers in `nmap`.
 //!
 //! Phase 1 minimizes the sum of artificial variables to find a basic
 //! feasible solution (or prove infeasibility); phase 2 optimizes the real
 //! objective. Entering variables follow Dantzig's rule until the objective
 //! stalls, then Bland's rule, which guarantees termination on degenerate
 //! problems.
+//!
+//! Pivot updates run in one of two modes ([`PivotMode`]): the default
+//! **sparse** mode skips row/column entries whose multiplier is exactly
+//! `0.0`, while the **dense** mode performs every multiply-subtract. The
+//! arithmetic the sparse mode does execute is identical in order and
+//! operands to the dense mode, so the two produce the same pivot sequence
+//! and bit-identical solutions; dense mode is retained as the differential
+//! oracle for tests. (The only representational difference skipping can
+//! introduce is the sign of an exact zero, which no comparison in the
+//! solver distinguishes and which is normalized out of returned values.)
 
 use std::error::Error;
 use std::fmt;
 
 use crate::problem::{Constraint, ConstraintSense};
+use crate::revised::{Basis, RowLayout, TableauSnapshot};
+
+/// How pivot eliminations traverse the tableau.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PivotMode {
+    /// Skip entries whose multiplier is exactly `0.0` (the fast default).
+    #[default]
+    Sparse,
+    /// Touch every entry; the differential oracle for the sparse mode.
+    Dense,
+}
 
 /// Tunable solver parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimplexOptions {
-    /// Feasibility/optimality tolerance.
+    /// Feasibility/optimality tolerance. Must be positive and finite.
     pub tolerance: f64,
-    /// Hard cap on pivots across both phases.
+    /// Hard cap on pivots across both phases. Must be positive.
     pub max_iterations: usize,
     /// Number of non-improving pivots before switching to Bland's rule.
+    /// Must be positive.
     pub stall_threshold: usize,
+    /// Pivot elimination strategy (sparse by default).
+    pub pivot_mode: PivotMode,
+    /// Record the `(row, column)` pivot sequence in [`SolveStats::trace`].
+    /// Off by default; used by differential tests.
+    pub record_trace: bool,
 }
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-9, max_iterations: 200_000, stall_threshold: 256 }
+        Self {
+            tolerance: 1e-9,
+            max_iterations: 200_000,
+            stall_threshold: 256,
+            pivot_mode: PivotMode::Sparse,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimplexOptions {
+    /// Checks that every field is usable before a solve starts.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::InvalidOptions`] naming the offending field when
+    /// `tolerance` is not a positive finite number or either iteration
+    /// bound is zero.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        if self.tolerance <= 0.0 || !self.tolerance.is_finite() {
+            return Err(SolveError::InvalidOptions("tolerance"));
+        }
+        if self.max_iterations == 0 {
+            return Err(SolveError::InvalidOptions("max_iterations"));
+        }
+        if self.stall_threshold == 0 {
+            return Err(SolveError::InvalidOptions("stall_threshold"));
+        }
+        Ok(())
     }
 }
 
@@ -37,6 +96,12 @@ pub enum SolveError {
     Unbounded,
     /// The pivot budget was exhausted before reaching an optimum.
     IterationLimit,
+    /// A [`SimplexOptions`] field is out of range; the payload names it.
+    InvalidOptions(&'static str),
+    /// A warm-start basis does not fit this program (shape, sense, or
+    /// RHS-sign change, or the recorded basis is singular here). Callers
+    /// should fall back to a cold [`crate::LinearProgram::solve`].
+    BasisMismatch,
 }
 
 impl fmt::Display for SolveError {
@@ -45,51 +110,201 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "linear program is infeasible"),
             SolveError::Unbounded => write!(f, "linear program is unbounded"),
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::InvalidOptions(field) => {
+                write!(f, "invalid solver options: {field} must be positive and finite")
+            }
+            SolveError::BasisMismatch => {
+                write!(f, "warm-start basis does not match this program")
+            }
         }
     }
 }
 
 impl Error for SolveError {}
 
+/// Pivot counters from one solve, for instrumentation and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex pivots performed (both phases for a cold solve; dual plus
+    /// cleanup pivots for a warm solve).
+    pub pivots: usize,
+    /// Pivots spent in phase 1, including driving artificials out
+    /// (always zero for a warm solve, which has no phase 1).
+    pub phase1_pivots: usize,
+    /// Gauss-Jordan pivots spent refactorizing a warm-start basis
+    /// (always zero for a cold solve).
+    pub refactor_pivots: usize,
+    /// True when the solve was warm-started from a previous basis.
+    pub warm_start: bool,
+    /// `(row, column)` of every pivot, recorded only when
+    /// [`SimplexOptions::record_trace`] is set.
+    pub trace: Vec<(usize, usize)>,
+}
+
+/// Longest run of zeros a sparse pivot folds into a contiguous elimination
+/// segment rather than starting a new one. Merged zeros cost one redundant
+/// `x -= factor * 0.0` each (what the dense oracle computes anyway), while
+/// every segment break costs a bounds check and breaks vectorization, so
+/// short gaps are cheaper to step over than to split on.
+const SEGMENT_GAP: usize = 2;
+
+/// Tableau width below which sparse mode runs the plain dense sweep
+/// instead of building segments: a narrow tableau stays cache-resident,
+/// where the branch-free vectorized sweep wins outright.
+const SEGMENT_MIN_COLS: usize = 1024;
+
 /// Dense simplex tableau. Rows `0..m` are constraints; the last row is the
 /// objective. Column layout: structural variables, then slacks/surpluses,
 /// then artificials, then the RHS.
-struct Tableau {
-    rows: usize,
-    cols: usize, // including rhs column
-    data: Vec<f64>,
-    basis: Vec<usize>,
-    artificial_start: usize,
-    options: SimplexOptions,
+pub(crate) struct Tableau {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize, // including rhs column
+    pub(crate) data: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
+    /// Original constraint index behind each surviving row.
+    pub(crate) origin: Vec<usize>,
+    pub(crate) artificial_start: usize,
+    pub(crate) options: SimplexOptions,
+    pub(crate) stats: SolveStats,
+    /// Reusable `(start, len)` segment list of the scaled pivot row for
+    /// [`PivotMode::Sparse`]; kept on the tableau so repeated pivots reuse
+    /// one allocation.
+    pub(crate) scratch_segments: Vec<(usize, usize)>,
+    /// Reusable concatenated segment values matching `scratch_segments`.
+    pub(crate) scratch_values: Vec<f64>,
+    /// When set, sparse pivots stop updating the artificial column block
+    /// `artificial_start..cols-1`. Phase 2 never reads those columns
+    /// (artificials may not re-enter, so neither the entering scan nor the
+    /// ratio test touches them, and extraction only reads structural
+    /// columns and the RHS), so the stale values are unobservable.
+    pub(crate) freeze_artificials: bool,
 }
 
 impl Tableau {
     #[inline]
-    fn at(&self, r: usize, c: usize) -> f64 {
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
         self.data[r * self.cols + c]
     }
 
     #[inline]
-    fn set(&mut self, r: usize, c: usize, v: f64) {
+    pub(crate) fn set(&mut self, r: usize, c: usize, v: f64) {
         self.data[r * self.cols + c] = v;
     }
 
     #[inline]
-    fn rhs_col(&self) -> usize {
+    pub(crate) fn rhs_col(&self) -> usize {
         self.cols - 1
     }
 
-    fn obj_row(&self) -> usize {
+    pub(crate) fn obj_row(&self) -> usize {
         self.rows - 1
     }
 
     /// Gauss-Jordan pivot on (`pivot_row`, `pivot_col`).
-    fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
+    pub(crate) fn pivot(&mut self, pivot_row: usize, pivot_col: usize) {
         let cols = self.cols;
         let start = pivot_row * cols;
         let pivot_value = self.data[start + pivot_col];
         debug_assert!(pivot_value.abs() > 0.0, "zero pivot");
         let inv = 1.0 / pivot_value;
+        match self.options.pivot_mode {
+            PivotMode::Dense => self.dense_pivot(pivot_row, pivot_col, inv),
+            PivotMode::Sparse if cols < SEGMENT_MIN_COLS => {
+                // Small tableaux live in cache, where the fully vectorized
+                // dense sweep beats segment bookkeeping; it computes the
+                // same observable cells (see the segment-merge note below),
+                // so the pivot trace and solution are unchanged.
+                self.dense_pivot(pivot_row, pivot_col, inv);
+            }
+            PivotMode::Sparse => {
+                // Scale the pivot row and gather its nonzeros into
+                // contiguous segments in one pass; eliminations then run a
+                // vectorized slice update per segment instead of touching
+                // every column. Nonzeros separated by at most `SEGMENT_GAP`
+                // zeros merge into one segment: the extra `x -= factor*0.0`
+                // terms a merged gap adds are exactly what the dense oracle
+                // computes anyway — they can only flip the sign of an exact
+                // zero, which no comparison in the solver distinguishes and
+                // which extraction normalizes away — so the pivot trace and
+                // solution stay bit-identical while long runs amortize the
+                // per-segment bounds check and autovectorize.
+                //
+                // With `freeze_artificials` set, the artificial block is
+                // neither scaled nor eliminated — phase 2 never reads it.
+                let mut segments = std::mem::take(&mut self.scratch_segments);
+                let mut values = std::mem::take(&mut self.scratch_values);
+                segments.clear();
+                values.clear();
+                let scan_end =
+                    if self.freeze_artificials { self.artificial_start } else { cols - 1 };
+                for c in (0..scan_end).chain(cols - 1..cols) {
+                    let v = self.data[start + c];
+                    if v != 0.0 {
+                        // Snap the pivot entry exactly to 1 to limit drift.
+                        let scaled = if c == pivot_col { 1.0 } else { v * inv };
+                        self.data[start + c] = scaled;
+                        match segments.last_mut() {
+                            Some((s, len)) if c - (*s + *len) <= SEGMENT_GAP => {
+                                // Merge: carry the gap's zeros into the
+                                // segment so it stays contiguous.
+                                values.resize(values.len() + (c - (*s + *len)), 0.0);
+                                *len = c - *s + 1;
+                            }
+                            _ => segments.push((c, 1)),
+                        }
+                        values.push(scaled);
+                    }
+                }
+                for r in 0..self.rows {
+                    if r == pivot_row {
+                        continue;
+                    }
+                    let factor = self.data[r * cols + pivot_col];
+                    if factor == 0.0 {
+                        continue;
+                    }
+                    let row = &mut self.data[r * cols..(r + 1) * cols];
+                    let mut offset = 0usize;
+                    for &(s, len) in &segments {
+                        let source = &values[offset..offset + len];
+                        for (value, &p) in row[s..s + len].iter_mut().zip(source) {
+                            *value -= factor * p;
+                        }
+                        offset += len;
+                    }
+                    row[pivot_col] = 0.0;
+                }
+                self.scratch_segments = segments;
+                self.scratch_values = values;
+            }
+        }
+        self.basis[pivot_row] = pivot_col;
+        self.stats.pivots += 1;
+        if self.options.record_trace {
+            self.stats.trace.push((pivot_row, pivot_col));
+        }
+    }
+
+    /// True when the optimum the tableau currently expresses is provably
+    /// unique: every nonbasic non-artificial column has a strictly
+    /// positive reduced cost. A zero reduced cost means the optimal face
+    /// has dimension > 0 and another vertex attains the same objective.
+    pub(crate) fn optimum_is_unique(&self, tol: f64) -> bool {
+        let obj = self.obj_row();
+        let mut in_basis = vec![false; self.artificial_start];
+        for &b in &self.basis[..self.rows - 1] {
+            if b < self.artificial_start {
+                in_basis[b] = true;
+            }
+        }
+        (0..self.artificial_start).all(|c| in_basis[c] || self.at(obj, c) > tol)
+    }
+
+    /// Full-width Gauss-Jordan elimination: scale the pivot row by `inv`,
+    /// then sweep every other row with a nonzero pivot-column entry.
+    fn dense_pivot(&mut self, pivot_row: usize, pivot_col: usize, inv: f64) {
+        let cols = self.cols;
+        let start = pivot_row * cols;
         for c in 0..cols {
             self.data[start + c] *= inv;
         }
@@ -111,11 +326,44 @@ impl Tableau {
             }
             row[pivot_col] = 0.0;
         }
-        self.basis[pivot_row] = pivot_col;
+    }
+
+    /// Installs the phase-2 objective: zeroes the objective row, writes the
+    /// structural costs, and eliminates the reduced costs of every basic
+    /// variable so the row is expressed over the current basis.
+    pub(crate) fn install_objective(&mut self, costs: &[f64]) {
+        let obj = self.obj_row();
+        let cols = self.cols;
+        let n = costs.len();
+        for c in 0..cols {
+            self.set(obj, c, 0.0);
+        }
+        for (v, &cost) in costs.iter().enumerate() {
+            self.set(obj, v, cost);
+        }
+        let sparse = self.options.pivot_mode == PivotMode::Sparse;
+        for r in 0..self.rows - 1 {
+            let b = self.basis[r];
+            let cost = if b < n { costs[b] } else { 0.0 };
+            if cost != 0.0 {
+                let row: Vec<f64> = self.data[r * cols..(r + 1) * cols].to_vec();
+                let orow = &mut self.data[obj * cols..(obj + 1) * cols];
+                for (o, &v) in orow.iter_mut().zip(&row) {
+                    if sparse && v == 0.0 {
+                        continue;
+                    }
+                    *o -= cost * v;
+                }
+            }
+        }
     }
 
     /// Runs simplex until optimality over columns `< allowed_cols`.
-    fn optimize(&mut self, allowed_cols: usize, iterations: &mut usize) -> Result<(), SolveError> {
+    pub(crate) fn optimize(
+        &mut self,
+        allowed_cols: usize,
+        iterations: &mut usize,
+    ) -> Result<(), SolveError> {
         let tol = self.options.tolerance;
         let mut stall = 0usize;
         let mut last_objective = self.at(self.obj_row(), self.rhs_col());
@@ -180,13 +428,45 @@ impl Tableau {
     }
 }
 
-/// Solves `min c·x` subject to `constraints` and `x ≥ 0`.
-/// Returns the optimal values of the structural variables.
-pub(crate) fn solve_standard_form(
+/// Result of [`solve_standard_form_full`]: structural values plus the
+/// optimal basis and pivot counters.
+pub(crate) struct FullSolution {
+    pub(crate) values: Vec<f64>,
+    pub(crate) basis: Basis,
+    pub(crate) stats: SolveStats,
+}
+
+/// Solves `min c·x` subject to `constraints` and `x ≥ 0`, returning the
+/// structural values together with the optimal basis and solve statistics.
+pub(crate) fn solve_standard_form_full(
     costs: &[f64],
     constraints: &[Constraint],
     options: SimplexOptions,
-) -> Result<Vec<f64>, SolveError> {
+) -> Result<FullSolution, SolveError> {
+    solve_standard_form_inner(costs, constraints, options, false).map(|(full, _)| full)
+}
+
+/// [`solve_standard_form_full`] that additionally captures the final
+/// tableau as a [`TableauSnapshot`] for RHS-only warm restarts. Capturing
+/// keeps the artificial columns live through phase 2 (they hold the basis
+/// inverse the snapshot needs), which every pivot mode computes the same
+/// observable cells for, so the solution and pivot trace are unchanged.
+pub(crate) fn solve_standard_form_snapshot(
+    costs: &[f64],
+    constraints: &[Constraint],
+    options: SimplexOptions,
+) -> Result<(FullSolution, TableauSnapshot), SolveError> {
+    solve_standard_form_inner(costs, constraints, options, true)
+        .map(|(full, snapshot)| (full, snapshot.expect("capture was requested")))
+}
+
+fn solve_standard_form_inner(
+    costs: &[f64],
+    constraints: &[Constraint],
+    options: SimplexOptions,
+    capture: bool,
+) -> Result<(FullSolution, Option<TableauSnapshot>), SolveError> {
+    options.validate()?;
     let n = costs.len();
     let m = constraints.len();
     let tol = options.tolerance;
@@ -217,11 +497,17 @@ pub(crate) fn solve_standard_form(
         cols,
         data: vec![0.0; rows * cols],
         basis: vec![usize::MAX; m],
+        origin: (0..m).collect(),
         artificial_start,
         options,
+        stats: SolveStats::default(),
+        scratch_segments: Vec::new(),
+        scratch_values: Vec::new(),
+        freeze_artificials: false,
     };
 
-    // Fill constraint rows.
+    // Fill constraint rows, recording the per-row layout for warm restarts.
+    let mut layout: Vec<RowLayout> = Vec::with_capacity(m);
     let mut next_slack = slack_start;
     let mut next_artificial = artificial_start;
     for (r, c) in constraints.iter().enumerate() {
@@ -232,14 +518,17 @@ pub(crate) fn solve_standard_form(
             t.data[cell] += sign * coeff; // accumulate duplicate terms
         }
         t.set(r, t.rhs_col(), sign * c.rhs);
+        let mut slack = usize::MAX;
         match effective_sense(c.sense, flip) {
             ConstraintSense::Le => {
                 t.set(r, next_slack, 1.0);
                 t.basis[r] = next_slack;
+                slack = next_slack;
                 next_slack += 1;
             }
             ConstraintSense::Ge => {
                 t.set(r, next_slack, -1.0);
+                slack = next_slack;
                 next_slack += 1;
                 t.set(r, next_artificial, 1.0);
                 t.basis[r] = next_artificial;
@@ -251,6 +540,7 @@ pub(crate) fn solve_standard_form(
                 next_artificial += 1;
             }
         }
+        layout.push(RowLayout { sense: c.sense, flipped: flip, slack });
     }
 
     let mut iterations = 0usize;
@@ -262,11 +552,15 @@ pub(crate) fn solve_standard_form(
             t.set(obj, a, 1.0);
         }
         // Zero out reduced costs of the basic artificials.
+        let sparse = t.options.pivot_mode == PivotMode::Sparse;
         for r in 0..m {
             if t.basis[r] >= artificial_start {
                 let row: Vec<f64> = t.data[r * cols..(r + 1) * cols].to_vec();
                 let orow = &mut t.data[obj * cols..(obj + 1) * cols];
-                for (o, v) in orow.iter_mut().zip(&row) {
+                for (o, &v) in orow.iter_mut().zip(&row) {
+                    if sparse && v == 0.0 {
+                        continue;
+                    }
                     *o -= v;
                 }
             }
@@ -300,47 +594,60 @@ pub(crate) fn solve_standard_form(
             r += 1;
         }
     }
+    t.stats.phase1_pivots = t.stats.pivots;
 
     // ---- Phase 2: original objective ----
-    {
-        let obj = t.obj_row();
-        let rhs = t.rhs_col();
-        for c in 0..cols {
-            t.set(obj, c, 0.0);
-        }
-        for (v, &cost) in costs.iter().enumerate() {
-            t.set(obj, v, cost);
-        }
-        t.set(obj, rhs, 0.0);
-        // Make reduced costs of basic variables zero.
-        for r in 0..t.rows - 1 {
-            let b = t.basis[r];
-            let cost = if b < n { costs[b] } else { 0.0 };
-            if cost != 0.0 {
-                let row: Vec<f64> = t.data[r * cols..(r + 1) * cols].to_vec();
-                let orow = &mut t.data[obj * cols..(obj + 1) * cols];
-                for (o, v) in orow.iter_mut().zip(&row) {
-                    *o -= cost * v;
-                }
-            }
-        }
-        // Artificials may not re-enter.
-        t.optimize(t.artificial_start, &mut iterations)?;
-    }
+    // Artificial columns are dead from here on (they may not re-enter and
+    // nothing below reads them), so sparse pivots stop maintaining them —
+    // unless a snapshot capture was requested: the artificial (and slack)
+    // columns of the final tableau are the rows of the basis inverse the
+    // snapshot's RHS recompute reads.
+    t.freeze_artificials = !capture && t.options.pivot_mode == PivotMode::Sparse;
+    t.install_objective(costs);
+    // Artificials may not re-enter.
+    t.optimize(t.artificial_start, &mut iterations)?;
 
-    // Extract structural solution.
+    // Extract structural solution, normalizing negative zeros so sparse and
+    // dense pivot modes return bit-identical values.
     let mut values = vec![0.0; n];
     let rhs = t.rhs_col();
     for r in 0..t.rows - 1 {
         let b = t.basis[r];
         if b < n {
-            values[b] = t.at(r, rhs);
+            let v = t.at(r, rhs);
+            values[b] = if v == 0.0 { 0.0 } else { v };
         }
     }
-    Ok(values)
+    let unique = t.optimum_is_unique(tol);
+    let snapshot = capture.then(|| TableauSnapshot {
+        // A non-unique optimum is refused by the warm path in O(1), so
+        // storing its tableau would only hold memory; keep the fingerprint
+        // and drop the data.
+        data: if unique { t.data.clone() } else { Vec::new() },
+        rows: t.rows,
+        cols: t.cols,
+        basis_cols: t.basis.clone(),
+        kept_rows: t.origin.clone(),
+        variables: n,
+        slack_count,
+        artificial_start,
+        layout: layout.clone(),
+        costs: costs.to_vec(),
+        unique,
+    });
+    let basis = Basis {
+        columns: t.basis.clone(),
+        kept_rows: t.origin.clone(),
+        variables: n,
+        slack_count,
+        layout,
+        unique,
+    };
+    let stats = std::mem::take(&mut t.stats);
+    Ok((FullSolution { values, basis, stats }, snapshot))
 }
 
-fn effective_sense(sense: ConstraintSense, flipped: bool) -> ConstraintSense {
+pub(crate) fn effective_sense(sense: ConstraintSense, flipped: bool) -> ConstraintSense {
     if !flipped {
         return sense;
     }
@@ -357,6 +664,7 @@ fn remove_row(t: &mut Tableau, r: usize) {
     let start = r * cols;
     t.data.drain(start..start + cols);
     t.basis.remove(r);
+    t.origin.remove(r);
     t.rows -= 1;
 }
 
@@ -546,5 +854,80 @@ mod tests {
         let sol = lp.solve().unwrap();
         assert!((sol[x] - 3.0).abs() < EPS);
         assert!((sol[y] - 5.0).abs() < EPS);
+    }
+
+    fn mixed_example() -> LinearProgram {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        let y = lp.add_variable("y", 1.0);
+        let z = lp.add_variable("z", 1.0);
+        lp.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        lp.add_eq(&[(y, 1.0), (z, 1.0)], 6.0);
+        lp.add_le(&[(x, 1.0)], 3.0);
+        lp
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree_bit_for_bit() {
+        let mut sparse = mixed_example();
+        sparse.set_options(SimplexOptions {
+            pivot_mode: PivotMode::Sparse,
+            record_trace: true,
+            ..Default::default()
+        });
+        let mut dense = mixed_example();
+        dense.set_options(SimplexOptions {
+            pivot_mode: PivotMode::Dense,
+            record_trace: true,
+            ..Default::default()
+        });
+        let (s_sol, s_basis, s_stats) = sparse.solve_with_basis().unwrap();
+        let (d_sol, d_basis, d_stats) = dense.solve_with_basis().unwrap();
+        assert_eq!(s_stats.trace, d_stats.trace, "pivot sequences differ");
+        assert_eq!(s_basis, d_basis);
+        assert_eq!(s_sol.objective.to_bits(), d_sol.objective.to_bits());
+        let s_bits: Vec<u64> = s_sol.values.iter().map(|v| v.to_bits()).collect();
+        let d_bits: Vec<u64> = d_sol.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(s_bits, d_bits);
+    }
+
+    #[test]
+    fn invalid_tolerance_is_rejected() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        lp.add_ge(&[(x, 1.0)], 1.0);
+        for bad in [0.0, -1e-9, f64::NAN, f64::INFINITY] {
+            lp.set_options(SimplexOptions { tolerance: bad, ..Default::default() });
+            assert_eq!(lp.solve().unwrap_err(), SolveError::InvalidOptions("tolerance"));
+        }
+    }
+
+    #[test]
+    fn zero_iteration_budgets_are_rejected() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable("x", 1.0);
+        lp.add_ge(&[(x, 1.0)], 1.0);
+        lp.set_options(SimplexOptions { max_iterations: 0, ..Default::default() });
+        assert_eq!(lp.solve().unwrap_err(), SolveError::InvalidOptions("max_iterations"));
+        lp.set_options(SimplexOptions { stall_threshold: 0, ..Default::default() });
+        assert_eq!(lp.solve().unwrap_err(), SolveError::InvalidOptions("stall_threshold"));
+    }
+
+    #[test]
+    fn invalid_options_error_names_the_field() {
+        let message = SolveError::InvalidOptions("tolerance").to_string();
+        assert!(message.contains("tolerance"), "{message}");
+    }
+
+    #[test]
+    fn stats_count_pivots_and_phases() {
+        let mut lp = mixed_example();
+        lp.set_options(SimplexOptions::default());
+        let (_, _, stats) = lp.solve_with_basis().unwrap();
+        assert!(stats.pivots > 0);
+        assert!(stats.phase1_pivots <= stats.pivots);
+        assert!(!stats.warm_start);
+        assert_eq!(stats.refactor_pivots, 0);
+        assert!(stats.trace.is_empty(), "trace off by default");
     }
 }

@@ -1,8 +1,9 @@
 //! Property-based tests for the simplex solver: solutions of randomly
 //! generated programs must be feasible and at least as good as a known
-//! feasible point.
+//! feasible point, the sparse pivot must be bit-identical to its dense
+//! oracle, and snapshot warm restarts must agree with cold solves.
 
-use noc_lp::{LinearProgram, Sense, SolveError, VarId};
+use noc_lp::{LinearProgram, PivotMode, Sense, SimplexOptions, SolveError, VarId};
 use proptest::prelude::*;
 
 const TOL: f64 = 1e-6;
@@ -124,6 +125,107 @@ proptest! {
             Err(SolveError::Unbounded) => {}
             Err(e) => prop_assert!(false, "unexpected error {e:?} on a feasible program"),
         }
+    }
+
+    /// The sparse pivot is an execution strategy, not an algorithm change:
+    /// on any program it must walk the same pivot sequence as the dense
+    /// oracle and land on the *bit-identical* solution — exact `f64`
+    /// equality on every component, not an epsilon comparison.
+    #[test]
+    fn sparse_pivot_is_bit_identical_to_the_dense_oracle(lp_data in random_lp(true)) {
+        let (mut sparse_lp, _) = build(&lp_data);
+        sparse_lp.set_options(SimplexOptions {
+            pivot_mode: PivotMode::Sparse,
+            ..SimplexOptions::default()
+        });
+        let (mut dense_lp, _) = build(&lp_data);
+        dense_lp.set_options(SimplexOptions {
+            pivot_mode: PivotMode::Dense,
+            ..SimplexOptions::default()
+        });
+        let sparse = sparse_lp.solve().expect("feasible bounded LP must solve");
+        let dense = dense_lp.solve().expect("feasible bounded LP must solve");
+        prop_assert_eq!(sparse.values, dense.values, "pivot modes diverged");
+        prop_assert_eq!(sparse.objective.to_bits(), dense.objective.to_bits());
+    }
+
+    /// Resolving from a captured tableau snapshot after loosening the
+    /// inequality right-hand sides must agree with a cold solve of the
+    /// perturbed program. A `BasisMismatch` refusal (non-unique optimum,
+    /// or a loosened row crossing zero and flipping its standard form) is
+    /// the documented fallback path and equally acceptable — what is
+    /// *never* acceptable is a warm "optimum" that a cold solve beats.
+    #[test]
+    fn snapshot_resolve_agrees_with_cold_solve(
+        lp_data in random_lp(true),
+        delta in 0.0..3.0f64,
+    ) {
+        let (lp, _) = build(&lp_data);
+        let Ok((_, snapshot, _)) = lp.solve_with_snapshot() else { return Ok(()) };
+        // Loosen every inequality row; the known feasible point stays
+        // feasible, and equalities keep the perturbed program honest.
+        let perturbed_data = RandomLp {
+            constraints: lp_data
+                .constraints
+                .iter()
+                .map(|(coeffs, sense, rhs)| {
+                    let rhs = match sense {
+                        0 => rhs + delta,
+                        1 => rhs - delta,
+                        _ => *rhs,
+                    };
+                    (coeffs.clone(), *sense, rhs)
+                })
+                .collect(),
+            ..lp_data.clone()
+        };
+        let (perturbed, _) = build(&perturbed_data);
+        match perturbed.resolve_with_snapshot(snapshot) {
+            Ok((warm, _, stats)) => {
+                prop_assert!(stats.warm_start, "snapshot resolve must report warm");
+                check_feasible(&perturbed_data, &warm.values);
+                let cold = perturbed.solve().expect("loosened program stays feasible");
+                prop_assert!(
+                    (warm.objective - cold.objective).abs()
+                        <= 1e-6 * (1.0 + cold.objective.abs()),
+                    "warm optimum {} != cold optimum {}",
+                    warm.objective,
+                    cold.objective
+                );
+            }
+            // Refusals fall back to a cold solve in every caller; solver
+            // verdicts (infeasible/unbounded) must then match cold.
+            Err(SolveError::BasisMismatch) => {}
+            Err(e) => {
+                let cold = perturbed.solve();
+                prop_assert!(cold.is_err(), "warm failed with {e:?} but cold solved");
+            }
+        }
+    }
+
+    /// Resolving a snapshot against the *unchanged* program is the
+    /// degenerate sweep step: it must succeed whenever the capture was
+    /// reusable and return the same optimum without any simplex work
+    /// beyond the RHS recompute.
+    #[test]
+    fn snapshot_resolve_is_idempotent_on_unchanged_rhs(lp_data in random_lp(true)) {
+        let (lp, _) = build(&lp_data);
+        let Ok((first, snapshot, _)) = lp.solve_with_snapshot() else { return Ok(()) };
+        if !snapshot.is_reusable() {
+            return Ok(());
+        }
+        let (warm, _, stats) = lp
+            .resolve_with_snapshot(snapshot)
+            .expect("reusable snapshot must resolve its own program");
+        prop_assert!(stats.warm_start);
+        prop_assert!(
+            (warm.objective - first.objective).abs()
+                <= 1e-9 * (1.0 + first.objective.abs()),
+            "idempotent resolve moved the optimum: {} -> {}",
+            first.objective,
+            warm.objective
+        );
+        check_feasible(&lp_data, &warm.values);
     }
 
     /// Scaling every cost by a positive constant scales the optimum and

@@ -63,13 +63,22 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Violation> {
     out
 }
 
-/// The unit-bearing crates rules 1–3 apply to. Consumers (experiments,
-/// baselines, bench, the vendored shims) and the probe crate (a timing
-/// seam by design) are out of scope.
+/// The crates rules 1–3 apply to: the unit-bearing crates plus the LP
+/// solver (whose tableaux sit on every deterministic result path; its
+/// dimensionless `f64` API is opted out per file, keeping the
+/// hash-container and wall-clock rules in force). Consumers
+/// (experiments, baselines, bench, the vendored shims) and the probe
+/// crate (a timing seam by design) are out of scope.
 fn in_scope_for_api_rules(path: &str) -> bool {
-    ["crates/graph/src/", "crates/core/src/", "crates/sim/src/", "crates/dse/src/"]
-        .iter()
-        .any(|p| path.starts_with(p))
+    [
+        "crates/graph/src/",
+        "crates/core/src/",
+        "crates/sim/src/",
+        "crates/dse/src/",
+        "crates/lp/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
 }
 
 /// Lines at or past the first `#[cfg(test)]` are test scope (the
@@ -415,6 +424,26 @@ mod tests {
         for path in ["crates/dse/src/cache.rs", "crates/dse/src/shard.rs"] {
             let src = "use std::collections::HashMap;\nlet t = Instant::now();\n";
             assert_eq!(rules_of(&lint_file(path, src)), ["hash-container", "wall-clock"], "{path}");
+        }
+    }
+
+    #[test]
+    fn lp_modules_are_in_scope() {
+        // PR 10 moved the warm-start machinery into `noc-lp`; the solver
+        // feeds every routing result, so the determinism rules
+        // (hash-container, wall-clock) must cover it — pin that a scope
+        // refactor cannot drop the crate. Its `f64` API stays legal only
+        // through explicit per-file `allow-file(f64-api)` markers.
+        for path in
+            ["crates/lp/src/simplex.rs", "crates/lp/src/revised.rs", "crates/lp/src/problem.rs"]
+        {
+            let src = "use std::collections::HashMap;\nlet t = Instant::now();\npub fn x() -> \
+                       f64;\n";
+            assert_eq!(
+                rules_of(&lint_file(path, src)),
+                ["f64-api", "hash-container", "wall-clock"],
+                "{path}"
+            );
         }
     }
 
